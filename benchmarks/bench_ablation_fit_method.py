@@ -1,0 +1,89 @@
+"""Ablation (Section 4.1): line segments vs polynomial curve fitting.
+
+The paper names polynomial fitting as a viable alternative and picks line
+segments as "simple but adequate".  This bench quantifies the choice at a
+matched catalog budget: six segments store 14 floats (7 knot pairs); a
+degree-6 polynomial plus its range stores 9.  Compared on FPF curves from
+three clustering regimes:
+
+* in-range accuracy (max relative deviation from the exact curve),
+* extrapolation sanity below B_min (segments extrapolate linearly;
+  polynomials can swing wildly — the practical reason segments won).
+"""
+
+from conftest import run_once, write_result
+
+from repro.buffer.stack import FetchCurve
+from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
+from repro.estimators.epfis import buffer_grid
+from repro.eval.report import format_table
+from repro.fit.polynomial import fit_polynomial
+from repro.fit.segments import fit_optimal
+from repro.trace.stats import min_modeled_buffer
+
+WINDOWS = (0.05, 0.5, 1.0)
+RECORDS = 20_000
+
+
+def test_fit_method_ablation(benchmark):
+    def sweep():
+        rows = []
+        for window in WINDOWS:
+            dataset = build_synthetic_dataset(
+                SyntheticSpec(
+                    records=RECORDS,
+                    distinct_values=RECORDS // 100,
+                    records_per_page=40,
+                    window=window,
+                    seed=13,
+                )
+            )
+            index = dataset.index
+            pages = index.table.page_count
+            exact = FetchCurve.from_trace(index.page_sequence())
+            b_min = min_modeled_buffer(pages)
+            grid = buffer_grid(b_min, pages, min_points=64)
+            points = [(float(b), float(exact.fetches(b))) for b in grid]
+
+            segments = fit_optimal(points, 6)
+            poly = fit_polynomial(points, 6)
+
+            def max_rel(evaluate):
+                return max(
+                    abs(evaluate(b) - y) / y for b, y in points if y > 0
+                )
+
+            # Extrapolation check at half the modeled minimum.
+            probe = max(1, b_min // 2)
+            true_low = exact.fetches(probe)
+            seg_low = segments.evaluate(probe)
+            poly_low = poly.evaluate(probe)
+            rows.append(
+                (
+                    window,
+                    f"{100 * max_rel(segments.evaluate):.1f}",
+                    f"{100 * max_rel(poly.evaluate):.1f}",
+                    f"{100 * (seg_low - true_low) / true_low:+.0f}",
+                    f"{100 * (poly_low - true_low) / true_low:+.0f}",
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    rendered = format_table(
+        ["K", "segments max err %", "poly max err %",
+         "segments extrap err %", "poly extrap err %"],
+        rows,
+        title=(
+            "Ablation: 6 line segments vs degree-6 polynomial on the FPF "
+            "curve"
+        ),
+    )
+    write_result("ablation_fit_method", rendered)
+
+    for _k, seg_err, poly_err, seg_low, _poly_low in rows:
+        # Segments stay adequate in range (the paper's claim)...
+        assert float(seg_err) <= 35.0, rows
+        # ...and extrapolate sanely below B_min.
+        assert abs(float(seg_low)) <= 60.0, rows

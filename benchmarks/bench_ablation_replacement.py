@@ -1,0 +1,76 @@
+"""Ablation (beyond the paper): how LRU-specific is the FPF curve?
+
+The paper models LRU because "most relational database systems" use it.
+Many real systems actually run CLOCK (an LRU approximation) or FIFO.  This
+bench compares exact full-scan fetch counts under the three policies across
+the buffer grid: CLOCK should track LRU closely (validating the paper's
+model for CLOCK-based systems), while FIFO can deviate more.
+"""
+
+from conftest import SYNTH_BUFFER_FLOOR, run_once, write_result
+
+from repro.buffer.pool import simulate_fetches
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.report import format_table
+
+POLICIES = ("lru", "clock", "fifo")
+
+
+def test_replacement_policy_fpf(benchmark, synthetic_dataset_factory):
+    dataset = synthetic_dataset_factory(theta=0.0, window=0.2)
+    index = dataset.index
+    trace = index.page_sequence()
+    grid = evaluation_buffer_grid(
+        index.table.page_count, floor=SYNTH_BUFFER_FLOOR
+    )
+
+    def sweep():
+        return {
+            policy: [simulate_fetches(trace, b, policy) for b in grid]
+            for policy in POLICIES
+        }
+
+    fetches = run_once(benchmark, sweep)
+
+    rows = []
+    max_clock_dev = 0.0
+    for i, b in enumerate(grid):
+        lru = fetches["lru"][i]
+        clock = fetches["clock"][i]
+        fifo = fetches["fifo"][i]
+        max_clock_dev = max(max_clock_dev, abs(clock - lru) / lru)
+        rows.append(
+            (
+                b,
+                lru,
+                clock,
+                fifo,
+                f"{100 * (clock - lru) / lru:+.1f}%",
+                f"{100 * (fifo - lru) / lru:+.1f}%",
+            )
+        )
+    rendered = format_table(
+        ["B", "LRU", "CLOCK", "FIFO", "CLOCK vs LRU", "FIFO vs LRU"],
+        rows,
+        title="Ablation: full-scan fetches under LRU / CLOCK / FIFO",
+    )
+    write_result("ablation_replacement", rendered)
+
+    # CLOCK approximates LRU well across the grid (worst deviation lands
+    # near the curve knee and stays bounded), and everywhere tracks LRU
+    # more closely than FIFO does: the paper's LRU model transfers to
+    # CLOCK-managed pools.
+    assert max_clock_dev < 0.25, max_clock_dev
+    # In aggregate over the grid, CLOCK is a far better LRU proxy than
+    # FIFO (pointwise comparisons can flip near the fully-cached tail,
+    # where both deviations are tiny in absolute terms).
+    clock_total = sum(
+        abs(c - l) for c, l in zip(fetches["clock"], fetches["lru"])
+    )
+    fifo_total = sum(
+        abs(f - l) for f, l in zip(fetches["fifo"], fetches["lru"])
+    )
+    assert clock_total < fifo_total, (clock_total, fifo_total)
+    # No policy beats having the whole table resident.
+    for policy in POLICIES:
+        assert fetches[policy][-1] >= index.table.page_count

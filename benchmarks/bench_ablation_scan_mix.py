@@ -1,0 +1,83 @@
+"""Ablation (Section 5 claim): behaviour under different scan mixes.
+
+"We ran experiments involving only small scans, only large scans, and only
+full scans. ... In all these experiments, the results were very similar.
+A general trend was that the algorithms other than Algorithm EPFIS
+performed worse as the scan size was made larger."
+"""
+
+import random
+
+from conftest import (
+    SCAN_COUNT,
+    SYNTH_BUFFER_FLOOR,
+    run_once,
+    write_result,
+)
+
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.experiment import run_error_behavior
+from repro.eval.figures import paper_estimators
+from repro.eval.report import format_table
+from repro.workload.scans import generate_scan_mix
+
+MIXES = {
+    "small-only": dict(small_probability=1.0, large_probability=0.0),
+    "mixed-50-50": dict(small_probability=0.5, large_probability=0.5),
+    "large-only": dict(small_probability=0.0, large_probability=1.0),
+    "full-only": dict(small_probability=0.0, large_probability=0.0),
+}
+
+
+def test_scan_mix_trend(benchmark, synthetic_dataset_factory):
+    dataset = synthetic_dataset_factory(theta=0.0, window=0.5)
+    index = dataset.index
+    grid = evaluation_buffer_grid(
+        index.table.page_count, floor=SYNTH_BUFFER_FLOOR
+    )
+    estimators = paper_estimators(index)
+
+    def sweep():
+        table = {}
+        for mix_name, probabilities in MIXES.items():
+            scans = generate_scan_mix(
+                index, count=SCAN_COUNT, rng=random.Random(1),
+                **probabilities,
+            )
+            result = run_error_behavior(index, estimators, scans, grid)
+            table[mix_name] = result.max_abs_errors()
+        return table
+
+    table = run_once(benchmark, sweep)
+
+    names = [e.name for e in estimators]
+    rendered = format_table(
+        ["mix", *names],
+        [
+            (mix, *(f"{table[mix][n]:.1f}" for n in names))
+            for mix in MIXES
+        ],
+        title="Ablation: worst |error| % per algorithm, by scan mix",
+    )
+    write_result("ablation_scan_mix", rendered)
+
+    # EPFIS dominates under the paper's mixed workload and under large and
+    # full-only mixes.  Finding (recorded in the results file): under a
+    # small-only mix on mid-clustered data the sigma-correction's Cardenas
+    # term — which assumes records scatter over the *whole* table — can
+    # overshoot when the window scheme concentrates a key range in a page
+    # band, letting ML edge ahead; EPFIS stays within ~1.25x of the best.
+    for mix in ("mixed-50-50", "large-only", "full-only"):
+        worst = table[mix]
+        assert worst["EPFIS"] <= min(worst.values()) + 1e-9, (mix, worst)
+    small = table["small-only"]
+    assert small["EPFIS"] <= 1.25 * min(small.values()), small
+
+    # The baselines' errors grow (in aggregate) from small-only to
+    # large-only scans.
+    degraded = [
+        n
+        for n in ("ML", "DC", "SD", "OT")
+        if table["large-only"][n] > table["small-only"][n]
+    ]
+    assert len(degraded) >= 2, table

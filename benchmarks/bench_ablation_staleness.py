@@ -1,0 +1,100 @@
+"""Ablation (beyond the paper): statistics staleness under churn.
+
+LRU-Fit runs "periodically" as part of statistics collection; between runs
+the table keeps changing and the stored FPF curve goes stale.  This bench
+mutates a table after fitting — growth by appends (10/30/60%) and logical
+deletion of 30% of entries — and compares estimates from the stale catalog
+record vs a re-fit against exact ground truth, quantifying how quickly the
+empirical model decays under each kind of churn.
+"""
+
+import random
+
+from conftest import SYNTH_BUFFER_FLOOR, run_once, write_result
+
+from repro.datagen.synthetic import (
+    SyntheticSpec,
+    append_records,
+    build_synthetic_dataset,
+    delete_records,
+)
+from repro.estimators.epfis import EPFISEstimator, LRUFit
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.experiment import run_error_behavior
+from repro.eval.report import format_table
+from repro.workload.scans import generate_scan_mix
+
+GROWTH_STEPS = (0.10, 0.30, 0.60)
+
+
+def test_statistics_staleness(benchmark):
+    spec = SyntheticSpec(
+        records=25_000,
+        distinct_values=250,
+        records_per_page=40,
+        window=0.3,
+        seed=77,
+    )
+
+    def measure(label, mutate):
+        dataset = build_synthetic_dataset(spec)
+        stale_estimator = EPFISEstimator(LRUFit().run(dataset.index))
+        mutate(dataset)
+        fresh_estimator = EPFISEstimator(LRUFit().run(dataset.index))
+
+        index = dataset.index
+        grid = evaluation_buffer_grid(
+            index.table.page_count, floor=SYNTH_BUFFER_FLOOR
+        )
+        scans = generate_scan_mix(index, count=60, rng=random.Random(3))
+        result = run_error_behavior(
+            index, [stale_estimator, fresh_estimator], scans, grid
+        )
+        stale_curve, fresh_curve = result.curves
+        return (
+            label,
+            f"{100 * stale_curve.max_abs_error():.1f}",
+            f"{100 * fresh_curve.max_abs_error():.1f}",
+        )
+
+    def sweep():
+        rows = []
+        for growth in GROWTH_STEPS:
+            rows.append(
+                measure(
+                    f"append {growth:.0%}",
+                    lambda d, g=growth: append_records(
+                        d, round(g * spec.records), rng=random.Random(7)
+                    ),
+                )
+            )
+        rows.append(
+            measure(
+                "delete 30%",
+                lambda d: delete_records(
+                    d, round(0.3 * spec.records), rng=random.Random(9)
+                ),
+            )
+        )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    rendered = format_table(
+        ["churn since fit", "stale stats max |error| %",
+         "re-fit max |error| %"],
+        rows,
+        title="Ablation: EPFIS accuracy as statistics go stale",
+    )
+    write_result("ablation_staleness", rendered)
+
+    # Re-fitting always restores accuracy to the usual band...
+    for _label, _stale, fresh in rows:
+        assert float(fresh) <= 48.0
+    # ...and append staleness costs accuracy monotonically-ish: the
+    # 60%-grown table is served worse by stale statistics than the
+    # 10%-grown one.
+    append_rows = rows[: len(GROWTH_STEPS)]
+    assert float(append_rows[-1][1]) > float(append_rows[0][1])
+
+

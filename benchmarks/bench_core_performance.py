@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the core machinery (classic pytest-benchmark usage).
+
+These are throughput benchmarks, not paper exhibits: they track the cost of
+the stack-distance pass (the paper's 'scan of all the index entries'), the
+exact LRU simulator, B-tree operations, and Est-IO's per-call latency (the
+paper's claim that query-compilation-time estimation is 'inexpensive' and
+'only involves computing a simple formula').
+"""
+
+import random
+
+import pytest
+
+from repro.buffer.lru import LRUBufferPool
+from repro.buffer.stack import FetchCurve
+from repro.estimators.epfis import EPFISEstimator, LRUFit
+from repro.storage.btree import BTreeIndex, KeyBound
+from repro.types import RID, ScanSelectivity
+
+TRACE_LENGTH = 50_000
+PAGES = 1_250
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = random.Random(5)
+    return [rng.randrange(PAGES) for _ in range(TRACE_LENGTH)]
+
+
+def test_perf_stack_distance_pass(benchmark, trace):
+    """One full Mattson pass: LRU-Fit's dominant cost."""
+    curve = benchmark(FetchCurve.from_trace, trace)
+    assert curve.accesses == TRACE_LENGTH
+
+
+def test_perf_lru_simulation(benchmark, trace):
+    """Exact single-size LRU simulation for comparison."""
+
+    def simulate():
+        return LRUBufferPool(PAGES // 10).run(trace)
+
+    fetches = benchmark(simulate)
+    assert fetches >= PAGES
+
+
+def test_perf_fetch_curve_query(benchmark, trace):
+    """Post-pass F(B) queries are logarithmic and near-free."""
+    curve = FetchCurve.from_trace(trace)
+
+    def query_grid():
+        return [curve.fetches(b) for b in range(1, 1_000, 37)]
+
+    values = benchmark(query_grid)
+    assert values == sorted(values, reverse=True)
+
+
+def test_perf_btree_insert(benchmark):
+    rng = random.Random(7)
+    keys = [rng.randrange(10_000) for _ in range(20_000)]
+
+    def build():
+        tree = BTreeIndex(fanout=64)
+        for i, k in enumerate(keys):
+            tree.insert(k, RID(i % 500, 0))
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == len(keys)
+
+
+def test_perf_btree_range_scan(benchmark):
+    tree = BTreeIndex(fanout=64)
+    rng = random.Random(9)
+    for i in range(20_000):
+        tree.insert(rng.randrange(10_000), RID(i % 500, 0))
+
+    def scan():
+        return sum(
+            1 for _ in tree.range(KeyBound(2_000, True), KeyBound(4_000, True))
+        )
+
+    count = benchmark(scan)
+    assert count > 0
+
+
+def test_perf_est_io_call(benchmark, trace, synthetic_dataset_factory):
+    """The optimizer-facing call: must be microseconds, not milliseconds."""
+    stats = LRUFit().run_on_trace(trace, table_pages=PAGES, distinct_keys=500)
+    estimator = EPFISEstimator.from_statistics(stats)
+    selectivity = ScanSelectivity(0.1, 0.5)
+
+    value = benchmark(estimator.estimate, selectivity, PAGES // 3)
+    assert value > 0

@@ -1,0 +1,60 @@
+"""Figure 1: FPF curves for five GWL columns.
+
+Paper exhibit: the number of page fetches F (in multiples of T) for a full
+index scan as a function of buffer size B (as a fraction of T), for columns
+CMAC.BRAN, CMAC.CEDT, INAP.APLD, INAP.MALD, INAP.UWID.
+
+Expected shape: every curve decreases monotonically to F/T = 1; columns
+with lower clustering factor C sit higher (more refetching) at small B.
+"""
+
+from conftest import run_once, write_result
+
+from repro.datagen.gwl import FIGURE1_COLUMNS
+from repro.eval.figures import figure1_fpf_curves
+from repro.eval.report import ascii_chart, format_table
+
+
+def test_figure01_fpf_curves(benchmark, gwl_db):
+    series = run_once(benchmark, lambda: figure1_fpf_curves(gwl_db))
+
+    chart = ascii_chart(
+        {s.column: list(s.points) for s in series},
+        width=70,
+        height=22,
+        title="Figure 1: FPF curves (X = B/T, Y = F/T)",
+        x_label="B as fraction of T",
+        y_label="F in multiples of T",
+    )
+    rows = []
+    for s in series:
+        c = gwl_db.column(s.column)
+        rows.append(
+            (
+                s.column,
+                s.table_pages,
+                f"{s.points[0][1]:.2f}",
+                f"{s.points[len(s.points) // 2][1]:.2f}",
+                f"{s.points[-1][1]:.2f}",
+                f"{100 * c.measured_c:.1f}%",
+            )
+        )
+    table = format_table(
+        ["column", "T", "F/T @2%T", "F/T @50%T", "F/T @100%T", "C"],
+        rows,
+        title="Figure 1 summary points",
+    )
+    write_result("figure01_fpf_curves", chart + "\n\n" + table)
+
+    # Shape assertions: monotone decreasing, terminal value 1.
+    for s in series:
+        ys = [y for _x, y in s.points]
+        assert all(a >= b - 1e-9 for a, b in zip(ys, ys[1:])), s.column
+        assert abs(ys[-1] - 1.0) < 0.02, s.column
+    assert {s.column for s in series} == set(FIGURE1_COLUMNS)
+
+    # Ordering by clustering: the least clustered of the five (CMAC.BRAN)
+    # must fetch more than the most clustered (CAGD-level columns are not
+    # in this figure; INAP.UWID at C=90.8% is) at small buffer sizes.
+    by_name = {s.column: s for s in series}
+    assert by_name["CMAC.BRAN"].points[1][1] > by_name["INAP.UWID"].points[1][1]

@@ -1,0 +1,104 @@
+"""Figures 10-15: synthetic error behaviour, uniform duplicates (theta = 0).
+
+Paper exhibits: error metric vs buffer size for window parameters
+K in {0, 0.05, 0.10, 0.20, 0.50, 1.0} at R = 40 records/page, uniform
+(theta = 0) duplicate distribution.  Headline: EPFIS dominates at every K;
+OT and DC exceed the plotted range (~100%) on weakly clustered data.
+"""
+
+import pytest
+import conftest
+from conftest import (
+    SCAN_COUNT,
+    SYNTH_BUFFER_FLOOR,
+    run_once,
+    write_result,
+    write_result_json,
+)
+
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.experiment import run_error_behavior
+from repro.eval.figures import SYNTHETIC_FIGURES, paper_estimators
+from repro.eval.report import ascii_chart, format_table
+from repro.workload.scans import generate_scan_mix
+
+import random
+
+THETA = 0.0
+FIGURES = {
+    fig: params
+    for fig, params in SYNTHETIC_FIGURES.items()
+    if params[0] == THETA
+}
+
+RESULTS = {}
+
+
+def run_synthetic_figure(dataset_factory, theta, window):
+    dataset = dataset_factory(theta, window)
+    index = dataset.index
+    grid = evaluation_buffer_grid(
+        index.table.page_count, floor=SYNTH_BUFFER_FLOOR
+    )
+    scans = generate_scan_mix(
+        index, count=SCAN_COUNT, rng=random.Random(1)
+    )
+    return run_error_behavior(
+        index,
+        paper_estimators(index),
+        scans,
+        grid,
+        dataset_name=f"theta={theta}, K={window}",
+    )
+
+
+def render_synthetic_figure(figure, result):
+    percents = result.buffer_grid.percents()
+    chart = ascii_chart(
+        {
+            c.estimator: [
+                (p, 100.0 * e) for p, (_b, e) in zip(percents, c.points)
+            ]
+            for c in result.curves
+        },
+        width=70,
+        height=20,
+        title=f"Figure {figure}: error behaviour for {result.dataset}",
+        x_label="buffer size (% of T)",
+        y_label="error (%)",
+    )
+    table = format_table(
+        ["algorithm", "max |error| %", "mean error %"],
+        [
+            (
+                c.estimator,
+                f"{100 * c.max_abs_error():.1f}",
+                f"{100 * sum(e for _b, e in c.points) / len(c.points):+.1f}",
+            )
+            for c in result.curves
+        ],
+    )
+    return chart + "\n\n" + table
+
+
+@pytest.mark.parametrize("figure,params", sorted(FIGURES.items()))
+def test_synthetic_uniform_figure(
+    benchmark, synthetic_dataset_factory, figure, params
+):
+    theta, window = params
+    result = run_once(
+        benchmark,
+        lambda: run_synthetic_figure(synthetic_dataset_factory, theta, window),
+    )
+    RESULTS[figure] = result
+    write_result(
+        f"figure{figure:02d}_synthetic_theta{theta}_K{window}",
+        render_synthetic_figure(figure, result),
+    )
+    write_result_json(
+        f"figure{figure:02d}_synthetic_theta{theta}_K{window}", result
+    )
+
+    worst = result.max_abs_errors()
+    assert worst["EPFIS"] <= min(worst.values()) + 1e-9, worst
+    assert worst["EPFIS"] <= conftest.EPFIS_SYNTH_BAND, worst

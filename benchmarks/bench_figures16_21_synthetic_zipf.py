@@ -1,0 +1,80 @@
+"""Figures 16-21: synthetic error behaviour, 80-20 skew (theta = 0.86).
+
+Paper exhibits: same K grid as Figures 10-15 but with the generalized Zipf
+(80-20) duplicate distribution.  Also regenerates the Section 5.2 summary
+(paper maxima: EPFIS 48%, SD 97.6%, OT 2453.1%, DC 1994.8%, ML 94.9%)
+across both synthetic figure groups.
+"""
+
+import pytest
+from bench_figures10_15_synthetic_uniform import (
+    RESULTS as UNIFORM_RESULTS,
+    render_synthetic_figure,
+    run_synthetic_figure,
+)
+import conftest
+from conftest import run_once, write_result, write_result_json
+
+from repro.eval.figures import SYNTHETIC_FIGURES, max_error_summary
+from repro.eval.report import format_table
+
+THETA = 0.86
+FIGURES = {
+    fig: params
+    for fig, params in SYNTHETIC_FIGURES.items()
+    if params[0] == THETA
+}
+
+RESULTS = {}
+
+
+@pytest.mark.parametrize("figure,params", sorted(FIGURES.items()))
+def test_synthetic_zipf_figure(
+    benchmark, synthetic_dataset_factory, figure, params
+):
+    theta, window = params
+    result = run_once(
+        benchmark,
+        lambda: run_synthetic_figure(synthetic_dataset_factory, theta, window),
+    )
+    RESULTS[figure] = result
+    write_result(
+        f"figure{figure:02d}_synthetic_theta{theta}_K{window}",
+        render_synthetic_figure(figure, result),
+    )
+    write_result_json(
+        f"figure{figure:02d}_synthetic_theta{theta}_K{window}", result
+    )
+
+    worst = result.max_abs_errors()
+    assert worst["EPFIS"] <= min(worst.values()) + 1e-9, worst
+    assert worst["EPFIS"] <= conftest.EPFIS_SYNTH_BAND, worst
+
+
+def test_synthetic_max_error_summary(benchmark, synthetic_dataset_factory):
+    """The Section 5.2 summary across all available synthetic figures."""
+    results = dict(UNIFORM_RESULTS)
+    results.update(RESULTS)
+    if not results:  # -k selection ran only this test: compute one group
+        for figure, (theta, window) in sorted(FIGURES.items()):
+            results[figure] = run_synthetic_figure(
+                synthetic_dataset_factory, theta, window
+            )
+    summary = run_once(
+        benchmark, lambda: max_error_summary(list(results.values()))
+    )
+    paper = {"EPFIS": 48.0, "SD": 97.6, "OT": 2453.1, "DC": 1994.8,
+             "ML": 94.9}
+    rendered = format_table(
+        ["algorithm", "max |error| % (repro)", "max |error| % (paper)"],
+        [
+            (name, f"{summary[name]:.1f}", paper[name])
+            for name in ("EPFIS", "ML", "DC", "SD", "OT")
+        ],
+        title="Section 5.2: worst-case errors across Figures 10-21",
+    )
+    write_result("section5_2_synthetic_max_errors", rendered)
+
+    assert summary["EPFIS"] <= conftest.EPFIS_SYNTH_BAND
+    assert summary["EPFIS"] <= min(summary.values())
+    assert max(summary["OT"], summary["DC"]) > 100.0

@@ -1,0 +1,91 @@
+"""Future work (Section 6): indexes with sorted RIDs per key value.
+
+The paper defers "indexes with sorted RIDs for a given key value".  Our
+substrate supports both entry orders — insertion order (the paper's model)
+via incremental index maintenance, and page-sorted RIDs via bulk build —
+so this bench measures what the paper left open:
+
+* how much sorting RIDs within each key improves the FPF curve (it turns
+  each key's accesses into one monotone sweep, cutting small-buffer
+  refetches), and
+* whether EPFIS stays accurate when pointed at the sorted-RID trace
+  (it should: LRU-Fit simulates whatever trace the index produces).
+"""
+
+import random
+
+from conftest import (
+    SCAN_COUNT,
+    SYNTH_BUFFER_FLOOR,
+    run_once,
+    write_result,
+)
+
+from repro.buffer.stack import FetchCurve
+from repro.estimators.epfis import EPFISEstimator, LRUFit
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.experiment import run_error_behavior
+from repro.eval.report import format_table
+from repro.storage.index import Index
+from repro.workload.scans import generate_scan_mix
+
+
+def test_sorted_rid_variant(benchmark, synthetic_dataset_factory):
+    dataset = synthetic_dataset_factory(theta=0.0, window=0.5)
+    index = dataset.index
+
+    def build_and_compare():
+        # Bulk build orders duplicate-key RIDs by page: the sorted variant.
+        sorted_index = Index.build(
+            dataset.table, "key", name=f"{dataset.name}.sorted"
+        )
+        insertion_curve = FetchCurve.from_trace(index.page_sequence())
+        sorted_curve = FetchCurve.from_trace(sorted_index.page_sequence())
+        grid = evaluation_buffer_grid(
+            index.table.page_count, floor=SYNTH_BUFFER_FLOOR
+        )
+        b1 = (insertion_curve.fetches(1), sorted_curve.fetches(1))
+        fpf_rows = [
+            (
+                b,
+                insertion_curve.fetches(b),
+                sorted_curve.fetches(b),
+                f"{(insertion_curve.fetches(b) - sorted_curve.fetches(b)) / insertion_curve.fetches(b):+.1%}",
+            )
+            for b in grid
+        ]
+        # EPFIS accuracy on the sorted-RID index.
+        scans = generate_scan_mix(
+            sorted_index, count=SCAN_COUNT, rng=random.Random(1)
+        )
+        estimator = EPFISEstimator.from_index(sorted_index)
+        result = run_error_behavior(
+            sorted_index, [estimator], scans, grid,
+            dataset_name="sorted-RID",
+        )
+        return fpf_rows, 100.0 * result.curves[0].max_abs_error(), b1
+
+    fpf_rows, epfis_worst, b1 = run_once(benchmark, build_and_compare)
+
+    rendered = format_table(
+        ["B", "F insertion-order", "F sorted-RIDs", "saved"],
+        fpf_rows,
+        title="Future work: sorted RIDs per key vs insertion order",
+    )
+    rendered += (
+        f"\n\nF at B = 1: insertion order {b1[0]}, sorted RIDs {b1[1]}"
+        f"\nEPFIS worst |error| on the sorted-RID index: "
+        f"{epfis_worst:.1f}%"
+    )
+    write_result("futurework_sorted_rids", rendered)
+
+    # Within-key sorting eliminates within-key page jumps, so the
+    # single-buffer fetch count strictly improves.  Across the wider grid
+    # the effect is mixed (sorting also *systematically separates*
+    # cross-key reuses of the same page, which random insertion order
+    # sometimes places close together) — that finding is the point of the
+    # recorded table; no universal ordering is asserted.
+    assert b1[1] < b1[0]
+    # EPFIS remains accurate: the empirical method is agnostic to how the
+    # trace was produced.
+    assert epfis_worst <= 48.0

@@ -1,0 +1,87 @@
+"""Beyond the paper: does better page-fetch estimation pick better plans?
+
+The paper motivates EPFIS by access-path selection (Section 2) but never
+closes the loop.  This bench does: for a workload of random scans, each
+estimator drives the table-scan vs index-scan choice, and the chosen plan's
+*actual* cost (exact LRU simulation) is compared to the best achievable.
+The metric is regret: extra pages fetched relative to always choosing
+optimally.
+"""
+
+import random
+
+from conftest import SCAN_COUNT, run_once, write_result
+
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.figures import paper_estimators
+from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.report import format_table
+from repro.workload.scans import generate_scan_mix
+
+import conftest
+
+
+def test_plan_choice_regret(benchmark, synthetic_dataset_factory):
+    dataset = synthetic_dataset_factory(theta=0.0, window=0.5)
+    index = dataset.index
+    table_pages = index.table.page_count
+    extractor = ScanTraceExtractor(index)
+    estimators = paper_estimators(index)
+    scans = generate_scan_mix(
+        index, count=SCAN_COUNT, rng=random.Random(4)
+    )
+    grid = evaluation_buffer_grid(
+        table_pages, floor=conftest.SYNTH_BUFFER_FLOOR
+    )
+    buffer_pages = list(grid)[len(grid) // 2]
+
+    def sweep():
+        actual_index_cost = [
+            extractor.actual_fetches(scan, [buffer_pages])[buffer_pages]
+            for scan in scans
+        ]
+        optimal = sum(
+            min(table_pages, cost) for cost in actual_index_cost
+        )
+        regret = {}
+        wrong = {}
+        for estimator in estimators:
+            total = 0
+            mistakes = 0
+            for scan, index_cost in zip(scans, actual_index_cost):
+                predicted = estimator.estimate(
+                    scan.selectivity(), buffer_pages
+                )
+                chosen_cost = (
+                    index_cost if predicted <= table_pages else table_pages
+                )
+                total += chosen_cost
+                if chosen_cost > min(index_cost, table_pages):
+                    mistakes += 1
+            regret[estimator.name] = (total - optimal) / optimal
+            wrong[estimator.name] = mistakes
+        return regret, wrong
+
+    regret, wrong = run_once(benchmark, sweep)
+
+    rendered = format_table(
+        ["estimator", "regret %", "wrong choices", "scans"],
+        [
+            (name, f"{100 * regret[name]:.2f}", wrong[name], SCAN_COUNT)
+            for name in sorted(regret)
+        ],
+        title=(
+            "Plan-quality: extra actual pages fetched when each estimator "
+            f"drives table-vs-index choice (B = {buffer_pages})"
+        ),
+    )
+    write_result("optimizer_plan_quality", rendered)
+
+    # Finding (recorded in the results file): near the table-scan
+    # break-even point, plan quality is driven by the *sign* of the error,
+    # not its magnitude — EPFIS's small-sigma correction deliberately
+    # overestimates borderline scans, costing it a few table-scan
+    # mischoices even though its error metric is far lower.  The robust
+    # claims: EPFIS regret stays modest, and it is never the worst chooser.
+    assert regret["EPFIS"] <= 0.25, regret
+    assert regret["EPFIS"] < max(regret.values()), regret

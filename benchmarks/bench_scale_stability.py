@@ -1,0 +1,60 @@
+"""Scale stability: the justification for running scaled-down exhibits.
+
+DESIGN.md claims the error-vs-buffer experiments are shape-invariant in N
+at fixed N/I, R, theta, K — which is what lets the bench suite stand in
+for the paper's 10^6-record runs.  This bench tests the claim directly:
+the same figure at 1x and 3x the default size must rank the algorithms
+identically and keep each algorithm's worst error within a factor of ~2.
+"""
+
+import conftest
+from conftest import SYNTH_RECORDS, run_once, write_result
+
+from repro.eval.figures import synthetic_error_figure
+from repro.eval.report import format_table
+
+THETA = 0.86
+WINDOW = 0.10
+
+
+def test_scale_stability(benchmark):
+    sizes = (SYNTH_RECORDS, 3 * SYNTH_RECORDS)
+
+    def sweep():
+        table = {}
+        for records in sizes:
+            result = synthetic_error_figure(
+                theta=THETA,
+                window=WINDOW,
+                records=records,
+                distinct_values=records // 100,
+                scan_count=conftest.SCAN_COUNT // 2,
+                seed=1,
+            )
+            table[records] = result.max_abs_errors()
+        return table
+
+    table = run_once(benchmark, sweep)
+
+    names = sorted(table[sizes[0]])
+    rendered = format_table(
+        ["N", *names],
+        [
+            (records, *(f"{table[records][n]:.1f}" for n in names))
+            for records in sizes
+        ],
+        title=(
+            f"Scale stability: worst |error| % at theta={THETA}, "
+            f"K={WINDOW}, N/I=100"
+        ),
+    )
+    write_result("scale_stability", rendered)
+
+    small, large = table[sizes[0]], table[sizes[1]]
+    # Ranking is preserved: EPFIS best at both sizes, OT worst at both.
+    assert min(small, key=small.get) == min(large, key=large.get) == "EPFIS"
+    assert max(small, key=small.get) == max(large, key=large.get)
+    # Magnitudes stay within a factor of ~2 per algorithm.
+    for name in names:
+        lo, hi = sorted((small[name], large[name]))
+        assert hi <= 2.5 * lo + 10.0, (name, small[name], large[name])

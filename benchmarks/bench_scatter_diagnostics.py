@@ -1,0 +1,89 @@
+"""Per-scan scatter diagnostics (beyond the paper's aggregate metric).
+
+The paper justifies its aggregate metric by arguing absolute errors matter
+to the optimizer; this bench complements it with the per-scan view the
+aggregate collapses — error quantiles, over/under split, and the rank
+correlation between estimates and actuals (an estimator that *orders*
+scans correctly picks the right plans even when biased).
+
+Expected: EPFIS has both the tightest quantiles and a near-perfect rank
+correlation; cluster-ratio baselines keep high rank correlation (they are
+monotone in sigma) while their quantiles are wildly biased.
+"""
+
+import random
+
+from conftest import (
+    SCAN_COUNT,
+    SYNTH_BUFFER_FLOOR,
+    run_once,
+    write_result,
+)
+
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.figures import paper_estimators
+from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.report import format_table
+from repro.eval.scatter import summarize_scatter
+from repro.workload.scans import generate_scan_mix
+
+
+def test_scatter_diagnostics(benchmark, synthetic_dataset_factory):
+    dataset = synthetic_dataset_factory(theta=0.0, window=0.5)
+    index = dataset.index
+    extractor = ScanTraceExtractor(index)
+    estimators = paper_estimators(index)
+    scans = generate_scan_mix(index, count=SCAN_COUNT, rng=random.Random(1))
+    grid = evaluation_buffer_grid(
+        index.table.page_count, floor=SYNTH_BUFFER_FLOOR
+    )
+    buffer_pages = list(grid)[len(grid) // 2]
+
+    def sweep():
+        actuals = [
+            extractor.actual_fetches(scan, [buffer_pages])[buffer_pages]
+            for scan in scans
+        ]
+        summaries = {}
+        for estimator in estimators:
+            estimates = [
+                estimator.estimate(scan.selectivity(), buffer_pages)
+                for scan in scans
+            ]
+            summaries[estimator.name] = summarize_scatter(estimates, actuals)
+        return summaries
+
+    summaries = run_once(benchmark, sweep)
+
+    rendered = format_table(
+        ["algorithm", "p10", "p50", "p90", "over-est %", "rank corr"],
+        [
+            (
+                name,
+                f"{s.p10:+.2f}",
+                f"{s.p50:+.2f}",
+                f"{s.p90:+.2f}",
+                f"{100 * s.overestimated_fraction:.0f}",
+                f"{s.rank_correlation:+.3f}",
+            )
+            for name, s in summaries.items()
+        ],
+        title=(
+            "Per-scan relative-error scatter at B = "
+            f"{buffer_pages} (mixed scans)"
+        ),
+    )
+    write_result("scatter_diagnostics", rendered)
+
+    epfis = summaries["EPFIS"]
+    # Finding (recorded in the results file): EPFIS has the least-biased
+    # *median* per-scan error, which is what drives its aggregate-metric
+    # dominance — but its per-scan spread is NOT the tightest: the
+    # nu-indicator in the sigma-correction switches discontinuously at
+    # phi = 3*sigma, widening the scatter relative to the smoothly (if
+    # hugely) biased cluster-ratio formulas.  A monotone blend would be a
+    # natural improvement over the paper's indicator variable.
+    for name, s in summaries.items():
+        if name != "EPFIS":
+            assert abs(epfis.p50) <= abs(s.p50) + 1e-9, (name, summaries)
+    assert epfis.rank_correlation > 0.8

@@ -1,0 +1,39 @@
+"""Table 2: GWL table shapes (pages, records/page).
+
+Paper exhibit: CMAC 774x20, CAGD 1093x104, INAP 1945x76, PLON 4857x123.
+The bench reports the built (scaled) shapes next to the paper's, asserting
+the records/page is exact and the page count matches the scale factor.
+"""
+
+from conftest import GWL_SCALE, run_once, write_result
+
+from repro.datagen.gwl import GWL_TABLES
+from repro.eval.figures import table2_rows
+from repro.eval.report import format_table
+
+
+def test_table02_gwl_tables(benchmark, gwl_db):
+    rows = run_once(benchmark, lambda: table2_rows(gwl_db))
+
+    rendered = format_table(
+        ["table", "pages (built)", "records/page (built)",
+         "pages (paper)", "records/page (paper)"],
+        [
+            (
+                name,
+                pages,
+                rpp,
+                GWL_TABLES[name].pages,
+                GWL_TABLES[name].records_per_page,
+            )
+            for name, pages, rpp in rows
+        ],
+        title=f"Table 2 (scale = {GWL_SCALE})",
+    )
+    write_result("table02_gwl_tables", rendered)
+
+    assert len(rows) == 4
+    for name, pages, rpp in rows:
+        spec = GWL_TABLES[name]
+        assert rpp == spec.records_per_page
+        assert pages == max(4, round(spec.pages * GWL_SCALE))

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Access-path selection: the optimizer scenario from Section 2.
+
+A query restricts a table by a key range and may require sorted output.
+The optimizer must choose between a full table scan and a (partial) index
+scan — and its choice is only as good as its page-fetch estimate.  This
+example runs the same query workload through EPFIS and the naive
+perfectly-clustered / perfectly-unclustered estimators, then compares the
+plans they pick against the actual cheapest plan (exact LRU simulation).
+
+Run:  python examples/access_path_selection.py
+"""
+
+import random
+
+from repro import (
+    EPFISEstimator,
+    PerfectlyClusteredEstimator,
+    PerfectlyUnclusteredEstimator,
+    SyntheticSpec,
+    build_synthetic_dataset,
+)
+from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.report import format_table
+from repro.optimizer.access_path import choose_access_plan
+from repro.workload.scans import generate_scan_mix
+
+
+def main() -> None:
+    dataset = build_synthetic_dataset(
+        SyntheticSpec(
+            records=60_000,
+            distinct_values=600,
+            records_per_page=40,
+            window=0.3,
+            seed=8,
+        )
+    )
+    table, index = dataset.table, dataset.index
+    buffer_pages = table.page_count // 3
+    print(
+        f"table: {table.page_count} pages; buffer: {buffer_pages} pages\n"
+    )
+
+    estimators = {
+        "EPFIS": EPFISEstimator.from_index(index),
+        "clustered": PerfectlyClusteredEstimator.from_index(index),
+        "unclustered": PerfectlyUnclusteredEstimator.from_index(index),
+    }
+    extractor = ScanTraceExtractor(index)
+    scans = generate_scan_mix(index, count=60, rng=random.Random(3))
+
+    totals = {name: 0.0 for name in estimators}
+    mistakes = {name: 0 for name in estimators}
+    optimal_total = 0.0
+
+    for scan in scans:
+        actual_index_cost = extractor.actual_fetches(scan, [buffer_pages])[
+            buffer_pages
+        ]
+        best = min(actual_index_cost, table.page_count)
+        optimal_total += best
+        for name, estimator in estimators.items():
+            choice = choose_access_plan(
+                table, scan, [(index, estimator)], buffer_pages
+            )
+            took_index = choice.chosen.description.startswith("index")
+            cost = actual_index_cost if took_index else table.page_count
+            totals[name] += cost
+            if cost > best:
+                mistakes[name] += 1
+
+    rows = []
+    for name in estimators:
+        regret = (totals[name] - optimal_total) / optimal_total
+        rows.append(
+            (name, f"{totals[name]:.0f}", f"{regret:+.1%}",
+             f"{mistakes[name]}/{len(scans)}")
+        )
+    rows.append(("(oracle)", f"{optimal_total:.0f}", "+0.0%", "0"))
+    print(
+        format_table(
+            ["estimator", "actual pages fetched", "regret",
+             "wrong plan choices"],
+            rows,
+            title="Plan quality over 60 random scans",
+        )
+    )
+    print(
+        "\nThe naive estimators systematically pick the wrong side of the "
+        "table-scan\nbreak-even point; EPFIS's buffer-aware estimates keep "
+        "the realized cost near\nthe oracle's."
+    )
+
+
+if __name__ == "__main__":
+    main()

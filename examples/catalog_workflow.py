@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Catalog workflow: statistics collection and query compilation as two
+separate phases, the way a real DBMS runs EPFIS.
+
+Phase 1 (statistics collection, e.g. a nightly RUNSTATS): run LRU-Fit on
+each index and persist the results to a catalog file.
+
+Phase 2 (query compilation, any time later, no data access): load the
+catalog, rebuild the estimators from the records alone, and cost scans.
+The baselines (ML / DC / SD / OT) reconstruct from the same records — the
+one statistics pass serves all five algorithms.
+
+Run:  python examples/catalog_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    DCEstimator,
+    EPFISEstimator,
+    LRUFit,
+    MackertLohmanEstimator,
+    OTEstimator,
+    SDEstimator,
+    ScanSelectivity,
+    SyntheticSpec,
+    SystemCatalog,
+    build_synthetic_dataset,
+)
+from repro.eval.report import format_table
+
+
+def collect_statistics(catalog_path: Path) -> None:
+    """Phase 1: the only phase that touches data."""
+    print("phase 1: statistics collection")
+    catalog = SystemCatalog()
+    for window, name in ((0.05, "orders.custkey"), (0.8, "orders.comment")):
+        dataset = build_synthetic_dataset(
+            SyntheticSpec(
+                records=30_000,
+                distinct_values=300,
+                records_per_page=40,
+                window=window,
+                seed=4,
+                name=name,
+            )
+        )
+        stats = LRUFit().run(dataset.index)
+        catalog.put(stats)
+        print(
+            f"  {name}: T={stats.table_pages}, C={stats.clustering_factor:.2f},"
+            f" {stats.fpf_curve.segment_count} segments -> catalog"
+        )
+    catalog.save(catalog_path)
+    print(f"  saved to {catalog_path}\n")
+
+
+def compile_queries(catalog_path: Path) -> None:
+    """Phase 2: estimates from catalog records only."""
+    print("phase 2: query compilation (no data access)")
+    catalog = SystemCatalog.load(catalog_path)
+    selectivity = ScanSelectivity(range_selectivity=0.08)
+    rows = []
+    for name in catalog:
+        stats = catalog.get(name)
+        estimators = [
+            EPFISEstimator.from_statistics(stats),
+            MackertLohmanEstimator.from_statistics(stats),
+            DCEstimator.from_statistics(stats),
+            SDEstimator.from_statistics(stats),
+            OTEstimator.from_statistics(stats),
+        ]
+        for buffer_pages in (stats.table_pages // 10, stats.table_pages // 2):
+            rows.append(
+                (
+                    name,
+                    buffer_pages,
+                    *(f"{e.estimate(selectivity, buffer_pages):.0f}"
+                      for e in estimators),
+                )
+            )
+    print(
+        format_table(
+            ["index", "B", "EPFIS", "ML", "DC", "SD", "OT"],
+            rows,
+            title="Estimated page fetches for an 8%-selectivity scan",
+        )
+    )
+    print(
+        "\nNote how only EPFIS, ML and SD respond to the buffer size at "
+        "all, and how\nestimates diverge on the unclustered index — the "
+        "spread the paper's Figures 2-21\nquantify."
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        catalog_path = Path(tmp) / "system_catalog.json"
+        collect_statistics(catalog_path)
+        compile_queries(catalog_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Estimator shoot-out: a miniature of the paper's Section 5 evaluation.
+
+Builds one synthetic dataset, generates the paper's mixed scan workload,
+and reports each algorithm's error metric across the buffer grid — the
+same experiment the benchmark suite runs per figure, sized to finish in
+seconds.
+
+Run:  python examples/compare_estimators.py [window]
+  window: optional K in [0, 1] controlling clustering (default 0.5)
+"""
+
+import random
+import sys
+
+from repro import SyntheticSpec, build_synthetic_dataset
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.experiment import run_error_behavior
+from repro.eval.figures import paper_estimators
+from repro.eval.report import ascii_chart, format_table
+from repro.workload.scans import generate_scan_mix
+
+
+def main() -> None:
+    window = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    dataset = build_synthetic_dataset(
+        SyntheticSpec(
+            records=40_000,
+            distinct_values=400,
+            records_per_page=40,
+            theta=0.86,
+            window=window,
+            seed=12,
+        )
+    )
+    index = dataset.index
+    grid = evaluation_buffer_grid(index.table.page_count, floor=12)
+    scans = generate_scan_mix(index, count=100, rng=random.Random(2))
+
+    result = run_error_behavior(
+        index, paper_estimators(index), scans, grid,
+        dataset_name=f"theta=0.86, K={window}",
+    )
+
+    percents = grid.percents()
+    print(
+        ascii_chart(
+            {
+                c.estimator: [
+                    (p, 100 * e) for p, (_b, e) in zip(percents, c.points)
+                ]
+                for c in result.curves
+            },
+            width=72,
+            height=20,
+            title=f"Error behaviour, {result.dataset} "
+            f"({result.scan_count} scans)",
+            x_label="buffer size (% of T)",
+            y_label="error (%)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["algorithm", "max |error| %", "mean error %"],
+            [
+                (
+                    c.estimator,
+                    f"{100 * c.max_abs_error():.1f}",
+                    f"{100 * sum(e for _b, e in c.points) / len(c.points):+.1f}",
+                )
+                for c in result.curves
+            ],
+            title="Worst-case and mean error per algorithm",
+        )
+    )
+    print(f"\n(experiment took {result.elapsed_seconds:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

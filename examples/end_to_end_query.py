@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""End-to-end query: estimate, choose a plan, execute it, audit the bill.
+
+The full life of one query, exactly as a DBMS would run it:
+
+1. statistics collection (LRU-Fit) fills the catalog,
+2. the optimizer costs a table scan vs an index scan using EPFIS,
+3. the chosen physical plan executes through a real LRU buffer pool,
+4. the counted page fetches are compared against the estimate.
+
+Run:  python examples/end_to_end_query.py
+"""
+
+import random
+
+from repro import (
+    EPFISEstimator,
+    SyntheticSpec,
+    build_synthetic_dataset,
+)
+from repro.eval.report import format_table
+from repro.executor import QueryExecutor, plan_from_choice
+from repro.optimizer.access_path import choose_access_plan
+from repro.workload.scans import KeyDistribution, ScanKind, generate_scan
+
+
+def main() -> None:
+    dataset = build_synthetic_dataset(
+        SyntheticSpec(
+            records=50_000,
+            distinct_values=500,
+            records_per_page=40,
+            window=0.3,
+            seed=21,
+        )
+    )
+    table, index = dataset.table, dataset.index
+    buffer_pages = table.page_count // 2
+
+    # 1. statistics collection
+    estimator = EPFISEstimator.from_index(index)
+    print(
+        f"catalog: T={table.page_count}, N={table.record_count}, "
+        f"C={estimator.statistics.clustering_factor:.2f}; "
+        f"buffer={buffer_pages} pages\n"
+    )
+
+    rows = []
+    rng = random.Random(9)
+    distribution = KeyDistribution.from_index(index)
+    for kind in (ScanKind.SMALL, ScanKind.LARGE, ScanKind.FULL):
+        scan = generate_scan(distribution, kind, rng)
+
+        # 2. plan choice
+        choice = choose_access_plan(
+            table, scan, [(index, estimator)], buffer_pages
+        )
+
+        # 3. execution (index pages excluded so the bill matches the
+        #    estimator's data-page scope)
+        plan = plan_from_choice(
+            choice, table, scan, [(index, estimator)]
+        )
+        if hasattr(plan, "charge_index_pages"):
+            import dataclasses
+
+            plan = dataclasses.replace(plan, charge_index_pages=False)
+        executor = QueryExecutor(buffer_pages)
+        result_rows, stats = executor.execute(plan)
+
+        # 4. audit
+        estimate = choice.chosen.page_fetches
+        rows.append(
+            (
+                scan.kind.value,
+                f"{scan.range_selectivity:.3f}",
+                choice.chosen.description,
+                f"{estimate:.0f}",
+                stats.data_page_fetches,
+                len(result_rows),
+            )
+        )
+
+    print(
+        format_table(
+            ["scan", "sigma", "chosen plan", "estimated F", "actual F",
+             "rows"],
+            rows,
+            title="One query, three sizes: estimate vs executed cost",
+        )
+    )
+    print(
+        "\nThe executor bills exactly the quantity the estimator predicts "
+        "(data-page\nfetches from a cold LRU pool), so the audit closes the "
+        "loop the paper opens."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools lacks the ``wheel`` package required by PEP
+660 editable installs (pip falls back to the legacy ``setup.py develop``
+path when invoked with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

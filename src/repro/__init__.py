@@ -1,0 +1,173 @@
+"""EPFIS: Estimating Page Fetches for Index Scans with Finite LRU Buffers.
+
+A faithful, laptop-scale reproduction of Swami & Schiefer's EPFIS system
+(The VLDB Journal 4(4), 1995; submitted 1994), including:
+
+* a page-structured storage engine with real B-tree indexes
+  (:mod:`repro.storage`),
+* exact LRU buffer simulation and single-pass Mattson stack analysis
+  (:mod:`repro.buffer`),
+* the paper's synthetic data generator and a statistics-calibrated
+  simulation of the Great-West Life customer database
+  (:mod:`repro.datagen`),
+* Algorithm EPFIS (LRU-Fit + Est-IO) and the ML / DC / SD / OT baselines
+  (:mod:`repro.estimators`),
+* a catalog, a cost-based access-path selector, and the paper's full
+  experimental harness (:mod:`repro.catalog`, :mod:`repro.optimizer`,
+  :mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import (
+        SyntheticSpec, build_synthetic_dataset, EPFISEstimator,
+        ScanSelectivity,
+    )
+
+    dataset = build_synthetic_dataset(SyntheticSpec(
+        records=20_000, distinct_values=200, records_per_page=40,
+        theta=0.86, window=0.2, seed=7,
+    ))
+    epfis = EPFISEstimator.from_index(dataset.index)
+    print(epfis.estimate(ScanSelectivity(0.05), buffer_pages=100))
+"""
+
+from repro.buffer import (
+    ClockBufferPool,
+    FIFOBufferPool,
+    FenwickTree,
+    FetchCurve,
+    LRUBufferPool,
+    StackDistanceAnalyzer,
+    simulate_fetches,
+)
+from repro.catalog import IndexStatistics, SystemCatalog
+from repro.datagen import (
+    Dataset,
+    GWLDatabase,
+    SyntheticSpec,
+    WindowPlacer,
+    append_records,
+    build_gwl_database,
+    build_synthetic_dataset,
+    delete_records,
+    zipf_counts,
+)
+from repro.errors import ReproError
+from repro.estimators import (
+    CardenasEstimator,
+    DCEstimator,
+    EPFISEstimator,
+    EstIO,
+    LRUFit,
+    LRUFitConfig,
+    MackertLohmanEstimator,
+    OTEstimator,
+    PageFetchEstimator,
+    PerfectlyClusteredEstimator,
+    PerfectlyUnclusteredEstimator,
+    SDEstimator,
+    SmoothEPFISEstimator,
+    WatersEstimator,
+    YaoEstimator,
+    cardenas,
+    waters,
+    yao,
+)
+from repro.eval import (
+    BufferGrid,
+    evaluation_buffer_grid,
+    run_error_behavior,
+)
+from repro.executor import QueryExecutor, plan_from_choice
+from repro.fit import PiecewiseLinear, fit_piecewise_linear
+from repro.optimizer import choose_access_plan
+from repro.storage import (
+    BTreeIndex,
+    CompositeIndex,
+    HeapFile,
+    Index,
+    MinorColumnPredicate,
+    Page,
+    Table,
+    major_range,
+)
+from repro.trace import ReferenceTrace, clustering_factor, summarize_locality
+from repro.types import RID, ScanSelectivity, TableShape
+from repro.workload import (
+    HashSamplePredicate,
+    KeyRange,
+    ScanKind,
+    ScanSpec,
+    generate_scan_mix,
+    simulate_contention,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BTreeIndex",
+    "CardenasEstimator",
+    "CompositeIndex",
+    "BufferGrid",
+    "ClockBufferPool",
+    "DCEstimator",
+    "Dataset",
+    "EPFISEstimator",
+    "EstIO",
+    "FIFOBufferPool",
+    "FenwickTree",
+    "FetchCurve",
+    "GWLDatabase",
+    "HashSamplePredicate",
+    "HeapFile",
+    "Index",
+    "IndexStatistics",
+    "KeyRange",
+    "LRUBufferPool",
+    "LRUFit",
+    "LRUFitConfig",
+    "MinorColumnPredicate",
+    "MackertLohmanEstimator",
+    "OTEstimator",
+    "Page",
+    "PageFetchEstimator",
+    "PerfectlyClusteredEstimator",
+    "PerfectlyUnclusteredEstimator",
+    "PiecewiseLinear",
+    "QueryExecutor",
+    "RID",
+    "ReferenceTrace",
+    "ReproError",
+    "SDEstimator",
+    "ScanKind",
+    "ScanSelectivity",
+    "ScanSpec",
+    "StackDistanceAnalyzer",
+    "SmoothEPFISEstimator",
+    "SyntheticSpec",
+    "SystemCatalog",
+    "Table",
+    "TableShape",
+    "WindowPlacer",
+    "append_records",
+    "build_gwl_database",
+    "build_synthetic_dataset",
+    "cardenas",
+    "choose_access_plan",
+    "clustering_factor",
+    "delete_records",
+    "evaluation_buffer_grid",
+    "fit_piecewise_linear",
+    "generate_scan_mix",
+    "major_range",
+    "plan_from_choice",
+    "run_error_behavior",
+    "WatersEstimator",
+    "YaoEstimator",
+    "simulate_contention",
+    "simulate_fetches",
+    "summarize_locality",
+    "waters",
+    "yao",
+    "zipf_counts",
+]

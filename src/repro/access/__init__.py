@@ -1,0 +1,32 @@
+"""Multi-index access paths: RID lists, ANDing/ORing, sorted-RID fetches.
+
+The paper excludes these from its model ("We are assuming that there is no
+RID-list sort, union, or intersection before the data records are fetched",
+Section 2) and defers them to future work (Section 6).  This subpackage
+implements them:
+
+* :func:`~repro.access.ridlist.rid_list_for_range` — collect a scan's RIDs.
+* :func:`~repro.access.ridlist.and_rid_lists` /
+  :func:`~repro.access.ridlist.or_rid_lists` — index ANDing / ORing.
+* :func:`~repro.access.ridlist.fetch_pages_sorted` — fetch after a RID-list
+  sort: every data page is visited exactly once, making the fetch count
+  buffer-independent (min over all B).
+* :class:`~repro.access.ridlist.SortedRIDEstimator` — the matching
+  optimizer-side estimate (Yao's formula on the expected qualifying count).
+"""
+
+from repro.access.ridlist import (
+    SortedRIDEstimator,
+    and_rid_lists,
+    fetch_pages_sorted,
+    or_rid_lists,
+    rid_list_for_range,
+)
+
+__all__ = [
+    "SortedRIDEstimator",
+    "and_rid_lists",
+    "fetch_pages_sorted",
+    "or_rid_lists",
+    "rid_list_for_range",
+]

@@ -1,0 +1,131 @@
+"""RID-list operations and the sorted-RID access path.
+
+A RID list is the set of record identifiers an index scan qualifies,
+collected *before* fetching any data page.  Once materialized, lists from
+several indexes can be intersected (index ANDing) or united (index ORing),
+and the final list can be sorted by page number so that the data pages are
+fetched in one monotone sweep — each page exactly once, independent of the
+buffer size.  That changes the estimation problem completely: the fetch
+count becomes "how many distinct pages hold k qualifying records", which is
+Yao's (1977) quantity, not an LRU question — exactly why the paper scopes
+these plans out of EPFIS and lists them as future work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import EstimationError, WorkloadError
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.formulas import yao
+from repro.storage.index import Index
+from repro.types import RID, ScanSelectivity
+from repro.workload.predicates import KeyRange, SargablePredicate
+
+
+def rid_list_for_range(
+    index: Index,
+    key_range: KeyRange,
+    sargable: Optional[SargablePredicate] = None,
+) -> List[RID]:
+    """All RIDs whose keys fall in ``key_range`` (sargable filter applied).
+
+    Returned in index order (the order a scan would produce them).
+    """
+    rids: List[RID] = []
+    for entry in index.entries(*key_range.bounds()):
+        if sargable is None or sargable.qualifies(entry):
+            rids.append(entry.rid)
+    return rids
+
+
+def and_rid_lists(*lists: Sequence[RID]) -> List[RID]:
+    """Index ANDing: records present in every list.
+
+    The result is sorted by (page, slot) — the order a RID-list sort
+    produces before fetching.
+    """
+    if not lists:
+        raise WorkloadError("AND requires at least one RID list")
+    result = set(lists[0])
+    for other in lists[1:]:
+        result &= set(other)
+    return sorted(result, key=lambda r: (r.page, r.slot))
+
+
+def or_rid_lists(*lists: Sequence[RID]) -> List[RID]:
+    """Index ORing: records present in any list, page-sorted, deduplicated."""
+    if not lists:
+        raise WorkloadError("OR requires at least one RID list")
+    result = set()
+    for current in lists:
+        result |= set(current)
+    return sorted(result, key=lambda r: (r.page, r.slot))
+
+
+def fetch_pages_sorted(rids: Iterable[RID]) -> int:
+    """Data-page fetches after a RID-list sort: one per distinct page.
+
+    Buffer-independent (for any B >= 1): the sorted sweep never revisits
+    a page after leaving it.
+    """
+    return len({rid.page for rid in rids})
+
+
+class SortedRIDEstimator(PageFetchEstimator):
+    """Optimizer-side estimate for the sorted-RID access path.
+
+    The qualifying records are (approximately) a uniform sample of the
+    table for AND/OR results over independent predicates, so the expected
+    distinct-page count is Yao's formula on ``k = combined selectivity *
+    N``.  Buffer size does not matter — the defining property of the
+    RID-sort plan.
+    """
+
+    name = "sorted-RID"
+
+    def __init__(self, table_pages: int, table_records: int) -> None:
+        if table_pages < 1:
+            raise EstimationError(f"table_pages must be >= 1, got {table_pages}")
+        if table_records < table_pages:
+            raise EstimationError(
+                f"table_records ({table_records}) < table_pages "
+                f"({table_pages})"
+            )
+        self._t = table_pages
+        self._n = table_records
+
+    @classmethod
+    def from_index(cls, index: Index) -> "SortedRIDEstimator":
+        """Build from an index's table shape (no data pass needed)."""
+        return cls(index.table.page_count, index.entry_count)
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)
+        k = int(round(selectivity.combined * self._n))
+        k = min(k, self._n)
+        return yao(self._n, self._t, k)
+
+    def estimate_and(self, selectivities: Sequence[float]) -> float:
+        """Expected fetches for ANDing independent predicates."""
+        if not selectivities:
+            raise EstimationError("AND requires at least one selectivity")
+        combined = 1.0
+        for s in selectivities:
+            if not 0.0 <= s <= 1.0:
+                raise EstimationError(f"selectivity {s} out of [0, 1]")
+            combined *= s
+        return self.estimate(ScanSelectivity(combined), 1)
+
+    def estimate_or(self, selectivities: Sequence[float]) -> float:
+        """Expected fetches for ORing independent predicates."""
+        if not selectivities:
+            raise EstimationError("OR requires at least one selectivity")
+        miss = 1.0
+        for s in selectivities:
+            if not 0.0 <= s <= 1.0:
+                raise EstimationError(f"selectivity {s} out of [0, 1]")
+            miss *= 1.0 - s
+        return self.estimate(ScanSelectivity(1.0 - miss), 1)

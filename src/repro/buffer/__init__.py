@@ -1,0 +1,34 @@
+"""Buffer-pool simulation and single-pass LRU stack analysis.
+
+This subpackage provides the machinery behind the paper's Subprogram LRU-Fit
+(Section 4.1):
+
+* :class:`~repro.buffer.lru.LRUBufferPool` — an exact least-recently-used
+  buffer-pool simulator that counts page fetches for one buffer size.
+* :class:`~repro.buffer.stack.StackDistanceAnalyzer` — the Mattson et al.
+  (1970) stack-property trick the paper cites: one pass over a page-reference
+  trace yields the fetch count for *every* buffer size simultaneously.
+* :class:`~repro.buffer.fifo.FIFOBufferPool` and
+  :class:`~repro.buffer.clock.ClockBufferPool` — alternative replacement
+  policies used by the ablation benches (LRU is what the paper models; these
+  quantify how policy-sensitive the FPF curve is).
+"""
+
+from repro.buffer.clock import ClockBufferPool
+from repro.buffer.fenwick import FenwickTree
+from repro.buffer.fifo import FIFOBufferPool
+from repro.buffer.lru import LRUBufferPool
+from repro.buffer.pool import BufferPool, simulate_fetches
+from repro.buffer.stack import FetchCurve, StackDistanceAnalyzer, stack_distances
+
+__all__ = [
+    "BufferPool",
+    "ClockBufferPool",
+    "FIFOBufferPool",
+    "FenwickTree",
+    "FetchCurve",
+    "LRUBufferPool",
+    "StackDistanceAnalyzer",
+    "simulate_fetches",
+    "stack_distances",
+]

@@ -1,0 +1,80 @@
+"""A Fenwick (binary indexed) tree over integer positions.
+
+Used by :mod:`repro.buffer.stack` to count, for each page reference, how many
+*distinct* pages were touched since the previous reference to the same page —
+the LRU stack distance.  The tree maintains a 0/1 flag per trace position
+marking "this position is the most recent occurrence of its page so far";
+a prefix-sum query then counts distinct pages in any window in O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class FenwickTree:
+    """Prefix sums with point updates over ``size`` integer slots.
+
+    Positions are 0-based externally; the classic 1-based layout is internal.
+    """
+
+    __slots__ = ("_size", "_tree")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._size = size
+        self._tree: List[int] = [0] * (size + 1)
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "FenwickTree":
+        """Build a tree initialized to ``values`` in O(n)."""
+        tree = cls(len(values))
+        data = tree._tree
+        for i, value in enumerate(values, start=1):
+            data[i] += value
+            parent = i + (i & -i)
+            if parent <= tree._size:
+                data[parent] += data[i]
+        return tree
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to the slot at 0-based ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        i = index + 1
+        tree = self._tree
+        size = self._size
+        while i <= size:
+            tree[i] += delta
+            i += i & -i
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots ``[0, index]`` for 0-based ``index``; -1 gives 0."""
+        if index >= self._size:
+            raise IndexError(f"index {index} out of range [-1, {self._size})")
+        i = index + 1
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & -i
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots in the closed interval ``[lo, hi]`` (0-based).
+
+        Returns 0 for an empty interval (``hi < lo``).
+        """
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+    def total(self) -> int:
+        """Sum of all slots."""
+        if self._size == 0:
+            return 0
+        return self.prefix_sum(self._size - 1)

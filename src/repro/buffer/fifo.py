@@ -1,0 +1,48 @@
+"""First-in-first-out buffer-pool simulator.
+
+Not used by EPFIS itself (the paper models LRU); provided for the
+replacement-policy ablation bench, which asks how much of the FPF curve's
+shape is specific to LRU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set
+
+from repro.buffer.pool import BufferPool
+
+
+class FIFOBufferPool(BufferPool):
+    """Fetch-counting FIFO pool: evicts the oldest *fetched* page.
+
+    Unlike LRU, a hit does not refresh a page's position in the eviction
+    queue — FIFO lacks the stack (inclusion) property, which is exactly why
+    the paper's single-pass multi-size simulation works for LRU only.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: Deque[int] = deque()
+        self._resident: Set[int] = set()
+
+    def access(self, page: int) -> bool:
+        if page in self._resident:
+            self._hits += 1
+            return True
+        if len(self._resident) >= self._capacity:
+            evicted = self._queue.popleft()
+            self._resident.discard(evicted)
+        self._queue.append(page)
+        self._resident.add(page)
+        self._fetches += 1
+        return False
+
+    def resident_pages(self) -> frozenset:
+        return frozenset(self._resident)
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._resident.clear()
+        self._fetches = 0
+        self._hits = 0

@@ -1,0 +1,97 @@
+"""Buffer-pool protocol shared by the replacement-policy simulators.
+
+A buffer pool here is a pure *simulator*: it tracks page residency and counts
+fetches, it never stores page contents.  That is exactly what the paper's
+LRU modeling needs — the number of page fetches ``F`` for a reference trace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.errors import BufferError_
+
+
+class BufferPool(ABC):
+    """Abstract fetch-counting buffer pool of a fixed capacity.
+
+    Subclasses implement one replacement policy each.  Usage::
+
+        pool = LRUBufferPool(capacity=64)
+        for page in trace:
+            pool.access(page)
+        print(pool.fetches, pool.hits)
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise BufferError_(f"buffer capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._fetches = 0
+        self._hits = 0
+
+    @property
+    def capacity(self) -> int:
+        """Number of page slots (the paper's ``B``)."""
+        return self._capacity
+
+    @property
+    def fetches(self) -> int:
+        """Pages fetched from disk so far (misses)."""
+        return self._fetches
+
+    @property
+    def hits(self) -> int:
+        """Accesses satisfied from the pool."""
+        return self._hits
+
+    @property
+    def accesses(self) -> int:
+        """Total page accesses observed."""
+        return self._fetches + self._hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that hit; 0.0 before any access."""
+        total = self.accesses
+        return self._hits / total if total else 0.0
+
+    @abstractmethod
+    def access(self, page: int) -> bool:
+        """Reference ``page``; return True on a hit, False on a fetch."""
+
+    @abstractmethod
+    def resident_pages(self) -> frozenset:
+        """The set of pages currently in the pool (for tests/invariants)."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Empty the pool and zero the counters (a cold start)."""
+
+    def run(self, trace: Iterable[int]) -> int:
+        """Access every page in ``trace``; return total fetches afterwards."""
+        access = self.access
+        for page in trace:
+            access(page)
+        return self._fetches
+
+
+def simulate_fetches(trace: Iterable[int], capacity: int, policy: str = "lru") -> int:
+    """Convenience one-shot simulation: fetches for ``trace`` at ``capacity``.
+
+    ``policy`` is one of ``"lru"``, ``"fifo"``, ``"clock"``.
+    """
+    # Imported here to avoid a circular import at module load time.
+    from repro.buffer.clock import ClockBufferPool
+    from repro.buffer.fifo import FIFOBufferPool
+    from repro.buffer.lru import LRUBufferPool
+
+    pools = {"lru": LRUBufferPool, "fifo": FIFOBufferPool, "clock": ClockBufferPool}
+    try:
+        pool_cls = pools[policy]
+    except KeyError:
+        raise BufferError_(
+            f"unknown replacement policy {policy!r}; expected one of {sorted(pools)}"
+        ) from None
+    return pool_cls(capacity).run(trace)

@@ -1,0 +1,200 @@
+"""Single-pass LRU analysis via Mattson stack distances.
+
+Section 4.1 of the paper: "To simultaneously perform this simulation for a
+number of buffer pool sizes without maintaining that many buffer pools, the
+*stack* property of the LRU algorithm (Mattson et al., 1970) is used".
+
+For LRU, the contents of a pool of size ``B`` are always the top ``B`` pages
+of a single global LRU stack (the *inclusion property*).  A reference to a
+page sitting at stack depth ``d`` therefore hits in every pool with
+``B >= d`` and misses in every smaller pool.  Recording the histogram of
+reuse depths in **one pass** over the trace yields the exact fetch count for
+*every* buffer size at once:
+
+    F(B) = cold_misses + #{ reuses with depth > B }
+
+The depth of a reuse is computed as 1 + the number of *distinct* pages
+referenced strictly between the two accesses; counting distinct pages in a
+window is done with a Fenwick tree over "most recent occurrence" flags,
+giving O(M log M) for a trace of M references — this is what makes the
+paper's "large index-entry scans" tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import TraceError
+
+
+def stack_distances(trace: Sequence[int]) -> Tuple[List[int], int]:
+    """Return ``(distances, cold_misses)`` for a page-reference trace.
+
+    ``distances`` holds, for every *reuse* (a reference to a page seen
+    before), its LRU stack depth: ``1`` means the page was the most recently
+    used, so it hits even in a single-slot pool.  First references are
+    compulsory (cold) misses in every pool and are returned as a count.
+    """
+    n = len(trace)
+    # Inline Fenwick tree over trace positions; slot t holds 1 iff position
+    # t is currently the most recent occurrence of its page.  Kept inline
+    # (rather than using FenwickTree) because this is the hottest loop in
+    # the library.
+    tree = [0] * (n + 1)
+    last_seen: Dict[int, int] = {}
+    distances: List[int] = []
+    append = distances.append
+    cold = 0
+
+    for t, page in enumerate(trace):
+        prev = last_seen.get(page)
+        if prev is None:
+            cold += 1
+        else:
+            # distinct pages referenced strictly after prev and before t ==
+            # number of "most recent occurrence" flags in positions
+            # (prev, t); flags at or before prev are excluded by two prefix
+            # sums.
+            i = t  # prefix_sum over [0, t-1]
+            hi = 0
+            while i > 0:
+                hi += tree[i]
+                i -= i & -i
+            i = prev + 1  # prefix_sum over [0, prev]
+            lo = 0
+            while i > 0:
+                lo += tree[i]
+                i -= i & -i
+            append(hi - lo + 1)
+            # prev is no longer the most recent occurrence of this page.
+            i = prev + 1
+            while i <= n:
+                tree[i] -= 1
+                i += i & -i
+        # Position t becomes the most recent occurrence of `page`.
+        i = t + 1
+        while i <= n:
+            tree[i] += 1
+            i += i & -i
+        last_seen[page] = t
+
+    return distances, cold
+
+
+@dataclass(frozen=True)
+class FetchCurve:
+    """The exact fetch-count function ``B -> F(B)`` for one reference trace.
+
+    Built once from a stack-distance histogram, then queried in O(log k)
+    for any buffer size.  ``fetches(1)`` equals the fetch count of a
+    single-slot pool (used by Algorithm SD) and ``fetches(B)`` for
+    ``B >= distinct_pages`` equals the compulsory-miss floor ``A`` (the
+    number of distinct pages accessed).
+    """
+
+    #: Total references in the trace (the paper's per-scan record count
+    #: when each record touches one page reference).
+    accesses: int
+    #: Number of distinct pages referenced (compulsory misses; paper's A).
+    distinct_pages: int
+    #: Sorted unique reuse depths.
+    depths: Tuple[int, ...]
+    #: cumulative_reuses[i] = number of reuses with depth <= depths[i].
+    cumulative_reuses: Tuple[int, ...]
+
+    @classmethod
+    def from_trace(cls, trace: Sequence[int]) -> "FetchCurve":
+        """Analyze ``trace`` and build its fetch curve."""
+        if not len(trace):
+            raise TraceError("cannot build a FetchCurve from an empty trace")
+        distances, cold = stack_distances(trace)
+        histogram: Dict[int, int] = {}
+        for d in distances:
+            histogram[d] = histogram.get(d, 0) + 1
+        depths = tuple(sorted(histogram))
+        cumulative = tuple(
+            itertools.accumulate(histogram[d] for d in depths)
+        )
+        return cls(
+            accesses=len(trace),
+            distinct_pages=cold,
+            depths=depths,
+            cumulative_reuses=cumulative,
+        )
+
+    @property
+    def reuses(self) -> int:
+        """References that were not compulsory misses."""
+        return self.accesses - self.distinct_pages
+
+    @property
+    def max_depth(self) -> int:
+        """Largest reuse depth; 0 when the trace never revisits a page."""
+        return self.depths[-1] if self.depths else 0
+
+    def fetches(self, buffer_pages: int) -> int:
+        """Exact page fetches for an LRU pool of ``buffer_pages`` slots."""
+        if buffer_pages < 1:
+            raise TraceError(
+                f"buffer size must be >= 1, got {buffer_pages}"
+            )
+        # Reuses with depth <= B hit; the rest miss.
+        idx = bisect_right(self.depths, buffer_pages)
+        hits = self.cumulative_reuses[idx - 1] if idx else 0
+        return self.distinct_pages + (self.reuses - hits)
+
+    def hits(self, buffer_pages: int) -> int:
+        """Accesses satisfied from the pool at the given size."""
+        return self.accesses - self.fetches(buffer_pages)
+
+    def curve(self, buffer_sizes: Iterable[int]) -> List[Tuple[int, int]]:
+        """``[(B, F(B)), ...]`` for each requested buffer size."""
+        return [(b, self.fetches(b)) for b in buffer_sizes]
+
+    def min_buffer_for(self, max_fetches: int) -> int:
+        """Smallest ``B`` with ``F(B) <= max_fetches``.
+
+        Raises :class:`TraceError` if even an infinite buffer exceeds the
+        bound (i.e. ``max_fetches < distinct_pages``).
+        """
+        if max_fetches < self.distinct_pages:
+            raise TraceError(
+                f"no buffer size achieves <= {max_fetches} fetches; the "
+                f"compulsory-miss floor is {self.distinct_pages}"
+            )
+        # F is non-increasing in B, so binary search over candidate depths.
+        lo, hi = 1, max(self.max_depth, 1)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.fetches(mid) <= max_fetches:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+
+class StackDistanceAnalyzer:
+    """Object-style facade over :func:`stack_distances` / :class:`FetchCurve`.
+
+    Mirrors how LRU-Fit uses the analysis: feed one full index-order trace,
+    get back a queryable curve plus summary statistics.
+    """
+
+    def analyze(self, trace: Sequence[int]) -> FetchCurve:
+        """Build the :class:`FetchCurve` for ``trace``."""
+        return FetchCurve.from_trace(trace)
+
+    def fetch_table(
+        self, trace: Sequence[int], buffer_sizes: Sequence[int]
+    ) -> List[Tuple[int, int]]:
+        """The paper's FPF table: ``(B_i, F_i)`` pairs for ``trace``."""
+        if not buffer_sizes:
+            raise TraceError("at least one buffer size is required")
+        sizes = list(buffer_sizes)
+        if any(b < 1 for b in sizes):
+            raise TraceError(f"buffer sizes must be >= 1, got {sizes}")
+        curve = self.analyze(trace)
+        return curve.curve(sizes)

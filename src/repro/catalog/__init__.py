@@ -1,0 +1,12 @@
+"""System catalog: persisted per-index statistics.
+
+"This coordinate information can be stored in a system catalog entry
+associated with the index for later use by Est-IO" (Section 4.1).  The
+catalog holds one :class:`IndexStatistics` record per index — everything
+Est-IO and the baseline estimators need at query-compilation time, with no
+access to the data itself — and round-trips to JSON.
+"""
+
+from repro.catalog.catalog import IndexStatistics, SystemCatalog
+
+__all__ = ["IndexStatistics", "SystemCatalog"]

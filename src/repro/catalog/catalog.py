@@ -1,0 +1,186 @@
+"""Catalog records and their JSON persistence.
+
+:class:`IndexStatistics` is the contract between statistics-collection time
+(LRU-Fit, the cluster-ratio statistics passes) and query-compilation time
+(Est-IO, the baseline estimators): a compact summary that fully determines
+every estimate.  :class:`SystemCatalog` is a named collection of them with
+file round-tripping, standing in for the host DBMS's catalog tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.errors import CatalogError
+from repro.fit.segments import PiecewiseLinear
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Everything stored in the catalog about one index.
+
+    ======================  =================================================
+    Field                   Paper quantity
+    ======================  =================================================
+    ``table_pages``         T
+    ``table_records``       N
+    ``distinct_keys``       I
+    ``clustering_factor``   C = (N - F_min) / (N - T)
+    ``fpf_curve``           six-segment approximation of the FPF curve
+    ``b_min`` / ``b_max``   modeled buffer range
+    ``f_min``               page fetches at B_min (C's numerator input)
+    ``dc_cluster_count``    Algorithm DC's CC (optional; None if not gathered)
+    ``fetches_b1``          F(B=1), Algorithm SD's J (optional)
+    ``fetches_b3``          F(B=3), Algorithm OT's J (optional)
+    ======================  =================================================
+    """
+
+    index_name: str
+    table_pages: int
+    table_records: int
+    distinct_keys: int
+    clustering_factor: float
+    fpf_curve: PiecewiseLinear
+    b_min: int
+    b_max: int
+    f_min: int
+    dc_cluster_count: Optional[int] = None
+    fetches_b1: Optional[int] = None
+    fetches_b3: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.table_pages < 1:
+            raise CatalogError(f"table_pages must be >= 1, got {self.table_pages}")
+        if self.table_records < self.table_pages:
+            raise CatalogError(
+                f"table_records ({self.table_records}) < table_pages "
+                f"({self.table_pages})"
+            )
+        if not 1 <= self.distinct_keys <= self.table_records:
+            raise CatalogError(
+                f"distinct_keys must be in [1, N], got {self.distinct_keys}"
+            )
+        if not 0.0 <= self.clustering_factor <= 1.0:
+            raise CatalogError(
+                f"clustering_factor must be in [0, 1], got "
+                f"{self.clustering_factor}"
+            )
+        if not 1 <= self.b_min <= self.b_max:
+            raise CatalogError(
+                f"need 1 <= b_min <= b_max, got [{self.b_min}, {self.b_max}]"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready dictionary form of this record."""
+        return {
+            "index_name": self.index_name,
+            "table_pages": self.table_pages,
+            "table_records": self.table_records,
+            "distinct_keys": self.distinct_keys,
+            "clustering_factor": self.clustering_factor,
+            "fpf_curve": self.fpf_curve.to_pairs(),
+            "b_min": self.b_min,
+            "b_max": self.b_max,
+            "f_min": self.f_min,
+            "dc_cluster_count": self.dc_cluster_count,
+            "fetches_b1": self.fetches_b1,
+            "fetches_b3": self.fetches_b3,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IndexStatistics":
+        """Rebuild a record from :meth:`to_dict` output."""
+        try:
+            return cls(
+                index_name=data["index_name"],
+                table_pages=data["table_pages"],
+                table_records=data["table_records"],
+                distinct_keys=data["distinct_keys"],
+                clustering_factor=data["clustering_factor"],
+                fpf_curve=PiecewiseLinear.from_pairs(data["fpf_curve"]),
+                b_min=data["b_min"],
+                b_max=data["b_max"],
+                f_min=data["f_min"],
+                dc_cluster_count=data.get("dc_cluster_count"),
+                fetches_b1=data.get("fetches_b1"),
+                fetches_b3=data.get("fetches_b3"),
+            )
+        except KeyError as missing:
+            raise CatalogError(
+                f"catalog record is missing field {missing}"
+            ) from None
+
+
+class SystemCatalog:
+    """A named collection of :class:`IndexStatistics` with file persistence."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, IndexStatistics] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, index_name: str) -> bool:
+        return index_name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def put(self, stats: IndexStatistics) -> None:
+        """Insert or replace the entry for ``stats.index_name``."""
+        self._entries[stats.index_name] = stats
+
+    def get(self, index_name: str) -> IndexStatistics:
+        """Return the statistics stored for ``index_name``."""
+        try:
+            return self._entries[index_name]
+        except KeyError:
+            raise CatalogError(
+                f"catalog has no statistics for index {index_name!r}; "
+                f"known indexes: {sorted(self._entries)}"
+            ) from None
+
+    def remove(self, index_name: str) -> None:
+        """Delete the entry for ``index_name``."""
+        if index_name not in self._entries:
+            raise CatalogError(
+                f"cannot remove unknown index {index_name!r}"
+            )
+        del self._entries[index_name]
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the whole catalog to a JSON string."""
+        payload = {
+            name: stats.to_dict() for name, stats in self._entries.items()
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemCatalog":
+        """Parse a catalog from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CatalogError(f"invalid catalog JSON: {exc}") from exc
+        catalog = cls()
+        for name, record in payload.items():
+            stats = IndexStatistics.from_dict(record)
+            if stats.index_name != name:
+                raise CatalogError(
+                    f"catalog key {name!r} does not match record name "
+                    f"{stats.index_name!r}"
+                )
+            catalog.put(stats)
+        return catalog
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the catalog to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SystemCatalog":
+        """Read a catalog previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

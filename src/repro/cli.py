@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how a DBA would interact with EPFIS:
+
+* ``generate``  — build a synthetic dataset and report its vital signs.
+* ``fit``       — run LRU-Fit on a generated dataset and write the catalog.
+* ``estimate``  — query a saved catalog for page-fetch estimates.
+* ``experiment``— run one error-behaviour experiment (a paper figure).
+* ``gwl``       — build the simulated GWL database and print Tables 2-3.
+* ``locality``  — profile a dataset's index-order trace locality.
+* ``contention``— simulate concurrent scans sharing one LRU pool.
+
+Every command is deterministic given its ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.catalog.catalog import SystemCatalog
+from repro.datagen.gwl import build_gwl_database
+from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
+from repro.errors import ReproError
+from repro.estimators.epfis import EPFISEstimator, LRUFit, LRUFitConfig
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.experiment import run_error_behavior
+from repro.eval.figures import paper_estimators, table2_rows, table3_rows
+from repro.eval.report import format_table
+from repro.types import ScanSelectivity
+from repro.workload.scans import generate_scan_mix
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--records", type=int, default=100_000,
+                        help="number of records N (default 100000)")
+    parser.add_argument("--distinct", type=int, default=1_000,
+                        help="distinct key values I (default 1000)")
+    parser.add_argument("--records-per-page", type=int, default=40,
+                        help="records per page R (default 40)")
+    parser.add_argument("--theta", type=float, default=0.0,
+                        help="generalized Zipf skew (0 = uniform)")
+    parser.add_argument("--window", type=float, default=0.2,
+                        help="window clustering parameter K in [0, 1]")
+    parser.add_argument("--noise", type=float, default=0.05,
+                        help="placement noise factor (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _spec_from_args(args: argparse.Namespace) -> SyntheticSpec:
+    return SyntheticSpec(
+        records=args.records,
+        distinct_values=args.distinct,
+        records_per_page=args.records_per_page,
+        theta=args.theta,
+        window=args.window,
+        noise=args.noise,
+        seed=args.seed,
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = build_synthetic_dataset(_spec_from_args(args))
+    stats = LRUFit().run(dataset.index)
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ("dataset", dataset.name),
+                ("pages (T)", stats.table_pages),
+                ("records (N)", stats.table_records),
+                ("distinct keys (I)", stats.distinct_keys),
+                ("clustering factor (C)", f"{stats.clustering_factor:.4f}"),
+                ("fetches at B_min", stats.f_min),
+                ("fetches at B=1", stats.fetches_b1),
+            ],
+            title="Generated dataset",
+        )
+    )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    dataset = build_synthetic_dataset(_spec_from_args(args))
+    config = LRUFitConfig(segments=args.segments, grid_rule=args.grid_rule)
+    stats = LRUFit(config).run(dataset.index)
+    catalog = SystemCatalog()
+    catalog.put(stats)
+    catalog.save(args.catalog)
+    print(
+        f"wrote catalog entry {stats.index_name!r} "
+        f"({stats.fpf_curve.segment_count} segments, "
+        f"C = {stats.clustering_factor:.4f}) to {args.catalog}"
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    catalog = SystemCatalog.load(args.catalog)
+    names = [args.index] if args.index else list(catalog)
+    selectivity = ScanSelectivity(args.sigma, args.sargable)
+    rows = []
+    for name in names:
+        estimator = EPFISEstimator.from_statistics(catalog.get(name))
+        for buffer_pages in args.buffers:
+            rows.append(
+                (
+                    name,
+                    buffer_pages,
+                    f"{estimator.estimate(selectivity, buffer_pages):.1f}",
+                )
+            )
+    print(
+        format_table(
+            ["index", "buffer pages", "estimated fetches"],
+            rows,
+            title=(
+                f"EPFIS estimates (sigma={args.sigma}, S={args.sargable})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    dataset = build_synthetic_dataset(_spec_from_args(args))
+    index = dataset.index
+    grid = evaluation_buffer_grid(index.table.page_count, floor=args.floor)
+    scans = generate_scan_mix(
+        index, count=args.scans, rng=random.Random(args.seed)
+    )
+    result = run_error_behavior(
+        index, paper_estimators(index), scans, grid,
+        dataset_name=dataset.name,
+    )
+    rows = []
+    for buffer_pages, percent in zip(grid, grid.percents()):
+        row: List[object] = [buffer_pages, f"{percent:.0f}%"]
+        for curve in result.curves:
+            error = dict(curve.points)[buffer_pages]
+            row.append(f"{100 * error:+.1f}")
+        rows.append(row)
+    print(
+        format_table(
+            ["B", "B/T", *(c.estimator for c in result.curves)],
+            rows,
+            title=f"Error metric (%) by buffer size — {dataset.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_locality(args: argparse.Namespace) -> int:
+    from repro.trace.locality import summarize_locality
+
+    dataset = build_synthetic_dataset(_spec_from_args(args))
+    trace = dataset.index.page_sequence()
+    summary = summarize_locality(trace)
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ("dataset", dataset.name),
+                ("references", summary.references),
+                ("distinct pages (A)", summary.distinct_pages),
+                ("mean run length", f"{summary.mean_run_length:.2f}"),
+                ("reuse fraction", f"{summary.reuse_fraction:.1%}"),
+                ("median reuse depth", summary.median_reuse_depth),
+                ("p90 reuse depth", summary.depth_p90),
+            ],
+            title="Index-order trace locality",
+        )
+    )
+    return 0
+
+
+def _cmd_contention(args: argparse.Namespace) -> int:
+    from repro.workload.interleave import simulate_contention
+
+    datasets = [
+        build_synthetic_dataset(
+            SyntheticSpec(
+                records=args.records,
+                distinct_values=args.distinct,
+                records_per_page=args.records_per_page,
+                theta=args.theta,
+                window=args.window,
+                noise=args.noise,
+                seed=args.seed + i,
+            )
+        )
+        for i in range(args.scans)
+    ]
+    traces = [d.index.page_sequence() for d in datasets]
+    result = simulate_contention(traces, args.buffer)
+    print(
+        format_table(
+            ["scan", "dedicated fetches", "shared-pool fetches"],
+            [
+                (i, dedicated, shared)
+                for i, (dedicated, shared) in enumerate(
+                    zip(result.dedicated_fetches, result.per_scan_fetches)
+                )
+            ],
+            title=(
+                f"{args.scans} full scans sharing a {args.buffer}-page "
+                f"LRU pool (overhead "
+                f"{100 * result.contention_overhead:+.1f}%)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_gwl(args: argparse.Namespace) -> int:
+    db = build_gwl_database(scale=args.scale, seed=args.seed)
+    print(
+        format_table(
+            ["table", "pages", "records/page"],
+            table2_rows(db),
+            title=f"Table 2 (scale={args.scale})",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["column", "cardinality", "C measured (%)", "C paper (%)"],
+            [
+                (name, card, f"{measured:.1f}", target)
+                for name, card, measured, target in table3_rows(db)
+            ],
+            title="Table 3",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "EPFIS reproduction: page-fetch estimation for index scans "
+            "with finite LRU buffers"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser(
+        "generate", help="build a synthetic dataset and print statistics"
+    )
+    _add_spec_arguments(p_generate)
+    p_generate.set_defaults(handler=_cmd_generate)
+
+    p_fit = sub.add_parser(
+        "fit", help="run LRU-Fit and persist the catalog record"
+    )
+    _add_spec_arguments(p_fit)
+    p_fit.add_argument("--catalog", required=True,
+                       help="output catalog JSON path")
+    p_fit.add_argument("--segments", type=int, default=6)
+    p_fit.add_argument("--grid-rule", choices=("paper", "graefe"),
+                       default="paper")
+    p_fit.set_defaults(handler=_cmd_fit)
+
+    p_estimate = sub.add_parser(
+        "estimate", help="estimate page fetches from a saved catalog"
+    )
+    p_estimate.add_argument("--catalog", required=True)
+    p_estimate.add_argument("--index", default=None,
+                            help="index name (default: all in catalog)")
+    p_estimate.add_argument("--sigma", type=float, required=True,
+                            help="range selectivity of the scan")
+    p_estimate.add_argument("--sargable", type=float, default=1.0,
+                            help="sargable-predicate selectivity S")
+    p_estimate.add_argument("--buffers", type=int, nargs="+", required=True,
+                            help="buffer sizes to estimate at")
+    p_estimate.set_defaults(handler=_cmd_estimate)
+
+    p_experiment = sub.add_parser(
+        "experiment", help="run one error-behaviour experiment"
+    )
+    _add_spec_arguments(p_experiment)
+    p_experiment.add_argument("--scans", type=int, default=100)
+    p_experiment.add_argument("--floor", type=int, default=12,
+                              help="smallest buffer size in the grid")
+    p_experiment.set_defaults(handler=_cmd_experiment)
+
+    p_gwl = sub.add_parser(
+        "gwl", help="build the simulated GWL database, print Tables 2-3"
+    )
+    p_gwl.add_argument("--scale", type=float, default=0.05)
+    p_gwl.add_argument("--seed", type=int, default=0)
+    p_gwl.set_defaults(handler=_cmd_gwl)
+
+    p_locality = sub.add_parser(
+        "locality", help="profile a dataset's index-order trace locality"
+    )
+    _add_spec_arguments(p_locality)
+    p_locality.set_defaults(handler=_cmd_locality)
+
+    p_contention = sub.add_parser(
+        "contention",
+        help="simulate concurrent full scans sharing one LRU pool",
+    )
+    _add_spec_arguments(p_contention)
+    p_contention.add_argument("--scans", type=int, default=2,
+                              help="number of concurrent scans")
+    p_contention.add_argument("--buffer", type=int, required=True,
+                              help="shared pool size in pages")
+    p_contention.set_defaults(handler=_cmd_contention)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

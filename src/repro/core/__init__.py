@@ -1,0 +1,39 @@
+"""The paper's primary contribution, in one place.
+
+Algorithm EPFIS's implementation lives in :mod:`repro.estimators.epfis`
+(next to the baselines it is evaluated against); this package re-exports
+it so the core contribution is reachable at the conventional location::
+
+    from repro.core import LRUFit, EstIO, EPFISEstimator
+
+``LRUFit`` is the statistics-collection pass (Section 4.1), ``EstIO`` the
+query-compilation-time estimator (Section 4.2), ``EPFISEstimator`` the two
+glued behind the common estimator interface, and ``SmoothEPFISEstimator``
+this reproduction's smooth-correction variant.
+"""
+
+from repro.estimators.epfis import (
+    DEFAULT_SEGMENTS,
+    EPFISEstimator,
+    EstIO,
+    LRUFit,
+    LRUFitConfig,
+    buffer_grid,
+)
+from repro.estimators.epfis_smooth import (
+    SmoothEPFISEstimator,
+    SmoothEstIO,
+    smooth_correction_weight,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENTS",
+    "EPFISEstimator",
+    "EstIO",
+    "LRUFit",
+    "LRUFitConfig",
+    "SmoothEPFISEstimator",
+    "SmoothEstIO",
+    "buffer_grid",
+    "smooth_correction_weight",
+]

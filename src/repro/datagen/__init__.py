@@ -1,0 +1,54 @@
+"""Data generation: synthetic datasets and the simulated customer database.
+
+Implements Section 5.2's generator exactly — generalized Zipf duplicate
+counts (Knuth), the Wolf-et-al window placement scheme with a 5% noise
+factor — plus a simulated stand-in for the proprietary Great-West Life
+benchmark database whose published statistics (Tables 2 and 3 of the paper)
+are matched by calibrating the window parameter.
+"""
+
+from repro.datagen.calibrate import CalibrationResult, calibrate_disorder
+from repro.datagen.gwl import (
+    ERROR_FIGURE_COLUMNS,
+    FIGURE1_COLUMNS,
+    GWL_COLUMNS,
+    GWL_TABLES,
+    GWLColumn,
+    GWLColumnSpec,
+    GWLDatabase,
+    GWLTableSpec,
+    build_gwl_database,
+)
+from repro.datagen.synthetic import (
+    Dataset,
+    SyntheticSpec,
+    append_records,
+    build_synthetic_dataset,
+    delete_records,
+)
+from repro.datagen.window import Placement, WindowPlacer
+from repro.datagen.zipf import ZipfGenerator, zipf_counts, zipf_weights
+
+__all__ = [
+    "CalibrationResult",
+    "Dataset",
+    "ERROR_FIGURE_COLUMNS",
+    "FIGURE1_COLUMNS",
+    "GWLColumn",
+    "GWLColumnSpec",
+    "GWLDatabase",
+    "GWLTableSpec",
+    "GWL_COLUMNS",
+    "GWL_TABLES",
+    "Placement",
+    "SyntheticSpec",
+    "WindowPlacer",
+    "ZipfGenerator",
+    "append_records",
+    "build_gwl_database",
+    "build_synthetic_dataset",
+    "calibrate_disorder",
+    "delete_records",
+    "zipf_counts",
+    "zipf_weights",
+]

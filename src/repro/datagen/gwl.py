@@ -1,0 +1,329 @@
+"""A simulated Great-West Life (GWL) benchmark database.
+
+The paper's customer-data experiments (Section 5.1, Figures 1-9, Tables 2-3)
+use the proprietary Great-West Life database.  We cannot obtain it, so we
+generate a database that matches every statistic the paper publishes:
+
+* Table 2 — table sizes: pages ``T`` and records per page ``R``.
+* Table 3 — per-column cardinality ``I`` and clustering factor ``C``.
+
+Records-per-key follows a uniform apportionment (the paper says nothing
+about GWL's duplicate skew); clustering is produced by the same window
+placement scheme as the synthetic data, with the disorder knob calibrated by
+bisection until the *measured* ``C`` (computed exactly as LRU-Fit computes
+it) matches Table 3.  Because every estimator in the paper consumes only
+``(T, N, I, C,`` index-order page trace``)``, matching these statistics
+reproduces the estimation problem faithfully — see DESIGN.md.
+
+A ``scale`` knob shrinks page counts (and cardinalities, proportionally) for
+fast test/bench runs; ``scale=1.0`` reproduces the published sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datagen.calibrate import (
+    CalibrationResult,
+    calibrate_disorder,
+    seeded_rng,
+)
+from repro.datagen.window import WindowPlacer
+from repro.datagen.zipf import zipf_counts
+from repro.errors import DataGenerationError
+from repro.storage.index import Index
+from repro.storage.table import Table
+from repro.trace.stats import clustering_factor
+from repro.types import RID
+
+
+@dataclass(frozen=True)
+class GWLTableSpec:
+    """Published shape of one GWL table (paper Table 2)."""
+
+    name: str
+    pages: int
+    records_per_page: int
+
+    @property
+    def records(self) -> int:
+        """Total records: pages * records_per_page (exact in Table 2)."""
+        return self.pages * self.records_per_page
+
+
+@dataclass(frozen=True)
+class GWLColumnSpec:
+    """Published statistics of one indexed GWL column (paper Table 3)."""
+
+    table: str
+    column: str
+    cardinality: int
+    clustering_percent: float
+
+    @property
+    def name(self) -> str:
+        """Qualified column name, e.g. ``"CMAC.BRAN"``."""
+        return f"{self.table}.{self.column}"
+
+    @property
+    def clustering_factor(self) -> float:
+        """Published C as a fraction in [0, 1]."""
+        return self.clustering_percent / 100.0
+
+
+#: Paper Table 2.
+GWL_TABLES: Dict[str, GWLTableSpec] = {
+    spec.name: spec
+    for spec in (
+        GWLTableSpec("CMAC", pages=774, records_per_page=20),
+        GWLTableSpec("CAGD", pages=1093, records_per_page=104),
+        GWLTableSpec("INAP", pages=1945, records_per_page=76),
+        GWLTableSpec("PLON", pages=4857, records_per_page=123),
+    )
+}
+
+#: Paper Table 3.
+GWL_COLUMNS: Dict[str, GWLColumnSpec] = {
+    spec.name: spec
+    for spec in (
+        GWLColumnSpec("CMAC", "BRAN", cardinality=131, clustering_percent=43.3),
+        GWLColumnSpec("CMAC", "CEDT", cardinality=2829, clustering_percent=64.6),
+        GWLColumnSpec("CAGD", "CMAN", cardinality=6155, clustering_percent=35.3),
+        GWLColumnSpec("CAGD", "POLN", cardinality=110074, clustering_percent=99.6),
+        GWLColumnSpec("INAP", "APLD", cardinality=729, clustering_percent=79.4),
+        GWLColumnSpec("INAP", "MALD", cardinality=517, clustering_percent=64.3),
+        GWLColumnSpec("INAP", "UWID", cardinality=60, clustering_percent=90.8),
+        GWLColumnSpec("PLON", "CLID", cardinality=437654, clustering_percent=23.6),
+    )
+}
+
+#: The five columns whose FPF curves appear in the paper's Figure 1.
+FIGURE1_COLUMNS: Tuple[str, ...] = (
+    "CMAC.BRAN",
+    "CMAC.CEDT",
+    "INAP.APLD",
+    "INAP.MALD",
+    "INAP.UWID",
+)
+
+#: The eight columns of the error-behaviour Figures 2-9, in figure order.
+ERROR_FIGURE_COLUMNS: Tuple[str, ...] = (
+    "CMAC.BRAN",
+    "CMAC.CEDT",
+    "CAGD.CMAN",
+    "CAGD.POLN",
+    "INAP.APLD",
+    "INAP.MALD",
+    "INAP.UWID",
+    "PLON.CLID",
+)
+
+
+@dataclass
+class GWLColumn:
+    """A built, calibrated GWL column: its index plus bookkeeping."""
+
+    spec: GWLColumnSpec
+    index: Index
+    calibration: CalibrationResult
+    scaled_cardinality: int
+    measured_c: float
+
+    @property
+    def name(self) -> str:
+        """Qualified column name of the underlying spec."""
+        return self.spec.name
+
+
+@dataclass
+class GWLDatabase:
+    """The whole simulated database at one scale."""
+
+    scale: float
+    seed: int
+    tables: Dict[str, Table]
+    columns: Dict[str, GWLColumn]
+    #: The scaled B_sml used for clustering measurement/calibration; pass
+    #: this to LRUFitConfig so estimator statistics see the same floor.
+    b_sml: int = 12
+
+    def table(self, name: str) -> Table:
+        """Look up a built table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DataGenerationError(
+                f"GWL database has no table {name!r}; "
+                f"tables are {sorted(self.tables)}"
+            ) from None
+
+    def column(self, name: str) -> GWLColumn:
+        """Look up a built, calibrated column by qualified name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise DataGenerationError(
+                f"GWL database has no column {name!r}; "
+                f"columns are {sorted(self.columns)}"
+            ) from None
+
+    def index(self, name: str) -> Index:
+        """Shortcut for ``column(name).index``."""
+        return self.column(name).index
+
+
+def _scaled_table(spec: GWLTableSpec, scale: float) -> Tuple[int, int]:
+    """Scaled (pages, records); records/page is preserved exactly."""
+    pages = max(4, round(spec.pages * scale))
+    return pages, pages * spec.records_per_page
+
+
+def _scaled_cardinality(
+    spec: GWLColumnSpec, records_full: int, records_scaled: int
+) -> int:
+    ratio = records_scaled / records_full
+    return max(2, min(records_scaled, round(spec.cardinality * ratio)))
+
+
+def scaled_b_sml(scale: float) -> int:
+    """The minimum-buffer floor ``B_sml``, scaled with the database.
+
+    The paper fixes ``B_sml = 12`` for its full-size tables; on a table
+    scaled down by ``s`` the same 12 pages would cover a much larger
+    *fraction* of the table and wash out the clustering measurement, so the
+    floor scales proportionally (never below 1, never above the paper's 12).
+    """
+    from repro.trace.stats import B_SML_DEFAULT
+
+    return max(1, min(B_SML_DEFAULT, round(B_SML_DEFAULT * scale)))
+
+
+def build_gwl_database(
+    scale: float = 0.1,
+    seed: int = 0,
+    columns: Optional[Iterable[str]] = None,
+    tolerance: float = 0.02,
+    b_sml: Optional[int] = None,
+) -> GWLDatabase:
+    """Build (and calibrate) the simulated GWL database.
+
+    ``columns`` restricts the build to a subset of the eight published
+    columns (the other columns of a touched table are then omitted, and
+    untouched tables are not built at all) — useful when a bench needs only
+    Figure 1's five columns.  ``b_sml`` overrides the scaled minimum-buffer
+    floor used when measuring the clustering factor (see
+    :func:`scaled_b_sml`).
+    """
+    if scale <= 0:
+        raise DataGenerationError(f"scale must be > 0, got {scale}")
+    if b_sml is None:
+        b_sml = scaled_b_sml(scale)
+    wanted = set(columns) if columns is not None else set(GWL_COLUMNS)
+    unknown = wanted - set(GWL_COLUMNS)
+    if unknown:
+        raise DataGenerationError(
+            f"unknown GWL columns {sorted(unknown)}; "
+            f"available: {sorted(GWL_COLUMNS)}"
+        )
+
+    by_table: Dict[str, List[GWLColumnSpec]] = {}
+    for name in sorted(wanted):
+        spec = GWL_COLUMNS[name]
+        by_table.setdefault(spec.table, []).append(spec)
+
+    tables: Dict[str, Table] = {}
+    built_columns: Dict[str, GWLColumn] = {}
+
+    for table_name in sorted(by_table):
+        table_spec = GWL_TABLES[table_name]
+        pages, records = _scaled_table(table_spec, scale)
+        column_specs = by_table[table_name]
+
+        placements = {}
+        calibrations = {}
+        cardinalities = {}
+        for col_spec in column_specs:
+            cardinality = _scaled_cardinality(
+                col_spec, table_spec.records, records
+            )
+            counts = zipf_counts(records, cardinality, theta=0.0)
+
+            def build_trace(window: float, noise: float, _counts=counts,
+                            _rpp=table_spec.records_per_page,
+                            _name=col_spec.name):
+                rng = seeded_rng("gwl", _name, scale, seed, window, noise)
+                placement = WindowPlacer(window, noise=noise, rng=rng).place(
+                    _counts, _rpp
+                )
+                return placement.page_trace(), placement.pages
+
+            calibration = calibrate_disorder(
+                build_trace,
+                col_spec.clustering_factor,
+                tolerance=tolerance,
+                b_sml=b_sml,
+            )
+            rng = seeded_rng(
+                "gwl", col_spec.name, scale, seed,
+                calibration.window, calibration.noise,
+            )
+            placement = WindowPlacer(
+                calibration.window, noise=calibration.noise, rng=rng
+            ).place(counts, table_spec.records_per_page)
+            if placement.pages != pages:
+                raise DataGenerationError(
+                    f"{col_spec.name}: placement produced {placement.pages} "
+                    f"pages, expected {pages}"
+                )
+            placements[col_spec.name] = placement
+            calibrations[col_spec.name] = calibration
+            cardinalities[col_spec.name] = cardinality
+
+        # All placements fill the same fully-occupied (page, slot) grid
+        # (records == pages * records_per_page by construction), so we can
+        # merge the per-column placements into one multi-column table.
+        value_maps = {
+            name: {
+                (page, slot): key
+                for key, page, slot in placement.assignments
+            }
+            for name, placement in placements.items()
+        }
+        column_names = [spec.column for spec in column_specs]
+        table = Table(
+            table_name, column_names, table_spec.records_per_page
+        )
+        table.heap.ensure_pages(pages)
+        for page in range(pages):
+            for slot in range(table_spec.records_per_page):
+                row = tuple(
+                    value_maps[spec.name][(page, slot)]
+                    for spec in column_specs
+                )
+                table.place(page, row)
+        tables[table_name] = table
+
+        for col_spec in column_specs:
+            index = Index(col_spec.name, table, col_spec.column)
+            for key, page, slot in placements[col_spec.name].assignments:
+                index.add(key, RID(page, slot))
+            index.check_complete()
+            measured = clustering_factor(
+                index.page_sequence(), pages, b_sml=b_sml
+            )
+            built_columns[col_spec.name] = GWLColumn(
+                spec=col_spec,
+                index=index,
+                calibration=calibrations[col_spec.name],
+                scaled_cardinality=cardinalities[col_spec.name],
+                measured_c=measured,
+            )
+
+    return GWLDatabase(
+        scale=scale,
+        seed=seed,
+        tables=tables,
+        columns=built_columns,
+        b_sml=b_sml,
+    )

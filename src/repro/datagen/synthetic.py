@@ -1,0 +1,188 @@
+"""Synthetic datasets per Section 5.2 of the paper.
+
+A dataset is characterized by:
+
+* number of records ``N`` (paper: 10^6; our default scale: 10^5),
+* number of distinct values ``I`` (paper: 10^4; default scale: 10^3),
+* records per page ``R`` (20, 40, 80),
+* generalized Zipf parameter ``theta`` (0, 0.86),
+* window-size parameter ``K`` (0, 0.05, 0.10, 0.20, 0.50, 1),
+* noise factor (paper: 5%).
+
+The builder materializes a real :class:`~repro.storage.Table` and a real
+:class:`~repro.storage.Index` whose within-key entry order is the record
+creation order, exactly as the window scheme produces it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.datagen.window import WindowPlacer
+from repro.datagen.zipf import zipf_counts
+from repro.errors import DataGenerationError
+from repro.storage.index import Index
+from repro.storage.table import Table
+from repro.types import RID
+
+#: Parameter grids from Section 5.2 (used by the figure benches).
+PAPER_RECORDS = 1_000_000
+PAPER_DISTINCT = 10_000
+PAPER_RECORDS_PER_PAGE = (20, 40, 80)
+PAPER_THETAS = (0.0, 0.86)
+PAPER_WINDOWS = (0.0, 0.05, 0.10, 0.20, 0.50, 1.0)
+PAPER_NOISE = 0.05
+
+#: Default scaled-down size used by tests and quick bench runs; same N/I
+#: ratio (100 duplicates per key) as the paper, so the clustering and
+#: caching regimes are preserved (see DESIGN.md, Substitutions).
+DEFAULT_RECORDS = 100_000
+DEFAULT_DISTINCT = 1_000
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Full specification of one synthetic dataset."""
+
+    records: int = DEFAULT_RECORDS
+    distinct_values: int = DEFAULT_DISTINCT
+    records_per_page: int = 40
+    theta: float = 0.0
+    window: float = 0.0
+    noise: float = PAPER_NOISE
+    seed: int = 0
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.records < 1:
+            raise DataGenerationError(f"records must be >= 1, got {self.records}")
+        if not 1 <= self.distinct_values <= self.records:
+            raise DataGenerationError(
+                f"distinct_values must be in [1, records], got "
+                f"{self.distinct_values} with records={self.records}"
+            )
+        if self.records_per_page < 1:
+            raise DataGenerationError(
+                f"records_per_page must be >= 1, got {self.records_per_page}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", self.default_name())
+
+    def default_name(self) -> str:
+        """Human-readable name encoding every parameter."""
+        return (
+            f"synthetic(N={self.records},I={self.distinct_values},"
+            f"R={self.records_per_page},theta={self.theta},K={self.window},"
+            f"noise={self.noise},seed={self.seed})"
+        )
+
+    def scaled(self, factor: float) -> "SyntheticSpec":
+        """A proportionally smaller (or larger) version of this spec."""
+        if factor <= 0:
+            raise DataGenerationError(f"scale factor must be > 0, got {factor}")
+        records = max(1, round(self.records * factor))
+        distinct = max(1, min(records, round(self.distinct_values * factor)))
+        return replace(self, records=records, distinct_values=distinct, name="")
+
+
+@dataclass
+class Dataset:
+    """A built dataset: the table, its index, and the generating spec."""
+
+    spec: SyntheticSpec
+    table: Table
+    index: Index
+
+    @property
+    def name(self) -> str:
+        """The generating spec's name."""
+        return self.spec.name
+
+
+def append_records(
+    dataset: Dataset,
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> None:
+    """Append ``count`` new records at the heap tail (in place).
+
+    Keys are drawn uniformly from the dataset's existing key domain and
+    rows land on the tail pages, the way ordinary inserts arrive in a
+    running system: appended data is clustered by *time*, not by key, so
+    the index's effective clustering drifts as the table grows.  Used by
+    the statistics-staleness ablation.
+    """
+    if count < 1:
+        raise DataGenerationError(f"count must be >= 1, got {count}")
+    rng = rng or random.Random(dataset.spec.seed + 1)
+    distinct = dataset.spec.distinct_values
+    for _ in range(count):
+        key = rng.randrange(distinct)
+        rid = dataset.table.insert((key,))
+        dataset.index.add(key, rid)
+    dataset.index.check_complete()
+
+
+def delete_records(
+    dataset: Dataset,
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> None:
+    """Delete ``count`` random index entries (in place).
+
+    Models logical deletes: the entries vanish from the index (scans skip
+    them) while the heap pages keep their dead slots, as real systems do
+    between vacuums.  Complements :func:`append_records` for staleness
+    studies.
+    """
+    if count < 1:
+        raise DataGenerationError(f"count must be >= 1, got {count}")
+    if count >= dataset.index.entry_count:
+        raise DataGenerationError(
+            f"cannot delete {count} of {dataset.index.entry_count} entries"
+        )
+    rng = rng or random.Random(dataset.spec.seed + 2)
+    entries = [(e.key, e.rid) for e in dataset.index.entries()]
+    victims = rng.sample(range(len(entries)), count)
+    for position in victims:
+        key, rid = entries[position]
+        dataset.index.remove(key, rid)
+
+
+def build_synthetic_dataset(
+    spec: SyntheticSpec, rng: Optional[random.Random] = None
+) -> Dataset:
+    """Materialize ``spec`` into a table + index.
+
+    Key values are the integers ``0..I-1`` in both key order and placement
+    order.  Duplicate counts follow the generalized Zipf distribution; the
+    mapping from Zipf *rank* to key *position* is a seeded shuffle, so skew
+    is spread across the key domain rather than concentrated at its low end
+    (the paper models value skew and placement correlation independently).
+    """
+    rng = rng or random.Random(spec.seed)
+    counts = zipf_counts(spec.records, spec.distinct_values, spec.theta)
+    rng.shuffle(counts)
+
+    placer = WindowPlacer(spec.window, noise=spec.noise, rng=rng)
+    placement = placer.place(counts, spec.records_per_page)
+
+    table = Table(
+        name=spec.name,
+        columns=("key",),
+        records_per_page=spec.records_per_page,
+    )
+    table.heap.ensure_pages(placement.pages)
+    index = Index(f"{spec.name}.key", table, "key")
+    for key, page, slot in placement.assignments:
+        rid = table.place(page, (key,))
+        if rid != RID(page, slot):
+            raise DataGenerationError(
+                f"placement slot mismatch: expected {RID(page, slot)}, "
+                f"got {rid}"
+            )
+        index.add(key, rid)
+    index.check_complete()
+    return Dataset(spec=spec, table=table, index=index)

@@ -1,0 +1,205 @@
+"""The Wolf-et-al window placement scheme (Section 5.2 of the paper).
+
+"The distinct values are processed in the order of their values.  For each
+distinct value, its corresponding records are assigned to pages as follows.
+A window of pages is available and the records are assigned randomly in this
+window of pages. ... The window size is given by ceil(K*T). ... When a page
+is full in the window, the next page not in the window is added to the
+window.  The initial window is [1, KT].  A small amount of noise in the
+assignment is permitted as follows.  A record is assigned outside the window
+with a certain probability given by a noise factor."
+
+``K = 0`` (window of one page) produces sequential, perfectly clustered
+placement; ``K = 1`` (window = whole table) produces random, unclustered
+placement.  The 5% noise factor is the paper's default.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DataGenerationError
+
+
+class _IndexedPageSet:
+    """A set of page ids supporting O(1) add, discard, and random choice."""
+
+    __slots__ = ("_items", "_positions")
+
+    def __init__(self, items: Sequence[int] = ()) -> None:
+        self._items: List[int] = list(items)
+        self._positions: Dict[int, int] = {
+            page: i for i, page in enumerate(self._items)
+        }
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._positions
+
+    def add(self, page: int) -> None:
+        if page not in self._positions:
+            self._positions[page] = len(self._items)
+            self._items.append(page)
+
+    def discard(self, page: int) -> None:
+        pos = self._positions.pop(page, None)
+        if pos is None:
+            return
+        last = self._items.pop()
+        if pos < len(self._items):
+            self._items[pos] = last
+            self._positions[last] = pos
+
+    def choose(self, rng: random.Random) -> int:
+        if not self._items:
+            raise DataGenerationError("cannot choose from an empty page set")
+        return self._items[rng.randrange(len(self._items))]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The result of a placement run, in record-creation order.
+
+    ``assignments[i]`` is ``(key, page, slot)`` for the i-th record created.
+    Creation order is key order (distinct values processed in value order),
+    which is also the order index entries are added — so the index's
+    within-key RID order reflects the random placement, as in the paper.
+    """
+
+    pages: int
+    records_per_page: int
+    assignments: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def record_count(self) -> int:
+        """Number of records placed."""
+        return len(self.assignments)
+
+    def page_trace(self) -> List[int]:
+        """The full-index-scan page reference string."""
+        return [page for _key, page, _slot in self.assignments]
+
+    def occupancy(self) -> List[int]:
+        """Records per page (sanity checks)."""
+        counts = [0] * self.pages
+        for _key, page, _slot in self.assignments:
+            counts[page] += 1
+        return counts
+
+
+class WindowPlacer:
+    """Assigns each key's records to pages through a sliding window."""
+
+    def __init__(
+        self,
+        window_fraction: float,
+        noise: float = 0.05,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= window_fraction <= 1.0:
+            raise DataGenerationError(
+                f"window_fraction (K) must be in [0, 1], got {window_fraction}"
+            )
+        if not 0.0 <= noise <= 1.0:
+            raise DataGenerationError(f"noise must be in [0, 1], got {noise}")
+        self._window_fraction = window_fraction
+        self._noise = noise
+        self._rng = rng or random.Random()
+
+    @property
+    def window_fraction(self) -> float:
+        """The window parameter K in [0, 1]."""
+        return self._window_fraction
+
+    @property
+    def noise(self) -> float:
+        """Probability a record is placed outside the window."""
+        return self._noise
+
+    def place(
+        self, counts_by_key: Sequence[int], records_per_page: int
+    ) -> Placement:
+        """Place all records; ``counts_by_key[k]`` is key ``k``'s duplicates.
+
+        The table size is ``T = ceil(N / records_per_page)`` pages, the
+        minimum that holds all records; page occupancy is therefore near
+        uniform, matching the paper's fixed records-per-page parameter R.
+        """
+        if records_per_page < 1:
+            raise DataGenerationError(
+                f"records_per_page must be >= 1, got {records_per_page}"
+            )
+        total_records = sum(counts_by_key)
+        if total_records < 1:
+            raise DataGenerationError("placement requires at least one record")
+        pages = -(-total_records // records_per_page)  # ceil division
+
+        rng = self._rng
+        noise = self._noise
+        free_slots = [records_per_page] * pages
+        next_slot = [0] * pages
+
+        window_size = min(pages, max(1, math.ceil(self._window_fraction * pages)))
+
+        window = _IndexedPageSet(range(window_size))
+        # Pages never yet pulled into the window; noise targets live here.
+        unopened = _IndexedPageSet(range(window_size, pages))
+        next_unopened = window_size  # sequential pointer for window growth
+
+        assignments: List[Tuple[int, int, int]] = []
+        append = assignments.append
+
+        def grow_window() -> None:
+            """Add "the next page not in the window", skipping full pages."""
+            nonlocal next_unopened
+            while next_unopened < pages:
+                candidate = next_unopened
+                next_unopened += 1
+                unopened.discard(candidate)
+                if free_slots[candidate] > 0:
+                    window.add(candidate)
+                    return
+            # No pages left to open: the window simply shrinks from here on.
+
+        for key, count in enumerate(counts_by_key):
+            for _ in range(count):
+                page = -1
+                use_noise = (
+                    noise > 0.0 and len(unopened) > 0 and rng.random() < noise
+                )
+                if use_noise:
+                    page = unopened.choose(rng)
+                else:
+                    while len(window) == 0 and next_unopened < pages:
+                        grow_window()
+                    if len(window) > 0:
+                        page = window.choose(rng)
+                    elif len(unopened) > 0:
+                        page = unopened.choose(rng)
+                    else:
+                        raise DataGenerationError(
+                            "no free page available; capacity accounting bug"
+                        )
+
+                slot = next_slot[page]
+                next_slot[page] += 1
+                free_slots[page] -= 1
+                append((key, page, slot))
+
+                if free_slots[page] == 0:
+                    if page in window:
+                        window.discard(page)
+                        grow_window()
+                    else:
+                        unopened.discard(page)
+
+        return Placement(
+            pages=pages,
+            records_per_page=records_per_page,
+            assignments=tuple(assignments),
+        )

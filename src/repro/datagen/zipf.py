@@ -1,0 +1,117 @@
+"""Knuth's generalized Zipf distribution over distinct key values.
+
+Section 5.2: "Knuth (1973) described a generalized Zipf distribution with a
+parameter theta that can be used to model distributions such as the uniform
+distribution (theta = 0) or the '80-20' distribution (theta = 0.86)".
+
+The rank-``i`` weight is ``1 / i**theta`` (``i`` from 1).  ``theta = 0``
+gives equal weights; ``theta ~= 0.8614`` gives the 80-20 rule (the top 20%
+of values receive ~80% of the records, self-similarly), because the
+cumulative share of the top fraction ``f`` of ranks is approximately
+``f**(1-theta)`` and ``0.2**(1-0.8614) ~= 0.80``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import DataGenerationError
+
+#: The theta value of the classic "80-20" distribution (paper uses 0.86).
+THETA_80_20 = 0.86
+
+
+def zipf_weights(distinct_values: int, theta: float) -> List[float]:
+    """Normalized rank probabilities ``p_i`` for ``i = 1..distinct_values``."""
+    if distinct_values < 1:
+        raise DataGenerationError(
+            f"distinct_values must be >= 1, got {distinct_values}"
+        )
+    if theta < 0:
+        raise DataGenerationError(f"theta must be >= 0, got {theta}")
+    raw = [1.0 / (i ** theta) for i in range(1, distinct_values + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def zipf_counts(
+    records: int,
+    distinct_values: int,
+    theta: float,
+    ensure_all_present: bool = True,
+) -> List[int]:
+    """Deterministic apportionment of ``records`` over ranked values.
+
+    Returns per-rank duplicate counts summing exactly to ``records``, using
+    largest-remainder rounding of the Zipf expectations.  With
+    ``ensure_all_present`` every rank receives at least one record, so the
+    generated index really has ``distinct_values`` distinct keys (the
+    paper's ``I``).
+    """
+    if records < distinct_values and ensure_all_present:
+        raise DataGenerationError(
+            f"cannot give each of {distinct_values} values at least one of "
+            f"{records} records"
+        )
+    weights = zipf_weights(distinct_values, theta)
+    floor_per_rank = 1 if ensure_all_present else 0
+    spare = records - floor_per_rank * distinct_values
+    expected = [w * spare for w in weights]
+    counts = [floor_per_rank + int(e) for e in expected]
+    remainders = [e - int(e) for e in expected]
+    shortfall = records - sum(counts)
+    # Hand the leftover records to the largest remainders (ties by rank for
+    # determinism).
+    by_remainder = sorted(
+        range(distinct_values), key=lambda i: (-remainders[i], i)
+    )
+    for i in by_remainder[:shortfall]:
+        counts[i] += 1
+    return counts
+
+
+class ZipfGenerator:
+    """Sampling interface over the same distribution.
+
+    Used when a workload wants random *draws* (e.g. skewed point queries)
+    rather than a fixed apportionment of duplicates.
+    """
+
+    def __init__(
+        self,
+        distinct_values: int,
+        theta: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._weights = zipf_weights(distinct_values, theta)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0  # guard against float drift
+        self._rng = rng or random.Random()
+
+    @property
+    def weights(self) -> Sequence[float]:
+        """The normalized rank probabilities."""
+        return tuple(self._weights)
+
+    def sample_rank(self) -> int:
+        """Draw a 0-based rank with Zipf probabilities."""
+        u = self._rng.random()
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] >= u:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def sample_ranks(self, count: int) -> List[int]:
+        """Draw ``count`` independent ranks."""
+        if count < 0:
+            raise DataGenerationError(f"count must be >= 0, got {count}")
+        return [self.sample_rank() for _ in range(count)]

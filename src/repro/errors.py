@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class StorageError(ReproError):
+    """A storage-engine invariant was violated (bad page, full page, ...)."""
+
+
+class PageFullError(StorageError):
+    """A record did not fit on the target page."""
+
+
+class RecordNotFoundError(StorageError, KeyError):
+    """A RID did not resolve to a stored record."""
+
+
+class IndexError_(ReproError):
+    """A B-tree index invariant was violated.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``BTreeError`` from the package root.
+    """
+
+
+class BTreeError(IndexError_):
+    """Alias with a friendlier public name."""
+
+
+class BufferError_(ReproError):
+    """A buffer-pool simulation was configured or driven incorrectly."""
+
+
+class TraceError(ReproError):
+    """A page-reference trace was malformed or empty where data is required."""
+
+
+class FitError(ReproError):
+    """Curve fitting failed (too few points, bad segment count, ...)."""
+
+
+class EstimationError(ReproError):
+    """An estimator received parameters outside its domain."""
+
+
+class CatalogError(ReproError):
+    """Catalog lookup or (de)serialization failed."""
+
+
+class WorkloadError(ReproError):
+    """A scan specification or workload was invalid."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic dataset specification was invalid or calibration failed."""
+
+
+class CalibrationError(DataGenerationError):
+    """Window-parameter calibration could not reach the target clustering."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run was invalid."""
+
+
+class OptimizerError(ReproError):
+    """Access-path selection was asked to choose among zero plans."""

@@ -1,0 +1,64 @@
+"""Page-fetch estimators: EPFIS and the Section 3 baselines.
+
+Every estimator implements the same contract
+(:class:`~repro.estimators.base.PageFetchEstimator`): given the scan's
+selectivities and the available LRU buffer size, predict the number of data
+page fetches.  Construction happens at *statistics-collection time* (from an
+index, or from a catalog record); estimation happens at *query-compilation
+time* and is a cheap closed-form computation, mirroring the paper's split
+into LRU-Fit and Est-IO.
+"""
+
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.classical import (
+    CardenasEstimator,
+    WatersEstimator,
+    YaoEstimator,
+)
+from repro.estimators.dc import DCEstimator
+from repro.estimators.epfis import (
+    EPFISEstimator,
+    EstIO,
+    LRUFit,
+    LRUFitConfig,
+)
+from repro.estimators.epfis_smooth import (
+    SmoothEPFISEstimator,
+    SmoothEstIO,
+    smooth_correction_weight,
+)
+from repro.estimators.formulas import (
+    cardenas,
+    waters,
+    yao,
+)
+from repro.estimators.mackert_lohman import MackertLohmanEstimator
+from repro.estimators.naive import (
+    PerfectlyClusteredEstimator,
+    PerfectlyUnclusteredEstimator,
+)
+from repro.estimators.ot import OTEstimator
+from repro.estimators.sd import SDEstimator
+
+__all__ = [
+    "CardenasEstimator",
+    "DCEstimator",
+    "EPFISEstimator",
+    "EstIO",
+    "LRUFit",
+    "LRUFitConfig",
+    "MackertLohmanEstimator",
+    "OTEstimator",
+    "PageFetchEstimator",
+    "PerfectlyClusteredEstimator",
+    "PerfectlyUnclusteredEstimator",
+    "SDEstimator",
+    "SmoothEPFISEstimator",
+    "SmoothEstIO",
+    "WatersEstimator",
+    "YaoEstimator",
+    "cardenas",
+    "smooth_correction_weight",
+    "waters",
+    "yao",
+]

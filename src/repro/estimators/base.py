@@ -1,0 +1,56 @@
+"""The estimator contract.
+
+An estimator answers the optimizer's question from Section 2: *how many data
+page fetches will this index scan cost, given the records selected and the
+LRU buffer pages available?*  Estimates are floats (expected values), not
+integers — optimizers compare costs, they do not schedule I/Os.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Union
+
+from repro.errors import EstimationError
+from repro.types import ScanSelectivity
+
+
+class PageFetchEstimator(ABC):
+    """Predicts page fetches for a (partial) index scan."""
+
+    #: Short display name used in experiment reports ("EPFIS", "ML", ...).
+    name: str = "base"
+
+    @abstractmethod
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        """Expected data-page fetches for the scan.
+
+        ``selectivity`` carries the paper's sigma (start/stop conditions)
+        and S (index-sargable predicates); ``buffer_pages`` is the paper's
+        B, the LRU buffer available to the scan.
+        """
+
+    def estimate_sigma(
+        self,
+        range_selectivity: float,
+        buffer_pages: int,
+        sargable_selectivity: float = 1.0,
+    ) -> float:
+        """Convenience wrapper taking plain floats."""
+        return self.estimate(
+            ScanSelectivity(range_selectivity, sargable_selectivity),
+            buffer_pages,
+        )
+
+    @staticmethod
+    def _check_buffer(buffer_pages: Union[int, float]) -> int:
+        if buffer_pages < 1:
+            raise EstimationError(
+                f"buffer_pages must be >= 1, got {buffer_pages}"
+            )
+        return int(buffer_pages)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,82 @@
+"""Classical block-access estimators wrapped in the common interface.
+
+Cardenas (1975), Yao (1977), and Waters (1976) predate LRU-aware
+estimation: they predict how many *distinct* pages a sample of records
+touches, assuming random placement and an effectively infinite buffer
+(every touched page fetched exactly once).  Section 3 of the paper cites
+them as the starting point; wrapping them as estimators lets the benches
+show exactly where buffer-awareness starts to matter.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import IndexStatistics
+from repro.errors import EstimationError
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.formulas import cardenas, waters, yao
+from repro.storage.index import Index
+from repro.types import ScanSelectivity
+
+
+class _ClassicalEstimator(PageFetchEstimator):
+    """Shared shape: needs only (T, N), ignores the buffer size."""
+
+    def __init__(self, table_pages: int, table_records: int) -> None:
+        if table_pages < 1:
+            raise EstimationError(f"table_pages must be >= 1, got {table_pages}")
+        if table_records < table_pages:
+            raise EstimationError(
+                f"table_records ({table_records}) < table_pages "
+                f"({table_pages})"
+            )
+        self._t = table_pages
+        self._n = table_records
+
+    @classmethod
+    def from_index(cls, index: Index):
+        return cls(index.table.page_count, index.entry_count)
+
+    @classmethod
+    def from_statistics(cls, stats: IndexStatistics):
+        return cls(stats.table_pages, stats.table_records)
+
+    def _selections(self, selectivity: ScanSelectivity) -> float:
+        return selectivity.combined * self._n
+
+
+class CardenasEstimator(_ClassicalEstimator):
+    """F ~= T (1 - (1 - 1/T)^k): sampling with replacement."""
+
+    name = "Cardenas"
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)
+        return cardenas(self._t, self._selections(selectivity))
+
+
+class YaoEstimator(_ClassicalEstimator):
+    """Exact expectation without replacement (uniform occupancy)."""
+
+    name = "Yao"
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)
+        selections = int(round(self._selections(selectivity)))
+        selections = min(selections, self._n)
+        return yao(self._n, self._t, selections)
+
+
+class WatersEstimator(_ClassicalEstimator):
+    """Waters's cheap approximation to Yao."""
+
+    name = "Waters"
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)
+        return waters(self._n, self._t, self._selections(selectivity))

@@ -1,0 +1,100 @@
+"""Algorithm DC (Section 3.2): cluster-counter based estimation.
+
+A statistics pass scans index entries in key order and counts, in ``CC``,
+the key-to-key transitions that move forward (or stay) in page order.  The
+cluster ratio is::
+
+    CR = min(1, CC/I + min(0.4, 5 * ln(T/I)))
+
+and the fetch estimate is ``sigma * (T + (1 - CR) * (N - T))`` — buffer size
+does not enter at all, which is why DC's error curves in the paper swing so
+wildly as B varies.
+
+For ``T < I`` the log term is negative; the paper gives no lower clamp, but
+a negative CR would push the estimate above ``sigma * N``, violating the
+paper's own bound F <= N, so CR is floored at 0 (see DESIGN.md, errata).
+"""
+
+from __future__ import annotations
+
+import math
+from repro.catalog.catalog import IndexStatistics
+from repro.errors import EstimationError
+from repro.estimators.base import PageFetchEstimator
+from repro.storage.index import Index
+from repro.trace.stats import dc_cluster_count
+from repro.types import ScanSelectivity
+
+
+class DCEstimator(PageFetchEstimator):
+    """Cluster-ratio estimator built on the DC cluster counter."""
+
+    name = "DC"
+
+    def __init__(
+        self,
+        table_pages: int,
+        table_records: int,
+        distinct_keys: int,
+        cluster_count: int,
+    ) -> None:
+        if table_pages < 1:
+            raise EstimationError(f"table_pages must be >= 1, got {table_pages}")
+        if table_records < table_pages:
+            raise EstimationError(
+                f"table_records ({table_records}) < table_pages "
+                f"({table_pages})"
+            )
+        if not 1 <= distinct_keys <= table_records:
+            raise EstimationError(
+                f"distinct_keys must be in [1, N], got {distinct_keys}"
+            )
+        if not 0 <= cluster_count <= distinct_keys:
+            raise EstimationError(
+                f"cluster_count must be in [0, I], got {cluster_count}"
+            )
+        self._t = table_pages
+        self._n = table_records
+        self._i = distinct_keys
+        self._cc = cluster_count
+
+    @classmethod
+    def from_index(cls, index: Index) -> "DCEstimator":
+        """Run DC's statistics pass (cluster counter) on ``index``."""
+        return cls(
+            table_pages=index.table.page_count,
+            table_records=index.entry_count,
+            distinct_keys=index.distinct_key_count(),
+            cluster_count=dc_cluster_count(index),
+        )
+
+    @classmethod
+    def from_statistics(cls, stats: IndexStatistics) -> "DCEstimator":
+        """Rebuild from a catalog record (requires the DC counter)."""
+        if stats.dc_cluster_count is None:
+            raise EstimationError(
+                f"catalog record for {stats.index_name!r} lacks the DC "
+                "cluster count; re-run statistics collection with "
+                "collect_baseline_stats=True"
+            )
+        return cls(
+            table_pages=stats.table_pages,
+            table_records=stats.table_records,
+            distinct_keys=stats.distinct_keys,
+            cluster_count=stats.dc_cluster_count,
+        )
+
+    @property
+    def cluster_ratio(self) -> float:
+        """``CR`` as defined above (computed once; cheap either way)."""
+        adjustment = min(0.4, 5.0 * math.log(self._t / self._i))
+        cr = min(1.0, self._cc / self._i + adjustment)
+        return max(0.0, cr)
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)  # validated but unused: DC ignores B
+        sigma = selectivity.combined
+        cr = self.cluster_ratio
+        return sigma * (self._t + (1.0 - cr) * (self._n - self._t))

@@ -1,0 +1,106 @@
+"""Classical block-access formulas (Cardenas, Yao, Waters).
+
+These predate the paper (its Section 3 survey) and appear inside it as
+building blocks: Cardenas's formula is used by Algorithm SD and by EPFIS's
+small-selectivity correction and urn model.  All three estimate the number
+of distinct pages touched when ``k`` records are selected from a table of
+``T`` pages — they ignore buffering entirely, which is precisely the gap
+the paper addresses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EstimationError
+
+
+def _check(pages: float, selections: float) -> None:
+    if pages < 1:
+        raise EstimationError(f"pages must be >= 1, got {pages}")
+    if selections < 0:
+        raise EstimationError(f"selections must be >= 0, got {selections}")
+
+
+def cardenas(pages: float, selections: float) -> float:
+    """Cardenas (1975): ``T * (1 - (1 - 1/T)**k)``.
+
+    Expected distinct pages hit when ``k`` records are chosen uniformly at
+    random *with replacement* from a table of ``T`` equally likely pages.
+    Accepts fractional ``k`` (estimators pass expected record counts).
+    """
+    _check(pages, selections)
+    if pages == 1:
+        return 1.0 if selections > 0 else 0.0
+    return pages * (1.0 - (1.0 - 1.0 / pages) ** selections)
+
+
+def yao(records: int, pages: int, selections: int) -> float:
+    """Yao (1977): exact expectation *without* replacement.
+
+    ``records`` rows spread evenly over ``pages`` pages (``m = N/T`` rows
+    per page); ``k`` distinct rows are sampled.  The expected number of
+    pages with at least one sampled row is::
+
+        T * (1 - C(N - m, k) / C(N, k))
+
+    computed in log space to stay stable for large arguments.
+    """
+    if records < 1:
+        raise EstimationError(f"records must be >= 1, got {records}")
+    if pages < 1 or pages > records:
+        raise EstimationError(
+            f"pages must be in [1, records], got {pages} with N={records}"
+        )
+    if not 0 <= selections <= records:
+        raise EstimationError(
+            f"selections must be in [0, records], got {selections}"
+        )
+    if selections == 0:
+        return 0.0
+    m = records / pages
+    if selections > records - m:
+        # Sampling more rows than can avoid any given page: every page hit.
+        return float(pages)
+    # log C(N - m, k) - log C(N, k) via lgamma; m need not be integral, so
+    # use the product form prod_{i=0..k-1} (N - m - i) / (N - i) in log
+    # space when m is fractional, the lgamma form when integral.
+    if float(m).is_integer():
+        m_int = int(m)
+        log_ratio = (
+            _log_comb(records - m_int, selections)
+            - _log_comb(records, selections)
+        )
+    else:
+        log_ratio = 0.0
+        for i in range(selections):
+            log_ratio += math.log((records - m - i) / (records - i))
+    return pages * (1.0 - math.exp(log_ratio))
+
+
+def _log_comb(n: int, k: int) -> float:
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def waters(records: int, pages: int, selections: float) -> float:
+    """Waters (1976): the cheap approximation ``T * (1 - (1 - k/N)**m)``.
+
+    Approximates Yao's expectation by treating each of a page's ``m = N/T``
+    rows as independently un-sampled with probability ``1 - k/N``.
+    """
+    if records < 1:
+        raise EstimationError(f"records must be >= 1, got {records}")
+    if pages < 1 or pages > records:
+        raise EstimationError(
+            f"pages must be in [1, records], got {pages} with N={records}"
+        )
+    if not 0 <= selections <= records:
+        raise EstimationError(
+            f"selections must be in [0, records], got {selections}"
+        )
+    m = records / pages
+    return pages * (1.0 - (1.0 - selections / records) ** m)

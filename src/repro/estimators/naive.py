@@ -1,0 +1,62 @@
+"""The earliest-generation estimators (Section 3 lead-in).
+
+"The very first attempts at modeling page fetches assumed that an index was
+either perfectly clustered (F = T) or perfectly unclustered (F = N)."
+These bracket every other estimate and serve as sanity baselines in the
+benches and as cost-model defaults when no statistics exist.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import IndexStatistics
+from repro.errors import EstimationError
+from repro.estimators.base import PageFetchEstimator
+from repro.storage.index import Index
+from repro.types import ScanSelectivity
+
+
+class _ShapeOnlyEstimator(PageFetchEstimator):
+    """Shared construction for estimators that need only (T, N)."""
+
+    def __init__(self, table_pages: int, table_records: int) -> None:
+        if table_pages < 1:
+            raise EstimationError(f"table_pages must be >= 1, got {table_pages}")
+        if table_records < table_pages:
+            raise EstimationError(
+                f"table_records ({table_records}) < table_pages "
+                f"({table_pages})"
+            )
+        self._t = table_pages
+        self._n = table_records
+
+    @classmethod
+    def from_index(cls, index: Index):
+        return cls(index.table.page_count, index.entry_count)
+
+    @classmethod
+    def from_statistics(cls, stats: IndexStatistics):
+        return cls(stats.table_pages, stats.table_records)
+
+
+class PerfectlyClusteredEstimator(_ShapeOnlyEstimator):
+    """Assumes F = sigma * T: the scan never refetches or skips pages."""
+
+    name = "clustered"
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)
+        return selectivity.combined * self._t
+
+
+class PerfectlyUnclusteredEstimator(_ShapeOnlyEstimator):
+    """Assumes F = sigma * N: every record examined costs one fetch."""
+
+    name = "unclustered"
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)
+        return selectivity.combined * self._n

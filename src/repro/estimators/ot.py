@@ -1,0 +1,91 @@
+"""Algorithm OT (Section 3.4): three-buffer jump-based cluster ratio.
+
+The statistics pass measures ``J``, the fetch count of a full index scan
+with a *three-page* buffer (a slightly more forgiving jump definition than
+SD's single page).  Then::
+
+    CR = (N + T - J) / N
+    F  = sigma * (T + (1 - CR) * (N - T))
+
+Like DC, the final formula ignores the buffer size available to the scan
+being costed.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.lru import LRUBufferPool
+from repro.catalog.catalog import IndexStatistics
+from repro.errors import EstimationError
+from repro.estimators.base import PageFetchEstimator
+from repro.storage.index import Index
+from repro.types import ScanSelectivity
+
+#: The buffer size OT's statistics pass simulates.
+OT_PROBE_BUFFER = 3
+
+
+class OTEstimator(PageFetchEstimator):
+    """Cluster-ratio estimator based on three-buffer fetch counts."""
+
+    name = "OT"
+
+    def __init__(
+        self,
+        table_pages: int,
+        table_records: int,
+        fetches_three_buffers: int,
+    ) -> None:
+        if table_pages < 1:
+            raise EstimationError(f"table_pages must be >= 1, got {table_pages}")
+        if table_records < table_pages:
+            raise EstimationError(
+                f"table_records ({table_records}) < table_pages "
+                f"({table_pages})"
+            )
+        if not 1 <= fetches_three_buffers <= table_records:
+            raise EstimationError(
+                f"fetches_three_buffers must be in [1, N], got "
+                f"{fetches_three_buffers}"
+            )
+        self._t = table_pages
+        self._n = table_records
+        self._j = fetches_three_buffers
+
+    @classmethod
+    def from_index(cls, index: Index) -> "OTEstimator":
+        """Run OT's statistics pass: LRU-simulate a 3-page buffer."""
+        trace = index.page_sequence()
+        return cls(
+            table_pages=index.table.page_count,
+            table_records=len(trace),
+            fetches_three_buffers=LRUBufferPool(OT_PROBE_BUFFER).run(trace),
+        )
+
+    @classmethod
+    def from_statistics(cls, stats: IndexStatistics) -> "OTEstimator":
+        """Rebuild from a catalog record (requires F(B=3))."""
+        if stats.fetches_b3 is None:
+            raise EstimationError(
+                f"catalog record for {stats.index_name!r} lacks F(B=3); "
+                "re-run statistics collection with "
+                "collect_baseline_stats=True"
+            )
+        return cls(
+            table_pages=stats.table_pages,
+            table_records=stats.table_records,
+            fetches_three_buffers=stats.fetches_b3,
+        )
+
+    @property
+    def cluster_ratio(self) -> float:
+        """``CR = (N + T - J) / N``, clamped into [0, 1]."""
+        cr = (self._n + self._t - self._j) / self._n
+        return min(1.0, max(0.0, cr))
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        self._check_buffer(buffer_pages)  # validated but unused: OT ignores B
+        sigma = selectivity.combined
+        cr = self.cluster_ratio
+        return sigma * (self._t + (1.0 - cr) * (self._n - self._t))

@@ -1,0 +1,132 @@
+"""Algorithm SD (Section 3.3): jump-based cluster ratio + Cardenas blend.
+
+The statistics pass measures ``J``, the fetch count of a full index scan
+with a *single* buffer page (equivalently one plus the number of page
+"jumps" in index order).  Then::
+
+    CR = (N - J) / (N - T)
+    U  = sigma * I * (T * (1 - (1 - 1/T)**(T/I)))      # printed exponent
+    V  = min(U, T)  if T < B  else  U
+    F  = CR * T * sigma + (1 - CR) * V
+
+The printed Cardenas exponent ``T/I`` is dimensionally odd — the quantity
+that reads as "pages per key value" would use ``D = N/I`` records per key.
+We implement the printed formula by default and expose
+``exponent="records-per-key"`` as a variant; the SD-exponent ablation bench
+compares the two (see DESIGN.md, errata).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import IndexStatistics
+from repro.errors import EstimationError
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.formulas import cardenas
+from repro.storage.index import Index
+from repro.trace.stats import fetches_with_single_buffer
+from repro.types import ScanSelectivity
+
+_EXPONENT_RULES = ("literal", "records-per-key")
+
+
+class SDEstimator(PageFetchEstimator):
+    """Cluster-ratio estimator based on single-buffer jump counts."""
+
+    name = "SD"
+
+    def __init__(
+        self,
+        table_pages: int,
+        table_records: int,
+        distinct_keys: int,
+        fetches_single_buffer: int,
+        exponent: str = "literal",
+    ) -> None:
+        if table_pages < 1:
+            raise EstimationError(f"table_pages must be >= 1, got {table_pages}")
+        if table_records < table_pages:
+            raise EstimationError(
+                f"table_records ({table_records}) < table_pages "
+                f"({table_pages})"
+            )
+        if not 1 <= distinct_keys <= table_records:
+            raise EstimationError(
+                f"distinct_keys must be in [1, N], got {distinct_keys}"
+            )
+        if not 1 <= fetches_single_buffer <= table_records:
+            raise EstimationError(
+                f"fetches_single_buffer must be in [1, N], got "
+                f"{fetches_single_buffer}"
+            )
+        if exponent not in _EXPONENT_RULES:
+            raise EstimationError(
+                f"exponent must be one of {_EXPONENT_RULES}, got {exponent!r}"
+            )
+        self._t = table_pages
+        self._n = table_records
+        self._i = distinct_keys
+        self._j = fetches_single_buffer
+        self._exponent = exponent
+
+    @classmethod
+    def from_index(
+        cls, index: Index, exponent: str = "literal"
+    ) -> "SDEstimator":
+        """Run SD's statistics pass: count single-buffer fetches."""
+        trace = index.page_sequence()
+        return cls(
+            table_pages=index.table.page_count,
+            table_records=len(trace),
+            distinct_keys=index.distinct_key_count(),
+            fetches_single_buffer=fetches_with_single_buffer(trace),
+            exponent=exponent,
+        )
+
+    @classmethod
+    def from_statistics(
+        cls, stats: IndexStatistics, exponent: str = "literal"
+    ) -> "SDEstimator":
+        """Rebuild from a catalog record (requires F(B=1))."""
+        if stats.fetches_b1 is None:
+            raise EstimationError(
+                f"catalog record for {stats.index_name!r} lacks F(B=1); "
+                "re-run statistics collection with "
+                "collect_baseline_stats=True"
+            )
+        return cls(
+            table_pages=stats.table_pages,
+            table_records=stats.table_records,
+            distinct_keys=stats.distinct_keys,
+            fetches_single_buffer=stats.fetches_b1,
+            exponent=exponent,
+        )
+
+    @property
+    def cluster_ratio(self) -> float:
+        """``CR = (N - J) / (N - T)``; 1.0 for the degenerate N == T."""
+        if self._n == self._t:
+            return 1.0
+        cr = (self._n - self._j) / (self._n - self._t)
+        return min(1.0, max(0.0, cr))
+
+    def _unclustered_pages(self, sigma: float) -> float:
+        """``U``: Cardenas-based pages for randomly located tuples."""
+        if self._exponent == "literal":
+            per_key_exponent = self._t / self._i
+        else:
+            per_key_exponent = self._n / self._i
+        per_key_pages = cardenas(self._t, per_key_exponent)
+        return sigma * self._i * per_key_pages
+
+    def estimate(
+        self, selectivity: ScanSelectivity, buffer_pages: int
+    ) -> float:
+        buffer_pages = self._check_buffer(buffer_pages)
+        sigma = selectivity.combined
+        cr = self.cluster_ratio
+        u = self._unclustered_pages(sigma)
+        if self._t < buffer_pages:
+            v = min(u, float(self._t))
+        else:
+            v = u
+        return cr * self._t * sigma + (1.0 - cr) * v

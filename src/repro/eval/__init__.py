@@ -1,0 +1,53 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5).
+
+* exact ground truth for any scan at any buffer size,
+* the paper's normalized aggregate error metric,
+* the paper's evaluation buffer grid (5% steps of T),
+* an experiment runner producing error-vs-buffer-size curves per estimator,
+* one entry point per paper figure/table (see :mod:`repro.eval.figures`),
+* plain-text table and chart rendering for bench output.
+"""
+
+from repro.eval.buffer_grid import BufferGrid, evaluation_buffer_grid
+from repro.eval.experiment import (
+    ErrorBehaviorResult,
+    EstimatorErrorCurve,
+    run_error_behavior,
+)
+from repro.eval.export import (
+    load_result_json,
+    result_to_csv,
+    result_to_dict,
+    save_result_csv,
+    save_result_json,
+)
+from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.metrics import (
+    aggregate_relative_error,
+    max_absolute_percent_error,
+    percent,
+)
+from repro.eval.report import ascii_chart, format_table
+from repro.eval.scatter import ScatterSummary, spearman, summarize_scatter
+
+__all__ = [
+    "BufferGrid",
+    "ErrorBehaviorResult",
+    "EstimatorErrorCurve",
+    "ScanTraceExtractor",
+    "ScatterSummary",
+    "aggregate_relative_error",
+    "ascii_chart",
+    "evaluation_buffer_grid",
+    "format_table",
+    "load_result_json",
+    "max_absolute_percent_error",
+    "percent",
+    "result_to_csv",
+    "result_to_dict",
+    "run_error_behavior",
+    "save_result_csv",
+    "save_result_json",
+    "spearman",
+    "summarize_scatter",
+]

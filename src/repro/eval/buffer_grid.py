@@ -1,0 +1,84 @@
+"""The evaluation buffer grid (Section 5).
+
+"We computed the errors ... for buffer sizes in increments of 5% of the
+table size in pages (T).  The smallest buffer size checked was set to
+max(300, 0.05T), and the largest buffer size checked was 0.9T."
+
+The hard floor of 300 pages only makes sense at the paper's table sizes;
+for scaled-down tables (where 300 would exceed 0.9T and empty the grid) the
+floor adapts to one grid step, preserving the grid's *shape* — this is the
+scaled analogue documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ExperimentError
+
+PAPER_FLOOR = 300
+STEP_FRACTION = 0.05
+MAX_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class BufferGrid:
+    """Buffer sizes to evaluate, with their table-size percentages."""
+
+    table_pages: int
+    sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ExperimentError("buffer grid must contain at least one size")
+        if list(self.sizes) != sorted(set(self.sizes)):
+            raise ExperimentError(
+                f"buffer grid must be strictly increasing, got {self.sizes}"
+            )
+
+    def percents(self) -> List[float]:
+        """Each size as a percentage of T (the figures' X axis)."""
+        return [100.0 * b / self.table_pages for b in self.sizes]
+
+    def __iter__(self):
+        return iter(self.sizes)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+
+def evaluation_buffer_grid(
+    table_pages: int,
+    floor: int = PAPER_FLOOR,
+    step_fraction: float = STEP_FRACTION,
+    max_fraction: float = MAX_FRACTION,
+) -> BufferGrid:
+    """Build the Section 5 grid for a table of ``table_pages`` pages."""
+    if table_pages < 2:
+        raise ExperimentError(
+            f"table_pages must be >= 2 to build a grid, got {table_pages}"
+        )
+    if not 0 < step_fraction <= max_fraction <= 1.0:
+        raise ExperimentError(
+            f"need 0 < step_fraction <= max_fraction <= 1, got "
+            f"step={step_fraction}, max={max_fraction}"
+        )
+    step = step_fraction * table_pages
+    smallest = max(float(floor), step)
+    largest = max_fraction * table_pages
+    if smallest > largest:
+        # Scaled-down table: the paper floor exceeds the whole range; fall
+        # back to one grid step so the grid covers the same fractions.
+        smallest = step
+
+    sizes: List[int] = []
+    b = smallest
+    while b <= largest + 1e-9:
+        size = max(1, round(b))
+        if not sizes or size > sizes[-1]:
+            sizes.append(size)
+        b += step
+    if not sizes:
+        sizes = [max(1, round(largest))]
+    return BufferGrid(table_pages=table_pages, sizes=tuple(sizes))

@@ -1,0 +1,127 @@
+"""The error-behaviour experiment runner (Figures 2-21).
+
+One run takes a dataset's index, a list of estimators, a scan workload, and
+a buffer grid; it produces, for every estimator, the error-metric value at
+every buffer size — i.e. one curve of the paper's error-behaviour figures.
+
+Ground truth is computed once per scan (a single stack-distance pass serves
+every buffer size); estimators are then queried per (scan, buffer size).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.estimators.base import PageFetchEstimator
+from repro.eval.buffer_grid import BufferGrid
+from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.metrics import aggregate_relative_error
+from repro.storage.index import Index
+from repro.workload.scans import ScanSpec
+
+
+@dataclass(frozen=True)
+class EstimatorErrorCurve:
+    """One line of an error-behaviour figure."""
+
+    estimator: str
+    #: ``(buffer_pages, signed error fraction)`` per grid point.
+    points: Tuple[Tuple[int, float], ...]
+
+    def max_abs_error(self) -> float:
+        """Worst |error| across the buffer grid (fraction)."""
+        return max(abs(e) for _b, e in self.points)
+
+    def as_percent(self) -> List[Tuple[int, float]]:
+        """The curve's points with errors in percent."""
+        return [(b, 100.0 * e) for b, e in self.points]
+
+
+@dataclass(frozen=True)
+class ErrorBehaviorResult:
+    """Everything one figure needs: curves plus provenance."""
+
+    dataset: str
+    table_pages: int
+    scan_count: int
+    buffer_grid: BufferGrid
+    curves: Tuple[EstimatorErrorCurve, ...]
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    def curve(self, estimator: str) -> EstimatorErrorCurve:
+        """The curve for one estimator, looked up by name."""
+        for c in self.curves:
+            if c.estimator == estimator:
+                return c
+        raise ExperimentError(
+            f"no curve for estimator {estimator!r}; have "
+            f"{[c.estimator for c in self.curves]}"
+        )
+
+    def max_abs_errors(self) -> Dict[str, float]:
+        """Worst |error| per estimator, as percent (paper's summaries)."""
+        return {
+            c.estimator: 100.0 * c.max_abs_error() for c in self.curves
+        }
+
+
+def run_error_behavior(
+    index: Index,
+    estimators: Sequence[PageFetchEstimator],
+    scans: Sequence[ScanSpec],
+    buffer_grid: BufferGrid,
+    dataset_name: Optional[str] = None,
+) -> ErrorBehaviorResult:
+    """Run the experiment and return the per-estimator error curves."""
+    if not estimators:
+        raise ExperimentError("at least one estimator is required")
+    if not scans:
+        raise ExperimentError("at least one scan is required")
+    started = time.perf_counter()
+
+    extractor = ScanTraceExtractor(index)
+    buffer_sizes = list(buffer_grid)
+
+    # Ground truth: actuals[s][g] = fetches of scan s at grid point g.
+    actuals: List[List[int]] = []
+    usable_scans: List[ScanSpec] = []
+    for scan in scans:
+        curve = extractor.fetch_curve_for(scan)
+        if curve is None:
+            # A scan whose sargable predicate filtered out every record
+            # fetches nothing; it contributes zero to both sums.
+            actuals.append([0] * len(buffer_sizes))
+        else:
+            actuals.append([curve.fetches(b) for b in buffer_sizes])
+        usable_scans.append(scan)
+
+    curves: List[EstimatorErrorCurve] = []
+    for estimator in estimators:
+        # estimates[s] is buffer-independent work hoisted out where the
+        # estimator allows it; the interface is per-(scan, B), so just
+        # evaluate the grid.
+        points: List[Tuple[int, float]] = []
+        per_scan_selectivities = [scan.selectivity() for scan in usable_scans]
+        for g, buffer_pages in enumerate(buffer_sizes):
+            estimates = [
+                estimator.estimate(sel, buffer_pages)
+                for sel in per_scan_selectivities
+            ]
+            scan_actuals = [actuals[s][g] for s in range(len(usable_scans))]
+            error = aggregate_relative_error(estimates, scan_actuals)
+            points.append((buffer_pages, error))
+        curves.append(
+            EstimatorErrorCurve(estimator.name, tuple(points))
+        )
+
+    return ErrorBehaviorResult(
+        dataset=dataset_name or index.name,
+        table_pages=index.table.page_count,
+        scan_count=len(usable_scans),
+        buffer_grid=buffer_grid,
+        curves=tuple(curves),
+        elapsed_seconds=time.perf_counter() - started,
+    )

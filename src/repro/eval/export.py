@@ -1,0 +1,112 @@
+"""Machine-readable export of experiment results.
+
+The benches render text exhibits; downstream users replotting with their
+own tooling want the numbers.  These helpers serialize
+:class:`~repro.eval.experiment.ErrorBehaviorResult` to JSON and CSV and
+round-trip the JSON form (the CSV form is write-only, for spreadsheets).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ExperimentError
+from repro.eval.buffer_grid import BufferGrid
+from repro.eval.experiment import ErrorBehaviorResult, EstimatorErrorCurve
+
+
+def result_to_dict(result: ErrorBehaviorResult) -> dict:
+    """JSON-ready dictionary form of one experiment result."""
+    return {
+        "dataset": result.dataset,
+        "table_pages": result.table_pages,
+        "scan_count": result.scan_count,
+        "buffer_sizes": list(result.buffer_grid.sizes),
+        "curves": {
+            curve.estimator: [
+                {"buffer_pages": b, "error": e} for b, e in curve.points
+            ]
+            for curve in result.curves
+        },
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def result_from_dict(payload: dict) -> ErrorBehaviorResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    try:
+        grid = BufferGrid(
+            table_pages=payload["table_pages"],
+            sizes=tuple(payload["buffer_sizes"]),
+        )
+        curves = tuple(
+            EstimatorErrorCurve(
+                estimator=name,
+                points=tuple(
+                    (point["buffer_pages"], point["error"])
+                    for point in points
+                ),
+            )
+            for name, points in payload["curves"].items()
+        )
+        return ErrorBehaviorResult(
+            dataset=payload["dataset"],
+            table_pages=payload["table_pages"],
+            scan_count=payload["scan_count"],
+            buffer_grid=grid,
+            curves=curves,
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+        )
+    except KeyError as missing:
+        raise ExperimentError(
+            f"result payload is missing field {missing}"
+        ) from None
+
+
+def save_result_json(
+    result: ErrorBehaviorResult, path: Union[str, Path]
+) -> None:
+    """Write one result as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+def load_result_json(path: Union[str, Path]) -> ErrorBehaviorResult:
+    """Read a result written by :func:`save_result_json`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid result JSON: {exc}") from exc
+    return result_from_dict(payload)
+
+
+def result_to_csv(result: ErrorBehaviorResult) -> str:
+    """Long-format CSV: one row per (estimator, buffer size)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["dataset", "estimator", "buffer_pages", "buffer_percent_of_t",
+         "error"]
+    )
+    for curve in result.curves:
+        for (b, e), percent in zip(
+            curve.points, result.buffer_grid.percents()
+        ):
+            writer.writerow(
+                [result.dataset, curve.estimator, b,
+                 f"{percent:.2f}", f"{e:.6f}"]
+            )
+    return buffer.getvalue()
+
+
+def save_result_csv(
+    result: ErrorBehaviorResult, path: Union[str, Path]
+) -> None:
+    """Write one result as long-format CSV."""
+    Path(path).write_text(result_to_csv(result), encoding="utf-8")

@@ -1,0 +1,245 @@
+"""One entry point per paper exhibit (the per-experiment index of DESIGN.md).
+
+Every public function here regenerates one table or figure of the paper:
+
+===============  ========================================================
+Paper exhibit    Function
+===============  ========================================================
+Figure 1         :func:`figure1_fpf_curves`
+Table 2          :func:`table2_rows`
+Table 3          :func:`table3_rows`
+Figures 2-9      :func:`gwl_error_figure` (see :data:`GWL_ERROR_FIGURES`)
+Figures 10-21    :func:`synthetic_error_figure`
+                 (see :data:`SYNTHETIC_FIGURES`)
+Section 5 text   :func:`max_error_summary`
+===============  ========================================================
+
+All functions accept a scale/size so the same code runs in seconds for CI
+and at (or near) paper scale when time permits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.buffer.stack import FetchCurve
+from repro.datagen.gwl import (
+    ERROR_FIGURE_COLUMNS,
+    FIGURE1_COLUMNS,
+    GWLDatabase,
+)
+from repro.datagen.synthetic import (
+    Dataset,
+    SyntheticSpec,
+    build_synthetic_dataset,
+)
+from repro.errors import ExperimentError
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.dc import DCEstimator
+from repro.estimators.epfis import EPFISEstimator, LRUFit, LRUFitConfig
+from repro.estimators.mackert_lohman import MackertLohmanEstimator
+from repro.estimators.ot import OTEstimator
+from repro.estimators.sd import SDEstimator
+from repro.eval.buffer_grid import BufferGrid, evaluation_buffer_grid
+from repro.eval.experiment import ErrorBehaviorResult, run_error_behavior
+from repro.storage.index import Index
+from repro.workload.scans import generate_scan_mix
+
+#: Figure number -> GWL column, for the error-behaviour Figures 2-9.
+GWL_ERROR_FIGURES: Dict[int, str] = {
+    figure: column
+    for figure, column in zip(range(2, 10), ERROR_FIGURE_COLUMNS)
+}
+
+#: Figure number -> (theta, K) for the synthetic Figures 10-21 (R = 40).
+SYNTHETIC_FIGURES: Dict[int, Tuple[float, float]] = {
+    10: (0.0, 0.0),
+    11: (0.0, 0.05),
+    12: (0.0, 0.10),
+    13: (0.0, 0.20),
+    14: (0.0, 0.50),
+    15: (0.0, 1.0),
+    16: (0.86, 0.0),
+    17: (0.86, 0.05),
+    18: (0.86, 0.10),
+    19: (0.86, 0.20),
+    20: (0.86, 0.50),
+    21: (0.86, 1.0),
+}
+
+
+def paper_estimators(
+    index: Index, lru_fit_config: Optional[LRUFitConfig] = None
+) -> List[PageFetchEstimator]:
+    """The five algorithms every error figure compares.
+
+    One LRU-Fit statistics pass feeds EPFIS and the catalog-derived
+    baselines (ML, DC, SD, OT), mirroring the paper's premise that the LRU
+    simulation happens "while statistics are being gathered for other
+    purposes".
+    """
+    config = lru_fit_config or LRUFitConfig(collect_baseline_stats=True)
+    stats = LRUFit(config).run(index)
+    return [
+        EPFISEstimator.from_statistics(stats),
+        MackertLohmanEstimator.from_statistics(stats),
+        DCEstimator.from_statistics(stats),
+        SDEstimator.from_statistics(stats),
+        OTEstimator.from_statistics(stats),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 1: FPF curves for five GWL columns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FPFCurveSeries:
+    """One normalized FPF curve: (B/T, F/T) samples for a column."""
+
+    column: str
+    table_pages: int
+    points: Tuple[Tuple[float, float], ...]
+
+
+def figure1_fpf_curves(
+    db: GWLDatabase,
+    columns: Sequence[str] = FIGURE1_COLUMNS,
+    fractions: Optional[Sequence[float]] = None,
+) -> List[FPFCurveSeries]:
+    """Exact FPF curves, normalized as in Figure 1 (B in T, F in T)."""
+    if fractions is None:
+        fractions = [i / 100.0 for i in range(2, 101, 2)]
+    series: List[FPFCurveSeries] = []
+    for name in columns:
+        column = db.column(name)
+        index = column.index
+        pages = index.table.page_count
+        curve = FetchCurve.from_trace(index.page_sequence())
+        points = []
+        for fraction in fractions:
+            b = max(1, round(fraction * pages))
+            points.append((b / pages, curve.fetches(b) / pages))
+        series.append(
+            FPFCurveSeries(
+                column=name, table_pages=pages, points=tuple(points)
+            )
+        )
+    return series
+
+
+# ----------------------------------------------------------------------
+# Tables 2 and 3: the GWL statistics themselves
+# ----------------------------------------------------------------------
+def table2_rows(db: GWLDatabase) -> List[Tuple[str, int, int]]:
+    """(table, pages, records/page) rows, from the built database."""
+    rows = []
+    for name in sorted(db.tables):
+        table = db.tables[name]
+        rows.append((name, table.page_count, table.records_per_page))
+    return rows
+
+
+def table3_rows(
+    db: GWLDatabase,
+) -> List[Tuple[str, int, float, float]]:
+    """(column, cardinality, measured C%, paper C%) rows."""
+    rows = []
+    for name in sorted(db.columns):
+        column = db.columns[name]
+        rows.append(
+            (
+                name,
+                column.scaled_cardinality,
+                100.0 * column.measured_c,
+                column.spec.clustering_percent,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 2-9: GWL error behaviour
+# ----------------------------------------------------------------------
+def gwl_error_figure(
+    db: GWLDatabase,
+    column: str,
+    scan_count: int = 200,
+    seed: int = 1,
+    buffer_grid: Optional[BufferGrid] = None,
+) -> ErrorBehaviorResult:
+    """One of Figures 2-9 on the (simulated, calibrated) GWL data."""
+    index = db.index(column)
+    grid = buffer_grid or evaluation_buffer_grid(index.table.page_count)
+    scans = generate_scan_mix(
+        index, count=scan_count, rng=random.Random(seed)
+    )
+    # Keep the statistics pass's minimum-buffer floor consistent with the
+    # (possibly scaled) floor the database was calibrated against.
+    config = LRUFitConfig(b_sml=db.b_sml, collect_baseline_stats=True)
+    return run_error_behavior(
+        index,
+        paper_estimators(index, config),
+        scans,
+        grid,
+        dataset_name=column,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 10-21: synthetic error behaviour
+# ----------------------------------------------------------------------
+def synthetic_error_figure(
+    theta: float,
+    window: float,
+    records: int = 100_000,
+    distinct_values: int = 1_000,
+    records_per_page: int = 40,
+    scan_count: int = 200,
+    seed: int = 1,
+    dataset: Optional[Dataset] = None,
+) -> ErrorBehaviorResult:
+    """One of Figures 10-21 (default: the scaled dataset of DESIGN.md)."""
+    if dataset is None:
+        spec = SyntheticSpec(
+            records=records,
+            distinct_values=distinct_values,
+            records_per_page=records_per_page,
+            theta=theta,
+            window=window,
+            seed=seed,
+        )
+        dataset = build_synthetic_dataset(spec)
+    index = dataset.index
+    grid = evaluation_buffer_grid(index.table.page_count)
+    scans = generate_scan_mix(
+        index, count=scan_count, rng=random.Random(seed)
+    )
+    return run_error_behavior(
+        index,
+        paper_estimators(index),
+        scans,
+        grid,
+        dataset_name=dataset.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 5 text: worst-case summaries
+# ----------------------------------------------------------------------
+def max_error_summary(
+    results: Sequence[ErrorBehaviorResult],
+) -> Dict[str, float]:
+    """Worst |error| (percent) per estimator across a set of figures.
+
+    This regenerates the Section 5.1/5.2 summary sentences ("The maximum
+    errors for the other algorithms are as follows: ...").
+    """
+    if not results:
+        raise ExperimentError("no results to summarize")
+    summary: Dict[str, float] = {}
+    for result in results:
+        for name, worst in result.max_abs_errors().items():
+            summary[name] = max(summary.get(name, 0.0), worst)
+    return summary

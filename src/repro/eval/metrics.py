@@ -1,0 +1,61 @@
+"""The paper's error metric (Section 5).
+
+"For any scan i, let the estimate obtained by the algorithm be denoted by
+e_i.  Let the actual number of pages fetched be denoted by a_i.  Then, the
+error metric is sum(e_i - a_i) / sum(a_i)."
+
+The metric is *signed* (aggregate over- vs under-estimation) and normalized
+by total actual fetches, so small scans' large relative-but-small-absolute
+errors do not dominate — the rationale the paper gives for not averaging
+per-scan relative errors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+def aggregate_relative_error(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> float:
+    """``sum(e_i - a_i) / sum(a_i)`` as a fraction (0.1 == 10%)."""
+    if len(estimates) != len(actuals):
+        raise ExperimentError(
+            f"estimate/actual length mismatch: {len(estimates)} vs "
+            f"{len(actuals)}"
+        )
+    if not estimates:
+        raise ExperimentError("error metric needs at least one scan")
+    total_actual = float(sum(actuals))
+    if total_actual <= 0:
+        raise ExperimentError(
+            "total actual fetches is zero; the metric is undefined"
+        )
+    total_diff = float(sum(e - a for e, a in zip(estimates, actuals)))
+    return total_diff / total_actual
+
+
+def max_absolute_percent_error(errors: Iterable[float]) -> float:
+    """The worst |error| over a set of metric values, in percent.
+
+    This is how the paper summarizes each algorithm across figures
+    ("The maximum errors for the other algorithms are as follows: ...").
+    """
+    values = [abs(e) for e in errors]
+    if not values:
+        raise ExperimentError("no error values to summarize")
+    return 100.0 * max(values)
+
+
+def percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a signed percentage string."""
+    return f"{100.0 * fraction:+.{digits}f}%"
+
+
+def signed_errors_to_percent(
+    errors: Sequence[Tuple[int, float]]
+) -> Sequence[Tuple[int, float]]:
+    """Convert ``(buffer, fraction)`` pairs to ``(buffer, percent)``."""
+    return [(b, 100.0 * e) for b, e in errors]

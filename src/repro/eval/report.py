@@ -1,0 +1,107 @@
+"""Plain-text rendering for bench output: aligned tables and ASCII charts.
+
+The benches reproduce the paper's tables and figures as text — rows for
+tables, simple multi-series line charts for figures — so results are
+reviewable straight from ``pytest benchmarks/`` output and the
+EXPERIMENTS.md log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise ExperimentError("a table needs headers")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row arity {len(row)} != header arity {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(r) for r in text_rows)
+    return "\n".join(lines)
+
+
+_SERIES_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multiple (x, y) series on one character grid.
+
+    Each series gets a mark character; a legend maps marks to names.  Meant
+    for eyeballing curve *shape* (who is flat, who explodes) in bench logs,
+    not for precision reading.
+    """
+    if not series:
+        raise ExperimentError("ascii_chart needs at least one series")
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ExperimentError("ascii_chart needs at least one point")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, mark: str) -> None:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = mark
+
+    legend: List[str] = []
+    for (name, points), mark in zip(sorted(series.items()), _SERIES_MARKS):
+        for x, y in points:
+            plot(x, y, mark)
+        legend.append(f"{mark}={name}")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = f"{y_max:10.2f} +"
+    bottom = f"{y_min:10.2f} +"
+    pad = " " * 11 + "|"
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bottom if i == height - 1 else pad)
+        lines.append(prefix + "".join(row))
+    axis = " " * 12 + "-" * width
+    lines.append(axis)
+    footer = f"{' ' * 12}{x_min:<.2f}{' ' * max(1, width - 16)}{x_max:>.2f}"
+    lines.append(footer)
+    if x_label or y_label:
+        lines.append(f"{' ' * 12}x: {x_label}   y: {y_label}")
+    lines.append(" " * 12 + "  ".join(legend))
+    return "\n".join(lines)

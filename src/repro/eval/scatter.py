@@ -1,0 +1,125 @@
+"""Per-scan estimation diagnostics.
+
+The paper's aggregate metric sum(e - a)/sum(a) can hide compensating
+errors: an estimator that doubles small scans and halves large ones can
+still score near zero.  This module computes the per-scan scatter the
+aggregate collapses — relative-error quantiles, the over/under split, and
+a rank-correlation between estimates and actuals (what matters for
+*comparing* plans is getting the ordering right).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ScatterSummary:
+    """Distributional view of one estimator's per-scan errors."""
+
+    scan_count: int
+    #: Quantiles of the signed per-scan relative error (e - a) / a.
+    p10: float
+    p50: float
+    p90: float
+    #: Fraction of scans overestimated (e > a).
+    overestimated_fraction: float
+    #: Spearman rank correlation between estimates and actuals.
+    rank_correlation: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"n={self.scan_count} rel.err p10={self.p10:+.2f} "
+            f"p50={self.p50:+.2f} p90={self.p90:+.2f} "
+            f"over={self.overestimated_fraction:.0%} "
+            f"rank-corr={self.rank_correlation:+.3f}"
+        )
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of pre-sorted values."""
+    if not sorted_values:
+        raise ExperimentError("quantile of empty data")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lo = int(math.floor(position))
+    hi = int(math.ceil(position))
+    if lo == hi:
+        return sorted_values[lo]
+    weight = position - lo
+    return sorted_values[lo] * (1 - weight) + sorted_values[hi] * weight
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    """Average ranks (ties share their mean rank)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (
+            j + 1 < len(order)
+            and values[order[j + 1]] == values[order[i]]
+        ):
+            j += 1
+        mean_rank = (i + j) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation; 0.0 when either side is constant."""
+    if len(xs) != len(ys):
+        raise ExperimentError("length mismatch")
+    if len(xs) < 2:
+        raise ExperimentError("need at least two points")
+    rx, ry = _ranks(xs), _ranks(ys)
+    mean_x = sum(rx) / len(rx)
+    mean_y = sum(ry) / len(ry)
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rx, ry))
+    var_x = sum((a - mean_x) ** 2 for a in rx)
+    var_y = sum((b - mean_y) ** 2 for b in ry)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def summarize_scatter(
+    estimates: Sequence[float], actuals: Sequence[float]
+) -> ScatterSummary:
+    """Build the :class:`ScatterSummary` for one estimator's scans.
+
+    Scans with zero actual fetches are skipped (their relative error is
+    undefined); at least two scans with positive actuals are required.
+    """
+    if len(estimates) != len(actuals):
+        raise ExperimentError(
+            f"estimate/actual length mismatch: {len(estimates)} vs "
+            f"{len(actuals)}"
+        )
+    pairs: List[Tuple[float, float]] = [
+        (e, a) for e, a in zip(estimates, actuals) if a > 0
+    ]
+    if len(pairs) < 2:
+        raise ExperimentError(
+            "need at least two scans with positive actual fetches"
+        )
+    errors = sorted((e - a) / a for e, a in pairs)
+    over = sum(1 for e, a in pairs if e > a) / len(pairs)
+    corr = spearman([e for e, _a in pairs], [a for _e, a in pairs])
+    return ScatterSummary(
+        scan_count=len(pairs),
+        p10=_quantile(errors, 0.10),
+        p50=_quantile(errors, 0.50),
+        p90=_quantile(errors, 0.90),
+        overestimated_fraction=over,
+        rank_correlation=corr,
+    )

@@ -1,0 +1,31 @@
+"""Physical query execution with real page-fetch accounting.
+
+The paper's subject is *predicting* page fetches; this subpackage is the
+machinery that *incurs* them.  A physical plan (table scan, or index scan
+with start/stop conditions and sargable predicates, optionally followed by
+a sort) executes against the storage engine while routing every data-page
+and index-leaf access through a fetch-counting LRU buffer pool.  The
+counted data-page fetches are, by construction, exactly the quantity every
+estimator in :mod:`repro.estimators` predicts — the integration tests pin
+executor counts to the experiment harness's ground truth.
+"""
+
+from repro.executor.plans import (
+    ExecutionStats,
+    IndexScanNode,
+    PhysicalPlan,
+    SortNode,
+    TableScanNode,
+    plan_from_choice,
+)
+from repro.executor.runtime import QueryExecutor
+
+__all__ = [
+    "ExecutionStats",
+    "IndexScanNode",
+    "PhysicalPlan",
+    "QueryExecutor",
+    "SortNode",
+    "TableScanNode",
+    "plan_from_choice",
+]

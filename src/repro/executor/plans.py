@@ -1,0 +1,147 @@
+"""Physical plan nodes and execution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple, Union
+
+from repro.errors import OptimizerError
+from repro.optimizer.access_path import IndexScanPlan, PlanChoice, TableScanPlan
+from repro.storage.index import Index
+from repro.storage.table import Table
+from repro.workload.predicates import KeyRange, SargablePredicate
+from repro.workload.scans import ScanSpec
+
+
+@dataclass(frozen=True)
+class TableScanNode:
+    """Read every page of the table; apply the residual predicate to rows.
+
+    ``residual`` receives the full row tuple and decides qualification
+    (for a table scan, *all* predicates are residual — there is no index
+    to pre-filter on).
+    """
+
+    table: Table
+    residual: Optional[Callable[[Tuple[Any, ...]], bool]] = None
+
+
+@dataclass(frozen=True)
+class IndexScanNode:
+    """Walk index entries in a key range; fetch qualifying records.
+
+    ``sargable`` filters on index entries *before* any data page is
+    touched — the fetch-reducing behaviour Section 4.2 models with the urn
+    correction.
+    """
+
+    index: Index
+    key_range: KeyRange = field(default_factory=KeyRange.full)
+    sargable: Optional[SargablePredicate] = None
+    #: Whether to charge index leaf pages to the buffer pool as well.
+    charge_index_pages: bool = True
+
+
+@dataclass(frozen=True)
+class SortNode:
+    """Sort the child's output rows by one column (in memory)."""
+
+    child: Union[TableScanNode, IndexScanNode]
+    column: str
+
+
+PhysicalPlan = Union[TableScanNode, IndexScanNode, SortNode]
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """What one execution actually cost."""
+
+    rows_returned: int
+    data_page_fetches: int
+    index_page_fetches: int
+    data_page_hits: int
+    sorted_output: bool
+
+    @property
+    def total_fetches(self) -> int:
+        """Data-page plus index-page fetches."""
+        return self.data_page_fetches + self.index_page_fetches
+
+
+def plan_from_choice(
+    choice: PlanChoice,
+    table: Table,
+    scan: ScanSpec,
+    candidate_indexes,
+    scan_column: Optional[str] = None,
+    order_column: Optional[str] = None,
+) -> PhysicalPlan:
+    """Turn the optimizer's :class:`PlanChoice` into an executable plan.
+
+    ``candidate_indexes`` is the same sequence passed to
+    :func:`~repro.optimizer.access_path.choose_access_plan` (pairs of
+    index and estimator); only the index halves are consulted here.
+    ``scan_column`` names the column the key range restricts (defaults to
+    the first candidate index's column) so a table-scan plan can evaluate
+    the predicate as a residual.
+    """
+    if scan_column is None:
+        if not candidate_indexes:
+            raise OptimizerError(
+                "scan_column is required when there are no candidate indexes"
+            )
+        scan_column = candidate_indexes[0][0].column
+    chosen = choice.chosen
+    if isinstance(chosen, IndexScanPlan):
+        for index, _estimator in candidate_indexes:
+            if index.name == chosen.index_name:
+                node: PhysicalPlan = IndexScanNode(
+                    index=index,
+                    key_range=scan.key_range,
+                    sargable=scan.sargable,
+                )
+                break
+        else:
+            raise OptimizerError(
+                f"chosen index {chosen.index_name!r} not among candidates"
+            )
+    elif isinstance(chosen, TableScanPlan):
+        node = TableScanNode(
+            table=table,
+            residual=_key_range_residual(table, scan, scan_column),
+        )
+    else:
+        raise OptimizerError(f"unknown plan type {type(chosen).__name__}")
+
+    needs_sort = (
+        chosen.sort_fetch_equivalent > 0 and order_column is not None
+    )
+    if needs_sort:
+        return SortNode(child=node, column=order_column)
+    return node
+
+
+def _key_range_residual(table: Table, scan: ScanSpec, column: str):
+    """The scan's range predicate, re-expressed over full rows."""
+    key_range = scan.key_range
+    if key_range.is_full:
+        return None
+    column_index = table.column_index(column)
+
+    def residual(row) -> bool:
+        value = row[column_index]
+        start, stop = key_range.start, key_range.stop
+        if start is not None:
+            if start.inclusive and value < start.value:
+                return False
+            if not start.inclusive and value <= start.value:
+                return False
+        if stop is not None:
+            if stop.inclusive and value > stop.value:
+                return False
+            if not stop.inclusive and value >= stop.value:
+                return False
+        return True
+
+    return residual

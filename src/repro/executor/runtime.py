@@ -1,0 +1,106 @@
+"""The query executor: runs physical plans, counts real page fetches.
+
+All data-page and index-leaf accesses go through one fetch-counting buffer
+pool.  Data pages and index pages live in the same pool but distinct
+namespaces (a real system usually shares the pool; keying by
+``("data"|"index", page)`` models that sharing without page-id
+collisions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.buffer.lru import LRUBufferPool
+from repro.errors import OptimizerError
+from repro.executor.plans import (
+    ExecutionStats,
+    IndexScanNode,
+    PhysicalPlan,
+    SortNode,
+    TableScanNode,
+)
+
+
+class QueryExecutor:
+    """Executes physical plans against a fresh (cold) LRU buffer pool."""
+
+    def __init__(self, buffer_pages: int) -> None:
+        if buffer_pages < 1:
+            raise OptimizerError(
+                f"buffer_pages must be >= 1, got {buffer_pages}"
+            )
+        self._buffer_pages = buffer_pages
+
+    @property
+    def buffer_pages(self) -> int:
+        """The cold pool size each execution starts with."""
+        return self._buffer_pages
+
+    def execute(self, plan: PhysicalPlan) -> Tuple[List[Tuple[Any, ...]], ExecutionStats]:
+        """Run ``plan`` from a cold buffer; return (rows, statistics)."""
+        pool = LRUBufferPool(self._buffer_pages)
+        counters = {"data_fetch": 0, "data_hit": 0, "index_fetch": 0}
+        rows = self._run(plan, pool, counters)
+        sorted_output = isinstance(plan, SortNode)
+        return rows, ExecutionStats(
+            rows_returned=len(rows),
+            data_page_fetches=counters["data_fetch"],
+            index_page_fetches=counters["index_fetch"],
+            data_page_hits=counters["data_hit"],
+            sorted_output=sorted_output,
+        )
+
+    # ------------------------------------------------------------------
+    def _run(self, plan: PhysicalPlan, pool, counters) -> List[Tuple[Any, ...]]:
+        if isinstance(plan, SortNode):
+            child_rows = self._run(plan.child, pool, counters)
+            child = plan.child
+            table = (
+                child.table
+                if isinstance(child, TableScanNode)
+                else child.index.table
+            )
+            column = table.column_index(plan.column)
+            return sorted(child_rows, key=lambda row: row[column])
+        if isinstance(plan, TableScanNode):
+            return self._table_scan(plan, pool, counters)
+        if isinstance(plan, IndexScanNode):
+            return self._index_scan(plan, pool, counters)
+        raise OptimizerError(f"unknown plan node {type(plan).__name__}")
+
+    def _access_data_page(self, pool, counters, page: int) -> None:
+        if pool.access(("data", page)):
+            counters["data_hit"] += 1
+        else:
+            counters["data_fetch"] += 1
+
+    def _table_scan(self, node: TableScanNode, pool, counters):
+        rows: List[Tuple[Any, ...]] = []
+        heap = node.table.heap
+        for page_id in range(heap.page_count):
+            self._access_data_page(pool, counters, page_id)
+            page = heap.page(page_id)
+            for row in page.records():
+                if node.residual is None or node.residual(row):
+                    rows.append(row)
+        return rows
+
+    def _index_scan(self, node: IndexScanNode, pool, counters):
+        rows: List[Tuple[Any, ...]] = []
+        index = node.index
+        heap = index.table.heap
+        start, stop = node.key_range.bounds()
+        from repro.storage.index import IndexEntry
+
+        for leaf, key, rid in index.btree.range_with_leaves(start, stop):
+            if node.charge_index_pages:
+                if not pool.access(("index", index.name, leaf)):
+                    counters["index_fetch"] += 1
+            if node.sargable is not None and not node.sargable.qualifies(
+                IndexEntry(key, rid)
+            ):
+                continue
+            self._access_data_page(pool, counters, rid.page)
+            rows.append(heap.get(rid))
+        return rows

@@ -1,0 +1,29 @@
+"""Piecewise-linear approximation of FPF curves (paper Section 4.1).
+
+"We use the simple but adequate method of approximating the FPF curve using
+line segments ... we use six line segments to approximate the FPF curves."
+
+Two fitters are provided: an optimal dynamic program (minimum total squared
+error over knot subsets) and a greedy Douglas-Peucker-style splitter (the
+flavour of streaming algorithm Natarajan (1991) describes).  Both return a
+:class:`PiecewiseLinear` that interpolates inside its range and extrapolates
+linearly outside it, which is how Est-IO handles buffer sizes outside the
+modeled range.
+"""
+
+from repro.fit.polynomial import PolynomialCurve, fit_polynomial
+from repro.fit.segments import (
+    PiecewiseLinear,
+    fit_piecewise_linear,
+    fit_greedy,
+    fit_optimal,
+)
+
+__all__ = [
+    "PiecewiseLinear",
+    "PolynomialCurve",
+    "fit_greedy",
+    "fit_optimal",
+    "fit_piecewise_linear",
+    "fit_polynomial",
+]

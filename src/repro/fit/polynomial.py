@@ -1,0 +1,137 @@
+"""Polynomial FPF-curve approximation (the paper's named alternative).
+
+Section 4.1: "Any approximation method that permits sufficiently accurate
+approximation (e.g., polynomial curve fitting) could be used.  We use the
+simple but adequate method of approximating the FPF curve using line
+segments."  This module implements the alternative so the choice can be
+measured (``bench_ablation_fit_method.py``): a least-squares polynomial in
+a normalized coordinate, with the same catalog footprint accounting
+(degree d costs d+1 stored coefficients vs 2(k+1) floats for k segments).
+
+The normal equations are solved with plain Gaussian elimination over the
+Vandermonde system — for the degrees that fit in a catalog row (<= ~8) and
+normalized x in [0, 1] this is numerically comfortable without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import FitError
+
+Point = Tuple[float, float]
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting."""
+    n = len(rhs)
+    augmented = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(augmented[r][col]))
+        if abs(augmented[pivot][col]) < 1e-12:
+            raise FitError(
+                "singular normal equations; lower the polynomial degree"
+            )
+        augmented[col], augmented[pivot] = augmented[pivot], augmented[col]
+        pivot_row = augmented[col]
+        for row_index in range(n):
+            if row_index == col:
+                continue
+            factor = augmented[row_index][col] / pivot_row[col]
+            if factor == 0.0:
+                continue
+            row = augmented[row_index]
+            for k in range(col, n + 1):
+                row[k] -= factor * pivot_row[k]
+    return [augmented[i][n] / augmented[i][i] for i in range(n)]
+
+
+@dataclass(frozen=True)
+class PolynomialCurve:
+    """A least-squares polynomial over normalized x.
+
+    Evaluation maps ``x`` into ``[0, 1]`` via the stored range before
+    applying Horner's rule; outside the fitted range the polynomial
+    extrapolates (like the line segments' terminal slopes, but with
+    polynomial growth — one reason the paper's segments are the safer
+    default).
+    """
+
+    x_min: float
+    x_max: float
+    #: Coefficients, lowest order first, over the normalized coordinate.
+    coefficients: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise FitError("a polynomial needs at least one coefficient")
+        if self.x_max <= self.x_min:
+            raise FitError(
+                f"need x_min < x_max, got [{self.x_min}, {self.x_max}]"
+            )
+
+    @property
+    def degree(self) -> int:
+        """Polynomial degree (coefficient count minus one)."""
+        return len(self.coefficients) - 1
+
+    @property
+    def catalog_floats(self) -> int:
+        """Floats a catalog entry stores: range ends + coefficients."""
+        return 2 + len(self.coefficients)
+
+    def _normalize(self, x: float) -> float:
+        return (x - self.x_min) / (self.x_max - self.x_min)
+
+    def evaluate(self, x: float) -> float:
+        """Horner evaluation at (unnormalized) ``x``."""
+        z = self._normalize(x)
+        value = 0.0
+        for coefficient in reversed(self.coefficients):
+            value = value * z + coefficient
+        return value
+
+    def __call__(self, x: float) -> float:
+        return self.evaluate(x)
+
+
+def fit_polynomial(points: Sequence[Point], degree: int) -> PolynomialCurve:
+    """Least-squares polynomial of the given degree through ``points``."""
+    if degree < 0:
+        raise FitError(f"degree must be >= 0, got {degree}")
+    if degree > 8:
+        raise FitError(
+            f"degree {degree} is beyond what a catalog row (and double "
+            "precision Vandermonde systems) comfortably holds; use <= 8"
+        )
+    unique = sorted(set((float(x), float(y)) for x, y in points))
+    if len(unique) < degree + 1:
+        raise FitError(
+            f"need at least {degree + 1} distinct points for degree "
+            f"{degree}, got {len(unique)}"
+        )
+    xs = [x for x, _y in unique]
+    x_min, x_max = xs[0], xs[-1]
+    if x_max <= x_min:
+        raise FitError("points must span a nonzero x range")
+    zs = [(x - x_min) / (x_max - x_min) for x in xs]
+    ys = [y for _x, y in unique]
+
+    n = degree + 1
+    # Normal equations: (V^T V) c = V^T y with V the Vandermonde matrix.
+    gram = [[0.0] * n for _ in range(n)]
+    moments = [0.0] * n
+    for z, y in zip(zs, ys):
+        powers = [1.0]
+        for _ in range(2 * degree):
+            powers.append(powers[-1] * z)
+        for i in range(n):
+            moments[i] += powers[i] * y
+            for j in range(n):
+                gram[i][j] += powers[i + j]
+    coefficients = _solve(gram, moments)
+    return PolynomialCurve(
+        x_min=x_min, x_max=x_max, coefficients=tuple(coefficients)
+    )

@@ -1,0 +1,31 @@
+"""Access-path selection: the motivating application (Section 2).
+
+"The optimizer may have several access plans to choose from: (1) perform a
+table scan ... (2) use a partial scan on a relevant index ... (3) use a full
+scan on a relevant index to obtain the desired sort order ..."
+
+This subpackage implements that choice with page fetches as the cost: a
+table-scan plan costs exactly ``T``; index-scan plans cost whatever the
+configured page-fetch estimator predicts, plus an optional sort penalty when
+the plan's output order does not satisfy a required order.  Swapping the
+estimator (EPFIS vs the baselines) changes which plan wins — the ablation
+bench quantifies how often each estimator picks the truly cheapest plan.
+"""
+
+from repro.optimizer.access_path import (
+    AccessPlan,
+    IndexScanPlan,
+    PlanChoice,
+    TableScanPlan,
+    choose_access_plan,
+)
+from repro.optimizer.cost import CostModel
+
+__all__ = [
+    "AccessPlan",
+    "CostModel",
+    "IndexScanPlan",
+    "PlanChoice",
+    "TableScanPlan",
+    "choose_access_plan",
+]

@@ -1,0 +1,126 @@
+"""Enumerating and choosing access plans (Section 2).
+
+"The number of basic access plans to be considered is the number of
+relevant indexes plus one (for the table scan)."  A query here is a key
+range on one column (optionally with a sargable predicate baked into the
+scan spec) plus an optional required output order; an index is *relevant*
+if it can evaluate the range (it indexes that column) or deliver the order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizerError
+from repro.estimators.base import PageFetchEstimator
+from repro.optimizer.cost import CostModel
+from repro.storage.index import Index
+from repro.storage.table import Table
+from repro.workload.scans import ScanSpec
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """A costed access plan."""
+
+    description: str
+    page_fetches: float
+    sort_fetch_equivalent: float
+
+    @property
+    def total_cost(self) -> float:
+        """Page fetches plus the sort penalty, in fetch units."""
+        return self.page_fetches + self.sort_fetch_equivalent
+
+
+@dataclass(frozen=True)
+class TableScanPlan(AccessPlan):
+    """Full table scan: fetches exactly T pages, then sorts if required."""
+
+
+@dataclass(frozen=True)
+class IndexScanPlan(AccessPlan):
+    """(Partial) index scan costed by a page-fetch estimator."""
+
+    index_name: str = ""
+    estimator_name: str = ""
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The selected plan plus the full costed alternatives."""
+
+    chosen: AccessPlan
+    alternatives: Tuple[AccessPlan, ...]
+
+    def costs(self) -> Dict[str, float]:
+        """Map each alternative's description to its total cost."""
+        return {p.description: p.total_cost for p in self.alternatives}
+
+
+def choose_access_plan(
+    table: Table,
+    scan: ScanSpec,
+    candidate_indexes: Sequence[Tuple[Index, PageFetchEstimator]],
+    buffer_pages: int,
+    order_required: bool = False,
+    ordering_column: Optional[str] = None,
+    cost_model: Optional[CostModel] = None,
+) -> PlanChoice:
+    """Cost every basic plan and pick the cheapest.
+
+    ``candidate_indexes`` pairs each relevant index with the estimator the
+    optimizer should consult for it.  When ``order_required``, plans whose
+    output is not ordered on ``ordering_column`` pay the sort penalty on the
+    qualifying records.
+    """
+    if buffer_pages < 1:
+        raise OptimizerError(f"buffer_pages must be >= 1, got {buffer_pages}")
+    model = cost_model or CostModel()
+    selectivity = scan.selectivity()
+    qualifying_records = selectivity.combined * table.record_count
+
+    plans: List[AccessPlan] = []
+
+    sort_after_table_scan = (
+        model.sort_cost(qualifying_records) if order_required else 0.0
+    )
+    plans.append(
+        TableScanPlan(
+            description=f"table scan({table.name})",
+            page_fetches=float(table.page_count),
+            sort_fetch_equivalent=sort_after_table_scan,
+        )
+    )
+
+    for index, estimator in candidate_indexes:
+        if index.table is not table:
+            raise OptimizerError(
+                f"index {index.name!r} does not belong to table "
+                f"{table.name!r}"
+            )
+        fetches = estimator.estimate(selectivity, buffer_pages)
+        fetches += model.index_overhead_cost(
+            selectivity.range_selectivity * index.entry_count
+        )
+        delivers_order = (
+            ordering_column is None or index.column == ordering_column
+        )
+        sort_cost = (
+            0.0
+            if (not order_required or delivers_order)
+            else model.sort_cost(qualifying_records)
+        )
+        plans.append(
+            IndexScanPlan(
+                description=f"index scan({index.name})",
+                page_fetches=fetches,
+                sort_fetch_equivalent=sort_cost,
+                index_name=index.name,
+                estimator_name=estimator.name,
+            )
+        )
+
+    chosen = min(plans, key=lambda p: p.total_cost)
+    return PlanChoice(chosen=chosen, alternatives=tuple(plans))

@@ -1,0 +1,43 @@
+"""Page-structured storage engine used as the substrate for index scans.
+
+The paper assumes a System R-style host: tables stored in page-structured
+heap files, B-tree indexes whose leaf entries map key values to RIDs, and an
+optimizer that asks "how many data pages will this index scan fetch?".  This
+subpackage builds that substrate for real:
+
+* :class:`~repro.storage.page.Page` — a slotted data page.
+* :class:`~repro.storage.heapfile.HeapFile` — a growable sequence of pages
+  with direct placement support (needed by the clustering generators).
+* :class:`~repro.storage.table.Table` — schema + heap file + row access.
+* :class:`~repro.storage.btree.BTreeIndex` — a genuine B-tree (splitting
+  nodes, linked leaves) over ``(key, RID)`` entries with range scans.
+* :class:`~repro.storage.index.Index` — a table-aware wrapper that iterates
+  index entries in key order, the input to every estimator in the paper.
+"""
+
+from repro.storage.btree import BTreeIndex
+from repro.storage.composite import (
+    MAX_SENTINEL,
+    MIN_SENTINEL,
+    CompositeIndex,
+    MinorColumnPredicate,
+    major_range,
+)
+from repro.storage.heapfile import HeapFile
+from repro.storage.index import Index, IndexEntry
+from repro.storage.page import Page
+from repro.storage.table import Table
+
+__all__ = [
+    "BTreeIndex",
+    "CompositeIndex",
+    "HeapFile",
+    "Index",
+    "IndexEntry",
+    "MAX_SENTINEL",
+    "MIN_SENTINEL",
+    "MinorColumnPredicate",
+    "Page",
+    "Table",
+    "major_range",
+]

@@ -1,0 +1,218 @@
+"""Composite (multi-column) indexes and major-column key ranges.
+
+Section 2's running example: "Let an index be defined on columns a and b,
+with a as the major column.  Starting and stopping conditions can be used
+to limit the range of the index scan ... the predicate b = 5, where b is
+not the major column of the index, is an index-sargable predicate."
+
+A :class:`CompositeIndex` stores tuple keys ``(a, b, ...)`` in the same
+B+-tree (tuple comparison gives the right lexicographic order).  Start and
+stop conditions on the *major* column become tuple bounds via the
+:data:`MIN_SENTINEL` / :data:`MAX_SENTINEL` extremes, and predicates on
+minor columns are genuine index-sargable predicates: they are evaluated on
+the visited entries' keys, before any data page is fetched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import StorageError, WorkloadError
+from repro.storage.btree import KeyBound
+from repro.storage.index import Index, IndexEntry
+from repro.storage.table import Table
+from repro.types import RID
+from repro.workload.predicates import KeyRange, SargablePredicate
+
+
+class _Extreme:
+    """A value comparing below (or above) every ordinary key component."""
+
+    __slots__ = ("_above", "_label")
+
+    def __init__(self, above: bool, label: str) -> None:
+        self._above = above
+        self._label = label
+
+    def __lt__(self, other: object) -> bool:
+        if other is self:
+            return False
+        return not self._above
+
+    def __gt__(self, other: object) -> bool:
+        if other is self:
+            return False
+        return self._above
+
+    def __le__(self, other: object) -> bool:
+        return not self.__gt__(other)
+
+    def __ge__(self, other: object) -> bool:
+        return not self.__lt__(other)
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return self._label
+
+
+#: Compares below every key component (used for inclusive lower bounds).
+MIN_SENTINEL = _Extreme(above=False, label="<MIN>")
+#: Compares above every key component (used for inclusive upper bounds).
+MAX_SENTINEL = _Extreme(above=True, label="<MAX>")
+
+
+class CompositeIndex(Index):
+    """A B+-tree index over several columns, the first being major."""
+
+    def __init__(
+        self,
+        name: str,
+        table: Table,
+        columns: Sequence[str],
+        fanout: int = 64,
+    ) -> None:
+        if len(columns) < 2:
+            raise StorageError(
+                "a composite index needs >= 2 columns; use Index for one"
+            )
+        # Validate all columns up front; Index.__init__ checks the major.
+        for column in columns:
+            table.column_index(column)
+        super().__init__(name, table, columns[0], fanout=fanout)
+        self._columns: Tuple[str, ...] = tuple(columns)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """All indexed columns, major first."""
+        return self._columns
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        columns: Sequence[str],
+        name: Optional[str] = None,
+        fanout: int = 64,
+    ) -> "CompositeIndex":
+        """Bulk-build from ``table`` in physical scan order."""
+        index = cls(
+            name or f"{table.name}.{'_'.join(columns)}",
+            table,
+            columns,
+            fanout=fanout,
+        )
+        positions = [table.column_index(c) for c in columns]
+        for rid, row in table.scan():
+            index.add(tuple(row[p] for p in positions), rid)
+        return index
+
+    def add(self, key: Any, rid: RID) -> None:
+        """Add one entry; ``key`` must be a tuple over all indexed columns."""
+        if not isinstance(key, tuple) or len(key) != len(self._columns):
+            raise StorageError(
+                f"composite key must be a {len(self._columns)}-tuple, "
+                f"got {key!r}"
+            )
+        super().add(key, rid)
+
+    def add_row(self, row: Sequence[Any], rid: RID) -> None:
+        """Add an entry extracted from a full row tuple."""
+        positions = [self.table.column_index(c) for c in self._columns]
+        self.add(tuple(row[p] for p in positions), rid)
+
+
+def major_range(
+    index: CompositeIndex,
+    low: Any = None,
+    high: Any = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> KeyRange:
+    """Start/stop conditions on the major column, as tuple bounds.
+
+    An inclusive ``a >= low`` becomes the tuple bound ``(low, MIN, ...)``
+    (below every real key with major value ``low``); an inclusive
+    ``a <= high`` becomes ``(high, MAX, ...)``.  Exclusive bounds swap the
+    sentinels.
+    """
+    width = len(index.columns)
+
+    def tuple_bound(value: Any, sentinel: _Extreme) -> Tuple[Any, ...]:
+        return (value,) + (sentinel,) * (width - 1)
+
+    start = None
+    if low is not None:
+        sentinel = MIN_SENTINEL if low_inclusive else MAX_SENTINEL
+        start = KeyBound(tuple_bound(low, sentinel), inclusive=True)
+    stop = None
+    if high is not None:
+        sentinel = MAX_SENTINEL if high_inclusive else MIN_SENTINEL
+        stop = KeyBound(tuple_bound(high, sentinel), inclusive=True)
+    if start is not None and stop is not None and stop.value < start.value:
+        # A logically empty range (e.g. exclusive low == high): canonicalize
+        # to a degenerate range above every real key instead of tripping
+        # KeyRange's inversion check.
+        top = tuple_bound(MAX_SENTINEL, MAX_SENTINEL)
+        return KeyRange(
+            KeyBound(top, inclusive=False), KeyBound(top, inclusive=False)
+        )
+    return KeyRange(start, stop)
+
+
+class MinorColumnPredicate(SargablePredicate):
+    """An index-sargable predicate on a minor column of a composite index.
+
+    ``predicate`` receives the minor column's value from the *entry key* —
+    no data page is touched to evaluate it, which is exactly what makes it
+    sargable.  ``selectivity`` is the paper's S; use :meth:`from_index`
+    to derive it exactly.
+    """
+
+    def __init__(self, position: int, predicate, selectivity: float) -> None:
+        if position < 1:
+            raise WorkloadError(
+                "position 0 is the major column; sargable predicates apply "
+                "to minor columns (position >= 1)"
+            )
+        if not 0.0 <= selectivity <= 1.0:
+            raise WorkloadError(
+                f"selectivity must be in [0, 1], got {selectivity}"
+            )
+        self._position = position
+        self._predicate = predicate
+        self._selectivity = selectivity
+
+    @classmethod
+    def equals(
+        cls, index: CompositeIndex, column: str, value: Any
+    ) -> "MinorColumnPredicate":
+        """The paper's ``b = 5`` example, with exact selectivity."""
+        position = index.columns.index(column)
+        if position == 0:
+            raise WorkloadError(
+                f"{column!r} is the major column; use start/stop conditions"
+            )
+        matching = sum(
+            1 for entry in index.entries() if entry.key[position] == value
+        )
+        selectivity = matching / max(1, index.entry_count)
+        return cls(position, lambda v: v == value, selectivity)
+
+    @property
+    def selectivity(self) -> float:
+        """The fraction of entries whose minor value qualifies."""
+        return self._selectivity
+
+    @property
+    def position(self) -> int:
+        """The minor column's position within the composite key."""
+        return self._position
+
+    def qualifies(self, entry: IndexEntry) -> bool:
+        """Evaluate the predicate on the entry key's minor component."""
+        return bool(self._predicate(entry.key[self._position]))

@@ -1,0 +1,107 @@
+"""A heap file: the page-structured storage behind a table.
+
+Two insertion paths are provided:
+
+* :meth:`HeapFile.append` — normal heap behaviour: fill the tail page, grow
+  the file when it is full.
+* :meth:`HeapFile.place` — targeted placement on a specific page.  The
+  clustering generators (:mod:`repro.datagen.window`) need this: the degree
+  of clustering between index order and page order is exactly what they
+  control, so they must decide which page receives each record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from repro.errors import PageFullError, RecordNotFoundError, StorageError
+from repro.storage.page import Page
+from repro.types import RID
+
+
+class HeapFile:
+    """A growable sequence of fixed-capacity pages."""
+
+    def __init__(self, records_per_page: int) -> None:
+        if records_per_page < 1:
+            raise StorageError(
+                f"records_per_page must be >= 1, got {records_per_page}"
+            )
+        self._records_per_page = records_per_page
+        self._pages: List[Page] = []
+        self._record_count = 0
+
+    @property
+    def records_per_page(self) -> int:
+        """Page capacity in slots (the paper's ``R`` for uniform tables)."""
+        return self._records_per_page
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages (the paper's ``T``)."""
+        return len(self._pages)
+
+    @property
+    def record_count(self) -> int:
+        """Number of stored records (the paper's ``N``)."""
+        return self._record_count
+
+    def _grow(self) -> Page:
+        page = Page(len(self._pages), self._records_per_page)
+        self._pages.append(page)
+        return page
+
+    def ensure_pages(self, count: int) -> None:
+        """Pre-allocate pages so that at least ``count`` exist."""
+        while len(self._pages) < count:
+            self._grow()
+
+    def append(self, record: Any) -> RID:
+        """Insert ``record`` at the end of the file; return its RID."""
+        if not self._pages or self._pages[-1].is_full:
+            page = self._grow()
+        else:
+            page = self._pages[-1]
+        slot = page.insert(record)
+        self._record_count += 1
+        return RID(page.page_id, slot)
+
+    def place(self, page_id: int, record: Any) -> RID:
+        """Insert ``record`` on the specific page ``page_id``.
+
+        The page must already exist (see :meth:`ensure_pages`) and have a
+        free slot; :class:`PageFullError` propagates otherwise so callers
+        implementing placement policies can react.
+        """
+        page = self.page(page_id)
+        slot = page.insert(record)
+        self._record_count += 1
+        return RID(page_id, slot)
+
+    def page(self, page_id: int) -> Page:
+        """Return the :class:`Page` object with id ``page_id``."""
+        if not 0 <= page_id < len(self._pages):
+            raise RecordNotFoundError(
+                f"heap file has no page {page_id} "
+                f"(page count {len(self._pages)})"
+            )
+        return self._pages[page_id]
+
+    def page_is_full(self, page_id: int) -> bool:
+        """True when ``page_id`` has no free slots."""
+        return self.page(page_id).is_full
+
+    def get(self, rid: RID) -> Any:
+        """Resolve a RID to its record payload."""
+        return self.page(rid.page).get(rid.slot)
+
+    def scan(self) -> Iterator[Tuple[RID, Any]]:
+        """Iterate every record in physical (page, slot) order."""
+        for page in self._pages:
+            page_id = page.page_id
+            for slot, record in enumerate(page.records()):
+                yield RID(page_id, slot), record
+
+    def occupancy(self) -> List[int]:
+        """Records per page, in page order (diagnostics and tests)."""
+        return [page.record_count for page in self._pages]

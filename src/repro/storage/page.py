@@ -1,0 +1,89 @@
+"""A slotted data page.
+
+Pages are the unit of buffering and of fetch counting throughout the paper:
+a page is "accessed" when at least one of its records is examined, and
+"fetched" when it must be read from disk into the buffer pool.  This class
+models the slot directory only — record payloads are arbitrary Python
+objects, because nothing in the estimation problem depends on byte layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from repro.errors import PageFullError, RecordNotFoundError
+
+
+class Page:
+    """A fixed-capacity slotted page holding record payloads."""
+
+    __slots__ = ("_page_id", "_capacity", "_records")
+
+    def __init__(self, page_id: int, capacity: int) -> None:
+        if page_id < 0:
+            raise ValueError(f"page_id must be >= 0, got {page_id}")
+        if capacity < 1:
+            raise ValueError(f"page capacity must be >= 1, got {capacity}")
+        self._page_id = page_id
+        self._capacity = capacity
+        self._records: List[Any] = []
+
+    @property
+    def page_id(self) -> int:
+        """This page's id within its heap file."""
+        return self._page_id
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of record slots on this page."""
+        return self._capacity
+
+    @property
+    def record_count(self) -> int:
+        """Occupied slots."""
+        return len(self._records)
+
+    @property
+    def is_full(self) -> bool:
+        """True when no slot is free."""
+        return len(self._records) >= self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no record is stored."""
+        return not self._records
+
+    @property
+    def free_slots(self) -> int:
+        """Remaining free slots."""
+        return self._capacity - len(self._records)
+
+    def insert(self, record: Any) -> int:
+        """Append ``record``; return its slot number."""
+        if self.is_full:
+            raise PageFullError(
+                f"page {self._page_id} is full ({self._capacity} slots)"
+            )
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def get(self, slot: int) -> Any:
+        """Return the record stored at ``slot``."""
+        if not 0 <= slot < len(self._records):
+            raise RecordNotFoundError(
+                f"page {self._page_id} has no record in slot {slot}"
+            )
+        return self._records[slot]
+
+    def records(self) -> Iterator[Any]:
+        """Iterate payloads in slot order."""
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(id={self._page_id}, {len(self._records)}/"
+            f"{self._capacity} slots)"
+        )

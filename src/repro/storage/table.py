@@ -1,0 +1,118 @@
+"""Tables: a named schema over a heap file.
+
+Rows are plain tuples aligned with the schema's column names.  The table is
+what the optimizer ultimately costs access plans against: a full table scan
+fetches exactly ``pages`` pages (Section 2), while index scans go through
+:class:`repro.storage.index.Index` and the buffer model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.storage.heapfile import HeapFile
+from repro.types import RID, TableShape
+
+
+class Table:
+    """A named, schema-carrying heap table."""
+
+    def __init__(
+        self, name: str, columns: Sequence[str], records_per_page: int
+    ) -> None:
+        if not name:
+            raise StorageError("table name must be non-empty")
+        if not columns:
+            raise StorageError(f"table {name!r} must have at least one column")
+        if len(set(columns)) != len(columns):
+            raise StorageError(
+                f"table {name!r} has duplicate column names: {list(columns)}"
+            )
+        self._name = name
+        self._columns: Tuple[str, ...] = tuple(columns)
+        self._heap = HeapFile(records_per_page)
+
+    @property
+    def name(self) -> str:
+        """The table name."""
+        return self._name
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Column names in schema order."""
+        return self._columns
+
+    @property
+    def heap(self) -> HeapFile:
+        """The underlying heap file (placement-aware generators use this)."""
+        return self._heap
+
+    @property
+    def page_count(self) -> int:
+        """Allocated pages (the paper's T)."""
+        return self._heap.page_count
+
+    @property
+    def record_count(self) -> int:
+        """Stored records (the paper's N)."""
+        return self._heap.record_count
+
+    @property
+    def records_per_page(self) -> int:
+        """Page capacity in slots."""
+        return self._heap.records_per_page
+
+    def shape(self) -> TableShape:
+        """The paper's ``(T, N)`` pair for this table."""
+        return TableShape(pages=self.page_count, records=self.record_count)
+
+    def column_index(self, column: str) -> int:
+        """Position of ``column`` in the schema."""
+        try:
+            return self._columns.index(column)
+        except ValueError:
+            raise StorageError(
+                f"table {self._name!r} has no column {column!r}; "
+                f"columns are {list(self._columns)}"
+            ) from None
+
+    def _check_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        if len(row) != len(self._columns):
+            raise StorageError(
+                f"row arity {len(row)} does not match schema arity "
+                f"{len(self._columns)} of table {self._name!r}"
+            )
+        return tuple(row)
+
+    def insert(self, row: Sequence[Any]) -> RID:
+        """Append ``row`` at the heap tail; return its RID."""
+        return self._heap.append(self._check_row(row))
+
+    def place(self, page_id: int, row: Sequence[Any]) -> RID:
+        """Insert ``row`` on a specific page (clustering generators)."""
+        return self._heap.place(page_id, self._check_row(row))
+
+    def get(self, rid: RID) -> Tuple[Any, ...]:
+        """Resolve a RID to its row tuple."""
+        return self._heap.get(rid)
+
+    def value(self, rid: RID, column: str) -> Any:
+        """The value of ``column`` in the record at ``rid``."""
+        return self.get(rid)[self.column_index(column)]
+
+    def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        """Full table scan in physical order."""
+        return self._heap.scan()
+
+    def column_values(self, column: str) -> Iterator[Any]:
+        """All values of ``column`` in physical order."""
+        idx = self.column_index(column)
+        for _rid, row in self._heap.scan():
+            yield row[idx]
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self._name!r}, columns={list(self._columns)}, "
+            f"pages={self.page_count}, records={self.record_count})"
+        )

@@ -1,0 +1,45 @@
+"""Page-reference traces extracted from index scans.
+
+The single input shared by every algorithm in the paper is the sequence of
+data-page numbers visited when index entries are read in key order.  This
+subpackage turns an :class:`repro.storage.Index` (plus optional start/stop
+key conditions) into a :class:`ReferenceTrace` and computes the trace-level
+statistics the baseline algorithms need (jump counts, the DC cluster
+counter).
+"""
+
+from repro.trace.locality import (
+    LocalitySummary,
+    locality_by_window,
+    reuse_distance_histogram,
+    run_lengths,
+    summarize_locality,
+)
+from repro.trace.reference import ReferenceTrace
+from repro.trace.stats import (
+    B_SML_DEFAULT,
+    clustering_factor,
+    dc_cluster_count,
+    distinct_pages,
+    fetches_with_single_buffer,
+    jump_count,
+    key_page_spans,
+    min_modeled_buffer,
+)
+
+__all__ = [
+    "B_SML_DEFAULT",
+    "LocalitySummary",
+    "ReferenceTrace",
+    "clustering_factor",
+    "dc_cluster_count",
+    "distinct_pages",
+    "fetches_with_single_buffer",
+    "jump_count",
+    "key_page_spans",
+    "locality_by_window",
+    "min_modeled_buffer",
+    "reuse_distance_histogram",
+    "run_lengths",
+    "summarize_locality",
+]

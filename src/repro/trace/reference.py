@@ -1,0 +1,93 @@
+"""The :class:`ReferenceTrace` value type.
+
+A reference trace is the ordered sequence of data-page numbers touched by an
+index scan.  It is immutable, sliceable (partial scans are contiguous
+sub-traces of the full index-order trace), and caches its fetch curve so
+that repeated buffer-size queries cost one stack-distance pass total.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.buffer.stack import FetchCurve
+from repro.errors import TraceError
+from repro.storage.btree import KeyBound
+from repro.storage.index import Index
+
+
+class ReferenceTrace:
+    """An immutable page-reference sequence with cached LRU analysis."""
+
+    __slots__ = ("_pages", "_curve")
+
+    def __init__(self, pages: Sequence[int]) -> None:
+        if not len(pages):
+            raise TraceError("a reference trace must contain at least one page")
+        if any(p < 0 for p in pages):
+            raise TraceError("page numbers must be >= 0")
+        self._pages: Tuple[int, ...] = tuple(pages)
+        self._curve: Optional[FetchCurve] = None
+
+    @classmethod
+    def from_index(
+        cls,
+        index: Index,
+        start: Optional[KeyBound] = None,
+        stop: Optional[KeyBound] = None,
+    ) -> "ReferenceTrace":
+        """The reference string of a (partial) scan on ``index``."""
+        pages = index.page_sequence(start, stop)
+        if not pages:
+            raise TraceError(
+                f"index {index.name!r} scan over "
+                f"[{start!r}, {stop!r}] selects no entries"
+            )
+        return cls(pages)
+
+    @property
+    def pages(self) -> Tuple[int, ...]:
+        """The page numbers as an immutable tuple."""
+        return self._pages
+
+    def __len__(self) -> int:
+        """Number of references — one per record examined (paper's sigma*N)."""
+        return len(self._pages)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._pages)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return ReferenceTrace(self._pages[item])
+        return self._pages[item]
+
+    def subtrace(self, start: int, stop: int) -> "ReferenceTrace":
+        """The contiguous sub-trace covering references [start, stop)."""
+        if not 0 <= start < stop <= len(self._pages):
+            raise TraceError(
+                f"invalid subtrace [{start}, {stop}) of a trace with "
+                f"{len(self._pages)} references"
+            )
+        return ReferenceTrace(self._pages[start:stop])
+
+    def fetch_curve(self) -> FetchCurve:
+        """The exact ``B -> F(B)`` function (computed once, then cached)."""
+        if self._curve is None:
+            self._curve = FetchCurve.from_trace(self._pages)
+        return self._curve
+
+    def fetches(self, buffer_pages: int) -> int:
+        """Exact LRU fetches for this trace at the given buffer size."""
+        return self.fetch_curve().fetches(buffer_pages)
+
+    @property
+    def distinct_pages(self) -> int:
+        """The paper's ``A``: pages accessed at least once."""
+        return self.fetch_curve().distinct_pages
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceTrace({len(self._pages)} refs, "
+            f"first={self._pages[0]}, last={self._pages[-1]})"
+        )

@@ -1,0 +1,107 @@
+"""Small shared value types used across the :mod:`repro` subpackages.
+
+These are deliberately lightweight: plain dataclasses and ``NewType`` aliases
+so that signatures throughout the library read like the paper's notation
+(Table 1 of Swami & Schiefer).
+
+Notation mapping (paper -> code):
+
+=====================  =====================================================
+Paper                  Code
+=====================  =====================================================
+``B``                  ``buffer_pages`` / ``BufferSize``
+``T``                  ``table_pages`` (:attr:`TableShape.pages`)
+``N``                  ``record_count`` (:attr:`TableShape.records`)
+``I``                  ``distinct_keys``
+``A``                  pages *accessed* (:func:`repro.trace.distinct_pages`)
+``F``                  pages *fetched* (estimator outputs, ground truth)
+``sigma``              selectivity of start/stop conditions
+``S``                  selectivity of index-sargable predicates
+``C`` / ``CR``         clustering factor / cluster ratio
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+#: Identifier of a data page within a table's heap file (0-based).
+PageId = NewType("PageId", int)
+
+#: Number of buffer-pool slots available to a scan.
+BufferSize = NewType("BufferSize", int)
+
+
+@dataclass(frozen=True)
+class RID:
+    """Record identifier: the physical address of a record.
+
+    A RID names a slot on a data page, exactly as in System R style storage.
+    Only the page component matters for page-fetch estimation, but carrying
+    the slot keeps the storage engine honest (RIDs resolve to real records).
+    """
+
+    page: int
+    slot: int
+
+    def __post_init__(self) -> None:
+        if self.page < 0:
+            raise ValueError(f"RID page must be >= 0, got {self.page}")
+        if self.slot < 0:
+            raise ValueError(f"RID slot must be >= 0, got {self.slot}")
+
+
+@dataclass(frozen=True)
+class TableShape:
+    """The physical shape of a table: the paper's ``T``, ``N`` pair.
+
+    ``records_per_page`` is the paper's ``R`` when occupancy is uniform; for
+    irregular tables it is the mean occupancy.
+    """
+
+    pages: int
+    records: int
+
+    def __post_init__(self) -> None:
+        if self.pages <= 0:
+            raise ValueError(f"pages must be positive, got {self.pages}")
+        if self.records <= 0:
+            raise ValueError(f"records must be positive, got {self.records}")
+        if self.records < self.pages:
+            raise ValueError(
+                "a table cannot have fewer records than pages "
+                f"(records={self.records}, pages={self.pages})"
+            )
+
+    @property
+    def records_per_page(self) -> float:
+        """Mean records per page (the paper's ``R``)."""
+        return self.records / self.pages
+
+
+@dataclass(frozen=True)
+class ScanSelectivity:
+    """Selectivities applied to an index scan (paper's sigma and S).
+
+    ``range_selectivity`` (sigma) comes from start/stop key conditions and
+    restricts which index entries are visited.  ``sargable_selectivity`` (S)
+    comes from index-sargable predicates evaluated on visited entries; only
+    qualifying records cause data-page fetches.
+    """
+
+    range_selectivity: float
+    sargable_selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("range_selectivity", self.range_selectivity),
+            ("sargable_selectivity", self.sargable_selectivity),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def combined(self) -> float:
+        """Fraction of all records that qualify: ``sigma * S``."""
+        return self.range_selectivity * self.sargable_selectivity

@@ -1,0 +1,54 @@
+"""Scan workloads: key ranges, sargable predicates, and the paper's
+random-scan generator (Section 5).
+
+A :class:`ScanSpec` fully describes one index scan to be costed: the
+start/stop key conditions (whose selectivity is the paper's sigma), an
+optional index-sargable predicate (selectivity S), and the exact record
+counts needed for both estimation and ground truth.
+"""
+
+from repro.workload.histogram import (
+    Bucket,
+    Histogram,
+    build_equi_depth,
+    build_equi_width,
+)
+from repro.workload.interleave import (
+    ContentionResult,
+    equal_share_estimate,
+    interleave_traces,
+    simulate_contention,
+    simulate_shared_table_contention,
+)
+from repro.workload.predicates import (
+    HashSamplePredicate,
+    KeyRange,
+    SargablePredicate,
+)
+from repro.workload.scans import (
+    ScanKind,
+    ScanSpec,
+    generate_scan,
+    generate_scan_mix,
+)
+from repro.workload.selectivity import exact_range_selectivity
+
+__all__ = [
+    "Bucket",
+    "ContentionResult",
+    "Histogram",
+    "build_equi_depth",
+    "build_equi_width",
+    "HashSamplePredicate",
+    "KeyRange",
+    "SargablePredicate",
+    "ScanKind",
+    "ScanSpec",
+    "equal_share_estimate",
+    "exact_range_selectivity",
+    "generate_scan",
+    "generate_scan_mix",
+    "interleave_traces",
+    "simulate_contention",
+    "simulate_shared_table_contention",
+]

@@ -1,0 +1,205 @@
+"""Histogram-based selectivity estimation.
+
+The paper assumes selectivities are already known: "Methods for estimating
+the selectivity are well known (Mannino et al., 1988)".  The experiments
+use exact selectivities to isolate page-fetch estimation error.  This
+module supplies the assumed substrate — equi-depth and equi-width
+histograms over an index's keys — so the sensitivity of EPFIS to
+*selectivity* estimation error can be studied end-to-end
+(``bench_ablation_selectivity_error.py``).
+
+Both histograms answer :meth:`estimate_range` for a
+:class:`~repro.workload.predicates.KeyRange` using the classic
+continuous-values interpolation within buckets.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.storage.index import Index
+from repro.workload.predicates import KeyRange
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket: keys in [low, high] holding ``records`` rows."""
+
+    low: float
+    high: float
+    records: int
+    distinct: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise WorkloadError(
+                f"bucket bounds inverted: [{self.low}, {self.high}]"
+            )
+        if self.records < 0 or self.distinct < 0:
+            raise WorkloadError("bucket counts must be >= 0")
+
+    def overlap_fraction(self, low: float, high: float) -> float:
+        """Fraction of this bucket's key span covered by [low, high]."""
+        span_low = max(self.low, low)
+        span_high = min(self.high, high)
+        if span_high < span_low:
+            return 0.0
+        if self.high == self.low:
+            return 1.0
+        return (span_high - span_low) / (self.high - self.low)
+
+
+class Histogram:
+    """Shared query logic over a list of buckets."""
+
+    def __init__(self, buckets: Sequence[Bucket], total_records: int) -> None:
+        if not buckets:
+            raise WorkloadError("a histogram needs at least one bucket")
+        if total_records < 1:
+            raise WorkloadError("total_records must be >= 1")
+        lows = [b.low for b in buckets]
+        if lows != sorted(lows):
+            raise WorkloadError("buckets must be ordered by key")
+        self._buckets: Tuple[Bucket, ...] = tuple(buckets)
+        self._total = total_records
+
+    @property
+    def buckets(self) -> Tuple[Bucket, ...]:
+        """The ordered buckets."""
+        return self._buckets
+
+    @property
+    def total_records(self) -> int:
+        """Records the histogram was built over."""
+        return self._total
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of buckets."""
+        return len(self._buckets)
+
+    def _bound_values(self, key_range: KeyRange) -> Tuple[float, float]:
+        low = (
+            float(key_range.start.value)
+            if key_range.start is not None
+            else self._buckets[0].low
+        )
+        high = (
+            float(key_range.stop.value)
+            if key_range.stop is not None
+            else self._buckets[-1].high
+        )
+        return low, high
+
+    def estimate_records(self, key_range: KeyRange) -> float:
+        """Expected records with keys in ``key_range`` (interpolated)."""
+        low, high = self._bound_values(key_range)
+        if high < low:
+            return 0.0
+        return sum(
+            bucket.records * bucket.overlap_fraction(low, high)
+            for bucket in self._buckets
+        )
+
+    def estimate_range(self, key_range: KeyRange) -> float:
+        """Estimated selectivity (the paper's sigma) of ``key_range``."""
+        fraction = self.estimate_records(key_range) / self._total
+        return min(1.0, max(0.0, fraction))
+
+    def estimate_equals(self, key: float) -> float:
+        """Estimated selectivity of ``column = key`` (uniform-in-bucket)."""
+        idx = bisect.bisect_right([b.low for b in self._buckets], key) - 1
+        idx = min(max(idx, 0), len(self._buckets) - 1)
+        bucket = self._buckets[idx]
+        if not bucket.low <= key <= bucket.high or bucket.distinct == 0:
+            return 0.0
+        return (bucket.records / bucket.distinct) / self._total
+
+
+def _keys_and_counts(index: Index) -> Tuple[List[float], List[int]]:
+    counts = index.key_counts()
+    keys = sorted(counts)
+    if not keys:
+        raise WorkloadError(f"index {index.name!r} is empty")
+    try:
+        numeric = [float(k) for k in keys]
+    except (TypeError, ValueError):
+        raise WorkloadError(
+            "histograms require numeric (or float-convertible) keys"
+        ) from None
+    return numeric, [counts[k] for k in keys]
+
+
+def build_equi_depth(index: Index, buckets: int = 20) -> Histogram:
+    """Equi-depth histogram: ~equal record counts per bucket."""
+    if buckets < 1:
+        raise WorkloadError(f"buckets must be >= 1, got {buckets}")
+    keys, counts = _keys_and_counts(index)
+    total = sum(counts)
+    target = total / buckets
+
+    built: List[Bucket] = []
+    bucket_low = keys[0]
+    bucket_records = 0
+    bucket_distinct = 0
+    for i, (key, count) in enumerate(zip(keys, counts)):
+        bucket_records += count
+        bucket_distinct += 1
+        is_last_key = i == len(keys) - 1
+        if (bucket_records >= target and len(built) < buckets - 1) or (
+            is_last_key
+        ):
+            built.append(
+                Bucket(
+                    low=bucket_low,
+                    high=key,
+                    records=bucket_records,
+                    distinct=bucket_distinct,
+                )
+            )
+            if not is_last_key:
+                bucket_low = keys[i + 1]
+                bucket_records = 0
+                bucket_distinct = 0
+    return Histogram(built, total)
+
+
+def build_equi_width(index: Index, buckets: int = 20) -> Histogram:
+    """Equi-width histogram: equal key-span per bucket."""
+    if buckets < 1:
+        raise WorkloadError(f"buckets must be >= 1, got {buckets}")
+    keys, counts = _keys_and_counts(index)
+    total = sum(counts)
+    low, high = keys[0], keys[-1]
+    if high == low:
+        return Histogram(
+            [Bucket(low, high, total, len(keys))], total
+        )
+    width = (high - low) / buckets
+
+    built: List[Bucket] = []
+    edges = [low + i * width for i in range(buckets)] + [high]
+    key_idx = 0
+    for b in range(buckets):
+        b_low, b_high = edges[b], edges[b + 1]
+        records = 0
+        distinct = 0
+        while key_idx < len(keys) and (
+            keys[key_idx] <= b_high or b == buckets - 1
+        ):
+            records += counts[key_idx]
+            distinct += 1
+            key_idx += 1
+        built.append(Bucket(b_low, b_high, records, distinct))
+    return Histogram(built, total)
+
+
+def estimated_key_range(
+    histogram: Histogram,
+    key_range: KeyRange,
+) -> float:
+    """Convenience alias used by the sensitivity bench."""
+    return histogram.estimate_range(key_range)

@@ -1,0 +1,180 @@
+"""Concurrent scans sharing one buffer pool (Section 6 future work).
+
+The paper's model assumes each scan gets a dedicated LRU pool; its future
+work lists "intra-query contention, and multi-user contention".  This
+module provides the substrate to study that: several reference traces are
+interleaved (round-robin or seeded-random schedule) into a single shared
+LRU pool, and fetch counts are attributed per scan.
+
+Key phenomenon to observe (exercised by the contention bench): under
+contention every scan's *effective* buffer shrinks, so per-scan fetches
+exceed the dedicated-pool prediction; a crude but useful correction is to
+cost each of ``k`` concurrent scans at ``B / k`` dedicated pages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.buffer.lru import LRUBufferPool
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Outcome of one shared-pool simulation."""
+
+    buffer_pages: int
+    #: Fetches attributed to each scan, in input order.
+    per_scan_fetches: Tuple[int, ...]
+    #: Fetches each scan would incur with the whole pool to itself.
+    dedicated_fetches: Tuple[int, ...]
+
+    @property
+    def total_fetches(self) -> int:
+        """Fetches summed over all scans in the shared pool."""
+        return sum(self.per_scan_fetches)
+
+    @property
+    def total_dedicated(self) -> int:
+        """Fetches summed over dedicated-pool baselines."""
+        return sum(self.dedicated_fetches)
+
+    @property
+    def contention_overhead(self) -> float:
+        """Extra fetches caused by sharing, as a fraction of dedicated."""
+        if self.total_dedicated == 0:
+            return 0.0
+        return (self.total_fetches - self.total_dedicated) / (
+            self.total_dedicated
+        )
+
+
+def interleave_traces(
+    traces: Sequence[Sequence[int]],
+    schedule: str = "round-robin",
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[int, int]]:
+    """Merge traces into one ``(scan_id, page)`` stream.
+
+    ``"round-robin"`` advances each live scan once per cycle (a fair
+    scheduler); ``"random"`` picks a random live scan per step (a bursty
+    mix).  Both preserve each scan's internal reference order.
+    """
+    if not traces:
+        raise WorkloadError("at least one trace is required")
+    if any(not len(t) for t in traces):
+        raise WorkloadError("traces must be non-empty")
+    if schedule not in ("round-robin", "random"):
+        raise WorkloadError(
+            f"unknown schedule {schedule!r}; "
+            "expected 'round-robin' or 'random'"
+        )
+
+    positions = [0] * len(traces)
+    merged: List[Tuple[int, int]] = []
+    if schedule == "round-robin":
+        live = list(range(len(traces)))
+        while live:
+            still_live = []
+            for scan_id in live:
+                trace = traces[scan_id]
+                merged.append((scan_id, trace[positions[scan_id]]))
+                positions[scan_id] += 1
+                if positions[scan_id] < len(trace):
+                    still_live.append(scan_id)
+            live = still_live
+    else:
+        rng = rng or random.Random(0)
+        live = [i for i in range(len(traces))]
+        while live:
+            pick = rng.randrange(len(live))
+            scan_id = live[pick]
+            trace = traces[scan_id]
+            merged.append((scan_id, trace[positions[scan_id]]))
+            positions[scan_id] += 1
+            if positions[scan_id] >= len(trace):
+                live[pick] = live[-1]
+                live.pop()
+    return merged
+
+
+def simulate_contention(
+    traces: Sequence[Sequence[int]],
+    buffer_pages: int,
+    schedule: str = "round-robin",
+    rng: Optional[random.Random] = None,
+) -> ContentionResult:
+    """Run the shared-pool simulation and attribute fetches per scan.
+
+    Pages are namespaced per scan (scans over *different* tables do not
+    share pages); to model scans of the same table sharing pages, pass the
+    same trace object identity semantics through ``shared_pages=True`` of
+    :func:`simulate_shared_table_contention` instead.
+    """
+    merged = interleave_traces(traces, schedule, rng)
+    pool = LRUBufferPool(buffer_pages)
+    per_scan = [0] * len(traces)
+    for scan_id, page in merged:
+        if not pool.access((scan_id, page)):
+            per_scan[scan_id] += 1
+    dedicated = tuple(
+        LRUBufferPool(buffer_pages).run(trace) for trace in traces
+    )
+    return ContentionResult(
+        buffer_pages=buffer_pages,
+        per_scan_fetches=tuple(per_scan),
+        dedicated_fetches=dedicated,
+    )
+
+
+def simulate_shared_table_contention(
+    traces: Sequence[Sequence[int]],
+    buffer_pages: int,
+    schedule: str = "round-robin",
+    rng: Optional[random.Random] = None,
+) -> ContentionResult:
+    """Like :func:`simulate_contention`, but scans share one table.
+
+    A page fetched for one scan is a hit for the others — the constructive
+    side of contention (shared working sets), opposing the destructive side
+    (eviction pressure).
+    """
+    merged = interleave_traces(traces, schedule, rng)
+    pool = LRUBufferPool(buffer_pages)
+    per_scan = [0] * len(traces)
+    for scan_id, page in merged:
+        if not pool.access(page):
+            per_scan[scan_id] += 1
+    dedicated = tuple(
+        LRUBufferPool(buffer_pages).run(trace) for trace in traces
+    )
+    return ContentionResult(
+        buffer_pages=buffer_pages,
+        per_scan_fetches=tuple(per_scan),
+        dedicated_fetches=dedicated,
+    )
+
+
+def equal_share_estimate(
+    estimator,
+    selectivities,
+    buffer_pages: int,
+) -> float:
+    """The crude contention correction: cost k scans at B/k each.
+
+    ``estimator`` is any :class:`repro.estimators.PageFetchEstimator`;
+    ``selectivities`` is one :class:`~repro.types.ScanSelectivity` per
+    concurrent scan.  Returns the summed estimate with the pool split
+    evenly — a practical upper-bound heuristic for shared pools.
+    """
+    k = len(selectivities)
+    if k == 0:
+        raise WorkloadError("at least one concurrent scan is required")
+    share = max(1, buffer_pages // k)
+    return sum(
+        estimator.estimate(selectivity, share)
+        for selectivity in selectivities
+    )

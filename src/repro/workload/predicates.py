@@ -1,0 +1,146 @@
+"""Predicates on index columns.
+
+Two kinds, exactly as the paper distinguishes them (Section 2):
+
+* **Start/stop conditions** (:class:`KeyRange`) — contiguous key ranges that
+  limit which part of the index is scanned; their selectivity is sigma.
+* **Index-sargable predicates** (:class:`SargablePredicate`) — predicates on
+  index columns that do *not* define a contiguous range (e.g. ``b = 5`` on a
+  minor column); they are evaluated on visited entries and only qualifying
+  records cause data-page fetches; their selectivity is S.
+
+Since our synthetic indexes are single-column, sargable predicates are
+modeled as reproducible pseudo-random filters over index entries
+(:class:`HashSamplePredicate`): entry qualification is a deterministic
+function of (seed, key, rid) with marginal probability S — the same
+behaviour a ``b = 5`` minor-column predicate induces on the scanned entry
+stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.storage.btree import KeyBound
+from repro.storage.index import IndexEntry
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """Start and stop conditions for an index scan.
+
+    ``None`` on either side means unbounded; ``KeyRange()`` is a full scan.
+    """
+
+    start: Optional[KeyBound] = None
+    stop: Optional[KeyBound] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.start is not None
+            and self.stop is not None
+            and self.stop.value < self.start.value
+        ):
+            raise WorkloadError(
+                f"stop key {self.stop.value!r} precedes start key "
+                f"{self.start.value!r}"
+            )
+
+    @classmethod
+    def full(cls) -> "KeyRange":
+        """The unrestricted range (a full index scan)."""
+        return cls()
+
+    @classmethod
+    def between(cls, low: Any, high: Any) -> "KeyRange":
+        """The closed range ``low <= key <= high``."""
+        return cls(KeyBound(low, True), KeyBound(high, True))
+
+    @classmethod
+    def at_least(cls, low: Any) -> "KeyRange":
+        """The half-open range ``key >= low``."""
+        return cls(start=KeyBound(low, True))
+
+    @classmethod
+    def at_most(cls, high: Any) -> "KeyRange":
+        """The half-open range ``key <= high``."""
+        return cls(stop=KeyBound(high, True))
+
+    @property
+    def is_full(self) -> bool:
+        """True when neither bound restricts the scan."""
+        return self.start is None and self.stop is None
+
+    def bounds(self) -> Tuple[Optional[KeyBound], Optional[KeyBound]]:
+        """The (start, stop) pair, for B-tree range calls."""
+        return self.start, self.stop
+
+    def describe(self) -> str:
+        """Human-readable predicate text."""
+        if self.is_full:
+            return "full scan"
+        parts = []
+        if self.start is not None:
+            op = ">=" if self.start.inclusive else ">"
+            parts.append(f"key {op} {self.start.value!r}")
+        if self.stop is not None:
+            op = "<=" if self.stop.inclusive else "<"
+            parts.append(f"key {op} {self.stop.value!r}")
+        return " AND ".join(parts)
+
+
+class SargablePredicate(ABC):
+    """An index-sargable predicate with a known selectivity."""
+
+    @property
+    @abstractmethod
+    def selectivity(self) -> float:
+        """The paper's ``S``: fraction of visited entries that qualify."""
+
+    @abstractmethod
+    def qualifies(self, entry: IndexEntry) -> bool:
+        """Whether the record behind ``entry`` passes the predicate."""
+
+
+class HashSamplePredicate(SargablePredicate):
+    """Deterministic pseudo-random qualification with probability ``S``.
+
+    Each entry's fate depends only on ``(seed, key, rid)``, so ground truth
+    and repeated estimator runs agree on exactly which records qualify.
+    """
+
+    def __init__(self, selectivity: float, seed: int = 0) -> None:
+        if not 0.0 <= selectivity <= 1.0:
+            raise WorkloadError(
+                f"selectivity must be in [0, 1], got {selectivity}"
+            )
+        self._selectivity = selectivity
+        self._seed = seed
+
+    @property
+    def selectivity(self) -> float:
+        """The marginal qualification probability S."""
+        return self._selectivity
+
+    @property
+    def seed(self) -> int:
+        """The seed that fixes which entries qualify."""
+        return self._seed
+
+    def qualifies(self, entry: IndexEntry) -> bool:
+        payload = repr(
+            (self._seed, entry.key, entry.rid.page, entry.rid.slot)
+        ).encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        (value,) = struct.unpack(">Q", digest)
+        return value / 2**64 < self._selectivity
+
+    def __repr__(self) -> str:
+        return (
+            f"HashSamplePredicate(S={self._selectivity}, seed={self._seed})"
+        )

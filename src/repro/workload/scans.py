@@ -1,0 +1,224 @@
+"""The paper's random scan generator (Section 5).
+
+"A small scan is modeled as follows.  A random number, say r, is generated
+between 0 and 0.2.  A starting key value (say k1) is picked at random so
+that at least rN records have key values >= k1.  The stopping key value
+(say k2) is found such that k2 >= k1, and the number of records with key
+values in the range [k1, k2] is >= rN. ... Similarly, a large scan is
+modeled by generating the random number r to be between 0.2 and 1."
+
+The experiments use 200 scans with an even small/large mix; the ablation
+benches also exercise small-only / large-only / full-only mixes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.storage.index import Index
+from repro.types import ScanSelectivity
+from repro.workload.predicates import KeyRange, SargablePredicate
+
+
+class ScanKind(enum.Enum):
+    """The paper's scan size classes."""
+
+    SMALL = "small"
+    LARGE = "large"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """One index scan to be costed: range, predicates, exact cardinality."""
+
+    key_range: KeyRange
+    kind: ScanKind
+    target_fraction: float
+    selected_records: int
+    total_records: int
+    sargable: Optional[SargablePredicate] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.selected_records <= self.total_records:
+            raise WorkloadError(
+                f"selected_records {self.selected_records} out of range "
+                f"[0, {self.total_records}]"
+            )
+
+    @property
+    def range_selectivity(self) -> float:
+        """The paper's sigma (exact, as the experiments assume)."""
+        return self.selected_records / self.total_records
+
+    @property
+    def sargable_selectivity(self) -> float:
+        """The paper's S; 1.0 when no sargable predicate applies."""
+        return 1.0 if self.sargable is None else self.sargable.selectivity
+
+    def selectivity(self) -> ScanSelectivity:
+        """Both selectivities as a :class:`ScanSelectivity`."""
+        return ScanSelectivity(
+            range_selectivity=self.range_selectivity,
+            sargable_selectivity=self.sargable_selectivity,
+        )
+
+    def describe(self) -> str:
+        """Human-readable scan summary."""
+        return (
+            f"{self.kind.value} scan, sigma={self.range_selectivity:.4f}, "
+            f"{self.key_range.describe()}"
+        )
+
+
+class KeyDistribution:
+    """Sorted keys with cumulative record counts, for O(log I) scan picking."""
+
+    def __init__(self, keys: Sequence[Any], counts: Sequence[int]) -> None:
+        if len(keys) != len(counts):
+            raise WorkloadError("keys and counts must have equal length")
+        if not keys:
+            raise WorkloadError("an index with no keys cannot be scanned")
+        if any(c < 1 for c in counts):
+            raise WorkloadError("every distinct key must have >= 1 record")
+        self.keys: List[Any] = list(keys)
+        self.counts: List[int] = list(counts)
+        self.cumulative: List[int] = []
+        acc = 0
+        for count in self.counts:
+            acc += count
+            self.cumulative.append(acc)
+
+    @classmethod
+    def from_index(cls, index: Index) -> "KeyDistribution":
+        """Build from an index's key counts."""
+        key_counts = index.key_counts()
+        keys = sorted(key_counts)
+        return cls(keys, [key_counts[k] for k in keys])
+
+    @property
+    def total_records(self) -> int:
+        """Total records across all keys (the paper's N)."""
+        return self.cumulative[-1]
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct keys (the paper's I)."""
+        return len(self.keys)
+
+    def records_before(self, key_index: int) -> int:
+        """Records with keys strictly before position ``key_index``."""
+        return self.cumulative[key_index - 1] if key_index > 0 else 0
+
+    def records_from(self, key_index: int) -> int:
+        """Records with keys at or after position ``key_index``."""
+        return self.total_records - self.records_before(key_index)
+
+    def max_start_for(self, required_records: int) -> int:
+        """Largest key position whose suffix still holds the required count."""
+        if required_records <= 0:
+            return len(self.keys) - 1
+        if required_records > self.total_records:
+            raise WorkloadError(
+                f"cannot require {required_records} of "
+                f"{self.total_records} records"
+            )
+        # records_from(i) is non-increasing in i; find the last i where it
+        # is still >= required.  records_from(i) >= req
+        #   <=> cumulative[i-1] <= total - req.
+        limit = self.total_records - required_records
+        return bisect_left(self.cumulative, limit + 1)
+
+    def stop_for(self, start_index: int, required_records: int) -> int:
+        """Smallest position j >= start with count([start..j]) >= required."""
+        base = self.records_before(start_index)
+        target = base + max(required_records, 1)
+        j = bisect_left(self.cumulative, target)
+        return min(j, len(self.keys) - 1)
+
+
+def generate_scan(
+    distribution: KeyDistribution,
+    kind: ScanKind,
+    rng: random.Random,
+    sargable: Optional[SargablePredicate] = None,
+) -> ScanSpec:
+    """Generate one random scan of the requested kind (paper Section 5)."""
+    total = distribution.total_records
+    if kind is ScanKind.FULL:
+        return ScanSpec(
+            key_range=KeyRange.full(),
+            kind=kind,
+            target_fraction=1.0,
+            selected_records=total,
+            total_records=total,
+            sargable=sargable,
+        )
+
+    if kind is ScanKind.SMALL:
+        r = rng.uniform(0.0, 0.2)
+    else:
+        r = rng.uniform(0.2, 1.0)
+    required = round(r * total)
+
+    i_max = distribution.max_start_for(required)
+    i1 = rng.randint(0, i_max)
+    j = distribution.stop_for(i1, required)
+    selected = distribution.cumulative[j] - distribution.records_before(i1)
+
+    return ScanSpec(
+        key_range=KeyRange.between(
+            distribution.keys[i1], distribution.keys[j]
+        ),
+        kind=kind,
+        target_fraction=r,
+        selected_records=selected,
+        total_records=total,
+        sargable=sargable,
+    )
+
+
+def generate_scan_mix(
+    index: Index,
+    count: int = 200,
+    small_probability: float = 0.5,
+    large_probability: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+    sargable: Optional[SargablePredicate] = None,
+) -> List[ScanSpec]:
+    """The paper's experiment workload: ``count`` random scans.
+
+    By default each scan is small or large with equal probability (the
+    headline mix); any remaining probability mass (when
+    ``small_probability + large_probability < 1``) goes to full scans,
+    supporting the paper's "different mixes of scans" side experiments.
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if large_probability is None:
+        large_probability = 1.0 - small_probability
+    if small_probability < 0 or large_probability < 0:
+        raise WorkloadError("probabilities must be >= 0")
+    if small_probability + large_probability > 1.0 + 1e-12:
+        raise WorkloadError(
+            "small_probability + large_probability must be <= 1"
+        )
+    rng = rng or random.Random(0)
+    distribution = KeyDistribution.from_index(index)
+
+    scans: List[ScanSpec] = []
+    for _ in range(count):
+        u = rng.random()
+        if u < small_probability:
+            kind = ScanKind.SMALL
+        elif u < small_probability + large_probability:
+            kind = ScanKind.LARGE
+        else:
+            kind = ScanKind.FULL
+        scans.append(generate_scan(distribution, kind, rng, sargable))
+    return scans

@@ -1,0 +1,25 @@
+"""Selectivity computation for key ranges.
+
+The paper assumes the optimizer already has a selectivity estimate ("Methods
+for estimating the selectivity are well known (Mannino et al., 1988)") and
+studies page-fetch estimation in isolation.  We therefore follow the
+experiments and use *exact* selectivities, computed from the index itself,
+so that estimation error measures the page-fetch model alone.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.storage.index import Index
+from repro.workload.predicates import KeyRange
+
+
+def exact_range_selectivity(index: Index, key_range: KeyRange) -> float:
+    """The exact fraction of records whose key falls in ``key_range``."""
+    total = index.entry_count
+    if total == 0:
+        raise WorkloadError(
+            f"index {index.name!r} is empty; selectivity undefined"
+        )
+    selected = index.count_in_range(*key_range.bounds())
+    return selected / total

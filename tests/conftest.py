@@ -1,0 +1,82 @@
+"""Shared fixtures: small, deterministic datasets reused across test modules.
+
+Session-scoped where construction is non-trivial; all randomness is seeded.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
+from repro.storage.index import Index
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="session")
+def clustered_dataset():
+    """Sequentially placed records: C ~ 1 (window K = 0, no noise)."""
+    spec = SyntheticSpec(
+        records=4_000,
+        distinct_values=100,
+        records_per_page=20,
+        theta=0.0,
+        window=0.0,
+        noise=0.0,
+        seed=11,
+        name="clustered",
+    )
+    return build_synthetic_dataset(spec)
+
+
+@pytest.fixture(scope="session")
+def unclustered_dataset():
+    """Fully random placement: C ~ 0 (window K = 1)."""
+    spec = SyntheticSpec(
+        records=4_000,
+        distinct_values=100,
+        records_per_page=20,
+        theta=0.0,
+        window=1.0,
+        noise=0.0,
+        seed=13,
+        name="unclustered",
+    )
+    return build_synthetic_dataset(spec)
+
+
+@pytest.fixture(scope="session")
+def skewed_dataset():
+    """Zipf 80-20 duplicates with moderate clustering (K = 0.2)."""
+    spec = SyntheticSpec(
+        records=6_000,
+        distinct_values=120,
+        records_per_page=40,
+        theta=0.86,
+        window=0.2,
+        noise=0.05,
+        seed=17,
+        name="skewed",
+    )
+    return build_synthetic_dataset(spec)
+
+
+@pytest.fixture()
+def tiny_table():
+    """A hand-built 3-column table for storage-layer tests."""
+    table = Table("tiny", ("a", "b", "c"), records_per_page=4)
+    for i in range(10):
+        table.insert((i, i % 3, f"row{i}"))
+    return table
+
+
+@pytest.fixture()
+def tiny_index(tiny_table):
+    """Index over the tiny table's non-unique column ``b``."""
+    return Index.build(tiny_table, "b", name="tiny.b")
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(12345)

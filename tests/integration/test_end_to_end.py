@@ -1,0 +1,190 @@
+"""Integration: the full pipeline from data generation to estimation.
+
+These tests cross module boundaries on purpose: generator -> storage ->
+statistics -> catalog -> estimator -> ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.catalog.catalog import SystemCatalog
+from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
+from repro.estimators.epfis import EPFISEstimator, LRUFit
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.metrics import aggregate_relative_error
+from repro.workload.predicates import HashSamplePredicate
+from repro.workload.scans import generate_scan_mix
+
+
+class TestEstimateVsGroundTruth:
+    """EPFIS must track exact LRU fetch counts on real generated data."""
+
+    @pytest.mark.parametrize("window", [0.0, 0.2, 1.0])
+    def test_aggregate_error_small_across_clustering_regimes(self, window):
+        dataset = build_synthetic_dataset(
+            SyntheticSpec(
+                records=12_000,
+                distinct_values=200,
+                records_per_page=40,
+                window=window,
+                seed=31,
+            )
+        )
+        index = dataset.index
+        estimator = EPFISEstimator.from_index(index)
+        extractor = ScanTraceExtractor(index)
+        scans = generate_scan_mix(index, count=40, rng=random.Random(5))
+        grid = evaluation_buffer_grid(index.table.page_count)
+
+        for buffer_pages in (grid.sizes[0], grid.sizes[len(grid) // 2],
+                             grid.sizes[-1]):
+            estimates, actuals = [], []
+            for scan in scans:
+                estimates.append(
+                    estimator.estimate(scan.selectivity(), buffer_pages)
+                )
+                actuals.append(
+                    extractor.actual_fetches(scan, [buffer_pages])[
+                        buffer_pages
+                    ]
+                )
+            error = aggregate_relative_error(estimates, actuals)
+            assert abs(error) < 0.30, (
+                f"window={window} B={buffer_pages}: error {error:+.2%}"
+            )
+
+    def test_full_scan_estimate_matches_exact_curve(self, skewed_dataset):
+        """For full scans the estimate is the fitted FPF curve itself.
+
+        Per-point deviation is bounded by the 6-segment approximation;
+        the paper's own experiments see up to ~20% (GWL) / 48% (synthetic)
+        error, so the contract here is "within the paper's band at every
+        grid point, and exact at the fitted knots"."""
+        index = skewed_dataset.index
+        estimator = EPFISEstimator.from_index(index)
+        extractor = ScanTraceExtractor(index)
+        scans = generate_scan_mix(
+            index, count=5, small_probability=0.0, large_probability=0.0,
+            rng=random.Random(1),
+        )
+        grid = evaluation_buffer_grid(index.table.page_count)
+        knots = {int(x) for x, _y in estimator.statistics.fpf_curve.knots}
+        for scan in scans:
+            for b in grid:
+                actual = extractor.actual_fetches(scan, [b])[b]
+                estimate = estimator.estimate(scan.selectivity(), b)
+                tolerance = 0.02 if b in knots else 0.25
+                assert estimate == pytest.approx(actual, rel=tolerance), b
+
+
+class TestCatalogRoundTripPipeline:
+    def test_estimates_survive_catalog_persistence(
+        self, skewed_dataset, tmp_path
+    ):
+        """Statistics collected, saved to catalog file, reloaded in a
+        'different process', and used for estimation — bit-identical."""
+        index = skewed_dataset.index
+        stats = LRUFit().run(index)
+        catalog = SystemCatalog()
+        catalog.put(stats)
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+
+        reloaded = SystemCatalog.load(path)
+        live = EPFISEstimator.from_statistics(stats)
+        revived = EPFISEstimator.from_statistics(reloaded.get(index.name))
+
+        scans = generate_scan_mix(index, count=20, rng=random.Random(9))
+        for scan in scans:
+            for b in (5, 40, 120):
+                assert revived.estimate(
+                    scan.selectivity(), b
+                ) == pytest.approx(live.estimate(scan.selectivity(), b))
+
+
+class TestSargablePipeline:
+    """The urn-model correction for index-sargable predicates.
+
+    The paper proposes the correction but never evaluates S < 1 in its
+    experiments, so the contract tested here is the formula's own: the
+    reduction factor is (1 - (1 - 1/Q)^k), which (a) always reduces the
+    estimate, (b) matters most when few records qualify (small k), and
+    (c) approaches 1 (no reduction) as k grows — where the estimate
+    reverts to the conservative sigma * PF_B upper bound.
+    """
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        import dataclasses
+
+        dataset = build_synthetic_dataset(
+            SyntheticSpec(
+                records=12_000,
+                distinct_values=200,
+                records_per_page=40,
+                window=0.5,
+                seed=41,
+            )
+        )
+        index = dataset.index
+        return (
+            dataclasses,
+            index,
+            EPFISEstimator.from_index(index),
+            ScanTraceExtractor(index),
+        )
+
+    def test_sargable_always_reduces_estimates(self, setup):
+        dataclasses, index, estimator, _extractor = setup
+        scans = generate_scan_mix(index, count=20, rng=random.Random(7))
+        b = index.table.page_count // 2
+        for scan in scans:
+            plain = estimator.estimate(scan.selectivity(), b)
+            filtered = dataclasses.replace(
+                scan, sargable=HashSamplePredicate(0.25, seed=3)
+            )
+            assert estimator.estimate(filtered.selectivity(), b) <= plain
+
+    def test_small_k_estimates_track_filtered_ground_truth(self, setup):
+        """Aggressive filtering on small scans: k is small enough for the
+        urn model to bite, and estimates track the filtered actuals."""
+        dataclasses, index, estimator, extractor = setup
+        predicate = HashSamplePredicate(0.05, seed=3)
+        scans = [
+            dataclasses.replace(s, sargable=predicate)
+            for s in generate_scan_mix(
+                index,
+                count=40,
+                small_probability=1.0,
+                rng=random.Random(7),
+            )
+        ]
+        b = index.table.page_count // 2
+        estimates, actuals = [], []
+        for scan in scans:
+            estimates.append(estimator.estimate(scan.selectivity(), b))
+            actuals.append(extractor.actual_fetches(scan, [b])[b])
+        error = aggregate_relative_error(estimates, actuals)
+        assert abs(error) < 0.5, f"sargable aggregate error {error:+.2%}"
+
+    def test_large_k_estimate_is_conservative_upper_bound(self, setup):
+        """When most records qualify anyway, the estimate stays at most the
+        unfiltered one and at least the filtered actual."""
+        dataclasses, index, estimator, extractor = setup
+        predicate = HashSamplePredicate(0.5, seed=3)
+        scans = [
+            dataclasses.replace(s, sargable=predicate)
+            for s in generate_scan_mix(
+                index,
+                count=10,
+                small_probability=0.0,
+                rng=random.Random(7),
+            )
+        ]
+        b = index.table.page_count // 2
+        for scan in scans:
+            estimate = estimator.estimate(scan.selectivity(), b)
+            actual = extractor.actual_fetches(scan, [b])[b]
+            assert estimate >= 0.8 * actual

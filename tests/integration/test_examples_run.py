@@ -1,0 +1,46 @@
+"""Integration: every example script runs end to end.
+
+Examples are the public face of the library; a refactor that silently
+breaks one would ship a broken README.  Each script runs in-process (via
+runpy, much faster than subprocesses) with its stdout captured and spot
+checked for the content it promises.  The heavier examples are trimmed via
+their module knobs where available; all finish in seconds.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script name -> fragment its output must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "EPFIS estimate",
+    "access_path_selection.py": "Plan quality",
+    "clustering_study.py": "Clustering factor",
+    "compare_estimators.py": "Worst-case and mean error",
+    "catalog_workflow.py": "query compilation",
+    "end_to_end_query.py": "estimate vs executed cost",
+    "multiuser_contention.py": "Destructive contention",
+    "sargable_predicates.py": "sargable predicate",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED_OUTPUT[script] in out, script
+    # No example should print a traceback or error text.
+    assert "Traceback" not in out
+
+
+def test_every_example_is_covered():
+    """New example scripts must be added to this test's expectations."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_OUTPUT)

@@ -1,0 +1,111 @@
+"""Integration: optimizer -> executor -> audit, across many random queries.
+
+The strongest end-to-end statement the library can make: for any random
+scan, the plan the optimizer picks (costed by EPFIS) executes through a
+real buffer pool, returns exactly the right rows, and bills the exact
+data-page fetch count the harness's ground truth machinery computes.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.estimators.epfis import EPFISEstimator
+from repro.eval.ground_truth import ScanTraceExtractor
+from repro.executor.plans import IndexScanNode, plan_from_choice
+from repro.executor.runtime import QueryExecutor
+from repro.optimizer.access_path import choose_access_plan
+from repro.workload.scans import generate_scan_mix
+
+
+@pytest.fixture(scope="module")
+def pipeline(skewed_dataset):
+    index = skewed_dataset.index
+    return (
+        skewed_dataset,
+        EPFISEstimator.from_index(index),
+        ScanTraceExtractor(index),
+    )
+
+
+class TestChosenPlansExecuteCorrectly:
+    def test_rows_match_spec_and_fetches_match_ground_truth(self, pipeline):
+        dataset, estimator, extractor = pipeline
+        index = dataset.index
+        buffer_pages = dataset.table.page_count // 2
+        scans = generate_scan_mix(index, count=15, rng=random.Random(6))
+
+        for scan in scans:
+            choice = choose_access_plan(
+                dataset.table, scan, [(index, estimator)], buffer_pages
+            )
+            plan = plan_from_choice(
+                choice, dataset.table, scan, [(index, estimator)]
+            )
+            if isinstance(plan, IndexScanNode):
+                plan = dataclasses.replace(plan, charge_index_pages=False)
+            rows, stats = QueryExecutor(buffer_pages).execute(plan)
+
+            # Row count always equals the scan's exact cardinality.
+            assert len(rows) == scan.selected_records
+
+            # When the index plan ran, its bill equals ground truth.
+            if isinstance(plan, IndexScanNode):
+                expected = extractor.actual_fetches(scan, [buffer_pages])[
+                    buffer_pages
+                ]
+                assert stats.data_page_fetches == expected
+
+    def test_sorted_plan_orders_output(self, pipeline):
+        dataset, estimator, _extractor = pipeline
+        index = dataset.index
+        scans = generate_scan_mix(index, count=3, rng=random.Random(8))
+        for scan in scans:
+            choice = choose_access_plan(
+                dataset.table,
+                scan,
+                [(index, estimator)],
+                buffer_pages=40,
+                order_required=True,
+                ordering_column="other",  # no index delivers this order
+            )
+            plan = plan_from_choice(
+                choice,
+                dataset.table,
+                scan,
+                [(index, estimator)],
+                order_column="key",
+            )
+            rows, stats = QueryExecutor(40).execute(plan)
+            keys = [row[0] for row in rows]
+            assert keys == sorted(keys)
+            assert stats.sorted_output
+
+
+class TestIndexPageAccounting:
+    def test_leaf_fetches_bounded_by_leaf_count(self, pipeline):
+        dataset, _estimator, _extractor = pipeline
+        index = dataset.index
+        _rows, stats = QueryExecutor(500).execute(
+            IndexScanNode(index, charge_index_pages=True)
+        )
+        assert 0 < stats.index_page_fetches <= index.btree.leaf_count()
+
+    def test_partial_scan_touches_fewer_leaves(self, pipeline):
+        dataset, _estimator, _extractor = pipeline
+        index = dataset.index
+        keys = index.sorted_keys()
+        from repro.workload.predicates import KeyRange
+
+        _rows, narrow = QueryExecutor(500).execute(
+            IndexScanNode(
+                index,
+                key_range=KeyRange.between(keys[0], keys[5]),
+                charge_index_pages=True,
+            )
+        )
+        _rows, full = QueryExecutor(500).execute(
+            IndexScanNode(index, charge_index_pages=True)
+        )
+        assert narrow.index_page_fetches < full.index_page_fetches

@@ -1,0 +1,140 @@
+"""Failure injection: corrupted inputs must fail loudly and precisely.
+
+A production statistics subsystem is judged by how it breaks: a corrupted
+catalog must not silently produce garbage estimates, a malformed trace must
+not crash deep inside a Fenwick loop with an inscrutable IndexError, and
+domain errors must carry the offending values.
+"""
+
+import json
+
+import pytest
+
+from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.errors import (
+    CatalogError,
+    EstimationError,
+    ReproError,
+    TraceError,
+)
+from repro.estimators.epfis import EPFISEstimator, LRUFit
+from repro.fit.segments import PiecewiseLinear
+
+
+class TestCorruptedCatalog:
+    @pytest.fixture()
+    def saved_catalog(self, skewed_dataset, tmp_path):
+        stats = LRUFit().run(skewed_dataset.index)
+        catalog = SystemCatalog()
+        catalog.put(stats)
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        return path, stats
+
+    def test_truncated_file(self, saved_catalog):
+        path, _stats = saved_catalog
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CatalogError):
+            SystemCatalog.load(path)
+
+    def test_missing_field(self, saved_catalog):
+        path, stats = saved_catalog
+        payload = json.loads(path.read_text())
+        del payload[stats.index_name]["fpf_curve"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CatalogError):
+            SystemCatalog.load(path)
+
+    def test_out_of_domain_clustering_factor(self, saved_catalog):
+        path, stats = saved_catalog
+        payload = json.loads(path.read_text())
+        payload[stats.index_name]["clustering_factor"] = 3.5
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CatalogError) as exc_info:
+            SystemCatalog.load(path)
+        assert "clustering_factor" in str(exc_info.value)
+
+    def test_unsorted_curve_knots(self, saved_catalog):
+        path, stats = saved_catalog
+        payload = json.loads(path.read_text())
+        payload[stats.index_name]["fpf_curve"] = [[10.0, 5.0], [10.0, 7.0]]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError):
+            SystemCatalog.load(path)
+
+    def test_renamed_entry_detected(self, saved_catalog):
+        path, stats = saved_catalog
+        payload = json.loads(path.read_text())
+        payload["impostor"] = payload.pop(stats.index_name)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CatalogError):
+            SystemCatalog.load(path)
+
+
+class TestMalformedTraces:
+    def test_empty_trace(self):
+        from repro.buffer.stack import FetchCurve
+
+        with pytest.raises(TraceError):
+            FetchCurve.from_trace([])
+
+    def test_lru_fit_empty_trace(self):
+        with pytest.raises(EstimationError):
+            LRUFit().run_on_trace([], table_pages=5, distinct_keys=1)
+
+    def test_negative_pages_rejected_at_the_boundary(self):
+        from repro.trace.reference import ReferenceTrace
+
+        with pytest.raises(TraceError):
+            ReferenceTrace([3, -7, 2])
+
+
+class TestDomainErrors:
+    def test_estimator_rejects_nonpositive_buffer(self, skewed_dataset):
+        estimator = EPFISEstimator.from_index(skewed_dataset.index)
+        from repro.types import ScanSelectivity
+
+        with pytest.raises(EstimationError) as exc_info:
+            estimator.estimate(ScanSelectivity(0.5), 0)
+        assert "buffer" in str(exc_info.value).lower()
+
+    def test_selectivity_out_of_range_is_a_value_error(self):
+        from repro.types import ScanSelectivity
+
+        with pytest.raises(ValueError) as exc_info:
+            ScanSelectivity(1.7)
+        assert "1.7" in str(exc_info.value)
+
+    def test_statistics_with_impossible_shape(self):
+        with pytest.raises(CatalogError):
+            IndexStatistics(
+                index_name="bad",
+                table_pages=100,
+                table_records=50,  # fewer records than pages
+                distinct_keys=10,
+                clustering_factor=0.5,
+                fpf_curve=PiecewiseLinear(((1.0, 1.0),)),
+                b_min=1,
+                b_max=1,
+                f_min=1,
+            )
+
+    def test_every_library_error_is_catchable_as_repro_error(
+        self, skewed_dataset
+    ):
+        """One except clause suffices for callers."""
+        from repro.types import ScanSelectivity
+
+        estimator = EPFISEstimator.from_index(skewed_dataset.index)
+        failures = 0
+        for action in (
+            lambda: estimator.estimate(ScanSelectivity(0.5), -3),
+            lambda: SystemCatalog().get("missing"),
+            lambda: LRUFit().run_on_trace([], 1, 1),
+        ):
+            try:
+                action()
+            except ReproError:
+                failures += 1
+        assert failures == 3

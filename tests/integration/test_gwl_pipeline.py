@@ -1,0 +1,66 @@
+"""Integration: the simulated GWL database feeding the figure harness."""
+
+import pytest
+
+from repro.datagen.gwl import build_gwl_database
+from repro.eval.figures import (
+    figure1_fpf_curves,
+    gwl_error_figure,
+    table2_rows,
+    table3_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def small_gwl():
+    """Two CMAC columns at small scale (kept cheap for CI)."""
+    return build_gwl_database(
+        scale=0.08, columns=["CMAC.BRAN", "CMAC.CEDT"], tolerance=0.03
+    )
+
+
+class TestTables:
+    def test_table2_shapes(self, small_gwl):
+        rows = table2_rows(small_gwl)
+        assert rows == [("CMAC", small_gwl.table("CMAC").page_count, 20)]
+
+    def test_table3_c_close_to_paper(self, small_gwl):
+        for name, _card, measured_c, paper_c in table3_rows(small_gwl):
+            assert measured_c == pytest.approx(paper_c, abs=8.0), name
+
+
+class TestFigure1:
+    def test_fpf_curves_normalized_and_monotone(self, small_gwl):
+        series = figure1_fpf_curves(
+            small_gwl, columns=["CMAC.BRAN", "CMAC.CEDT"]
+        )
+        assert len(series) == 2
+        for s in series:
+            ys = [y for _x, y in s.points]
+            # Normalized F/T must start high and fall monotonically to ~1.
+            assert ys == sorted(ys, reverse=True)
+            assert ys[-1] == pytest.approx(1.0, abs=0.01)
+            assert ys[0] >= 1.0
+
+    def test_less_clustered_column_fetches_more(self, small_gwl):
+        """BRAN (C=43%) must sit above CEDT (C=65%) at small buffers."""
+        series = {
+            s.column: s
+            for s in figure1_fpf_curves(
+                small_gwl, columns=["CMAC.BRAN", "CMAC.CEDT"]
+            )
+        }
+        bran_small_b = series["CMAC.BRAN"].points[1][1]
+        cedt_small_b = series["CMAC.CEDT"].points[1][1]
+        assert bran_small_b > cedt_small_b
+
+
+class TestErrorFigure:
+    def test_gwl_error_figure_runs_and_epfis_wins(self, small_gwl):
+        result = gwl_error_figure(
+            small_gwl, "CMAC.BRAN", scan_count=40, seed=2
+        )
+        worst = result.max_abs_errors()
+        epfis = worst.pop("EPFIS")
+        assert epfis <= min(worst.values()) + 1e-9
+        assert epfis < 35.0

@@ -1,0 +1,99 @@
+"""Property-based tests for the B+-tree: it must behave exactly like a
+sorted multiset of (key, insertion-order) pairs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BTreeIndex, KeyBound
+from repro.types import RID
+
+keys = st.integers(min_value=0, max_value=30)
+key_lists = st.lists(keys, min_size=0, max_size=200)
+
+
+def _build(key_list, fanout=4):
+    tree = BTreeIndex(fanout=fanout)
+    for i, key in enumerate(key_list):
+        tree.insert(key, RID(i, 0))
+    return tree
+
+
+@given(key_list=key_lists, fanout=st.integers(4, 16))
+@settings(max_examples=200)
+def test_structure_valid_after_any_insertion_sequence(key_list, fanout):
+    tree = _build(key_list, fanout)
+    tree.validate()
+    assert len(tree) == len(key_list)
+
+
+@given(key_list=key_lists)
+def test_items_sorted_and_stable_within_key(key_list):
+    tree = _build(key_list)
+    got = [(k, r.page) for k, r in tree.items()]
+    # Python's sort is stable, so sorting (key, arrival) models the spec.
+    expected = sorted(
+        ((k, i) for i, k in enumerate(key_list)), key=lambda kv: kv[0]
+    )
+    assert got == expected
+
+
+@given(key_list=key_lists, lo=keys, hi=keys,
+       lo_inc=st.booleans(), hi_inc=st.booleans())
+@settings(max_examples=200)
+def test_range_scan_matches_filter(key_list, lo, hi, lo_inc, hi_inc):
+    if hi < lo:
+        lo, hi = hi, lo
+    tree = _build(key_list)
+    got = [k for k, _r in tree.range(KeyBound(lo, lo_inc), KeyBound(hi, hi_inc))]
+
+    def keep(k):
+        above = k >= lo if lo_inc else k > lo
+        below = k <= hi if hi_inc else k < hi
+        return above and below
+
+    expected = sorted(k for k in key_list if keep(k))
+    assert got == expected
+
+
+@given(key_list=key_lists, probe=keys)
+def test_search_finds_all_duplicates_in_arrival_order(key_list, probe):
+    tree = _build(key_list)
+    expected = [i for i, k in enumerate(key_list) if k == probe]
+    assert [r.page for r in tree.search(probe)] == expected
+
+
+@given(key_list=key_lists)
+def test_distinct_key_count(key_list):
+    tree = _build(key_list)
+    assert tree.distinct_key_count() == len(set(key_list))
+
+
+operations = st.lists(
+    st.tuples(st.booleans(), keys), min_size=1, max_size=300
+)
+
+
+@given(ops=operations, fanout=st.integers(4, 8))
+@settings(max_examples=150)
+def test_insert_delete_fuzz_matches_multiset_model(ops, fanout):
+    """Random insert/delete interleaving == a sorted multiset, always."""
+    tree = BTreeIndex(fanout=fanout)
+    model = {}  # (key, unique page) -> None, modelling live entries
+    counter = 0
+    for is_delete, key in ops:
+        if is_delete and model:
+            # Delete some live entry (deterministic pick: smallest).
+            victim_key, victim_page = min(model)
+            tree.delete(victim_key, RID(victim_page, 0))
+            del model[(victim_key, victim_page)]
+        else:
+            tree.insert(key, RID(counter, 0))
+            model[(key, counter)] = None
+            counter += 1
+    tree.validate()
+    assert len(tree) == len(model)
+    got = [(k, r.page) for k, r in tree.items()]
+    assert sorted(got) == sorted(model)
+    # Keys come out sorted regardless of the operation interleaving.
+    got_keys = [k for k, _p in got]
+    assert got_keys == sorted(got_keys)

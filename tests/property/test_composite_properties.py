@@ -1,0 +1,98 @@
+"""Property-based tests for composite indexes and their sentinels."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.composite import (
+    MAX_SENTINEL,
+    MIN_SENTINEL,
+    CompositeIndex,
+    major_range,
+)
+from repro.storage.table import Table
+
+values = st.integers(min_value=-50, max_value=50)
+
+
+@given(value=values)
+def test_sentinels_bracket_every_value(value):
+    assert MIN_SENTINEL < value < MAX_SENTINEL
+    assert not value < MIN_SENTINEL  # noqa: SIM300 - exercising __gt__
+    assert MAX_SENTINEL > value
+    assert MIN_SENTINEL <= value <= MAX_SENTINEL
+
+
+@given(a=values, b=values)
+def test_sentinel_tuple_bounds_bracket_real_tuples(a, b):
+    assert (a, MIN_SENTINEL) <= (a, b) <= (a, MAX_SENTINEL)
+    assert (a, MAX_SENTINEL) < (a + 1, MIN_SENTINEL)
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 5)),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _build(rows):
+    table = Table("t", ("a", "b"), records_per_page=7)
+    for row in rows:
+        table.insert(row)
+    return CompositeIndex.build(table, ("a", "b"))
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=100)
+def test_composite_entries_lexicographically_sorted(rows):
+    index = _build(rows)
+    keys = [e.key for e in index.entries()]
+    assert keys == sorted(keys)
+    assert len(keys) == len(rows)
+
+
+@given(
+    rows=rows_strategy,
+    lo=st.integers(0, 12),
+    hi=st.integers(0, 12),
+    lo_inc=st.booleans(),
+    hi_inc=st.booleans(),
+)
+@settings(max_examples=150)
+def test_major_range_matches_filter(rows, lo, hi, lo_inc, hi_inc):
+    if hi < lo:
+        lo, hi = hi, lo
+    index = _build(rows)
+    key_range = major_range(
+        index, low=lo, high=hi,
+        low_inclusive=lo_inc, high_inclusive=hi_inc,
+    )
+    got = sorted(e.key for e in index.entries(*key_range.bounds()))
+
+    def keep(a):
+        above = a >= lo if lo_inc else a > lo
+        below = a <= hi if hi_inc else a < hi
+        return above and below
+
+    expected = sorted((a, b) for a, b in rows if keep(a))
+    assert got == expected
+
+
+@given(rows=rows_strategy, pivot=st.integers(0, 5))
+@settings(max_examples=100)
+def test_minor_predicate_counts_match(rows, pivot):
+    from repro.storage.composite import MinorColumnPredicate
+
+    index = _build(rows)
+    predicate = MinorColumnPredicate.equals(index, "b", pivot)
+    qualifying = sum(
+        1 for e in index.entries() if predicate.qualifies(e)
+    )
+    expected = sum(1 for _a, b in rows if b == pivot)
+    assert qualifying == expected
+    assert predicate.selectivity * index.entry_count == (
+        # float equality is exact here: selectivity = count / total
+        qualifying
+    )

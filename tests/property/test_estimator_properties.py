@@ -1,0 +1,138 @@
+"""Property-based invariants shared by the estimators and generators."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.window import WindowPlacer
+from repro.datagen.zipf import zipf_counts
+from repro.estimators.epfis import LRUFit, LRUFitConfig, EstIO
+from repro.estimators.formulas import cardenas, waters, yao
+from repro.estimators.mackert_lohman import MackertLohmanEstimator
+from repro.types import ScanSelectivity
+
+
+@given(
+    pages=st.integers(1, 500),
+    selections=st.integers(0, 2_000),
+)
+def test_cardenas_bounded_by_pages_and_selections(pages, selections):
+    value = cardenas(pages, selections)
+    assert 0.0 <= value <= pages
+    assert value <= selections or selections == 0 or value <= selections + 1e-9
+
+
+@given(
+    pages=st.integers(1, 60),
+    per_page=st.integers(1, 40),
+    fraction=st.floats(0.0, 1.0),
+)
+def test_yao_waters_cardenas_ordering(pages, per_page, fraction):
+    """Yao (without replacement) >= Cardenas (with replacement); Waters
+    approximates Yao from above or below but stays within page bounds."""
+    records = pages * per_page
+    selections = int(fraction * records)
+    y = yao(records, pages, selections)
+    c = cardenas(pages, selections)
+    w = waters(records, pages, selections)
+    assert y >= c - 1e-9
+    assert 0.0 <= w <= pages + 1e-9
+    assert 0.0 <= y <= pages + 1e-9
+
+
+@given(
+    records=st.integers(1, 5_000),
+    distinct=st.integers(1, 200),
+    theta=st.floats(0.0, 1.2),
+)
+def test_zipf_counts_invariants(records, distinct, theta):
+    if distinct > records:
+        distinct = records
+    counts = zipf_counts(records, distinct, theta)
+    assert sum(counts) == records
+    assert len(counts) == distinct
+    assert all(c >= 1 for c in counts)
+    assert counts == sorted(counts, reverse=True)
+
+
+@given(
+    keys=st.integers(1, 40),
+    per_key=st.integers(1, 12),
+    rpp=st.integers(1, 16),
+    window=st.floats(0.0, 1.0),
+    noise=st.floats(0.0, 0.5),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=80)
+def test_window_placement_capacity_invariants(
+    keys, per_key, rpp, window, noise, seed
+):
+    counts = [per_key] * keys
+    placer = WindowPlacer(window, noise=noise, rng=random.Random(seed))
+    placement = placer.place(counts, rpp)
+    occupancy = placement.occupancy()
+    assert sum(occupancy) == keys * per_key
+    assert max(occupancy) <= rpp
+    # ceil(N / rpp) pages, no more.
+    assert placement.pages == -(-keys * per_key // rpp)
+    slots = {(p, s) for _k, p, s in placement.assignments}
+    assert len(slots) == keys * per_key
+
+
+@given(
+    sigma=st.floats(0.001, 1.0),
+    s=st.floats(0.01, 1.0),
+    buffer_pages=st.integers(1, 300),
+)
+@settings(max_examples=100)
+def test_ml_estimate_bounds(sigma, s, buffer_pages):
+    ml = MackertLohmanEstimator(
+        table_pages=200, table_records=8_000, distinct_keys=400
+    )
+    value = ml.estimate(ScanSelectivity(sigma, s), buffer_pages)
+    assert 0.0 <= value
+    # ML never predicts more fetches than records retrieved or N.
+    assert value <= 8_000
+
+
+def _fixed_stats():
+    """A small deterministic dataset for Est-IO property tests."""
+    trace = []
+    rng = random.Random(7)
+    for key in range(60):
+        for _ in range(20):
+            trace.append(rng.randrange(60))
+    return LRUFit(LRUFitConfig()).run_on_trace(
+        trace, table_pages=60, distinct_keys=60
+    )
+
+
+_STATS = _fixed_stats()
+
+
+@given(
+    sigma=st.floats(0.0, 1.0),
+    s=st.floats(0.0, 1.0),
+    buffer_pages=st.integers(1, 120),
+)
+@settings(max_examples=200)
+def test_est_io_output_is_finite_nonnegative_and_bounded(
+    sigma, s, buffer_pages
+):
+    est_io = EstIO(_STATS)
+    value = est_io.estimate(ScanSelectivity(sigma, s), buffer_pages)
+    assert value == value  # not NaN
+    assert 0.0 <= value
+    qualifying = sigma * s * _STATS.table_records
+    assert value <= max(1.0, qualifying) + 1e-9
+
+
+@given(buffer_pages=st.integers(1, 200))
+def test_est_io_full_scan_monotone_in_buffer(buffer_pages):
+    est_io = EstIO(_STATS)
+    smaller = est_io.full_scan_fetches(buffer_pages)
+    larger = est_io.full_scan_fetches(buffer_pages + 10)
+    # The fitted FPF curve is monotone because the exact one is and knots
+    # are exact samples of it.
+    assert larger <= smaller + 1e-6

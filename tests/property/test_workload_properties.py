@@ -1,0 +1,156 @@
+"""Property-based tests for workload machinery: histograms, RID lists,
+contention interleaving, and the scan generator."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.ridlist import (
+    and_rid_lists,
+    fetch_pages_sorted,
+    or_rid_lists,
+)
+from repro.types import RID
+from repro.workload.histogram import Bucket, Histogram
+from repro.workload.interleave import interleave_traces, simulate_contention
+from repro.workload.predicates import KeyRange
+from repro.workload.scans import KeyDistribution, ScanKind, generate_scan
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+key_count_lists = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=1, max_size=60
+)
+
+
+def _histogram_from_counts(counts, buckets=7):
+    """Build an equi-depth-ish histogram directly from key counts."""
+    total = sum(counts)
+    target = max(1, total // buckets)
+    built = []
+    low = 0
+    records = 0
+    distinct = 0
+    for key, count in enumerate(counts):
+        records += count
+        distinct += 1
+        if records >= target or key == len(counts) - 1:
+            built.append(Bucket(float(low), float(key), records, distinct))
+            low = key + 1
+            records = 0
+            distinct = 0
+    built = [b for b in built if b.records > 0 or True]
+    return Histogram(built, total)
+
+
+@given(counts=key_count_lists, lo=st.integers(0, 59), hi=st.integers(0, 59))
+@settings(max_examples=200)
+def test_histogram_selectivity_bounded_and_monotone(counts, lo, hi):
+    if hi < lo:
+        lo, hi = hi, lo
+    lo = min(lo, len(counts) - 1)
+    hi = min(hi, len(counts) - 1)
+    histogram = _histogram_from_counts(counts)
+    narrow = histogram.estimate_range(KeyRange.between(lo, hi))
+    assert 0.0 <= narrow <= 1.0
+    # Widening the range never decreases the estimate.
+    wide = histogram.estimate_range(
+        KeyRange.between(max(0, lo - 3), min(len(counts) - 1, hi + 3))
+    )
+    assert wide >= narrow - 1e-12
+    # Full range is exactly 1.
+    assert histogram.estimate_range(KeyRange.full()) == 1.0
+
+
+# ----------------------------------------------------------------------
+# RID lists
+# ----------------------------------------------------------------------
+rid_lists = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 5)).map(
+        lambda t: RID(*t)
+    ),
+    max_size=50,
+)
+
+
+@given(a=rid_lists, b=rid_lists)
+@settings(max_examples=200)
+def test_rid_set_algebra(a, b):
+    anded = and_rid_lists(a, b)
+    orred = or_rid_lists(a, b)
+    assert set(anded) == set(a) & set(b)
+    assert set(orred) == set(a) | set(b)
+    # AND is contained in OR; page counts respect containment.
+    assert set(anded) <= set(orred)
+    assert fetch_pages_sorted(anded) <= fetch_pages_sorted(orred)
+    # Both outputs are page-sorted and duplicate-free.
+    for result in (anded, orred):
+        pairs = [(r.page, r.slot) for r in result]
+        assert pairs == sorted(pairs)
+        assert len(pairs) == len(set(pairs))
+
+
+@given(rids=rid_lists)
+def test_fetch_pages_counts_distinct(rids):
+    assert fetch_pages_sorted(rids) == len({r.page for r in rids})
+
+
+# ----------------------------------------------------------------------
+# Contention
+# ----------------------------------------------------------------------
+traces_strategy = st.lists(
+    st.lists(st.integers(0, 8), min_size=1, max_size=30),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(traces=traces_strategy, seed=st.integers(0, 1000))
+@settings(max_examples=150)
+def test_interleaving_is_a_merge(traces, seed):
+    for schedule in ("round-robin", "random"):
+        merged = interleave_traces(
+            traces, schedule, rng=random.Random(seed)
+        )
+        assert len(merged) == sum(len(t) for t in traces)
+        for scan_id, trace in enumerate(traces):
+            assert [p for s, p in merged if s == scan_id] == list(trace)
+
+
+@given(traces=traces_strategy, buffer_pages=st.integers(1, 12))
+@settings(max_examples=150)
+def test_disjoint_contention_never_helps(traces, buffer_pages):
+    result = simulate_contention(traces, buffer_pages)
+    assert result.total_fetches >= result.total_dedicated
+    # Attribution is complete: every reference is a hit or a counted fetch.
+    assert result.total_fetches <= sum(len(t) for t in traces)
+
+
+# ----------------------------------------------------------------------
+# Scan generation
+# ----------------------------------------------------------------------
+count_lists = st.lists(
+    st.integers(min_value=1, max_value=30), min_size=1, max_size=50
+)
+
+
+@given(counts=count_lists, seed=st.integers(0, 10_000),
+       kind=st.sampled_from([ScanKind.SMALL, ScanKind.LARGE]))
+@settings(max_examples=300)
+def test_generated_scans_are_well_formed(counts, seed, kind):
+    distribution = KeyDistribution(list(range(len(counts))), counts)
+    scan = generate_scan(distribution, kind, random.Random(seed))
+    # The range selects at least the requested fraction of records.
+    required = round(scan.target_fraction * distribution.total_records)
+    assert scan.selected_records >= min(required, 1) or required == 0
+    # And the selection count is consistent with the key range.
+    lo = scan.key_range.start.value
+    hi = scan.key_range.stop.value
+    exact = sum(counts[lo: hi + 1])
+    assert exact == scan.selected_records
+    # Small scans respect the r <= 0.2 bound up to one key's slack.
+    if kind is ScanKind.SMALL:
+        slack = max(counts) / distribution.total_records
+        assert scan.range_selectivity <= 0.2 + slack

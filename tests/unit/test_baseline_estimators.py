@@ -1,0 +1,223 @@
+"""Unit tests for the ML / DC / SD / OT / naive baseline estimators."""
+
+import pytest
+
+from repro.buffer.lru import LRUBufferPool
+from repro.errors import EstimationError
+from repro.estimators.dc import DCEstimator
+from repro.estimators.epfis import LRUFit, LRUFitConfig
+from repro.estimators.mackert_lohman import MackertLohmanEstimator
+from repro.estimators.naive import (
+    PerfectlyClusteredEstimator,
+    PerfectlyUnclusteredEstimator,
+)
+from repro.estimators.ot import OTEstimator
+from repro.estimators.sd import SDEstimator
+from repro.types import ScanSelectivity
+
+
+class TestMackertLohman:
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            MackertLohmanEstimator(0, 10, 5)
+        with pytest.raises(EstimationError):
+            MackertLohmanEstimator(10, 5, 5)
+        with pytest.raises(EstimationError):
+            MackertLohmanEstimator(10, 100, 0)
+
+    def test_zero_selectivity(self):
+        ml = MackertLohmanEstimator(100, 10_000, 500)
+        assert ml.estimate(ScanSelectivity(0.0), 50) == 0.0
+
+    def test_full_scan_with_huge_buffer_near_t(self):
+        """With B >= T everything is cached: F -> T(1 - q^I) <= T."""
+        ml = MackertLohmanEstimator(100, 10_000, 500)
+        estimate = ml.estimate(ScanSelectivity(1.0), 100)
+        assert estimate <= 100.0
+        assert estimate == pytest.approx(100.0, rel=0.05)
+
+    def test_small_buffer_costs_more(self):
+        ml = MackertLohmanEstimator(100, 10_000, 500)
+        sel = ScanSelectivity(1.0)
+        assert ml.estimate(sel, 5) > ml.estimate(sel, 90)
+
+    def test_monotone_in_selectivity(self):
+        ml = MackertLohmanEstimator(200, 20_000, 1_000)
+        values = [
+            ml.estimate(ScanSelectivity(s), 50)
+            for s in (0.1, 0.3, 0.5, 0.9, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_single_page_table(self):
+        ml = MackertLohmanEstimator(1, 100, 10)
+        assert ml.estimate(ScanSelectivity(0.5), 4) == 1.0
+
+    def test_from_index(self, skewed_dataset):
+        ml = MackertLohmanEstimator.from_index(skewed_dataset.index)
+        assert ml.estimate(ScanSelectivity(0.5), 40) > 0
+
+    def test_from_statistics(self, skewed_dataset):
+        stats = LRUFit().run(skewed_dataset.index)
+        a = MackertLohmanEstimator.from_statistics(stats)
+        b = MackertLohmanEstimator.from_index(skewed_dataset.index)
+        sel = ScanSelectivity(0.4)
+        assert a.estimate(sel, 30) == pytest.approx(b.estimate(sel, 30))
+
+
+class TestDC:
+    def test_cluster_ratio_formula(self):
+        # CC/I = 0.5, adjustment = min(0.4, 5 ln(2)) = 0.4.
+        dc = DCEstimator(
+            table_pages=100,
+            table_records=1_000,
+            distinct_keys=50,
+            cluster_count=25,
+        )
+        assert dc.cluster_ratio == pytest.approx(0.9)
+
+    def test_cluster_ratio_clamped_to_one(self):
+        dc = DCEstimator(100, 1_000, 50, 50)
+        assert dc.cluster_ratio == 1.0
+
+    def test_negative_adjustment_floored_at_zero(self):
+        # T < I: ln(T/I) < 0 pushes CR below 0; it must be floored.
+        dc = DCEstimator(
+            table_pages=10, table_records=1_000, distinct_keys=1_000,
+            cluster_count=0,
+        )
+        assert dc.cluster_ratio == 0.0
+
+    def test_estimate_ignores_buffer(self):
+        dc = DCEstimator(100, 1_000, 50, 25)
+        sel = ScanSelectivity(0.5)
+        assert dc.estimate(sel, 1) == dc.estimate(sel, 1_000)
+
+    def test_perfectly_clustered_estimate_is_sigma_t(self):
+        dc = DCEstimator(100, 1_000, 50, 50)
+        assert dc.estimate(ScanSelectivity(0.5), 10) == pytest.approx(50.0)
+
+    def test_from_index_consistency(self, clustered_dataset):
+        dc = DCEstimator.from_index(clustered_dataset.index)
+        assert dc.cluster_ratio > 0.9
+
+    def test_from_statistics_requires_cc(self, skewed_dataset):
+        stats = LRUFit(LRUFitConfig(collect_baseline_stats=False)).run(
+            skewed_dataset.index
+        )
+        with pytest.raises(EstimationError):
+            DCEstimator.from_statistics(stats)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            DCEstimator(10, 100, 5, 6)  # CC > I
+
+
+class TestSD:
+    def test_cluster_ratio_from_single_buffer_fetches(self, clustered_dataset):
+        sd = SDEstimator.from_index(clustered_dataset.index)
+        assert sd.cluster_ratio > 0.95
+
+    def test_perfect_clustering_gives_sigma_t(self):
+        # J == T means no extra jumps: CR = 1.
+        sd = SDEstimator(100, 1_000, 50, fetches_single_buffer=100)
+        assert sd.estimate(ScanSelectivity(0.4), 10) == pytest.approx(40.0)
+
+    def test_buffer_larger_than_table_caps_estimate(self):
+        sd = SDEstimator(100, 10_000, 50, fetches_single_buffer=9_000)
+        sel = ScanSelectivity(1.0)
+        small_buffer = sd.estimate(sel, 50)
+        large_buffer = sd.estimate(sel, 200)
+        assert large_buffer <= small_buffer
+
+    def test_exponent_variants_differ(self, unclustered_dataset):
+        literal = SDEstimator.from_index(unclustered_dataset.index)
+        variant = SDEstimator.from_index(
+            unclustered_dataset.index, exponent="records-per-key"
+        )
+        sel = ScanSelectivity(0.5)
+        assert literal.estimate(sel, 10) != variant.estimate(sel, 10)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(EstimationError):
+            SDEstimator(10, 100, 5, 50, exponent="bogus")
+
+    def test_from_statistics_requires_j(self, skewed_dataset):
+        stats = LRUFit(LRUFitConfig(collect_baseline_stats=False)).run(
+            skewed_dataset.index
+        )
+        with pytest.raises(EstimationError):
+            SDEstimator.from_statistics(stats)
+
+    def test_from_statistics_matches_from_index(self, skewed_dataset):
+        stats = LRUFit().run(skewed_dataset.index)
+        a = SDEstimator.from_statistics(stats)
+        b = SDEstimator.from_index(skewed_dataset.index)
+        sel = ScanSelectivity(0.3)
+        assert a.estimate(sel, 20) == pytest.approx(b.estimate(sel, 20))
+
+
+class TestOT:
+    def test_probe_buffer_is_three(self, skewed_dataset):
+        trace = skewed_dataset.index.page_sequence()
+        expected_j = LRUBufferPool(3).run(trace)
+        ot = OTEstimator.from_index(skewed_dataset.index)
+        stats = LRUFit().run(skewed_dataset.index)
+        assert stats.fetches_b3 == expected_j
+        assert OTEstimator.from_statistics(stats).cluster_ratio == (
+            ot.cluster_ratio
+        )
+
+    def test_perfect_clustering(self):
+        # J == T: CR = (N + T - T)/N = 1.
+        ot = OTEstimator(100, 1_000, fetches_three_buffers=100)
+        assert ot.cluster_ratio == 1.0
+        assert ot.estimate(ScanSelectivity(0.2), 10) == pytest.approx(20.0)
+
+    def test_fully_unclustered(self):
+        # J == N + T would give CR = 0; J capped at N, so CR = T/N.
+        ot = OTEstimator(100, 1_000, fetches_three_buffers=1_000)
+        assert ot.cluster_ratio == pytest.approx(0.1)
+
+    def test_estimate_ignores_buffer(self):
+        ot = OTEstimator(100, 1_000, 500)
+        sel = ScanSelectivity(0.5)
+        assert ot.estimate(sel, 1) == ot.estimate(sel, 999)
+
+    def test_from_statistics_requires_j3(self, skewed_dataset):
+        stats = LRUFit(LRUFitConfig(collect_baseline_stats=False)).run(
+            skewed_dataset.index
+        )
+        with pytest.raises(EstimationError):
+            OTEstimator.from_statistics(stats)
+
+
+class TestNaive:
+    def test_clustered_bound(self, skewed_dataset):
+        est = PerfectlyClusteredEstimator.from_index(skewed_dataset.index)
+        t = skewed_dataset.table.page_count
+        assert est.estimate(ScanSelectivity(0.5), 10) == pytest.approx(t / 2)
+
+    def test_unclustered_bound(self, skewed_dataset):
+        est = PerfectlyUnclusteredEstimator.from_index(skewed_dataset.index)
+        n = skewed_dataset.table.record_count
+        assert est.estimate(ScanSelectivity(0.5), 10) == pytest.approx(n / 2)
+
+    def test_bounds_bracket_reality(self, skewed_dataset):
+        """F always lies between the naive clustered and unclustered bounds
+        for a full scan."""
+        from repro.buffer.stack import FetchCurve
+
+        trace = skewed_dataset.index.page_sequence()
+        curve = FetchCurve.from_trace(trace)
+        lower = PerfectlyClusteredEstimator.from_index(skewed_dataset.index)
+        upper = PerfectlyUnclusteredEstimator.from_index(skewed_dataset.index)
+        sel = ScanSelectivity(1.0)
+        for b in (1, 10, 100):
+            actual = curve.fetches(b)
+            assert lower.estimate(sel, b) <= actual <= upper.estimate(sel, b)
+
+    def test_from_statistics(self, skewed_dataset):
+        stats = LRUFit().run(skewed_dataset.index)
+        est = PerfectlyClusteredEstimator.from_statistics(stats)
+        assert est.estimate(ScanSelectivity(1.0), 1) == stats.table_pages

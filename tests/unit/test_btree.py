@@ -1,0 +1,126 @@
+"""Unit tests for the B+-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import BTreeError
+from repro.storage.btree import BTreeIndex, KeyBound
+from repro.types import RID
+
+
+def _rid(i: int) -> RID:
+    return RID(i, 0)
+
+
+class TestInsertAndIterate:
+    def test_items_sorted_by_key(self):
+        tree = BTreeIndex(fanout=4)
+        keys = [5, 3, 9, 1, 7, 2, 8, 6, 4, 0]
+        for k in keys:
+            tree.insert(k, _rid(k))
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        tree.validate()
+
+    def test_duplicates_preserve_insertion_order(self):
+        tree = BTreeIndex(fanout=4)
+        tree.insert("k", _rid(30))
+        tree.insert("k", _rid(10))
+        tree.insert("k", _rid(20))
+        assert [r.page for _k, r in tree.items()] == [30, 10, 20]
+
+    def test_len_counts_entries(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(25):
+            tree.insert(i % 5, _rid(i))
+        assert len(tree) == 25
+
+    def test_height_grows_with_splits(self):
+        tree = BTreeIndex(fanout=4)
+        assert tree.height == 1
+        for i in range(100):
+            tree.insert(i, _rid(i))
+        assert tree.height > 1
+        tree.validate()
+
+    def test_minimum_fanout_enforced(self):
+        with pytest.raises(BTreeError):
+            BTreeIndex(fanout=3)
+
+    def test_large_random_insertion_stays_valid(self):
+        tree = BTreeIndex(fanout=5)
+        rng = random.Random(42)
+        keys = [rng.randrange(200) for _ in range(1_000)]
+        for i, k in enumerate(keys):
+            tree.insert(k, RID(i, 0))
+        tree.validate()
+        assert len(tree) == 1_000
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+class TestRangeScans:
+    @pytest.fixture()
+    def tree(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(20):
+            tree.insert(i // 2, _rid(i))  # keys 0..9, two entries each
+        return tree
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range())) == 20
+
+    def test_inclusive_bounds(self, tree):
+        got = [k for k, _ in tree.range(KeyBound(3, True), KeyBound(5, True))]
+        assert got == [3, 3, 4, 4, 5, 5]
+
+    def test_exclusive_start(self, tree):
+        got = [k for k, _ in tree.range(KeyBound(3, False), KeyBound(5, True))]
+        assert got == [4, 4, 5, 5]
+
+    def test_exclusive_stop(self, tree):
+        got = [k for k, _ in tree.range(KeyBound(3, True), KeyBound(5, False))]
+        assert got == [3, 3, 4, 4]
+
+    def test_unbounded_start(self, tree):
+        got = [k for k, _ in tree.range(stop=KeyBound(1, True))]
+        assert got == [0, 0, 1, 1]
+
+    def test_unbounded_stop(self, tree):
+        got = [k for k, _ in tree.range(start=KeyBound(8, True))]
+        assert got == [8, 8, 9, 9]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(KeyBound(100, True), None)) == []
+
+    def test_search_returns_all_duplicates_in_order(self):
+        tree = BTreeIndex(fanout=4)
+        for page in (7, 3, 5):
+            tree.insert("dup", _rid(page))
+        tree.insert("other", _rid(1))
+        assert [r.page for r in tree.search("dup")] == [7, 3, 5]
+        assert tree.search("missing") == []
+
+    def test_exclusive_start_skips_duplicates_across_leaves(self):
+        # Enough duplicates of one key to span several leaves.
+        tree = BTreeIndex(fanout=4)
+        for i in range(30):
+            tree.insert("a", _rid(i))
+        for i in range(5):
+            tree.insert("b", _rid(100 + i))
+        got = [k for k, _ in tree.range(start=KeyBound("a", False))]
+        assert got == ["b"] * 5
+
+
+class TestKeys:
+    def test_distinct_keys(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(30):
+            tree.insert(i % 7, _rid(i))
+        assert list(tree.keys()) == list(range(7))
+        assert tree.distinct_key_count() == 7
+
+    def test_empty_tree(self):
+        tree = BTreeIndex(fanout=4)
+        assert list(tree.items()) == []
+        assert tree.distinct_key_count() == 0
+        tree.validate()

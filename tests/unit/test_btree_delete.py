@@ -1,0 +1,131 @@
+"""Unit tests for B+-tree deletion."""
+
+import random
+
+import pytest
+
+from repro.errors import BTreeError
+from repro.storage.btree import BTreeIndex
+from repro.types import RID
+
+
+def _rid(i: int) -> RID:
+    return RID(i, 0)
+
+
+class TestBasicDeletion:
+    def test_delete_from_single_leaf(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(3):
+            tree.insert(i, _rid(i))
+        tree.delete(1, _rid(1))
+        assert [k for k, _r in tree.items()] == [0, 2]
+        tree.validate()
+
+    def test_delete_missing_raises(self):
+        tree = BTreeIndex(fanout=4)
+        tree.insert(1, _rid(1))
+        with pytest.raises(BTreeError):
+            tree.delete(2, _rid(2))
+        with pytest.raises(BTreeError):
+            tree.delete(1, _rid(99))
+
+    def test_delete_specific_duplicate(self):
+        tree = BTreeIndex(fanout=4)
+        for page in (10, 20, 30):
+            tree.insert("k", _rid(page))
+        tree.delete("k", _rid(20))
+        assert [r.page for r in tree.search("k")] == [10, 30]
+
+    def test_size_tracked(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(10):
+            tree.insert(i, _rid(i))
+        tree.delete(4, _rid(4))
+        tree.delete(7, _rid(7))
+        assert len(tree) == 8
+
+    def test_delete_everything(self):
+        tree = BTreeIndex(fanout=4)
+        keys = list(range(50))
+        for k in keys:
+            tree.insert(k, _rid(k))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.delete(k, _rid(k))
+            tree.validate()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert tree.height == 1
+
+
+class TestRebalancing:
+    def test_deletions_shrink_height(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(200):
+            tree.insert(i, _rid(i))
+        tall = tree.height
+        assert tall >= 3
+        for i in range(190):
+            tree.delete(i, _rid(i))
+        tree.validate()
+        assert tree.height < tall
+
+    def test_interleaved_insert_delete_stays_valid(self):
+        tree = BTreeIndex(fanout=4)
+        rng = random.Random(7)
+        live = []
+        counter = 0
+        for _step in range(2_000):
+            if live and rng.random() < 0.45:
+                key, page = live.pop(rng.randrange(len(live)))
+                tree.delete(key, RID(page, 0))
+            else:
+                key = rng.randrange(40)
+                page = counter
+                counter += 1
+                tree.insert(key, RID(page, 0))
+                live.append((key, page))
+        tree.validate()
+        assert len(tree) == len(live)
+        expected = sorted(
+            (k, i) for i, (k, _p) in enumerate(live)
+        )
+        got_keys = [k for k, _r in tree.items()]
+        assert got_keys == sorted(k for k, _i in expected)
+
+    def test_leaf_chain_intact_after_merges(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(100):
+            tree.insert(i, _rid(i))
+        for i in range(0, 100, 2):
+            tree.delete(i, _rid(i))
+        tree.validate()
+        # items() walks the leaf chain: every odd key, in order.
+        assert [k for k, _r in tree.items()] == list(range(1, 100, 2))
+
+    def test_range_scans_after_deletions(self):
+        tree = BTreeIndex(fanout=4)
+        for i in range(60):
+            tree.insert(i % 10, _rid(i))
+        for i in range(0, 60, 3):
+            tree.delete(i % 10, _rid(i))
+        from repro.storage.btree import KeyBound
+
+        got = [
+            k for k, _r in tree.range(KeyBound(2, True), KeyBound(5, True))
+        ]
+        assert got == sorted(got)
+        assert set(got) <= {2, 3, 4, 5}
+
+
+class TestIndexRemove:
+    def test_remove_through_index(self, tiny_table):
+        from repro.storage.index import Index
+
+        index = Index.build(tiny_table, "b")
+        entry = next(iter(index.entries()))
+        index.remove(entry.key, entry.rid)
+        assert index.entry_count == tiny_table.record_count - 1
+        with pytest.raises(BTreeError):
+            index.check_complete()

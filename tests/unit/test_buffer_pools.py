@@ -1,0 +1,130 @@
+"""Unit tests for the LRU / FIFO / CLOCK buffer-pool simulators."""
+
+import pytest
+
+from repro.buffer.clock import ClockBufferPool
+from repro.buffer.fifo import FIFOBufferPool
+from repro.buffer.lru import LRUBufferPool
+from repro.buffer.pool import simulate_fetches
+from repro.errors import BufferError_
+
+
+class TestLRUBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(BufferError_):
+            LRUBufferPool(0)
+
+    def test_cold_misses_counted(self):
+        pool = LRUBufferPool(3)
+        assert pool.access(1) is False
+        assert pool.access(2) is False
+        assert pool.fetches == 2
+        assert pool.hits == 0
+
+    def test_hit_on_resident_page(self):
+        pool = LRUBufferPool(2)
+        pool.access(7)
+        assert pool.access(7) is True
+        assert pool.hits == 1
+        assert pool.fetches == 1
+
+    def test_eviction_order_is_least_recently_used(self):
+        pool = LRUBufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)          # 2 is now LRU
+        pool.access(3)          # evicts 2
+        assert pool.resident_pages() == frozenset({1, 3})
+        assert pool.access(2) is False
+
+    def test_hit_refreshes_recency(self):
+        pool = LRUBufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)
+        assert pool.lru_order() == (2, 1)
+
+    def test_reset_clears_state(self):
+        pool = LRUBufferPool(2)
+        pool.run([1, 2, 3])
+        pool.reset()
+        assert pool.fetches == 0
+        assert pool.hits == 0
+        assert pool.resident_pages() == frozenset()
+
+    def test_hit_ratio(self):
+        pool = LRUBufferPool(2)
+        pool.run([1, 1, 1, 1])
+        assert pool.hit_ratio == pytest.approx(0.75)
+
+    def test_known_trace_fetch_count(self):
+        # Classic example: capacity 3, trace with one refetch of page 1.
+        trace = [1, 2, 3, 4, 1]  # 1 evicted when 4 arrives
+        assert LRUBufferPool(3).run(trace) == 5
+        assert LRUBufferPool(4).run(trace) == 4
+
+
+class TestSingleBufferEquivalence:
+    def test_single_buffer_counts_jumps(self):
+        trace = [1, 1, 2, 2, 2, 1, 3, 3]
+        # fetches = 1 + number of adjacent page changes
+        changes = sum(1 for a, b in zip(trace, trace[1:]) if a != b)
+        assert LRUBufferPool(1).run(trace) == 1 + changes
+
+
+class TestFIFO:
+    def test_fifo_does_not_refresh_on_hit(self):
+        pool = FIFOBufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)          # hit; 1 remains oldest
+        pool.access(3)          # FIFO evicts 1 (LRU would evict 2)
+        assert pool.resident_pages() == frozenset({2, 3})
+
+    def test_fifo_reset(self):
+        pool = FIFOBufferPool(2)
+        pool.run([1, 2, 3])
+        pool.reset()
+        assert pool.accesses == 0
+        assert pool.resident_pages() == frozenset()
+
+
+class TestClock:
+    def test_clock_second_chance(self):
+        pool = ClockBufferPool(3)
+        pool.run([1, 2, 3])     # all bits set, hand at frame 0
+        pool.access(4)          # full sweep clears bits, evicts 1
+        assert pool.resident_pages() == frozenset({4, 2, 3})
+        pool.access(2)          # re-reference 2: its bit is set again
+        pool.access(5)          # sweep passes 2 (bit set), evicts 3
+        assert pool.resident_pages() == frozenset({4, 2, 5})
+        assert 3 not in pool.resident_pages()
+
+    def test_clock_matches_lru_on_no_reuse_trace(self):
+        trace = list(range(50))
+        assert ClockBufferPool(8).run(trace) == LRUBufferPool(8).run(trace)
+
+    def test_clock_reset(self):
+        pool = ClockBufferPool(3)
+        pool.run([1, 2, 3, 4])
+        pool.reset()
+        assert pool.fetches == 0
+        assert pool.resident_pages() == frozenset()
+
+
+class TestSimulateFetches:
+    def test_dispatch_by_policy_name(self):
+        trace = [1, 2, 1, 3, 1]
+        assert simulate_fetches(trace, 2, "lru") == LRUBufferPool(2).run(trace)
+        assert simulate_fetches(trace, 2, "fifo") == FIFOBufferPool(2).run(trace)
+        assert simulate_fetches(trace, 2, "clock") == ClockBufferPool(2).run(trace)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BufferError_):
+            simulate_fetches([1], 1, "mru")
+
+    def test_all_policies_agree_with_infinite_capacity(self):
+        trace = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        distinct = len(set(trace))
+        for policy in ("lru", "fifo", "clock"):
+            assert simulate_fetches(trace, 100, policy) == distinct

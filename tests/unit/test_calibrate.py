@@ -1,0 +1,87 @@
+"""Unit tests for disorder calibration."""
+
+import pytest
+
+from repro.datagen.calibrate import (
+    calibrate_disorder,
+    disorder_to_params,
+    seeded_rng,
+)
+from repro.datagen.window import WindowPlacer
+from repro.errors import CalibrationError
+
+
+def _builder(counts, rpp):
+    def build_trace(window, noise):
+        rng = seeded_rng("test-builder", window, noise)
+        placement = WindowPlacer(window, noise=noise, rng=rng).place(
+            counts, rpp
+        )
+        return placement.page_trace(), placement.pages
+
+    return build_trace
+
+
+class TestDisorderMapping:
+    def test_negative_disorder_scales_noise(self):
+        window, noise = disorder_to_params(-0.5, base_noise=0.05)
+        assert window == 0.0
+        assert noise == pytest.approx(0.025)
+
+    def test_minus_one_is_noise_free(self):
+        window, noise = disorder_to_params(-1.0)
+        assert (window, noise) == (0.0, 0.0)
+
+    def test_positive_disorder_ramps_noise(self):
+        window, noise = disorder_to_params(0.7, base_noise=0.05)
+        assert window == 0.0
+        assert noise == pytest.approx(0.05 + 0.7 * 0.95)
+
+    def test_full_disorder_is_pure_scatter(self):
+        window, noise = disorder_to_params(1.0, base_noise=0.05)
+        assert (window, noise) == (0.0, 1.0)
+
+    def test_zero_disorder(self):
+        window, noise = disorder_to_params(0.0, base_noise=0.05)
+        assert window == 0.0
+        assert noise == pytest.approx(0.05)
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def build_trace(self):
+        return _builder([40] * 60, 20)
+
+    def test_target_out_of_range_rejected(self, build_trace):
+        with pytest.raises(CalibrationError):
+            calibrate_disorder(build_trace, 1.5)
+
+    def test_reaches_mid_target(self, build_trace):
+        result = calibrate_disorder(build_trace, 0.6, tolerance=0.03)
+        assert result.error <= 0.05
+
+    def test_high_target_uses_low_disorder(self, build_trace):
+        result = calibrate_disorder(build_trace, 0.99, tolerance=0.02)
+        assert result.window == 0.0
+        assert result.achieved_c >= 0.9
+
+    def test_low_target_uses_high_disorder(self, build_trace):
+        result = calibrate_disorder(build_trace, 0.0, tolerance=0.02)
+        assert result.noise >= 0.5
+        assert result.achieved_c <= 0.2
+
+    def test_result_reports_iterations(self, build_trace):
+        result = calibrate_disorder(build_trace, 0.5, tolerance=0.05)
+        assert result.iterations >= 2
+
+
+class TestSeededRng:
+    def test_deterministic_across_calls(self):
+        a = seeded_rng("x", 1, 0.5).random()
+        b = seeded_rng("x", 1, 0.5).random()
+        assert a == b
+
+    def test_different_components_differ(self):
+        a = seeded_rng("x", 1).random()
+        b = seeded_rng("x", 2).random()
+        assert a != b

@@ -1,0 +1,125 @@
+"""Unit tests for IndexStatistics and SystemCatalog."""
+
+import pytest
+
+from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.errors import CatalogError
+from repro.fit.segments import PiecewiseLinear
+
+
+def _stats(name="t.a", **overrides):
+    defaults = dict(
+        index_name=name,
+        table_pages=100,
+        table_records=4_000,
+        distinct_keys=50,
+        clustering_factor=0.7,
+        fpf_curve=PiecewiseLinear(((12.0, 900.0), (100.0, 100.0))),
+        b_min=12,
+        b_max=100,
+        f_min=900,
+        dc_cluster_count=40,
+        fetches_b1=1_200,
+        fetches_b3=1_000,
+    )
+    defaults.update(overrides)
+    return IndexStatistics(**defaults)
+
+
+class TestIndexStatistics:
+    def test_valid_record(self):
+        stats = _stats()
+        assert stats.clustering_factor == 0.7
+
+    def test_validation(self):
+        with pytest.raises(CatalogError):
+            _stats(table_pages=0)
+        with pytest.raises(CatalogError):
+            _stats(table_records=99)  # fewer records than pages
+        with pytest.raises(CatalogError):
+            _stats(distinct_keys=0)
+        with pytest.raises(CatalogError):
+            _stats(clustering_factor=1.2)
+        with pytest.raises(CatalogError):
+            _stats(b_min=0)
+        with pytest.raises(CatalogError):
+            _stats(b_min=200)  # > b_max
+
+    def test_dict_round_trip(self):
+        stats = _stats()
+        again = IndexStatistics.from_dict(stats.to_dict())
+        assert again == stats
+
+    def test_optional_fields_survive_round_trip(self):
+        stats = _stats(dc_cluster_count=None, fetches_b1=None, fetches_b3=None)
+        again = IndexStatistics.from_dict(stats.to_dict())
+        assert again.dc_cluster_count is None
+        assert again.fetches_b1 is None
+
+    def test_from_dict_missing_field(self):
+        payload = _stats().to_dict()
+        del payload["table_pages"]
+        with pytest.raises(CatalogError):
+            IndexStatistics.from_dict(payload)
+
+
+class TestSystemCatalog:
+    def test_put_get(self):
+        catalog = SystemCatalog()
+        stats = _stats()
+        catalog.put(stats)
+        assert catalog.get("t.a") == stats
+        assert "t.a" in catalog
+        assert len(catalog) == 1
+
+    def test_get_missing(self):
+        with pytest.raises(CatalogError):
+            SystemCatalog().get("nope")
+
+    def test_put_replaces(self):
+        catalog = SystemCatalog()
+        catalog.put(_stats())
+        catalog.put(_stats(clustering_factor=0.2))
+        assert catalog.get("t.a").clustering_factor == 0.2
+        assert len(catalog) == 1
+
+    def test_remove(self):
+        catalog = SystemCatalog()
+        catalog.put(_stats())
+        catalog.remove("t.a")
+        assert "t.a" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.remove("t.a")
+
+    def test_iteration_sorted(self):
+        catalog = SystemCatalog()
+        catalog.put(_stats("z.z"))
+        catalog.put(_stats("a.a"))
+        assert list(catalog) == ["a.a", "z.z"]
+
+    def test_json_round_trip(self):
+        catalog = SystemCatalog()
+        catalog.put(_stats("t.a"))
+        catalog.put(_stats("t.b", clustering_factor=0.1))
+        again = SystemCatalog.from_json(catalog.to_json())
+        assert again.get("t.a") == catalog.get("t.a")
+        assert again.get("t.b") == catalog.get("t.b")
+
+    def test_from_json_invalid_text(self):
+        with pytest.raises(CatalogError):
+            SystemCatalog.from_json("{not json")
+
+    def test_from_json_key_mismatch(self):
+        catalog = SystemCatalog()
+        catalog.put(_stats("t.a"))
+        text = catalog.to_json().replace('"t.a": {', '"wrong": {', 1)
+        with pytest.raises(CatalogError):
+            SystemCatalog.from_json(text)
+
+    def test_file_round_trip(self, tmp_path):
+        catalog = SystemCatalog()
+        catalog.put(_stats())
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        again = SystemCatalog.load(path)
+        assert again.get("t.a") == catalog.get("t.a")

@@ -1,0 +1,75 @@
+"""Unit tests for the classical (buffer-unaware) estimator wrappers."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.classical import (
+    CardenasEstimator,
+    WatersEstimator,
+    YaoEstimator,
+)
+from repro.estimators.epfis import LRUFit
+from repro.types import ScanSelectivity
+
+
+class TestClassicalWrappers:
+    @pytest.fixture(scope="class")
+    def estimators(self, unclustered_dataset):
+        index = unclustered_dataset.index
+        return {
+            "cardenas": CardenasEstimator.from_index(index),
+            "yao": YaoEstimator.from_index(index),
+            "waters": WatersEstimator.from_index(index),
+        }
+
+    def test_names(self, estimators):
+        assert estimators["cardenas"].name == "Cardenas"
+        assert estimators["yao"].name == "Yao"
+        assert estimators["waters"].name == "Waters"
+
+    def test_buffer_size_is_ignored(self, estimators):
+        sel = ScanSelectivity(0.3)
+        for est in estimators.values():
+            assert est.estimate(sel, 1) == est.estimate(sel, 10_000)
+
+    def test_bounded_by_table_pages(self, estimators, unclustered_dataset):
+        pages = unclustered_dataset.table.page_count
+        for est in estimators.values():
+            assert est.estimate(ScanSelectivity(1.0), 10) <= pages + 1e-9
+
+    def test_yao_at_least_cardenas(self, estimators):
+        for sigma in (0.05, 0.3, 0.8):
+            sel = ScanSelectivity(sigma)
+            assert estimators["yao"].estimate(sel, 1) >= (
+                estimators["cardenas"].estimate(sel, 1) - 1e-9
+            )
+
+    def test_accurate_on_random_placement_with_big_buffer(
+        self, estimators, unclustered_dataset
+    ):
+        """On truly random placement with A-pages of buffer, the actual
+        fetch count is the distinct-page count — which is exactly what
+        Cardenas/Yao model."""
+        index = unclustered_dataset.index
+        trace = index.page_sequence()
+        sigma = 0.25
+        sub = trace[: int(sigma * len(trace))]
+        from repro.buffer.stack import FetchCurve
+
+        actual = FetchCurve.from_trace(sub).distinct_pages
+        for est in estimators.values():
+            predicted = est.estimate(ScanSelectivity(sigma), 10_000)
+            assert predicted == pytest.approx(actual, rel=0.10), est.name
+
+    def test_from_statistics(self, unclustered_dataset):
+        stats = LRUFit().run(unclustered_dataset.index)
+        a = YaoEstimator.from_statistics(stats)
+        b = YaoEstimator.from_index(unclustered_dataset.index)
+        sel = ScanSelectivity(0.4)
+        assert a.estimate(sel, 7) == b.estimate(sel, 7)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            CardenasEstimator(0, 10)
+        with pytest.raises(EstimationError):
+            YaoEstimator(10, 5)

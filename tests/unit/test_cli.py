@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.records == 100_000
+        assert args.window == pytest.approx(0.2)
+
+    def test_estimate_requires_sigma(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "--catalog", "x.json", "--buffers", "10"]
+            )
+
+
+class TestCommands:
+    SMALL = [
+        "--records", "2000", "--distinct", "50",
+        "--records-per-page", "20", "--seed", "3",
+    ]
+
+    def test_generate(self, capsys):
+        assert main(["generate", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "clustering factor" in out
+        assert "pages (T)" in out
+
+    def test_fit_then_estimate_round_trip(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat.json")
+        assert main(["fit", *self.SMALL, "--catalog", catalog]) == 0
+        assert main(
+            [
+                "estimate", "--catalog", catalog, "--sigma", "0.2",
+                "--buffers", "5", "20", "80",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "estimated fetches" in out
+        # Three buffer sizes -> three data rows (lines that *start* with
+        # the index name; the fit confirmation line merely mentions it).
+        assert sum(
+            1 for line in out.splitlines()
+            if line.startswith("synthetic")
+        ) == 3
+
+    def test_estimate_missing_catalog_is_clean_error(self, tmp_path, capsys):
+        path = str(tmp_path / "cat.json")
+        import json
+        (tmp_path / "cat.json").write_text(json.dumps({}))
+        code = main(
+            ["estimate", "--catalog", path, "--index", "nope",
+             "--sigma", "0.1", "--buffers", "5"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment(self, capsys):
+        assert main(
+            ["experiment", *self.SMALL, "--scans", "10", "--floor", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EPFIS" in out and "ML" in out and "OT" in out
+
+    def test_gwl(self, capsys):
+        assert main(["gwl", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        assert "PLON" in out
+
+    def test_locality(self, capsys):
+        assert main(["locality", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "mean run length" in out
+        assert "reuse fraction" in out
+
+    def test_contention(self, capsys):
+        assert main(
+            ["contention", *self.SMALL, "--scans", "2", "--buffer", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharing a 30-page" in out
+        assert "overhead" in out

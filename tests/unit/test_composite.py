@@ -1,0 +1,156 @@
+"""Unit tests for composite indexes and minor-column sargable predicates."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError, WorkloadError
+from repro.storage.composite import (
+    MAX_SENTINEL,
+    MIN_SENTINEL,
+    CompositeIndex,
+    MinorColumnPredicate,
+    major_range,
+)
+from repro.storage.table import Table
+from repro.types import RID
+
+
+@pytest.fixture(scope="module")
+def ab_table():
+    """The paper's Section 2 setup: an index on (a, b), a major."""
+    rng = random.Random(11)
+    table = Table("t", ("a", "b", "payload"), records_per_page=8)
+    rows = [
+        (a, rng.randrange(10), f"p{a}")
+        for a in range(100)
+        for _ in range(5)
+    ]
+    rng.shuffle(rows)
+    for row in rows:
+        table.insert(row)
+    index = CompositeIndex.build(table, ("a", "b"), name="t.ab")
+    return table, index
+
+
+class TestSentinels:
+    def test_min_below_everything(self):
+        assert MIN_SENTINEL < 0
+        assert MIN_SENTINEL < "zzz"
+        assert not (MIN_SENTINEL < MIN_SENTINEL)
+        assert MIN_SENTINEL <= MIN_SENTINEL
+
+    def test_max_above_everything(self):
+        assert MAX_SENTINEL > 10**9
+        assert MAX_SENTINEL > "zzz"
+        assert not (MAX_SENTINEL > MAX_SENTINEL)
+
+    def test_tuple_ordering_with_sentinels(self):
+        assert (5, MIN_SENTINEL) < (5, 0) < (5, MAX_SENTINEL) < (6, MIN_SENTINEL)
+
+
+class TestCompositeIndex:
+    def test_requires_two_columns(self, ab_table):
+        table, _ = ab_table
+        with pytest.raises(StorageError):
+            CompositeIndex("x", table, ("a",))
+
+    def test_build_covers_all_records(self, ab_table):
+        table, index = ab_table
+        assert index.entry_count == table.record_count
+        index.check_complete()
+
+    def test_entries_in_lexicographic_order(self, ab_table):
+        _table, index = ab_table
+        keys = [e.key for e in index.entries()]
+        assert keys == sorted(keys)
+
+    def test_add_validates_key_shape(self, ab_table):
+        table, index = ab_table
+        with pytest.raises(StorageError):
+            index.add(5, RID(0, 0))
+        with pytest.raises(StorageError):
+            index.add((1, 2, 3), RID(0, 0))
+
+    def test_add_row_extracts_key(self):
+        table = Table("t", ("a", "b"), records_per_page=4)
+        index = CompositeIndex("t.ab", table, ("a", "b"))
+        rid = table.insert((7, 3))
+        index.add_row((7, 3), rid)
+        assert next(iter(index.entries())).key == (7, 3)
+
+
+class TestMajorRange:
+    def test_inclusive_range_selects_exact_majors(self, ab_table):
+        _table, index = ab_table
+        key_range = major_range(index, low=20, high=29)
+        entries = list(index.entries(*key_range.bounds()))
+        majors = {e.key[0] for e in entries}
+        assert majors == set(range(20, 30))
+        assert len(entries) == 50  # 10 majors x 5 rows each
+
+    def test_exclusive_bounds(self, ab_table):
+        _table, index = ab_table
+        key_range = major_range(
+            index, low=20, high=29, low_inclusive=False,
+            high_inclusive=False,
+        )
+        majors = {e.key[0] for e in index.entries(*key_range.bounds())}
+        assert majors == set(range(21, 29))
+
+    def test_one_sided(self, ab_table):
+        _table, index = ab_table
+        at_least = major_range(index, low=95)
+        assert {
+            e.key[0] for e in index.entries(*at_least.bounds())
+        } == set(range(95, 100))
+        at_most = major_range(index, high=4)
+        assert {
+            e.key[0] for e in index.entries(*at_most.bounds())
+        } == set(range(5))
+
+
+class TestMinorColumnPredicate:
+    def test_paper_example_b_equals_5(self, ab_table):
+        """'the predicate b = 5 ... is an index-sargable predicate'."""
+        _table, index = ab_table
+        predicate = MinorColumnPredicate.equals(index, "b", 5)
+        qualifying = [
+            e for e in index.entries() if predicate.qualifies(e)
+        ]
+        assert all(e.key[1] == 5 for e in qualifying)
+        assert predicate.selectivity == pytest.approx(
+            len(qualifying) / index.entry_count
+        )
+
+    def test_rejects_major_column(self, ab_table):
+        _table, index = ab_table
+        with pytest.raises(WorkloadError):
+            MinorColumnPredicate.equals(index, "a", 5)
+
+    def test_position_zero_rejected(self):
+        with pytest.raises(WorkloadError):
+            MinorColumnPredicate(0, lambda v: True, 0.5)
+
+    def test_combined_with_major_range_reduces_fetch_trace(self, ab_table):
+        """Start/stop on a + sargable on b: the Section 2 plan shape."""
+        _table, index = ab_table
+        key_range = major_range(index, low=0, high=49)
+        predicate = MinorColumnPredicate.equals(index, "b", 5)
+        full = [e for e in index.entries(*key_range.bounds())]
+        filtered = [e for e in full if predicate.qualifies(e)]
+        assert 0 < len(filtered) < len(full)
+        # The filtered trace touches no more distinct pages.
+        assert len({e.rid.page for e in filtered}) <= len(
+            {e.rid.page for e in full}
+        )
+
+    def test_estimator_pipeline_with_composite_scan(self, ab_table):
+        """EPFIS consumes the composite index like any other index."""
+        from repro.estimators.epfis import EPFISEstimator
+        from repro.types import ScanSelectivity
+
+        _table, index = ab_table
+        estimator = EPFISEstimator.from_index(index)
+        value = estimator.estimate(ScanSelectivity(0.5, 0.1), 20)
+        assert value > 0

@@ -1,0 +1,28 @@
+"""Unit tests for the repro.core convenience package."""
+
+from repro.core import (
+    EPFISEstimator,
+    EstIO,
+    LRUFit,
+    LRUFitConfig,
+    SmoothEPFISEstimator,
+)
+
+
+def test_core_reexports_are_the_canonical_objects():
+    from repro.estimators import epfis, epfis_smooth
+
+    assert EPFISEstimator is epfis.EPFISEstimator
+    assert EstIO is epfis.EstIO
+    assert LRUFit is epfis.LRUFit
+    assert LRUFitConfig is epfis.LRUFitConfig
+    assert SmoothEPFISEstimator is epfis_smooth.SmoothEPFISEstimator
+
+
+def test_core_pipeline_runs(clustered_dataset):
+    from repro.types import ScanSelectivity
+
+    stats = LRUFit().run(clustered_dataset.index)
+    estimator = EPFISEstimator.from_statistics(stats)
+    value = estimator.estimate(ScanSelectivity(0.2), 20)
+    assert value > 0

@@ -1,0 +1,215 @@
+"""Unit tests for Algorithm EPFIS: LRU-Fit, the buffer grid, and Est-IO."""
+
+import math
+
+import pytest
+
+from repro.buffer.stack import FetchCurve
+from repro.errors import EstimationError
+from repro.estimators.epfis import (
+    EPFISEstimator,
+    EstIO,
+    LRUFit,
+    LRUFitConfig,
+    buffer_grid,
+)
+from repro.types import ScanSelectivity
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = LRUFitConfig()
+        assert config.b_sml == 12
+        assert config.segments == 6
+        assert config.grid_rule == "paper"
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            LRUFitConfig(b_sml=0)
+        with pytest.raises(EstimationError):
+            LRUFitConfig(segments=0)
+        with pytest.raises(EstimationError):
+            LRUFitConfig(grid_rule="log")
+        with pytest.raises(EstimationError):
+            LRUFitConfig(graefe_points=1)
+        with pytest.raises(EstimationError):
+            LRUFitConfig(b_range=(10, 5))
+
+
+class TestBufferGrid:
+    def test_paper_rule_spacing(self):
+        grid = buffer_grid(12, 1012, "paper")
+        step = round(2 * math.sqrt(1000))
+        assert grid[0] == 12
+        assert grid[-1] == 1012
+        assert grid[1] - grid[0] == step
+
+    def test_degenerate_range(self):
+        assert buffer_grid(7, 7) == [7]
+
+    def test_graefe_rule_geometric(self):
+        grid = buffer_grid(10, 1000, "graefe", graefe_points=10)
+        assert grid[0] == 10
+        assert grid[-1] == 1000
+        # Geometric spacing: successive ratios roughly constant.
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert max(ratios) / min(ratios) < 3.0
+
+    def test_invalid_range(self):
+        with pytest.raises(EstimationError):
+            buffer_grid(0, 5)
+        with pytest.raises(EstimationError):
+            buffer_grid(10, 5)
+
+
+class TestLRUFit:
+    def test_statistics_fields(self, skewed_dataset):
+        stats = LRUFit().run(skewed_dataset.index)
+        index = skewed_dataset.index
+        assert stats.table_pages == index.table.page_count
+        assert stats.table_records == index.entry_count
+        assert stats.distinct_keys == index.distinct_key_count()
+        assert 0.0 <= stats.clustering_factor <= 1.0
+        assert stats.b_max == index.table.page_count
+        assert stats.fetches_b1 is not None
+        assert stats.fetches_b3 is not None
+        assert stats.dc_cluster_count is not None
+
+    def test_fpf_curve_matches_exact_at_knots(self, skewed_dataset):
+        stats = LRUFit().run(skewed_dataset.index)
+        exact = FetchCurve.from_trace(skewed_dataset.index.page_sequence())
+        for x, y in stats.fpf_curve.knots:
+            assert y == pytest.approx(exact.fetches(int(x)), rel=0.0)
+
+    def test_segment_budget_respected(self, skewed_dataset):
+        stats = LRUFit(LRUFitConfig(segments=3)).run(skewed_dataset.index)
+        assert stats.fpf_curve.segment_count <= 3
+
+    def test_clustered_index_has_high_c(self, clustered_dataset):
+        stats = LRUFit().run(clustered_dataset.index)
+        assert stats.clustering_factor > 0.95
+
+    def test_unclustered_index_has_low_c(self, unclustered_dataset):
+        stats = LRUFit().run(unclustered_dataset.index)
+        assert stats.clustering_factor < 0.4
+
+    def test_dba_range_override(self, skewed_dataset):
+        pages = skewed_dataset.table.page_count
+        stats = LRUFit(LRUFitConfig(b_range=(5, pages // 2))).run(
+            skewed_dataset.index
+        )
+        assert stats.b_min == 5
+        assert stats.b_max == pages // 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(EstimationError):
+            LRUFit().run_on_trace([], table_pages=10, distinct_keys=1)
+
+    def test_baseline_stats_skippable(self, skewed_dataset):
+        stats = LRUFit(LRUFitConfig(collect_baseline_stats=False)).run(
+            skewed_dataset.index
+        )
+        assert stats.fetches_b1 is None
+        assert stats.dc_cluster_count is None
+
+
+class TestEstIO:
+    @pytest.fixture(scope="class")
+    def stats(self, skewed_dataset):
+        return LRUFit().run(skewed_dataset.index)
+
+    def test_full_scan_interpolates_curve(self, stats):
+        est_io = EstIO(stats)
+        for x, y in stats.fpf_curve.knots:
+            assert est_io.full_scan_fetches(int(x)) == pytest.approx(y)
+
+    def test_full_scan_clamped_to_physical_bounds(self, stats):
+        est_io = EstIO(stats)
+        assert est_io.full_scan_fetches(10 * stats.table_pages) >= (
+            stats.table_pages
+        )
+        assert est_io.full_scan_fetches(1) <= stats.table_records
+
+    def test_zero_selectivity(self, stats):
+        assert EstIO(stats).estimate(ScanSelectivity(0.0), 100) == 0.0
+
+    def test_full_selectivity_tracks_curve(self, stats):
+        est_io = EstIO(stats)
+        b = stats.b_min
+        assert est_io.estimate(ScanSelectivity(1.0), b) == pytest.approx(
+            est_io.full_scan_fetches(b), rel=0.05
+        )
+
+    def test_phi_rules(self, stats):
+        corrected = EstIO(stats, phi_rule="corrected")
+        literal = EstIO(stats, phi_rule="literal-max")
+        b = max(1, stats.table_pages // 2)
+        assert corrected._phi(b) == pytest.approx(0.5, abs=0.01)
+        assert literal._phi(b) == 1.0
+        with pytest.raises(EstimationError):
+            EstIO(stats, phi_rule="bogus")
+
+    def test_correction_raises_small_sigma_estimates(self, stats):
+        with_corr = EstIO(stats, apply_correction=True, clamp=False)
+        without = EstIO(stats, apply_correction=False, clamp=False)
+        sel = ScanSelectivity(0.01)
+        b = stats.table_pages  # phi = 1 >> 3 sigma
+        assert with_corr.estimate(sel, b) > without.estimate(sel, b)
+
+    def test_correction_inactive_for_large_sigma(self, stats):
+        with_corr = EstIO(stats, apply_correction=True, clamp=False)
+        without = EstIO(stats, apply_correction=False, clamp=False)
+        sel = ScanSelectivity(0.9)  # nu = 0: phi <= 3 sigma
+        b = stats.table_pages
+        assert with_corr.estimate(sel, b) == without.estimate(sel, b)
+
+    def test_sargable_predicates_reduce_estimate(self, stats):
+        est_io = EstIO(stats)
+        b = stats.b_min
+        plain = est_io.estimate(ScanSelectivity(0.5), b)
+        filtered = est_io.estimate(ScanSelectivity(0.5, 0.1), b)
+        assert filtered < plain
+
+    def test_sargable_can_be_disabled(self, stats):
+        est_io = EstIO(stats, apply_sargable=False, apply_correction=False,
+                       clamp=False)
+        b = stats.b_min
+        assert est_io.estimate(
+            ScanSelectivity(0.5, 0.1), b
+        ) == pytest.approx(est_io.estimate(ScanSelectivity(0.5), b))
+
+    def test_clamp_limits_to_qualifying_records(self, stats):
+        est_io = EstIO(stats, clamp=True)
+        sel = ScanSelectivity(0.001)
+        upper = max(1.0, sel.combined * stats.table_records)
+        assert est_io.estimate(sel, 1) <= upper + 1e-9
+
+    def test_buffer_validation(self, stats):
+        with pytest.raises(EstimationError):
+            EstIO(stats).full_scan_fetches(0)
+
+
+class TestEPFISEstimator:
+    def test_from_index_and_from_statistics_agree(self, skewed_dataset):
+        stats = LRUFit().run(skewed_dataset.index)
+        from_index = EPFISEstimator.from_index(skewed_dataset.index)
+        from_stats = EPFISEstimator.from_statistics(stats)
+        sel = ScanSelectivity(0.3)
+        b = stats.table_pages // 2
+        assert from_index.estimate(sel, b) == pytest.approx(
+            from_stats.estimate(sel, b)
+        )
+
+    def test_name(self, skewed_dataset):
+        assert EPFISEstimator.from_index(skewed_dataset.index).name == "EPFIS"
+
+    def test_estimate_sigma_wrapper(self, skewed_dataset):
+        est = EPFISEstimator.from_index(skewed_dataset.index)
+        assert est.estimate_sigma(0.25, 40) == pytest.approx(
+            est.estimate(ScanSelectivity(0.25), 40)
+        )
+
+    def test_invalid_buffer_rejected(self, skewed_dataset):
+        est = EPFISEstimator.from_index(skewed_dataset.index)
+        with pytest.raises(EstimationError):
+            est.estimate(ScanSelectivity(0.5), 0)

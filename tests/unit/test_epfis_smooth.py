@@ -1,0 +1,102 @@
+"""Unit tests for the smooth-correction EPFIS variant."""
+
+import pytest
+
+from repro.estimators.epfis import EPFISEstimator, LRUFit
+from repro.estimators.epfis_smooth import (
+    SmoothEPFISEstimator,
+    smooth_correction_weight,
+)
+from repro.types import ScanSelectivity
+
+
+class TestSmoothWeight:
+    def test_zero_below_ratio_one(self):
+        assert smooth_correction_weight(phi=0.1, sigma=0.2) == 0.0
+        assert smooth_correction_weight(phi=0.2, sigma=0.2) == 0.0
+
+    def test_saturates_at_ratio_six(self):
+        assert smooth_correction_weight(
+            phi=0.6, sigma=0.1
+        ) == pytest.approx(1.0)
+        assert smooth_correction_weight(phi=1.0, sigma=0.01) == 1.0
+
+    def test_linear_ramp_between(self):
+        # r = 3.5 -> (3.5 - 1)/5 = 0.5
+        assert smooth_correction_weight(
+            phi=0.35, sigma=0.1
+        ) == pytest.approx(0.5)
+
+    def test_continuous_everywhere(self):
+        """No jump anywhere: neighbouring sigmas get neighbouring weights."""
+        phi = 0.5
+        previous = None
+        step = 0.001
+        sigma = step
+        while sigma < 1.0:
+            weight = smooth_correction_weight(phi, sigma)
+            if previous is not None:
+                assert abs(weight - previous) < 0.05
+            previous = weight
+            sigma += step
+
+    def test_zero_sigma_safe(self):
+        assert smooth_correction_weight(0.5, 0.0) == 0.0
+
+
+class TestSmoothEstimator:
+    @pytest.fixture(scope="class")
+    def stats(self, unclustered_dataset):
+        return LRUFit().run(unclustered_dataset.index)
+
+    def test_agrees_with_paper_when_correction_saturated(self, stats):
+        """For sigma << phi/6 both variants apply the full correction."""
+        paper = EPFISEstimator.from_statistics(stats)
+        smooth = SmoothEPFISEstimator.from_statistics(stats)
+        sel = ScanSelectivity(0.01)
+        b = stats.table_pages  # phi = 1, r = 100
+        assert smooth.estimate(sel, b) == pytest.approx(
+            paper.estimate(sel, b)
+        )
+
+    def test_agrees_when_correction_inactive(self, stats):
+        """For sigma >= phi both variants apply no correction."""
+        paper = EPFISEstimator.from_statistics(stats)
+        smooth = SmoothEPFISEstimator.from_statistics(stats)
+        sel = ScanSelectivity(0.9)
+        b = max(1, stats.table_pages // 2)
+        assert smooth.estimate(sel, b) == pytest.approx(
+            paper.estimate(sel, b)
+        )
+
+    def test_no_discontinuity_at_the_paper_threshold(self, stats):
+        """The paper's estimate jumps at phi = 3*sigma; the smooth one
+        moves gradually across the same boundary."""
+        paper = EPFISEstimator.from_statistics(stats, clamp=False)
+        smooth = SmoothEPFISEstimator.from_statistics(stats, clamp=False)
+        b = max(1, stats.table_pages // 2)  # phi = 0.5
+        boundary = 0.5 / 3.0
+        below = ScanSelectivity(boundary * 0.99)
+        above = ScanSelectivity(boundary * 1.01)
+        paper_jump = abs(paper.estimate(below, b) - paper.estimate(above, b))
+        smooth_jump = abs(
+            smooth.estimate(below, b) - smooth.estimate(above, b)
+        )
+        assert smooth_jump < paper_jump / 5
+
+    def test_name_and_statistics(self, unclustered_dataset):
+        estimator = SmoothEPFISEstimator.from_index(
+            unclustered_dataset.index
+        )
+        assert estimator.name == "EPFIS-smooth"
+        assert estimator.statistics.table_pages == (
+            unclustered_dataset.table.page_count
+        )
+
+    def test_sargable_and_clamp_behave_like_paper(self, stats):
+        smooth = SmoothEPFISEstimator.from_statistics(stats)
+        sel = ScanSelectivity(0.4, 0.1)
+        b = max(1, stats.table_pages // 4)
+        value = smooth.estimate(sel, b)
+        upper = max(1.0, 0.04 * stats.table_records)
+        assert 0.0 <= value <= upper * (1 + 1e-9)

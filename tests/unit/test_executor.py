@@ -1,0 +1,186 @@
+"""Unit tests for the physical query executor."""
+
+import random
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.estimators.epfis import EPFISEstimator
+from repro.executor.plans import (
+    IndexScanNode,
+    SortNode,
+    TableScanNode,
+    plan_from_choice,
+)
+from repro.executor.runtime import QueryExecutor
+from repro.optimizer.access_path import choose_access_plan
+from repro.workload.predicates import HashSamplePredicate, KeyRange
+from repro.workload.scans import KeyDistribution, ScanKind, generate_scan
+
+
+class TestTableScan:
+    def test_reads_every_page_once(self, skewed_dataset):
+        executor = QueryExecutor(buffer_pages=10)
+        rows, stats = executor.execute(TableScanNode(skewed_dataset.table))
+        assert stats.data_page_fetches == skewed_dataset.table.page_count
+        assert stats.data_page_hits == 0  # one access per page, no revisits
+        assert len(rows) == skewed_dataset.table.record_count
+
+    def test_residual_filters_rows(self, skewed_dataset):
+        executor = QueryExecutor(buffer_pages=10)
+        rows, stats = executor.execute(
+            TableScanNode(
+                skewed_dataset.table, residual=lambda row: row[0] < 10
+            )
+        )
+        assert all(row[0] < 10 for row in rows)
+        # Fetch count is unchanged: the scan reads every page regardless.
+        assert stats.data_page_fetches == skewed_dataset.table.page_count
+
+
+class TestIndexScan:
+    def test_full_index_scan_returns_all_rows(self, skewed_dataset):
+        executor = QueryExecutor(buffer_pages=50)
+        rows, stats = executor.execute(
+            IndexScanNode(skewed_dataset.index, charge_index_pages=False)
+        )
+        assert len(rows) == skewed_dataset.table.record_count
+        assert stats.index_page_fetches == 0
+
+    def test_rows_in_key_order(self, skewed_dataset):
+        executor = QueryExecutor(buffer_pages=50)
+        rows, _stats = executor.execute(
+            IndexScanNode(skewed_dataset.index, charge_index_pages=False)
+        )
+        keys = [row[0] for row in rows]
+        assert keys == sorted(keys)
+
+    def test_matches_ground_truth_fetches(self, skewed_dataset):
+        """The executor's data fetches == the experiment harness's ground
+        truth, for the same range and buffer size."""
+        from repro.eval.ground_truth import ScanTraceExtractor
+
+        index = skewed_dataset.index
+        keys = index.sorted_keys()
+        key_range = KeyRange.between(keys[10], keys[60])
+        extractor = ScanTraceExtractor(index)
+        from repro.workload.scans import ScanSpec
+
+        scan = ScanSpec(
+            key_range=key_range,
+            kind=ScanKind.LARGE,
+            target_fraction=0.0,
+            selected_records=index.count_in_range(*key_range.bounds()),
+            total_records=index.entry_count,
+        )
+        for buffer_pages in (5, 20, 80):
+            executor = QueryExecutor(buffer_pages)
+            _rows, stats = executor.execute(
+                IndexScanNode(
+                    index, key_range=key_range, charge_index_pages=False
+                )
+            )
+            expected = extractor.actual_fetches(scan, [buffer_pages])[
+                buffer_pages
+            ]
+            assert stats.data_page_fetches == expected, buffer_pages
+
+    def test_sargable_reduces_fetches_and_rows(self, skewed_dataset):
+        executor = QueryExecutor(buffer_pages=20)
+        plain_rows, plain_stats = executor.execute(
+            IndexScanNode(skewed_dataset.index, charge_index_pages=False)
+        )
+        filtered_rows, filtered_stats = executor.execute(
+            IndexScanNode(
+                skewed_dataset.index,
+                sargable=HashSamplePredicate(0.2, seed=4),
+                charge_index_pages=False,
+            )
+        )
+        assert len(filtered_rows) < len(plain_rows)
+        assert filtered_stats.data_page_fetches < (
+            plain_stats.data_page_fetches
+        )
+
+    def test_index_pages_charged_when_enabled(self, skewed_dataset):
+        executor = QueryExecutor(buffer_pages=50)
+        _rows, stats = executor.execute(
+            IndexScanNode(skewed_dataset.index, charge_index_pages=True)
+        )
+        assert stats.index_page_fetches == (
+            skewed_dataset.index.btree.leaf_count()
+        )
+
+    def test_shared_pool_index_pages_can_raise_data_fetches(
+        self, skewed_dataset
+    ):
+        """Index leaves compete for the same buffer slots as data pages."""
+        with_index = QueryExecutor(buffer_pages=10).execute(
+            IndexScanNode(skewed_dataset.index, charge_index_pages=True)
+        )[1]
+        without = QueryExecutor(buffer_pages=10).execute(
+            IndexScanNode(skewed_dataset.index, charge_index_pages=False)
+        )[1]
+        assert with_index.data_page_fetches >= without.data_page_fetches
+
+
+class TestSort:
+    def test_sort_orders_output(self, skewed_dataset):
+        executor = QueryExecutor(buffer_pages=20)
+        rows, stats = executor.execute(
+            SortNode(
+                child=TableScanNode(skewed_dataset.table), column="key"
+            )
+        )
+        keys = [row[0] for row in rows]
+        assert keys == sorted(keys)
+        assert stats.sorted_output
+
+
+class TestPlanFromChoice:
+    @pytest.fixture()
+    def setup(self, skewed_dataset):
+        index = skewed_dataset.index
+        estimator = EPFISEstimator.from_index(index)
+        dist = KeyDistribution.from_index(index)
+        scan = generate_scan(dist, ScanKind.SMALL, random.Random(2))
+        return skewed_dataset, index, estimator, scan
+
+    def test_index_plan_materializes(self, setup):
+        dataset, index, estimator, scan = setup
+        choice = choose_access_plan(
+            dataset.table, scan, [(index, estimator)], buffer_pages=40
+        )
+        plan = plan_from_choice(
+            choice, dataset.table, scan, [(index, estimator)]
+        )
+        assert isinstance(plan, IndexScanNode)
+        rows, _stats = QueryExecutor(40).execute(plan)
+        assert len(rows) == scan.selected_records
+
+    def test_table_plan_returns_same_rows(self, setup):
+        """Whatever plan wins, the answer set must be identical."""
+        dataset, index, estimator, scan = setup
+        choice = choose_access_plan(
+            dataset.table, scan, [(index, estimator)], buffer_pages=40
+        )
+        chosen_plan = plan_from_choice(
+            choice, dataset.table, scan, [(index, estimator)]
+        )
+        executor = QueryExecutor(40)
+        chosen_rows, _ = executor.execute(chosen_plan)
+        table_rows, _ = executor.execute(
+            TableScanNode(
+                dataset.table,
+                residual=lambda row, s=scan: (
+                    s.key_range.start.value
+                    <= row[0]
+                    <= s.key_range.stop.value
+                ),
+            )
+        )
+        assert sorted(chosen_rows) == sorted(table_rows)
+
+    def test_executor_validates_buffer(self):
+        with pytest.raises(OptimizerError):
+            QueryExecutor(0)

@@ -1,0 +1,85 @@
+"""Unit tests for experiment-result export."""
+
+import random
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.estimators.epfis import EPFISEstimator
+from repro.eval.buffer_grid import evaluation_buffer_grid
+from repro.eval.experiment import run_error_behavior
+from repro.eval.export import (
+    load_result_json,
+    result_from_dict,
+    result_to_csv,
+    result_to_dict,
+    save_result_csv,
+    save_result_json,
+)
+from repro.workload.scans import generate_scan_mix
+
+
+@pytest.fixture(scope="module")
+def result(skewed_dataset):
+    index = skewed_dataset.index
+    scans = generate_scan_mix(index, count=10, rng=random.Random(4))
+    grid = evaluation_buffer_grid(index.table.page_count)
+    return run_error_behavior(
+        index, [EPFISEstimator.from_index(index)], scans, grid
+    )
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self, result):
+        again = result_from_dict(result_to_dict(result))
+        assert again.dataset == result.dataset
+        assert again.buffer_grid == result.buffer_grid
+        assert again.curves == result.curves
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result_json(result, path)
+        again = load_result_json(path)
+        assert again.curves == result.curves
+        assert again.scan_count == result.scan_count
+
+    def test_missing_field_rejected(self, result):
+        payload = result_to_dict(result)
+        del payload["curves"]
+        with pytest.raises(ExperimentError):
+            result_from_dict(payload)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ExperimentError):
+            load_result_json(path)
+
+
+class TestCsv:
+    def test_long_format_shape(self, result):
+        text = result_to_csv(result)
+        lines = text.strip().splitlines()
+        # header + one row per (estimator, grid point)
+        expected_rows = len(result.curves) * len(result.buffer_grid)
+        assert len(lines) == 1 + expected_rows
+        assert lines[0].startswith("dataset,estimator,buffer_pages")
+
+    def test_values_parse_back(self, result):
+        import csv
+        import io
+
+        reader = csv.DictReader(io.StringIO(result_to_csv(result)))
+        rows = list(reader)
+        curve = result.curves[0]
+        first = rows[0]
+        assert first["estimator"] == curve.estimator
+        assert int(first["buffer_pages"]) == curve.points[0][0]
+        assert float(first["error"]) == pytest.approx(
+            curve.points[0][1], abs=1e-6
+        )
+
+    def test_save_csv(self, result, tmp_path):
+        path = tmp_path / "result.csv"
+        save_result_csv(result, path)
+        assert path.read_text().startswith("dataset,")

@@ -1,0 +1,68 @@
+"""Unit tests for the Fenwick (binary indexed) tree."""
+
+import pytest
+
+from repro.buffer.fenwick import FenwickTree
+
+
+class TestConstruction:
+    def test_empty_tree_has_zero_total(self):
+        tree = FenwickTree(0)
+        assert len(tree) == 0
+        assert tree.total() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_from_values_matches_pointwise_adds(self):
+        values = [3, 0, -2, 7, 1, 1, 4]
+        bulk = FenwickTree.from_values(values)
+        incremental = FenwickTree(len(values))
+        for i, v in enumerate(values):
+            incremental.add(i, v)
+        for i in range(len(values)):
+            assert bulk.prefix_sum(i) == incremental.prefix_sum(i)
+
+
+class TestQueries:
+    def test_prefix_sums(self):
+        tree = FenwickTree.from_values([1, 2, 3, 4, 5])
+        assert [tree.prefix_sum(i) for i in range(5)] == [1, 3, 6, 10, 15]
+
+    def test_range_sum_matches_brute_force(self):
+        values = [5, -1, 2, 0, 9, 3, -4, 8]
+        tree = FenwickTree.from_values(values)
+        for lo in range(len(values)):
+            for hi in range(lo, len(values)):
+                assert tree.range_sum(lo, hi) == sum(values[lo:hi + 1])
+
+    def test_empty_range_sum_is_zero(self):
+        tree = FenwickTree.from_values([1, 2, 3])
+        assert tree.range_sum(2, 1) == 0
+
+    def test_total(self):
+        tree = FenwickTree.from_values([4, 4, 4])
+        assert tree.total() == 12
+
+
+class TestUpdates:
+    def test_add_then_query(self):
+        tree = FenwickTree(4)
+        tree.add(2, 10)
+        tree.add(2, -3)
+        assert tree.prefix_sum(1) == 0
+        assert tree.prefix_sum(2) == 7
+        assert tree.prefix_sum(3) == 7
+
+    def test_add_out_of_range_rejected(self):
+        tree = FenwickTree(3)
+        with pytest.raises(IndexError):
+            tree.add(3, 1)
+        with pytest.raises(IndexError):
+            tree.add(-1, 1)
+
+    def test_prefix_sum_out_of_range_rejected(self):
+        tree = FenwickTree(3)
+        with pytest.raises(IndexError):
+            tree.prefix_sum(3)

@@ -1,0 +1,81 @@
+"""Unit tests for the per-exhibit registry in repro.eval.figures."""
+
+import pytest
+
+from repro.datagen.gwl import ERROR_FIGURE_COLUMNS
+from repro.eval.figures import (
+    GWL_ERROR_FIGURES,
+    SYNTHETIC_FIGURES,
+    max_error_summary,
+    paper_estimators,
+    synthetic_error_figure,
+)
+from repro.errors import ExperimentError
+
+
+class TestRegistries:
+    def test_gwl_figures_cover_2_through_9(self):
+        assert sorted(GWL_ERROR_FIGURES) == list(range(2, 10))
+        assert list(GWL_ERROR_FIGURES.values()) == list(ERROR_FIGURE_COLUMNS)
+
+    def test_synthetic_figures_cover_10_through_21(self):
+        assert sorted(SYNTHETIC_FIGURES) == list(range(10, 22))
+        thetas = {theta for theta, _k in SYNTHETIC_FIGURES.values()}
+        windows = sorted(
+            {k for _theta, k in SYNTHETIC_FIGURES.values()}
+        )
+        assert thetas == {0.0, 0.86}
+        assert windows == [0.0, 0.05, 0.10, 0.20, 0.50, 1.0]
+
+    def test_figures_10_and_16_share_window_grid(self):
+        for offset in range(6):
+            _theta0, k0 = SYNTHETIC_FIGURES[10 + offset]
+            _theta1, k1 = SYNTHETIC_FIGURES[16 + offset]
+            assert k0 == k1
+
+
+class TestPaperEstimators:
+    def test_five_algorithms_in_paper_order(self, skewed_dataset):
+        estimators = paper_estimators(skewed_dataset.index)
+        assert [e.name for e in estimators] == [
+            "EPFIS", "ML", "DC", "SD", "OT",
+        ]
+
+    def test_all_share_one_statistics_pass(self, skewed_dataset):
+        """from_statistics-built estimators must agree with independently
+        built ones — the single-pass premise."""
+        from repro.estimators.ot import OTEstimator
+        from repro.types import ScanSelectivity
+
+        estimators = paper_estimators(skewed_dataset.index)
+        ot = next(e for e in estimators if e.name == "OT")
+        fresh = OTEstimator.from_index(skewed_dataset.index)
+        sel = ScanSelectivity(0.3)
+        assert ot.estimate(sel, 10) == pytest.approx(fresh.estimate(sel, 10))
+
+
+class TestSyntheticFigureRunner:
+    def test_runs_on_prebuilt_dataset(self, skewed_dataset):
+        result = synthetic_error_figure(
+            theta=0.86,
+            window=0.2,
+            scan_count=10,
+            dataset=skewed_dataset,
+        )
+        assert result.scan_count == 10
+        assert {c.estimator for c in result.curves} == {
+            "EPFIS", "ML", "DC", "SD", "OT",
+        }
+
+
+class TestMaxErrorSummary:
+    def test_takes_worst_across_results(self, skewed_dataset):
+        a = synthetic_error_figure(
+            theta=0.86, window=0.2, scan_count=8, dataset=skewed_dataset,
+        )
+        summary = max_error_summary([a, a])
+        assert summary == a.max_abs_errors()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            max_error_summary([])

@@ -1,0 +1,88 @@
+"""Unit tests for the Cardenas / Yao / Waters block-access formulas."""
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators.formulas import cardenas, waters, yao
+
+
+class TestCardenas:
+    def test_zero_selections(self):
+        assert cardenas(100, 0) == 0.0
+
+    def test_one_selection_hits_one_page(self):
+        assert cardenas(100, 1) == pytest.approx(1.0)
+
+    def test_many_selections_approach_all_pages(self):
+        assert cardenas(10, 10_000) == pytest.approx(10.0, abs=1e-6)
+
+    def test_single_page_table(self):
+        assert cardenas(1, 5) == 1.0
+        assert cardenas(1, 0) == 0.0
+
+    def test_monotone_in_selections(self):
+        values = [cardenas(50, k) for k in range(0, 200, 10)]
+        assert values == sorted(values)
+
+    def test_fractional_selections_accepted(self):
+        assert 0 < cardenas(100, 0.5) < 1
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            cardenas(0, 5)
+        with pytest.raises(EstimationError):
+            cardenas(10, -1)
+
+
+class TestYao:
+    def test_exact_small_case(self):
+        # N=4 records on T=2 pages (2 per page), sample k=2 without
+        # replacement: P(page untouched) = C(2,2)/C(4,2) = 1/6;
+        # expected pages = 2 * (1 - 1/6) = 5/3.
+        assert yao(4, 2, 2) == pytest.approx(5.0 / 3.0)
+
+    def test_sampling_everything_touches_every_page(self):
+        assert yao(100, 10, 100) == pytest.approx(10.0)
+
+    def test_zero_selection(self):
+        assert yao(100, 10, 0) == 0.0
+
+    def test_yao_below_cardenas(self):
+        """Without replacement touches at least as many pages as with,
+        so Yao >= Cardenas for the same k."""
+        n, t = 1_000, 50
+        for k in (10, 100, 500):
+            assert yao(n, t, k) >= cardenas(t, k) - 1e-9
+
+    def test_more_rows_than_can_miss_a_page(self):
+        # k > N - N/T forces every page to be hit.
+        assert yao(100, 10, 95) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            yao(0, 1, 0)
+        with pytest.raises(EstimationError):
+            yao(10, 20, 5)
+        with pytest.raises(EstimationError):
+            yao(10, 2, 11)
+
+
+class TestWaters:
+    def test_extremes(self):
+        assert waters(100, 10, 0) == 0.0
+        assert waters(100, 10, 100) == pytest.approx(10.0)
+
+    def test_close_to_yao_for_small_samples(self):
+        n, t = 10_000, 100
+        for k in (10, 50, 200):
+            assert waters(n, t, k) == pytest.approx(yao(n, t, k), rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            waters(0, 1, 0)
+        with pytest.raises(EstimationError):
+            waters(10, 20, 1)
+        with pytest.raises(EstimationError):
+            waters(10, 2, 11)

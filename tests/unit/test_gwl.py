@@ -1,0 +1,91 @@
+"""Unit tests for the simulated GWL database (small scale for speed)."""
+
+import pytest
+
+from repro.datagen.gwl import (
+    ERROR_FIGURE_COLUMNS,
+    FIGURE1_COLUMNS,
+    GWL_COLUMNS,
+    GWL_TABLES,
+    build_gwl_database,
+)
+from repro.errors import DataGenerationError
+
+
+class TestSpecs:
+    def test_published_tables_match_paper_table2(self):
+        assert GWL_TABLES["CMAC"].pages == 774
+        assert GWL_TABLES["CMAC"].records_per_page == 20
+        assert GWL_TABLES["PLON"].records == 4857 * 123
+
+    def test_published_columns_match_paper_table3(self):
+        assert GWL_COLUMNS["CAGD.POLN"].cardinality == 110074
+        assert GWL_COLUMNS["CAGD.POLN"].clustering_percent == 99.6
+        assert GWL_COLUMNS["PLON.CLID"].clustering_factor == pytest.approx(
+            0.236
+        )
+
+    def test_figure_column_lists(self):
+        assert len(FIGURE1_COLUMNS) == 5
+        assert len(ERROR_FIGURE_COLUMNS) == 8
+        assert set(FIGURE1_COLUMNS) <= set(GWL_COLUMNS)
+        assert set(ERROR_FIGURE_COLUMNS) == set(GWL_COLUMNS)
+
+
+class TestBuild:
+    @pytest.fixture(scope="class")
+    def db(self):
+        # One small and one nearly-unique column, tiny scale for test speed.
+        return build_gwl_database(
+            scale=0.05, columns=["CMAC.BRAN", "CMAC.CEDT"], tolerance=0.03
+        )
+
+    def test_tables_built_on_demand_only(self, db):
+        assert set(db.tables) == {"CMAC"}
+
+    def test_scaled_shape_preserves_records_per_page(self, db):
+        table = db.table("CMAC")
+        assert table.records_per_page == 20
+        assert table.record_count == table.page_count * 20
+
+    def test_clustering_matches_target(self, db):
+        for name in ("CMAC.BRAN", "CMAC.CEDT"):
+            column = db.column(name)
+            target = column.spec.clustering_factor
+            assert abs(column.measured_c - target) <= 0.08
+
+    def test_indexes_complete(self, db):
+        for column in db.columns.values():
+            column.index.check_complete()
+
+    def test_cardinality_scaled_proportionally(self, db):
+        column = db.column("CMAC.CEDT")
+        table = db.table("CMAC")
+        full_ratio = GWL_COLUMNS["CMAC.CEDT"].cardinality / GWL_TABLES[
+            "CMAC"
+        ].records
+        got_ratio = column.scaled_cardinality / table.record_count
+        assert got_ratio == pytest.approx(full_ratio, rel=0.15)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(DataGenerationError):
+            build_gwl_database(scale=0.05, columns=["NOPE.X"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(DataGenerationError):
+            build_gwl_database(scale=0)
+
+    def test_lookup_errors(self, db):
+        with pytest.raises(DataGenerationError):
+            db.table("PLON")
+        with pytest.raises(DataGenerationError):
+            db.column("PLON.CLID")
+
+    def test_multi_column_rows_consistent(self, db):
+        """Both indexes resolve through the same physical rows."""
+        table = db.table("CMAC")
+        for name in ("CMAC.BRAN", "CMAC.CEDT"):
+            index = db.index(name)
+            col = table.column_index(index.column)
+            for entry in list(index.entries())[:50]:
+                assert table.get(entry.rid)[col] == entry.key

@@ -1,0 +1,129 @@
+"""Unit tests for histogram-based selectivity estimation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.histogram import (
+    Bucket,
+    Histogram,
+    build_equi_depth,
+    build_equi_width,
+)
+from repro.workload.predicates import KeyRange
+from repro.workload.selectivity import exact_range_selectivity
+
+
+class TestBucket:
+    def test_overlap_full(self):
+        b = Bucket(10.0, 20.0, records=100, distinct=10)
+        assert b.overlap_fraction(0.0, 100.0) == 1.0
+
+    def test_overlap_partial(self):
+        b = Bucket(10.0, 20.0, records=100, distinct=10)
+        assert b.overlap_fraction(15.0, 25.0) == pytest.approx(0.5)
+
+    def test_overlap_none(self):
+        b = Bucket(10.0, 20.0, records=100, distinct=10)
+        assert b.overlap_fraction(30.0, 40.0) == 0.0
+
+    def test_point_bucket(self):
+        b = Bucket(5.0, 5.0, records=7, distinct=1)
+        assert b.overlap_fraction(5.0, 5.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Bucket(5.0, 4.0, 1, 1)
+        with pytest.raises(WorkloadError):
+            Bucket(1.0, 2.0, -1, 1)
+
+
+class TestHistogramCore:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Histogram([], 10)
+        buckets = [Bucket(0, 1, 5, 2), Bucket(2, 3, 5, 2)]
+        with pytest.raises(WorkloadError):
+            Histogram(list(reversed(buckets)), 10)
+        with pytest.raises(WorkloadError):
+            Histogram(buckets, 0)
+
+    def test_full_range_is_one(self):
+        histogram = Histogram(
+            [Bucket(0, 10, 60, 5), Bucket(10.1, 20, 40, 5)], 100
+        )
+        assert histogram.estimate_range(KeyRange.full()) == pytest.approx(1.0)
+
+    def test_half_bucket(self):
+        histogram = Histogram([Bucket(0, 10, 100, 10)], 100)
+        assert histogram.estimate_range(
+            KeyRange.between(0, 5)
+        ) == pytest.approx(0.5)
+
+    def test_estimate_equals(self):
+        histogram = Histogram([Bucket(0, 9, 100, 10)], 100)
+        # 10 records per distinct value over 100 records.
+        assert histogram.estimate_equals(4.0) == pytest.approx(0.1)
+        assert histogram.estimate_equals(50.0) == 0.0
+
+
+class TestBuilders:
+    @pytest.fixture(scope="class")
+    def index(self, skewed_dataset):
+        return skewed_dataset.index
+
+    def test_equi_depth_balances_records(self, index):
+        histogram = build_equi_depth(index, buckets=10)
+        total = histogram.total_records
+        for bucket in histogram.buckets:
+            assert bucket.records <= 2.5 * total / 10
+
+    def test_equi_depth_conserves_totals(self, index):
+        histogram = build_equi_depth(index, buckets=12)
+        assert sum(b.records for b in histogram.buckets) == (
+            index.entry_count
+        )
+        assert sum(b.distinct for b in histogram.buckets) == (
+            index.distinct_key_count()
+        )
+
+    def test_equi_width_conserves_totals(self, index):
+        histogram = build_equi_width(index, buckets=12)
+        assert sum(b.records for b in histogram.buckets) == (
+            index.entry_count
+        )
+
+    def test_estimates_close_to_exact(self, index):
+        keys = index.sorted_keys()
+        ranges = [
+            KeyRange.between(keys[5], keys[40]),
+            KeyRange.between(keys[20], keys[100]),
+            KeyRange.at_least(keys[60]),
+            KeyRange.at_most(keys[30]),
+        ]
+        for builder in (build_equi_depth, build_equi_width):
+            histogram = builder(index, buckets=20)
+            for key_range in ranges:
+                exact = exact_range_selectivity(index, key_range)
+                estimated = histogram.estimate_range(key_range)
+                assert estimated == pytest.approx(exact, abs=0.08), (
+                    builder.__name__,
+                    key_range.describe(),
+                )
+
+    def test_single_bucket(self, index):
+        histogram = build_equi_depth(index, buckets=1)
+        assert histogram.bucket_count == 1
+        assert histogram.estimate_range(KeyRange.full()) == pytest.approx(1.0)
+
+    def test_invalid_bucket_count(self, index):
+        with pytest.raises(WorkloadError):
+            build_equi_depth(index, buckets=0)
+        with pytest.raises(WorkloadError):
+            build_equi_width(index, buckets=0)
+
+    def test_non_numeric_keys_rejected(self, tiny_table):
+        from repro.storage.index import Index
+
+        index = Index.build(tiny_table, "c")  # string column
+        with pytest.raises(WorkloadError):
+            build_equi_depth(index, buckets=4)

@@ -1,0 +1,84 @@
+"""Unit tests for the table-aware Index wrapper."""
+
+import pytest
+
+from repro.errors import BTreeError, StorageError
+from repro.storage.btree import KeyBound
+from repro.storage.index import Index
+from repro.storage.table import Table
+from repro.types import RID
+
+
+class TestBuild:
+    def test_build_covers_all_records(self, tiny_table, tiny_index):
+        assert tiny_index.entry_count == tiny_table.record_count
+        tiny_index.check_complete()
+
+    def test_build_validates_column(self, tiny_table):
+        with pytest.raises(StorageError):
+            Index.build(tiny_table, "missing")
+
+    def test_default_name(self, tiny_table):
+        index = Index.build(tiny_table, "a")
+        assert index.name == "tiny.a"
+
+    def test_check_complete_detects_missing_entries(self, tiny_table):
+        index = Index("partial", tiny_table, "a")
+        index.add(1, RID(0, 0))
+        with pytest.raises(BTreeError):
+            index.check_complete()
+
+
+class TestEntries:
+    def test_entries_in_key_order(self, tiny_index):
+        keys = [e.key for e in tiny_index.entries()]
+        assert keys == sorted(keys)
+
+    def test_page_sequence_matches_entries(self, tiny_index):
+        pages = tiny_index.page_sequence()
+        entries = list(tiny_index.entries())
+        assert pages == [e.rid.page for e in entries]
+
+    def test_range_restriction(self, tiny_index):
+        # Column b holds i % 3 over 10 rows: counts {0: 4, 1: 3, 2: 3}.
+        only_ones = list(
+            tiny_index.entries(KeyBound(1, True), KeyBound(1, True))
+        )
+        assert len(only_ones) == 3
+        assert all(e.key == 1 for e in only_ones)
+
+
+class TestStatistics:
+    def test_distinct_key_count(self, tiny_index):
+        assert tiny_index.distinct_key_count() == 3
+
+    def test_key_counts(self, tiny_index):
+        assert tiny_index.key_counts() == {0: 4, 1: 3, 2: 3}
+
+    def test_sorted_keys(self, tiny_index):
+        assert tiny_index.sorted_keys() == [0, 1, 2]
+
+    def test_count_in_range(self, tiny_index):
+        assert tiny_index.count_in_range(KeyBound(1, True), None) == 6
+        assert tiny_index.count_in_range(None, KeyBound(0, True)) == 4
+        assert tiny_index.count_in_range() == 10
+
+
+class TestEntryOrderSemantics:
+    def test_build_orders_duplicates_physically(self):
+        """Bulk build == sorted-RID variant: duplicate pages ascend."""
+        table = Table("t", ("k",), records_per_page=1)
+        for _ in range(6):
+            table.insert(("same",))
+        index = Index.build(table, "k")
+        assert index.page_sequence() == [0, 1, 2, 3, 4, 5]
+
+    def test_incremental_add_preserves_creation_order(self):
+        table = Table("t", ("k",), records_per_page=1)
+        table.heap.ensure_pages(6)
+        index = Index("t.k", table, "k")
+        creation_pages = [4, 0, 5, 2, 1, 3]
+        for page in creation_pages:
+            rid = table.place(page, ("same",))
+            index.add("same", rid)
+        assert index.page_sequence() == creation_pages

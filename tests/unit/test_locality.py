@@ -1,0 +1,101 @@
+"""Unit tests for trace locality diagnostics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.locality import (
+    locality_by_window,
+    reuse_distance_histogram,
+    run_lengths,
+    summarize_locality,
+)
+
+
+class TestRunLengths:
+    def test_single_page_trace(self):
+        assert run_lengths([7, 7, 7]) == [3]
+
+    def test_alternating_pages(self):
+        assert run_lengths([1, 2, 1, 2]) == [1, 1, 1, 1]
+
+    def test_mixed_runs(self):
+        assert run_lengths([1, 1, 2, 3, 3, 3, 1]) == [2, 1, 3, 1]
+
+    def test_lengths_sum_to_trace_length(self):
+        trace = [1, 1, 2, 2, 2, 3, 1, 1]
+        assert sum(run_lengths(trace)) == len(trace)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            run_lengths([])
+
+
+class TestReuseHistogram:
+    def test_no_reuse(self):
+        assert reuse_distance_histogram([1, 2, 3]) == {}
+
+    def test_immediate_reuses(self):
+        assert reuse_distance_histogram([1, 1, 1]) == {1: 2}
+
+    def test_counts_match_total_reuses(self):
+        trace = [1, 2, 1, 3, 2, 1]
+        histogram = reuse_distance_histogram(trace)
+        assert sum(histogram.values()) == len(trace) - 3  # 3 distinct pages
+
+
+class TestSummary:
+    def test_sequential_trace_profile(self):
+        trace = [i // 4 for i in range(40)]  # 10 pages, runs of 4
+        summary = summarize_locality(trace)
+        assert summary.references == 40
+        assert summary.distinct_pages == 10
+        assert summary.mean_run_length == pytest.approx(4.0)
+        assert summary.reuse_fraction == pytest.approx(0.75)
+        assert summary.median_reuse_depth == 1
+        assert summary.depth_p90 == 1
+
+    def test_round_robin_profile(self):
+        trace = [i % 10 for i in range(100)]
+        summary = summarize_locality(trace)
+        assert summary.mean_run_length == pytest.approx(1.0)
+        assert summary.median_reuse_depth == 10
+        assert summary.depth_p90 == 10
+
+    def test_no_reuse_profile(self):
+        summary = summarize_locality(list(range(8)))
+        assert summary.reuse_fraction == 0.0
+        assert summary.median_reuse_depth == 0
+        assert summary.depth_p90 == 0
+
+    def test_describe(self):
+        text = summarize_locality([1, 1, 2]).describe()
+        assert "3 refs" in text
+        assert "reuse" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            summarize_locality([])
+
+
+class TestWindowLocalityConnection:
+    def test_window_size_bounds_reuse_depth(self):
+        """The window placer's reuse depth concentrates near the window
+        size in pages — the mechanism behind the FPF curve's knee."""
+        import random
+
+        from repro.datagen.window import WindowPlacer
+
+        for k, pages_expected in ((0.1, 10), (0.5, 50)):
+            placer = WindowPlacer(k, noise=0.0, rng=random.Random(4))
+            placement = placer.place([20] * 100, 20)  # 100 pages total
+            summary = summarize_locality(placement.page_trace())
+            window_pages = max(1, round(k * placement.pages))
+            assert summary.depth_p90 <= 2.5 * window_pages, (
+                k, summary.describe(),
+            )
+
+    def test_locality_by_window_sorted(self):
+        summaries = locality_by_window(
+            {0.5: [1, 1, 2], 0.1: [1, 2, 3]}
+        )
+        assert [k for k, _s in summaries] == [0.1, 0.5]

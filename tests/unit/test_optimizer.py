@@ -1,0 +1,162 @@
+"""Unit tests for the cost model and access-path selection."""
+
+import random
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.estimators.epfis import EPFISEstimator
+from repro.estimators.naive import PerfectlyUnclusteredEstimator
+from repro.optimizer.access_path import (
+    IndexScanPlan,
+    TableScanPlan,
+    choose_access_plan,
+)
+from repro.optimizer.cost import CostModel
+from repro.workload.scans import (
+    KeyDistribution,
+    ScanKind,
+    generate_scan,
+)
+
+
+class TestCostModel:
+    def test_defaults(self):
+        model = CostModel()
+        assert model.sort_cost(100) == pytest.approx(4.0)
+        assert model.index_overhead_cost(100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            CostModel(sort_penalty_per_record=-1)
+        with pytest.raises(OptimizerError):
+            CostModel(index_page_overhead=-0.1)
+        with pytest.raises(OptimizerError):
+            CostModel().sort_cost(-5)
+        with pytest.raises(OptimizerError):
+            CostModel().index_overhead_cost(-5)
+
+
+class TestChooseAccessPlan:
+    @pytest.fixture(scope="class")
+    def setup(self, skewed_dataset):
+        index = skewed_dataset.index
+        estimator = EPFISEstimator.from_index(index)
+        dist = KeyDistribution.from_index(index)
+        return skewed_dataset, estimator, dist
+
+    def test_small_scan_prefers_index(self, setup):
+        dataset, estimator, dist = setup
+        scan = generate_scan(dist, ScanKind.SMALL, random.Random(1))
+        choice = choose_access_plan(
+            dataset.table,
+            scan,
+            [(dataset.index, estimator)],
+            buffer_pages=dataset.table.page_count // 2,
+        )
+        assert isinstance(choice.chosen, IndexScanPlan)
+
+    def test_full_scan_prefers_table_scan_when_unclustered(self, setup):
+        dataset, _estimator, dist = setup
+        pessimist = PerfectlyUnclusteredEstimator.from_index(dataset.index)
+        scan = generate_scan(dist, ScanKind.FULL, random.Random(1))
+        choice = choose_access_plan(
+            dataset.table,
+            scan,
+            [(dataset.index, pessimist)],
+            buffer_pages=10,
+        )
+        assert isinstance(choice.chosen, TableScanPlan)
+
+    def test_order_requirement_penalizes_table_scan(self, setup):
+        dataset, estimator, dist = setup
+        scan = generate_scan(dist, ScanKind.LARGE, random.Random(3))
+        unordered = choose_access_plan(
+            dataset.table,
+            scan,
+            [(dataset.index, estimator)],
+            buffer_pages=dataset.table.page_count,
+            order_required=False,
+        )
+        ordered = choose_access_plan(
+            dataset.table,
+            scan,
+            [(dataset.index, estimator)],
+            buffer_pages=dataset.table.page_count,
+            order_required=True,
+            ordering_column="key",
+        )
+        table_cost_unordered = [
+            p for p in unordered.alternatives if isinstance(p, TableScanPlan)
+        ][0].total_cost
+        table_cost_ordered = [
+            p for p in ordered.alternatives if isinstance(p, TableScanPlan)
+        ][0].total_cost
+        assert table_cost_ordered > table_cost_unordered
+
+    def test_index_on_other_column_pays_sort(self, setup):
+        dataset, estimator, dist = setup
+        scan = generate_scan(dist, ScanKind.LARGE, random.Random(4))
+        choice = choose_access_plan(
+            dataset.table,
+            scan,
+            [(dataset.index, estimator)],
+            buffer_pages=50,
+            order_required=True,
+            ordering_column="another_column",
+        )
+        index_plan = [
+            p for p in choice.alternatives if isinstance(p, IndexScanPlan)
+        ][0]
+        assert index_plan.sort_fetch_equivalent > 0
+
+    def test_plan_inventory_and_costs(self, setup):
+        dataset, estimator, dist = setup
+        scan = generate_scan(dist, ScanKind.SMALL, random.Random(5))
+        choice = choose_access_plan(
+            dataset.table, scan, [(dataset.index, estimator)], buffer_pages=20
+        )
+        # "number of relevant indexes plus one"
+        assert len(choice.alternatives) == 2
+        costs = choice.costs()
+        assert len(costs) == 2
+        assert min(costs.values()) == choice.chosen.total_cost
+
+    def test_foreign_index_rejected(self, setup, tiny_table):
+        from repro.storage.index import Index
+
+        dataset, estimator, dist = setup
+        foreign = Index.build(tiny_table, "a")
+        scan = generate_scan(dist, ScanKind.SMALL, random.Random(6))
+        with pytest.raises(OptimizerError):
+            choose_access_plan(
+                dataset.table, scan, [(foreign, estimator)], buffer_pages=20
+            )
+
+    def test_buffer_validation(self, setup):
+        dataset, estimator, dist = setup
+        scan = generate_scan(dist, ScanKind.SMALL, random.Random(7))
+        with pytest.raises(OptimizerError):
+            choose_access_plan(
+                dataset.table, scan, [(dataset.index, estimator)],
+                buffer_pages=0,
+            )
+
+    def test_index_overhead_charged(self, setup):
+        dataset, estimator, dist = setup
+        scan = generate_scan(dist, ScanKind.LARGE, random.Random(8))
+        cheap = choose_access_plan(
+            dataset.table, scan, [(dataset.index, estimator)], 50,
+            cost_model=CostModel(index_page_overhead=0.0),
+        )
+        charged = choose_access_plan(
+            dataset.table, scan, [(dataset.index, estimator)], 50,
+            cost_model=CostModel(index_page_overhead=0.01),
+        )
+        cheap_index = [
+            p for p in cheap.alternatives if isinstance(p, IndexScanPlan)
+        ][0]
+        charged_index = [
+            p for p in charged.alternatives if isinstance(p, IndexScanPlan)
+        ][0]
+        assert charged_index.page_fetches > cheap_index.page_fetches

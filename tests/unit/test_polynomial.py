@@ -1,0 +1,96 @@
+"""Unit tests for polynomial FPF-curve fitting."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import FitError
+from repro.fit.polynomial import PolynomialCurve, fit_polynomial
+from repro.fit.segments import fit_optimal
+
+
+class TestPolynomialCurve:
+    def test_constant(self):
+        curve = PolynomialCurve(0.0, 1.0, (5.0,))
+        assert curve.evaluate(0.3) == 5.0
+        assert curve.degree == 0
+        assert curve.catalog_floats == 3
+
+    def test_validation(self):
+        with pytest.raises(FitError):
+            PolynomialCurve(0.0, 1.0, ())
+        with pytest.raises(FitError):
+            PolynomialCurve(1.0, 1.0, (1.0,))
+
+    def test_callable(self):
+        curve = PolynomialCurve(0.0, 2.0, (1.0, 2.0))  # 1 + 2z
+        assert curve(2.0) == pytest.approx(3.0)
+
+
+class TestFitting:
+    def test_exact_on_polynomial_data(self):
+        points = [(x, x ** 3 - 2 * x + 4) for x in range(-5, 10)]
+        curve = fit_polynomial(points, 3)
+        for x, y in points:
+            assert curve.evaluate(x) == pytest.approx(y, abs=1e-6)
+
+    def test_linear_data_any_degree(self):
+        points = [(float(x), 3.0 * x + 1) for x in range(10)]
+        for degree in (1, 2, 4):
+            curve = fit_polynomial(points, degree)
+            assert curve.evaluate(4.5) == pytest.approx(14.5, abs=1e-6)
+
+    def test_least_squares_reduces_error_with_degree(self):
+        rng = random.Random(3)
+        points = [
+            (x, 1000 * math.exp(-x / 25) + rng.uniform(-5, 5))
+            for x in range(0, 100, 2)
+        ]
+
+        def sse(curve):
+            return sum((curve.evaluate(x) - y) ** 2 for x, y in points)
+
+        errors = [sse(fit_polynomial(points, d)) for d in (1, 2, 4, 6)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_validation(self):
+        points = [(0.0, 1.0), (1.0, 2.0)]
+        with pytest.raises(FitError):
+            fit_polynomial(points, -1)
+        with pytest.raises(FitError):
+            fit_polynomial(points, 9)
+        with pytest.raises(FitError):
+            fit_polynomial(points, 3)  # needs 4 distinct points
+        with pytest.raises(FitError):
+            fit_polynomial([(1.0, 1.0), (1.0, 2.0)], 1)
+
+
+class TestAgainstSegments:
+    def test_comparable_accuracy_on_fpf_like_data(self, skewed_dataset):
+        """On a real FPF curve, a degree-6 polynomial and 6 segments both
+        approximate well inside the range; this pins the trade the paper
+        mentions and the ablation bench quantifies."""
+        from repro.buffer.stack import FetchCurve
+        from repro.estimators.epfis import buffer_grid
+
+        index = skewed_dataset.index
+        pages = index.table.page_count
+        exact = FetchCurve.from_trace(index.page_sequence())
+        grid = buffer_grid(12, pages, min_points=64)
+        points = [(float(b), float(exact.fetches(b))) for b in grid]
+
+        poly = fit_polynomial(points, 6)
+        segments = fit_optimal(points, 6)
+
+        def max_rel_error(evaluate):
+            worst = 0.0
+            for b, y in points:
+                if y > 0:
+                    worst = max(worst, abs(evaluate(b) - y) / y)
+            return worst
+
+        poly_err = max_rel_error(poly.evaluate)
+        seg_err = max_rel_error(segments.evaluate)
+        assert poly_err < 1.0
+        assert seg_err < 0.5

@@ -1,0 +1,166 @@
+"""Unit tests for RID-list operations and the sorted-RID access path."""
+
+import random
+
+import pytest
+
+from repro.access.ridlist import (
+    SortedRIDEstimator,
+    and_rid_lists,
+    fetch_pages_sorted,
+    or_rid_lists,
+    rid_list_for_range,
+)
+from repro.errors import EstimationError, WorkloadError
+from repro.estimators.formulas import yao
+from repro.storage.index import Index
+from repro.storage.table import Table
+from repro.types import RID, ScanSelectivity
+from repro.workload.predicates import HashSamplePredicate, KeyRange
+
+
+@pytest.fixture(scope="module")
+def two_column_table():
+    """A table with two independently shuffled columns, both indexed."""
+    rng = random.Random(17)
+    table = Table("orders", ("a", "b"), records_per_page=10)
+    index_a = Index("orders.a", table, "a")
+    index_b = Index("orders.b", table, "b")
+    a_values = [i % 50 for i in range(1_000)]
+    b_values = [i % 40 for i in range(1_000)]
+    rng.shuffle(a_values)
+    rng.shuffle(b_values)
+    for a, b in zip(a_values, b_values):
+        rid = table.insert((a, b))
+        index_a.add(a, rid)
+        index_b.add(b, rid)
+    return table, index_a, index_b
+
+
+class TestRIDListCollection:
+    def test_full_scan_collects_all(self, two_column_table):
+        _table, index_a, _ = two_column_table
+        rids = rid_list_for_range(index_a, KeyRange.full())
+        assert len(rids) == 1_000
+
+    def test_range_matches_count(self, two_column_table):
+        _table, index_a, _ = two_column_table
+        key_range = KeyRange.between(10, 19)
+        rids = rid_list_for_range(index_a, key_range)
+        assert len(rids) == index_a.count_in_range(*key_range.bounds())
+
+    def test_sargable_filter(self, two_column_table):
+        _table, index_a, _ = two_column_table
+        key_range = KeyRange.full()
+        filtered = rid_list_for_range(
+            index_a, key_range, HashSamplePredicate(0.3, seed=2)
+        )
+        assert 0 < len(filtered) < 1_000
+
+
+class TestSetOperations:
+    def test_and_intersects(self, two_column_table):
+        _table, index_a, index_b = two_column_table
+        list_a = rid_list_for_range(index_a, KeyRange.between(0, 24))
+        list_b = rid_list_for_range(index_b, KeyRange.between(0, 19))
+        result = and_rid_lists(list_a, list_b)
+        assert set(result) == set(list_a) & set(list_b)
+
+    def test_or_unites_and_dedupes(self, two_column_table):
+        _table, index_a, index_b = two_column_table
+        list_a = rid_list_for_range(index_a, KeyRange.between(0, 24))
+        list_b = rid_list_for_range(index_b, KeyRange.between(0, 19))
+        result = or_rid_lists(list_a, list_b)
+        assert set(result) == set(list_a) | set(list_b)
+        assert len(result) == len(set(result))
+
+    def test_results_page_sorted(self, two_column_table):
+        _table, index_a, index_b = two_column_table
+        list_a = rid_list_for_range(index_a, KeyRange.between(0, 30))
+        list_b = rid_list_for_range(index_b, KeyRange.between(5, 25))
+        for result in (
+            and_rid_lists(list_a, list_b),
+            or_rid_lists(list_a, list_b),
+        ):
+            keys = [(r.page, r.slot) for r in result]
+            assert keys == sorted(keys)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(WorkloadError):
+            and_rid_lists()
+        with pytest.raises(WorkloadError):
+            or_rid_lists()
+
+    def test_and_with_itself_is_identity(self, two_column_table):
+        _table, index_a, _ = two_column_table
+        rids = rid_list_for_range(index_a, KeyRange.between(3, 7))
+        assert set(and_rid_lists(rids, rids)) == set(rids)
+
+
+class TestSortedFetches:
+    def test_counts_distinct_pages(self):
+        rids = [RID(0, 0), RID(0, 1), RID(3, 2), RID(7, 0), RID(3, 9)]
+        assert fetch_pages_sorted(rids) == 3
+
+    def test_buffer_independence_vs_lru(self, two_column_table):
+        """A page-sorted fetch never refetches, even with B = 1."""
+        from repro.buffer.lru import LRUBufferPool
+
+        _table, index_a, _ = two_column_table
+        rids = rid_list_for_range(index_a, KeyRange.between(0, 10))
+        sorted_rids = sorted(rids, key=lambda r: (r.page, r.slot))
+        trace = [r.page for r in sorted_rids]
+        assert LRUBufferPool(1).run(trace) == fetch_pages_sorted(rids)
+
+
+class TestSortedRIDEstimator:
+    def test_matches_yao(self, two_column_table):
+        table, index_a, _ = two_column_table
+        estimator = SortedRIDEstimator.from_index(index_a)
+        sel = ScanSelectivity(0.3)
+        expected = yao(
+            table.record_count, table.page_count,
+            round(0.3 * table.record_count),
+        )
+        assert estimator.estimate(sel, 1) == pytest.approx(expected)
+
+    def test_buffer_independent(self, two_column_table):
+        _table, index_a, _ = two_column_table
+        estimator = SortedRIDEstimator.from_index(index_a)
+        sel = ScanSelectivity(0.2)
+        assert estimator.estimate(sel, 1) == estimator.estimate(sel, 10_000)
+
+    def test_and_or_composition(self, two_column_table):
+        _table, index_a, _ = two_column_table
+        estimator = SortedRIDEstimator.from_index(index_a)
+        anded = estimator.estimate_and([0.5, 0.4])
+        orred = estimator.estimate_or([0.5, 0.4])
+        direct_and = estimator.estimate(ScanSelectivity(0.2), 1)
+        direct_or = estimator.estimate(ScanSelectivity(0.7), 1)
+        assert anded == pytest.approx(direct_and)
+        assert orred == pytest.approx(direct_or)
+        assert anded < orred
+
+    def test_estimator_tracks_actual_on_shuffled_column(
+        self, two_column_table
+    ):
+        """The b column is a uniform shuffle: Yao's assumptions hold, so
+        the estimate should land within a few percent of the actual
+        distinct-page count."""
+        _table, _a, index_b = two_column_table
+        estimator = SortedRIDEstimator.from_index(index_b)
+        key_range = KeyRange.between(0, 7)  # 8 of 40 values = 20%
+        rids = rid_list_for_range(index_b, key_range)
+        actual = fetch_pages_sorted(rids)
+        sigma = len(rids) / index_b.entry_count
+        predicted = estimator.estimate(ScanSelectivity(sigma), 1)
+        assert predicted == pytest.approx(actual, rel=0.10)
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            SortedRIDEstimator(0, 10)
+        estimator = SortedRIDEstimator(10, 100)
+        with pytest.raises(EstimationError):
+            estimator.estimate_and([])
+        with pytest.raises(EstimationError):
+            estimator.estimate_or([1.5])

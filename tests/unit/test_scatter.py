@@ -1,0 +1,81 @@
+"""Unit tests for per-scan scatter diagnostics."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.scatter import ScatterSummary, spearman, summarize_scatter
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_inversion(self):
+        assert spearman([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+    def test_constant_side_is_zero(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_ties_handled(self):
+        value = spearman([1, 1, 2, 3], [1, 2, 2, 3])
+        assert -1.0 <= value <= 1.0
+
+    def test_monotone_transform_invariance(self):
+        xs = [3, 1, 4, 1.5, 9, 2.6]
+        ys = [x ** 3 for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            spearman([1], [1])
+        with pytest.raises(ExperimentError):
+            spearman([1, 2], [1])
+
+
+class TestSummarizeScatter:
+    def test_perfect_estimates(self):
+        summary = summarize_scatter([10, 20, 30], [10, 20, 30])
+        assert summary.p50 == 0.0
+        assert summary.overestimated_fraction == 0.0
+        assert summary.rank_correlation == pytest.approx(1.0)
+
+    def test_systematic_overestimate(self):
+        summary = summarize_scatter([20, 40, 60], [10, 20, 30])
+        assert summary.p50 == pytest.approx(1.0)
+        assert summary.overestimated_fraction == 1.0
+
+    def test_quantiles_ordered(self):
+        estimates = [12, 8, 33, 50, 9, 26]
+        actuals = [10, 10, 30, 40, 10, 30]
+        summary = summarize_scatter(estimates, actuals)
+        assert summary.p10 <= summary.p50 <= summary.p90
+
+    def test_zero_actuals_skipped(self):
+        summary = summarize_scatter([5, 10, 20], [0, 10, 20])
+        assert summary.scan_count == 2
+
+    def test_describe(self):
+        summary = summarize_scatter([10, 21], [10, 20])
+        text = summary.describe()
+        assert "n=2" in text
+        assert "rank-corr" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            summarize_scatter([1, 2], [1])
+        with pytest.raises(ExperimentError):
+            summarize_scatter([1], [1])
+        with pytest.raises(ExperimentError):
+            summarize_scatter([1, 2], [0, 0])
+
+    def test_compensating_errors_exposed(self):
+        """The aggregate metric hides what scatter reveals: here the sums
+        match exactly, but every single scan is mispredicted."""
+        estimates = [5, 40]   # sum 45
+        actuals = [20, 25]    # sum 45
+        from repro.eval.metrics import aggregate_relative_error
+
+        assert aggregate_relative_error(estimates, actuals) == 0.0
+        summary = summarize_scatter(estimates, actuals)
+        assert summary.p10 < -0.5   # badly under on one scan
+        assert summary.p90 > 0.4    # badly over on the other

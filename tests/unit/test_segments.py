@@ -1,0 +1,118 @@
+"""Unit tests for piecewise-linear fitting."""
+
+import math
+
+import pytest
+
+from repro.errors import FitError
+from repro.fit.segments import (
+    PiecewiseLinear,
+    fit_greedy,
+    fit_optimal,
+    fit_piecewise_linear,
+)
+
+
+def _sse(curve, points):
+    return sum((curve.evaluate(x) - y) ** 2 for x, y in points)
+
+
+class TestPiecewiseLinear:
+    def test_requires_knots(self):
+        with pytest.raises(FitError):
+            PiecewiseLinear(())
+
+    def test_rejects_unordered_knots(self):
+        with pytest.raises(FitError):
+            PiecewiseLinear(((1.0, 1.0), (1.0, 2.0)))
+        with pytest.raises(FitError):
+            PiecewiseLinear(((2.0, 1.0), (1.0, 2.0)))
+
+    def test_single_knot_is_constant(self):
+        curve = PiecewiseLinear(((5.0, 3.0),))
+        assert curve.evaluate(0.0) == 3.0
+        assert curve.evaluate(99.0) == 3.0
+        assert curve.segment_count == 0
+
+    def test_interpolation(self):
+        curve = PiecewiseLinear(((0.0, 0.0), (10.0, 20.0)))
+        assert curve.evaluate(5.0) == pytest.approx(10.0)
+        assert curve(2.5) == pytest.approx(5.0)
+
+    def test_knot_values_exact(self):
+        knots = ((0.0, 1.0), (2.0, 5.0), (6.0, 4.0))
+        curve = PiecewiseLinear(knots)
+        for x, y in knots:
+            assert curve.evaluate(x) == pytest.approx(y)
+
+    def test_extrapolation_uses_terminal_slopes(self):
+        curve = PiecewiseLinear(((0.0, 0.0), (1.0, 1.0), (2.0, 4.0)))
+        assert curve.evaluate(-1.0) == pytest.approx(-1.0)  # slope 1
+        assert curve.evaluate(3.0) == pytest.approx(7.0)    # slope 3
+
+    def test_round_trip_serialization(self):
+        curve = PiecewiseLinear(((0.0, 1.5), (3.0, 2.5)))
+        assert PiecewiseLinear.from_pairs(curve.to_pairs()) == curve
+
+
+class TestFitters:
+    @pytest.fixture()
+    def convex_points(self):
+        # A smooth convex decreasing curve like an FPF curve.
+        return [(x, 1000.0 * math.exp(-x / 30.0) + 100.0) for x in range(0, 101, 5)]
+
+    def test_validation(self, convex_points):
+        with pytest.raises(FitError):
+            fit_optimal(convex_points, 0)
+        with pytest.raises(FitError):
+            fit_optimal([(1.0, 1.0)], 2)
+        with pytest.raises(FitError):
+            fit_optimal([(1.0, 1.0), (1.0, 2.0)], 1)
+
+    def test_few_points_returned_verbatim(self):
+        points = [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]
+        curve = fit_optimal(points, 6)
+        assert curve.knots == tuple(points)
+
+    def test_endpoints_always_kept(self, convex_points):
+        for fitter in (fit_optimal, fit_greedy):
+            curve = fitter(convex_points, 4)
+            assert curve.knots[0] == convex_points[0]
+            assert curve.knots[-1] == convex_points[-1]
+
+    def test_segment_count_honored(self, convex_points):
+        for segments in (1, 2, 4, 6):
+            curve = fit_optimal(convex_points, segments)
+            assert curve.segment_count <= segments
+
+    def test_error_decreases_with_segments(self, convex_points):
+        errors = [
+            _sse(fit_optimal(convex_points, s), convex_points)
+            for s in (1, 2, 4, 6)
+        ]
+        assert errors[0] >= errors[1] >= errors[2] >= errors[3]
+
+    def test_optimal_beats_or_ties_greedy(self, convex_points):
+        for segments in (2, 3, 5):
+            optimal = _sse(fit_optimal(convex_points, segments), convex_points)
+            greedy = _sse(fit_greedy(convex_points, segments), convex_points)
+            assert optimal <= greedy + 1e-9
+
+    def test_exact_fit_of_piecewise_data(self):
+        # Data that IS two segments: both fitters should be exact.
+        points = [(float(x), float(2 * x)) for x in range(5)]
+        points += [(float(x), float(8 - 3 * (x - 4))) for x in range(5, 10)]
+        for fitter in (fit_optimal, fit_greedy):
+            curve = fitter(points, 2)
+            assert _sse(curve, points) == pytest.approx(0.0, abs=1e-18)
+
+    def test_dispatch(self, convex_points):
+        assert fit_piecewise_linear(convex_points, 3, "optimal").knots
+        assert fit_piecewise_linear(convex_points, 3, "greedy").knots
+        with pytest.raises(FitError):
+            fit_piecewise_linear(convex_points, 3, "cubic")
+
+    def test_duplicate_points_deduplicated(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        curve = fit_optimal(points, 2)
+        assert len(curve.knots) <= 3

@@ -1,0 +1,136 @@
+"""Unit tests for Page, HeapFile, and Table."""
+
+import pytest
+
+from repro.errors import PageFullError, RecordNotFoundError, StorageError
+from repro.storage.heapfile import HeapFile
+from repro.storage.page import Page
+from repro.storage.table import Table
+from repro.types import RID
+
+
+class TestPage:
+    def test_insert_returns_slots_in_order(self):
+        page = Page(0, capacity=3)
+        assert [page.insert(f"r{i}") for i in range(3)] == [0, 1, 2]
+
+    def test_full_page_rejects_insert(self):
+        page = Page(0, capacity=1)
+        page.insert("x")
+        assert page.is_full
+        with pytest.raises(PageFullError):
+            page.insert("y")
+
+    def test_get_round_trips(self):
+        page = Page(2, capacity=2)
+        slot = page.insert(("a", 1))
+        assert page.get(slot) == ("a", 1)
+
+    def test_get_missing_slot(self):
+        page = Page(0, capacity=2)
+        with pytest.raises(RecordNotFoundError):
+            page.get(0)
+
+    def test_free_slots_accounting(self):
+        page = Page(0, capacity=5)
+        page.insert("x")
+        page.insert("y")
+        assert page.free_slots == 3
+        assert page.record_count == 2
+        assert not page.is_empty
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Page(-1, 2)
+        with pytest.raises(ValueError):
+            Page(0, 0)
+
+
+class TestHeapFile:
+    def test_append_fills_pages_sequentially(self):
+        heap = HeapFile(records_per_page=2)
+        rids = [heap.append(i) for i in range(5)]
+        assert [(r.page, r.slot) for r in rids] == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0),
+        ]
+        assert heap.page_count == 3
+        assert heap.record_count == 5
+
+    def test_place_requires_existing_page(self):
+        heap = HeapFile(records_per_page=2)
+        with pytest.raises(RecordNotFoundError):
+            heap.place(0, "x")
+        heap.ensure_pages(3)
+        rid = heap.place(2, "x")
+        assert rid == RID(2, 0)
+
+    def test_place_on_full_page_raises(self):
+        heap = HeapFile(records_per_page=1)
+        heap.ensure_pages(1)
+        heap.place(0, "a")
+        with pytest.raises(PageFullError):
+            heap.place(0, "b")
+
+    def test_get_resolves_rids(self):
+        heap = HeapFile(records_per_page=2)
+        rid = heap.append("payload")
+        assert heap.get(rid) == "payload"
+
+    def test_scan_physical_order(self):
+        heap = HeapFile(records_per_page=2)
+        heap.ensure_pages(2)
+        heap.place(1, "late")
+        heap.place(0, "early")
+        scanned = [(rid.page, rid.slot, value) for rid, value in heap.scan()]
+        assert scanned == [(0, 0, "early"), (1, 0, "late")]
+
+    def test_occupancy(self):
+        heap = HeapFile(records_per_page=3)
+        heap.ensure_pages(2)
+        heap.place(0, "a")
+        heap.place(0, "b")
+        heap.place(1, "c")
+        assert heap.occupancy() == [2, 1]
+
+    def test_invalid_records_per_page(self):
+        with pytest.raises(StorageError):
+            HeapFile(0)
+
+
+class TestTable:
+    def test_schema_validation(self):
+        with pytest.raises(StorageError):
+            Table("", ("a",), 2)
+        with pytest.raises(StorageError):
+            Table("t", (), 2)
+        with pytest.raises(StorageError):
+            Table("t", ("a", "a"), 2)
+
+    def test_row_arity_checked(self, tiny_table):
+        with pytest.raises(StorageError):
+            tiny_table.insert((1, 2))
+
+    def test_value_access(self, tiny_table):
+        rid = tiny_table.insert((99, 1, "z"))
+        assert tiny_table.value(rid, "a") == 99
+        assert tiny_table.value(rid, "c") == "z"
+
+    def test_unknown_column(self, tiny_table):
+        with pytest.raises(StorageError):
+            tiny_table.column_index("nope")
+
+    def test_shape(self, tiny_table):
+        shape = tiny_table.shape()
+        assert shape.records == 10
+        assert shape.pages == 3  # 10 records at 4/page
+        assert shape.records_per_page == pytest.approx(10 / 3)
+
+    def test_column_values_in_physical_order(self, tiny_table):
+        assert list(tiny_table.column_values("a")) == list(range(10))
+
+    def test_scan_yields_rid_row_pairs(self, tiny_table):
+        rows = list(tiny_table.scan())
+        assert len(rows) == 10
+        rid, row = rows[0]
+        assert rid == RID(0, 0)
+        assert row == (0, 0, "row0")

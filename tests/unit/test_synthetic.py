@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic dataset builder."""
+
+import pytest
+
+from repro.datagen.synthetic import (
+    SyntheticSpec,
+    build_synthetic_dataset,
+)
+from repro.errors import DataGenerationError
+
+
+class TestSpec:
+    def test_default_name_is_descriptive(self):
+        spec = SyntheticSpec(records=100, distinct_values=10)
+        assert "N=100" in spec.name
+        assert "I=10" in spec.name
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(records=0)
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(records=10, distinct_values=11)
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(records=10, distinct_values=5, records_per_page=0)
+
+    def test_scaled_preserves_ratio(self):
+        spec = SyntheticSpec(records=100_000, distinct_values=1_000)
+        small = spec.scaled(0.01)
+        assert small.records == 1_000
+        assert small.distinct_values == 10
+        assert small.records_per_page == spec.records_per_page
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticSpec(records=100, distinct_values=10).scaled(0)
+
+
+class TestBuild:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_synthetic_dataset(
+            SyntheticSpec(
+                records=2_000,
+                distinct_values=50,
+                records_per_page=25,
+                theta=0.86,
+                window=0.3,
+                seed=5,
+            )
+        )
+
+    def test_record_count(self, dataset):
+        assert dataset.table.record_count == 2_000
+        assert dataset.index.entry_count == 2_000
+
+    def test_page_count_is_ceiling(self, dataset):
+        assert dataset.table.page_count == 80  # 2000 / 25
+
+    def test_distinct_keys(self, dataset):
+        assert dataset.index.distinct_key_count() == 50
+
+    def test_index_is_complete(self, dataset):
+        dataset.index.check_complete()
+
+    def test_keys_are_dense_integers(self, dataset):
+        assert dataset.index.sorted_keys() == list(range(50))
+
+    def test_rows_resolve_through_rids(self, dataset):
+        for entry in list(dataset.index.entries())[:100]:
+            assert dataset.table.get(entry.rid) == (entry.key,)
+
+    def test_determinism(self):
+        spec = SyntheticSpec(records=500, distinct_values=20, seed=99)
+        a = build_synthetic_dataset(spec)
+        b = build_synthetic_dataset(spec)
+        assert a.index.page_sequence() == b.index.page_sequence()
+
+    def test_clustering_responds_to_window(self):
+        from repro.trace.stats import clustering_factor
+
+        def c_for(window):
+            ds = build_synthetic_dataset(
+                SyntheticSpec(
+                    records=4_000,
+                    distinct_values=100,
+                    records_per_page=20,
+                    window=window,
+                    noise=0.0,
+                    seed=3,
+                )
+            )
+            return clustering_factor(
+                ds.index.page_sequence(), ds.table.page_count
+            )
+
+        assert c_for(0.0) > 0.95
+        assert c_for(1.0) < 0.3

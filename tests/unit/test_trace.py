@@ -1,0 +1,140 @@
+"""Unit tests for ReferenceTrace and trace statistics."""
+
+import pytest
+
+from repro.buffer.lru import LRUBufferPool
+from repro.errors import TraceError
+from repro.storage.btree import KeyBound
+from repro.trace.reference import ReferenceTrace
+from repro.trace.stats import (
+    clustering_factor,
+    dc_cluster_count,
+    distinct_pages,
+    fetches_with_single_buffer,
+    jump_count,
+    key_page_spans,
+    min_modeled_buffer,
+)
+
+
+class TestReferenceTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            ReferenceTrace([])
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(TraceError):
+            ReferenceTrace([1, -1])
+
+    def test_from_index(self, tiny_index):
+        trace = ReferenceTrace.from_index(tiny_index)
+        assert len(trace) == tiny_index.entry_count
+        assert trace.pages == tuple(tiny_index.page_sequence())
+
+    def test_from_index_partial(self, tiny_index):
+        trace = ReferenceTrace.from_index(
+            tiny_index, KeyBound(1, True), KeyBound(1, True)
+        )
+        assert len(trace) == 3
+
+    def test_from_index_empty_range_rejected(self, tiny_index):
+        with pytest.raises(TraceError):
+            ReferenceTrace.from_index(
+                tiny_index, KeyBound(99, True), KeyBound(100, True)
+            )
+
+    def test_slicing_returns_trace(self):
+        trace = ReferenceTrace([1, 2, 3, 4])
+        sub = trace[1:3]
+        assert isinstance(sub, ReferenceTrace)
+        assert sub.pages == (2, 3)
+        assert trace[0] == 1
+
+    def test_subtrace_bounds_checked(self):
+        trace = ReferenceTrace([1, 2, 3])
+        with pytest.raises(TraceError):
+            trace.subtrace(2, 2)
+        with pytest.raises(TraceError):
+            trace.subtrace(0, 4)
+
+    def test_fetch_curve_cached(self):
+        trace = ReferenceTrace([1, 2, 1, 3])
+        assert trace.fetch_curve() is trace.fetch_curve()
+        assert trace.fetches(2) == LRUBufferPool(2).run([1, 2, 1, 3])
+        assert trace.distinct_pages == 3
+
+
+class TestTraceStats:
+    def test_distinct_pages(self):
+        assert distinct_pages([1, 1, 2, 3, 2]) == 3
+
+    def test_jump_count(self):
+        assert jump_count([1, 1, 2, 2, 1]) == 2
+        assert jump_count([5]) == 0
+
+    def test_single_buffer_fetches_equal_lru(self):
+        trace = [1, 2, 2, 3, 1, 1, 4]
+        assert fetches_with_single_buffer(trace) == LRUBufferPool(1).run(trace)
+
+    def test_single_buffer_empty_rejected(self):
+        with pytest.raises(TraceError):
+            fetches_with_single_buffer([])
+
+    def test_min_modeled_buffer_small_table(self):
+        # 1% of 100 pages = 1 < B_sml=12 -> 12, clamped to T if needed.
+        assert min_modeled_buffer(100) == 12
+        assert min_modeled_buffer(5) == 5  # clamp to T
+        assert min_modeled_buffer(10_000) == 100  # ceil(0.01 * T)
+
+    def test_clustering_factor_sequential_is_one(self):
+        # 3 records per page, sequential: N=30, T=10.
+        trace = [i // 3 for i in range(30)]
+        assert clustering_factor(trace, 10) == pytest.approx(1.0)
+
+    def test_clustering_factor_one_record_per_page(self):
+        trace = list(range(10))
+        assert clustering_factor(trace, 10) == 1.0
+
+    def test_clustering_factor_scattered_is_low(self):
+        # Round-robin over pages: every access jumps to another page.
+        trace = [i % 10 for i in range(100)]
+        c = clustering_factor(trace, 10, b_sml=1)
+        assert c < 0.2
+
+    def test_clustering_factor_empty_rejected(self):
+        with pytest.raises(TraceError):
+            clustering_factor([], 5)
+
+
+class TestKeySpansAndDC:
+    def test_key_page_spans(self, tiny_index):
+        spans = key_page_spans(tiny_index)
+        assert [k for k, _f, _l in spans] == [0, 1, 2]
+        for _key, first, last in spans:
+            assert first >= 0 and last >= 0
+
+    def test_dc_counter_fully_clustered(self):
+        """A clustered index: every key's pages follow the previous key's."""
+        from repro.storage.index import Index
+        from repro.storage.table import Table
+
+        table = Table("t", ("k",), records_per_page=2)
+        index = Index("t.k", table, "k")
+        for i in range(12):
+            rid = table.insert((i // 3,))  # keys 0..3 in physical order
+            index.add(i // 3, rid)
+        assert dc_cluster_count(index) == 4  # all 4 keys clustered
+
+    def test_dc_counter_reversed_placement(self):
+        """Keys placed in reverse page order: only the first key counts."""
+        from repro.storage.index import Index
+        from repro.storage.table import Table
+
+        table = Table("t", ("k",), records_per_page=1)
+        table.heap.ensure_pages(4)
+        index = Index("t.k", table, "k")
+        for key, page in enumerate([3, 2, 1, 0]):
+            rid = table.place(page, (key,))
+            index.add(key, rid)
+        assert dc_cluster_count(index) == 1
+        assert dc_cluster_count(index, count_first_key=False) == 0

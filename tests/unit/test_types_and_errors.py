@@ -1,0 +1,89 @@
+"""Unit tests for shared value types and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import RID, ScanSelectivity, TableShape
+
+
+class TestRID:
+    def test_valid(self):
+        rid = RID(3, 7)
+        assert (rid.page, rid.slot) == (3, 7)
+
+    def test_frozen_and_hashable(self):
+        rid = RID(1, 2)
+        assert hash(rid) == hash(RID(1, 2))
+        with pytest.raises(Exception):
+            rid.page = 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RID(-1, 0)
+        with pytest.raises(ValueError):
+            RID(0, -1)
+
+
+class TestTableShape:
+    def test_records_per_page(self):
+        shape = TableShape(pages=10, records=200)
+        assert shape.records_per_page == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableShape(pages=0, records=5)
+        with pytest.raises(ValueError):
+            TableShape(pages=2, records=0)
+        with pytest.raises(ValueError):
+            TableShape(pages=10, records=5)
+
+
+class TestScanSelectivity:
+    def test_combined(self):
+        sel = ScanSelectivity(0.5, 0.2)
+        assert sel.combined == pytest.approx(0.1)
+
+    def test_default_sargable(self):
+        assert ScanSelectivity(0.3).sargable_selectivity == 1.0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ScanSelectivity(1.5)
+        with pytest.raises(ValueError):
+            ScanSelectivity(0.5, -0.1)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaf_errors = [
+            errors.StorageError,
+            errors.PageFullError,
+            errors.RecordNotFoundError,
+            errors.BTreeError,
+            errors.BufferError_,
+            errors.TraceError,
+            errors.FitError,
+            errors.EstimationError,
+            errors.CatalogError,
+            errors.WorkloadError,
+            errors.DataGenerationError,
+            errors.CalibrationError,
+            errors.ExperimentError,
+            errors.OptimizerError,
+        ]
+        for exc in leaf_errors:
+            assert issubclass(exc, errors.ReproError)
+
+    def test_record_not_found_is_key_error(self):
+        assert issubclass(errors.RecordNotFoundError, KeyError)
+
+    def test_calibration_is_data_generation(self):
+        assert issubclass(
+            errors.CalibrationError, errors.DataGenerationError
+        )
+
+    def test_single_catch_all(self):
+        try:
+            raise errors.PageFullError("boom")
+        except errors.ReproError as caught:
+            assert "boom" in str(caught)

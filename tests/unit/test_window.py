@@ -1,0 +1,119 @@
+"""Unit tests for the window placement scheme."""
+
+import random
+
+import pytest
+
+from repro.datagen.window import Placement, WindowPlacer
+from repro.errors import DataGenerationError
+from repro.trace.stats import clustering_factor
+
+
+def _place(window, noise, counts, rpp, seed=1):
+    placer = WindowPlacer(window, noise=noise, rng=random.Random(seed))
+    return placer.place(counts, rpp)
+
+
+class TestValidation:
+    def test_window_fraction_bounds(self):
+        with pytest.raises(DataGenerationError):
+            WindowPlacer(-0.1)
+        with pytest.raises(DataGenerationError):
+            WindowPlacer(1.1)
+
+    def test_noise_bounds(self):
+        with pytest.raises(DataGenerationError):
+            WindowPlacer(0.5, noise=-0.01)
+        with pytest.raises(DataGenerationError):
+            WindowPlacer(0.5, noise=1.01)
+
+    def test_records_per_page_positive(self):
+        with pytest.raises(DataGenerationError):
+            _place(0.5, 0.0, [10], 0)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(DataGenerationError):
+            _place(0.5, 0.0, [], 4)
+
+
+class TestCapacityAccounting:
+    def test_every_record_placed_exactly_once(self):
+        placement = _place(0.3, 0.05, [25] * 8, 10)
+        assert placement.record_count == 200
+        assert sum(placement.occupancy()) == 200
+
+    def test_no_page_overflows(self):
+        placement = _place(0.5, 0.05, [13] * 31, 7)
+        assert max(placement.occupancy()) <= 7
+
+    def test_page_count_is_ceiling(self):
+        placement = _place(0.2, 0.0, [10] * 10, 8)  # 100 records, 8/page
+        assert placement.pages == 13
+
+    def test_slots_unique(self):
+        placement = _place(1.0, 0.0, [50] * 4, 5)
+        slots = {(p, s) for _k, p, s in placement.assignments}
+        assert len(slots) == placement.record_count
+
+    def test_keys_in_creation_order(self):
+        placement = _place(0.5, 0.05, [3, 4, 5], 4)
+        keys = [k for k, _p, _s in placement.assignments]
+        assert keys == sorted(keys)
+        assert keys == [0] * 3 + [1] * 4 + [2] * 5
+
+
+class TestClusteringBehavior:
+    def test_zero_window_no_noise_is_sequential(self):
+        placement = _place(0.0, 0.0, [10] * 10, 10)
+        assert placement.page_trace() == [i // 10 for i in range(100)]
+
+    def test_zero_window_yields_high_clustering(self):
+        placement = _place(0.0, 0.0, [40] * 50, 20)
+        c = clustering_factor(placement.page_trace(), placement.pages)
+        assert c == pytest.approx(1.0)
+
+    def test_full_window_yields_low_clustering(self):
+        placement = _place(1.0, 0.0, [40] * 50, 20)
+        c = clustering_factor(placement.page_trace(), placement.pages)
+        assert c < 0.3
+
+    def test_clustering_monotone_in_window(self):
+        cs = []
+        for k in (0.0, 0.2, 1.0):
+            placement = _place(k, 0.0, [40] * 50, 20, seed=9)
+            cs.append(
+                clustering_factor(placement.page_trace(), placement.pages)
+            )
+        assert cs[0] > cs[1] > cs[2]
+
+    def test_noise_reduces_clustering(self):
+        quiet = _place(0.0, 0.0, [40] * 50, 20, seed=5)
+        noisy = _place(0.0, 0.3, [40] * 50, 20, seed=5)
+        c_quiet = clustering_factor(quiet.page_trace(), quiet.pages)
+        c_noisy = clustering_factor(noisy.page_trace(), noisy.pages)
+        assert c_noisy < c_quiet
+
+
+class TestDeterminism:
+    def test_same_seed_same_placement(self):
+        a = _place(0.4, 0.05, [7] * 30, 6, seed=21)
+        b = _place(0.4, 0.05, [7] * 30, 6, seed=21)
+        assert a.assignments == b.assignments
+
+    def test_different_seed_differs(self):
+        a = _place(0.4, 0.05, [7] * 30, 6, seed=21)
+        b = _place(0.4, 0.05, [7] * 30, 6, seed=22)
+        assert a.assignments != b.assignments
+
+
+class TestPlacementValue:
+    def test_page_trace_matches_assignments(self):
+        placement = _place(0.5, 0.0, [4, 4], 4)
+        assert placement.page_trace() == [
+            p for _k, p, _s in placement.assignments
+        ]
+
+    def test_placement_is_frozen(self):
+        placement = _place(0.5, 0.0, [4], 4)
+        with pytest.raises(AttributeError):
+            placement.pages = 99

@@ -1,0 +1,209 @@
+"""Unit tests for predicates, the scan generator, and selectivity."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.storage.btree import KeyBound
+from repro.storage.index import IndexEntry
+from repro.types import RID
+from repro.workload.predicates import HashSamplePredicate, KeyRange
+from repro.workload.scans import (
+    KeyDistribution,
+    ScanKind,
+    ScanSpec,
+    generate_scan,
+    generate_scan_mix,
+)
+from repro.workload.selectivity import exact_range_selectivity
+
+
+class TestKeyRange:
+    def test_full_range(self):
+        assert KeyRange.full().is_full
+        assert KeyRange.full().describe() == "full scan"
+
+    def test_between(self):
+        r = KeyRange.between(3, 9)
+        assert r.start == KeyBound(3, True)
+        assert r.stop == KeyBound(9, True)
+        assert "key >= 3" in r.describe()
+        assert "key <= 9" in r.describe()
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            KeyRange.between(9, 3)
+
+    def test_one_sided(self):
+        assert KeyRange.at_least(5).stop is None
+        assert KeyRange.at_most(5).start is None
+
+
+class TestHashSamplePredicate:
+    def _entry(self, key, page, slot=0):
+        return IndexEntry(key, RID(page, slot))
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(WorkloadError):
+            HashSamplePredicate(1.5)
+        with pytest.raises(WorkloadError):
+            HashSamplePredicate(-0.1)
+
+    def test_deterministic(self):
+        pred = HashSamplePredicate(0.5, seed=3)
+        entry = self._entry("k", 10)
+        assert pred.qualifies(entry) == pred.qualifies(entry)
+
+    def test_extremes(self):
+        always = HashSamplePredicate(1.0)
+        never = HashSamplePredicate(0.0)
+        entries = [self._entry(i, i) for i in range(50)]
+        assert all(always.qualifies(e) for e in entries)
+        assert not any(never.qualifies(e) for e in entries)
+
+    def test_marginal_rate_near_selectivity(self):
+        pred = HashSamplePredicate(0.3, seed=8)
+        entries = [self._entry(i % 17, i, i % 5) for i in range(4_000)]
+        rate = sum(pred.qualifies(e) for e in entries) / len(entries)
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_seed_changes_selection(self):
+        entries = [self._entry(i, i) for i in range(200)]
+        a = [HashSamplePredicate(0.5, seed=1).qualifies(e) for e in entries]
+        b = [HashSamplePredicate(0.5, seed=2).qualifies(e) for e in entries]
+        assert a != b
+
+
+class TestKeyDistribution:
+    @pytest.fixture()
+    def dist(self):
+        return KeyDistribution(list("abcde"), [10, 20, 5, 40, 25])
+
+    def test_total(self, dist):
+        assert dist.total_records == 100
+        assert dist.distinct_keys == 5
+
+    def test_records_before_from(self, dist):
+        assert dist.records_before(0) == 0
+        assert dist.records_before(3) == 35
+        assert dist.records_from(3) == 65
+
+    def test_max_start_for(self, dist):
+        # Suffix counts: a=100, b=90, c=70, d=65, e=25.
+        assert dist.max_start_for(70) == 2
+        assert dist.max_start_for(66) == 2
+        assert dist.max_start_for(25) == 4
+        assert dist.max_start_for(0) == 4
+
+    def test_max_start_too_many(self, dist):
+        with pytest.raises(WorkloadError):
+            dist.max_start_for(101)
+
+    def test_stop_for(self, dist):
+        assert dist.stop_for(0, 10) == 0
+        assert dist.stop_for(0, 11) == 1
+        assert dist.stop_for(1, 60) == 3
+        assert dist.stop_for(4, 9_999) == 4  # clamped to last key
+
+    def test_from_index(self, tiny_index):
+        dist = KeyDistribution.from_index(tiny_index)
+        assert dist.keys == [0, 1, 2]
+        assert dist.counts == [4, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            KeyDistribution([], [])
+        with pytest.raises(WorkloadError):
+            KeyDistribution(["a"], [0])
+        with pytest.raises(WorkloadError):
+            KeyDistribution(["a", "b"], [1])
+
+
+class TestScanGeneration:
+    @pytest.fixture()
+    def dist(self, skewed_dataset):
+        return KeyDistribution.from_index(skewed_dataset.index)
+
+    def test_small_scans_select_at_most_20_percent_plus_one_key(self, dist):
+        rng = random.Random(7)
+        for _ in range(50):
+            scan = generate_scan(dist, ScanKind.SMALL, rng)
+            # One key's worth of slack: the stop key completes the rN-th
+            # record's key group.
+            assert scan.range_selectivity <= 0.2 + max(
+                dist.counts
+            ) / dist.total_records
+
+    def test_large_scans_meet_their_target(self, dist):
+        rng = random.Random(8)
+        for _ in range(50):
+            scan = generate_scan(dist, ScanKind.LARGE, rng)
+            assert scan.selected_records >= round(
+                scan.target_fraction * scan.total_records
+            )
+
+    def test_full_scan(self, dist):
+        scan = generate_scan(dist, ScanKind.FULL, random.Random(1))
+        assert scan.range_selectivity == 1.0
+        assert scan.key_range.is_full
+
+    def test_selected_records_is_exact(self, dist, skewed_dataset):
+        rng = random.Random(9)
+        scan = generate_scan(dist, ScanKind.LARGE, rng)
+        actual = skewed_dataset.index.count_in_range(
+            *scan.key_range.bounds()
+        )
+        assert actual == scan.selected_records
+
+    def test_mix_composition(self, skewed_dataset):
+        scans = generate_scan_mix(
+            skewed_dataset.index, count=100, rng=random.Random(3)
+        )
+        kinds = {s.kind for s in scans}
+        assert kinds == {ScanKind.SMALL, ScanKind.LARGE}
+        assert len(scans) == 100
+
+    def test_mix_with_full_scans(self, skewed_dataset):
+        scans = generate_scan_mix(
+            skewed_dataset.index,
+            count=60,
+            small_probability=0.3,
+            large_probability=0.3,
+            rng=random.Random(4),
+        )
+        assert any(s.kind is ScanKind.FULL for s in scans)
+
+    def test_mix_validation(self, skewed_dataset):
+        with pytest.raises(WorkloadError):
+            generate_scan_mix(skewed_dataset.index, count=0)
+        with pytest.raises(WorkloadError):
+            generate_scan_mix(
+                skewed_dataset.index,
+                small_probability=0.8,
+                large_probability=0.3,
+            )
+
+    def test_scan_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            ScanSpec(
+                key_range=KeyRange.full(),
+                kind=ScanKind.FULL,
+                target_fraction=1.0,
+                selected_records=11,
+                total_records=10,
+            )
+
+    def test_describe(self, dist):
+        scan = generate_scan(dist, ScanKind.SMALL, random.Random(5))
+        text = scan.describe()
+        assert "small scan" in text
+        assert "sigma=" in text
+
+
+class TestSelectivity:
+    def test_exact_range_selectivity(self, tiny_index):
+        assert exact_range_selectivity(tiny_index, KeyRange.full()) == 1.0
+        assert exact_range_selectivity(
+            tiny_index, KeyRange.between(1, 2)
+        ) == pytest.approx(0.6)

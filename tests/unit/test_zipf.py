@@ -1,0 +1,95 @@
+"""Unit tests for the generalized Zipf generator."""
+
+import random
+
+import pytest
+
+from repro.datagen.zipf import (
+    THETA_80_20,
+    ZipfGenerator,
+    zipf_counts,
+    zipf_weights,
+)
+from repro.errors import DataGenerationError
+
+
+class TestWeights:
+    def test_uniform_when_theta_zero(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_weights_sum_to_one(self):
+        for theta in (0.0, 0.5, 0.86, 1.0):
+            assert sum(zipf_weights(50, theta)) == pytest.approx(1.0)
+
+    def test_weights_decrease_with_rank(self):
+        weights = zipf_weights(20, 0.86)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_80_20_property(self):
+        """Top 20% of ranks carries the bulk of the mass at theta = 0.86.
+
+        The exact 80% share is the asymptotic (I -> infinity) value of
+        (0.2)**(1-theta); finite harmonic-sum corrections pull it down a
+        little, so the test brackets rather than pins it, and checks the
+        share grows toward 0.8 with I.
+        """
+        share_1k = sum(zipf_weights(1_000, THETA_80_20)[:200])
+        share_10k = sum(zipf_weights(10_000, THETA_80_20)[:2_000])
+        assert 0.6 <= share_1k <= 0.85
+        assert share_1k < share_10k < 0.85
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DataGenerationError):
+            zipf_weights(0, 0.5)
+        with pytest.raises(DataGenerationError):
+            zipf_weights(5, -0.1)
+
+
+class TestCounts:
+    def test_counts_sum_exactly(self):
+        counts = zipf_counts(10_000, 37, 0.86)
+        assert sum(counts) == 10_000
+
+    def test_every_value_present(self):
+        counts = zipf_counts(500, 500, 0.86)
+        assert all(c >= 1 for c in counts)
+
+    def test_uniform_counts_nearly_equal(self):
+        counts = zipf_counts(1_000, 10, 0.0)
+        assert max(counts) - min(counts) <= 1
+
+    def test_skew_orders_counts(self):
+        counts = zipf_counts(100_000, 100, 0.86)
+        assert counts[0] > counts[-1]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_too_few_records_rejected(self):
+        with pytest.raises(DataGenerationError):
+            zipf_counts(5, 10, 0.0)
+
+    def test_without_presence_guarantee(self):
+        counts = zipf_counts(5, 10, 0.0, ensure_all_present=False)
+        assert sum(counts) == 5
+
+
+class TestGenerator:
+    def test_sample_ranks_in_range(self):
+        gen = ZipfGenerator(20, 0.86, rng=random.Random(3))
+        ranks = gen.sample_ranks(500)
+        assert all(0 <= r < 20 for r in ranks)
+
+    def test_skewed_sampling_prefers_low_ranks(self):
+        gen = ZipfGenerator(100, 0.86, rng=random.Random(4))
+        ranks = gen.sample_ranks(5_000)
+        low = sum(1 for r in ranks if r < 20)
+        assert low > 0.6 * len(ranks)
+
+    def test_negative_count_rejected(self):
+        gen = ZipfGenerator(5, 0.0)
+        with pytest.raises(DataGenerationError):
+            gen.sample_ranks(-1)
+
+    def test_weights_exposed(self):
+        gen = ZipfGenerator(4, 0.0)
+        assert sum(gen.weights) == pytest.approx(1.0)
