@@ -11,9 +11,11 @@ import random
 
 import pytest
 
+from repro.buffer.kernels import available_kernels, get_kernel
 from repro.buffer.lru import LRUBufferPool
 from repro.buffer.stack import FetchCurve
 from repro.estimators.epfis import EPFISEstimator, LRUFit
+from repro.perf.harness import build_zipf_trace
 from repro.storage.btree import BTreeIndex, KeyBound
 from repro.types import RID, ScanSelectivity
 
@@ -27,9 +29,31 @@ def trace():
     return [rng.randrange(PAGES) for _ in range(TRACE_LENGTH)]
 
 
+@pytest.fixture(scope="module")
+def zipf_trace():
+    return build_zipf_trace(TRACE_LENGTH, PAGES)
+
+
 def test_perf_stack_distance_pass(benchmark, trace):
     """One full Mattson pass: LRU-Fit's dominant cost."""
     curve = benchmark(FetchCurve.from_trace, trace)
+    assert curve.accesses == TRACE_LENGTH
+
+
+@pytest.mark.parametrize("kernel_name", available_kernels())
+def test_perf_stack_distance_kernel(benchmark, trace, kernel_name):
+    """The same pass through each registered kernel (uniform trace)."""
+    kernel = get_kernel(kernel_name)
+    curve = benchmark(kernel.analyze, trace)
+    assert curve.accesses == TRACE_LENGTH
+    assert curve.distinct_pages == PAGES
+
+
+@pytest.mark.parametrize("kernel_name", available_kernels())
+def test_perf_stack_distance_kernel_zipf(benchmark, zipf_trace, kernel_name):
+    """Kernel throughput under Zipf 80-20 skew (hot pages, short depths)."""
+    kernel = get_kernel(kernel_name)
+    curve = benchmark(kernel.analyze, zipf_trace)
     assert curve.accesses == TRACE_LENGTH
 
 

@@ -12,11 +12,21 @@ This subpackage provides the machinery behind the paper's Subprogram LRU-Fit
   :class:`~repro.buffer.clock.ClockBufferPool` — alternative replacement
   policies used by the ablation benches (LRU is what the paper models; these
   quantify how policy-sensitive the FPF curve is).
+* :mod:`repro.buffer.kernels` — pluggable implementations of the stack
+  pass (exact Fenwick baseline, exact compact big-integer kernel, SHARDS
+  sampling, optional numpy vectorization) behind one registry.
 """
 
 from repro.buffer.clock import ClockBufferPool
 from repro.buffer.fenwick import FenwickTree
 from repro.buffer.fifo import FIFOBufferPool
+from repro.buffer.kernels import (
+    KernelStream,
+    StackDistanceKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
 from repro.buffer.lru import LRUBufferPool
 from repro.buffer.pool import BufferPool, simulate_fetches
 from repro.buffer.stack import FetchCurve, StackDistanceAnalyzer, stack_distances
@@ -27,8 +37,13 @@ __all__ = [
     "FIFOBufferPool",
     "FenwickTree",
     "FetchCurve",
+    "KernelStream",
     "LRUBufferPool",
     "StackDistanceAnalyzer",
+    "StackDistanceKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
     "simulate_fetches",
     "stack_distances",
 ]

@@ -1,0 +1,62 @@
+"""Pluggable stack-distance kernels behind a common registry.
+
+Four implementations of the Mattson pass (Section 4.1's "simultaneous
+simulation for a number of buffer pool sizes"), selectable by name anywhere
+the library runs an LRU analysis (``LRUFitConfig.kernel``, the experiment
+runner, ``repro perf``):
+
+``baseline``
+    The original Fenwick-tree-over-positions pass; exact, O(M log M).
+``compact``
+    Exact big-integer recency kernel keyed by distinct live pages,
+    O(M · D/w) word operations — typically 3-30x faster than baseline.
+``sampled``
+    SHARDS-style spatial hash sampling; approximate with a documented
+    error bound, an order of magnitude faster on large traces.
+``numpy``
+    Exact vectorized offline computation; registered only when numpy is
+    importable (the package itself stays zero-dependency).
+
+See :mod:`repro.buffer.kernels.base` for the kernel/stream interface and
+:mod:`repro.buffer.kernels.registry` for registration.
+"""
+
+from repro.buffer.kernels.base import KernelStream, StackDistanceKernel
+from repro.buffer.kernels.baseline import BaselineKernel
+from repro.buffer.kernels.compact import CompactKernel
+from repro.buffer.kernels.registry import (
+    DEFAULT_KERNEL,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+)
+from repro.buffer.kernels.sampled import (
+    SAMPLED_BAND_ERROR_BOUND,
+    ApproximateFetchCurve,
+    SampledKernel,
+)
+from repro.buffer.kernels.vectorized import HAVE_NUMPY, VectorizedKernel
+
+register_kernel(BaselineKernel.name, BaselineKernel)
+register_kernel(CompactKernel.name, CompactKernel)
+register_kernel(SampledKernel.name, SampledKernel)
+if HAVE_NUMPY:
+    register_kernel(VectorizedKernel.name, VectorizedKernel)
+
+__all__ = [
+    "ApproximateFetchCurve",
+    "BaselineKernel",
+    "CompactKernel",
+    "DEFAULT_KERNEL",
+    "HAVE_NUMPY",
+    "KernelStream",
+    "SAMPLED_BAND_ERROR_BOUND",
+    "SampledKernel",
+    "StackDistanceKernel",
+    "VectorizedKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel",
+]

@@ -1,0 +1,96 @@
+"""Kernel interface for single-pass LRU stack-distance analysis.
+
+A *kernel* is one interchangeable implementation of the Mattson pass that
+turns a page-reference trace into a queryable ``B -> F(B)`` fetch curve
+(Section 4.1 of the paper).  All kernels share two entry points:
+
+* :meth:`StackDistanceKernel.analyze` — one-shot analysis of a full trace.
+* :meth:`StackDistanceKernel.stream` — a :class:`KernelStream` that accepts
+  the trace in arbitrary chunks, so LRU-Fit can consume generator-produced
+  references without materializing the whole trace in memory.
+
+Exact kernels (``exact = True``) are required to produce results
+*bit-identical* to :func:`repro.buffer.stack.stack_distances` — the same
+:class:`~repro.buffer.stack.FetchCurve` dataclass, equal field-for-field.
+Approximate kernels return a curve-compatible estimate and document their
+error bound (see :mod:`repro.buffer.kernels.sampled`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Iterable
+
+from repro.errors import KernelError
+
+
+class KernelStream(abc.ABC):
+    """Incremental (chunked) trace consumption for one analysis pass.
+
+    Feed page references in any number of chunks, then call :meth:`finish`
+    exactly once to obtain the fetch curve.  Streams are single-use: after
+    ``finish()`` both methods raise :class:`~repro.errors.KernelError`.
+    """
+
+    _finished: bool = False
+
+    def feed(self, pages: Iterable[int]) -> None:
+        """Consume the next chunk of page references."""
+        if self._finished:
+            raise KernelError("cannot feed a finished kernel stream")
+        self._consume(pages)
+
+    def finish(self):
+        """Close the stream and return the fetch curve for everything fed.
+
+        Raises :class:`~repro.errors.TraceError` when no references were
+        fed (matching ``FetchCurve.from_trace`` on an empty trace) and
+        :class:`~repro.errors.KernelError` on a second call.
+        """
+        if self._finished:
+            raise KernelError("kernel stream already finished")
+        self._finished = True
+        return self._result()
+
+    @abc.abstractmethod
+    def _consume(self, pages: Iterable[int]) -> None:
+        """Implementation hook: ingest one chunk."""
+
+    @abc.abstractmethod
+    def _result(self):
+        """Implementation hook: build the final curve."""
+
+
+class StackDistanceKernel(abc.ABC):
+    """One pluggable implementation of the stack-distance pass.
+
+    Subclasses set ``name`` (the registry key) and ``exact`` (whether the
+    kernel reproduces the baseline bit-for-bit) and implement
+    :meth:`stream`.  Kernel instances are stateless between calls and safe
+    to reuse across traces; all per-trace state lives in the stream.
+    """
+
+    #: Registry key; also what ``LRUFitConfig.kernel`` and the CLI accept.
+    name: ClassVar[str] = "abstract"
+    #: True when results are bit-identical to the baseline Fenwick pass.
+    exact: ClassVar[bool] = True
+
+    @abc.abstractmethod
+    def stream(self) -> KernelStream:
+        """A fresh single-use stream for one trace."""
+
+    def analyze(self, trace: Iterable[int]):
+        """One-shot analysis: stream the whole ``trace`` and finish."""
+        s = self.stream()
+        s.feed(trace)
+        return s.finish()
+
+    def reseeded(self, seed: int) -> "StackDistanceKernel":
+        """A copy of this kernel keyed to ``seed``.
+
+        Deterministic parallel runs derive one seed per scan and call this
+        so every worker sees the same randomness regardless of scheduling.
+        Exact kernels are seed-free and return ``self``.
+        """
+        del seed
+        return self

@@ -1,0 +1,78 @@
+"""Name-based registry of stack-distance kernels.
+
+The registry is how the rest of the library (``LRUFitConfig``, the CLI, the
+benchmarks) names a kernel without importing its module.  Built-in kernels
+self-register when :mod:`repro.buffer.kernels` is imported; the optional
+numpy kernel registers only when numpy is importable, keeping the package
+itself zero-dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Union
+
+from repro.buffer.kernels.base import StackDistanceKernel
+from repro.errors import KernelError
+
+#: The kernel used when none is named: the original Fenwick pass.
+DEFAULT_KERNEL = "baseline"
+
+_FACTORIES: Dict[str, Callable[..., StackDistanceKernel]] = {}
+
+
+def register_kernel(
+    name: str,
+    factory: Callable[..., StackDistanceKernel],
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` (usually a kernel class) under ``name``.
+
+    Registering an already-taken name raises
+    :class:`~repro.errors.KernelError` unless ``replace=True`` — tests and
+    downstream experiments may override a built-in deliberately, but should
+    never do so by accident.
+    """
+    if not name or not isinstance(name, str):
+        raise KernelError(f"kernel name must be a non-empty string, got {name!r}")
+    if name in _FACTORIES and not replace:
+        raise KernelError(
+            f"kernel {name!r} is already registered; pass replace=True "
+            f"to override"
+        )
+    _FACTORIES[name] = factory
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Sorted names of every registered kernel."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_kernel(name: str = DEFAULT_KERNEL, **options) -> StackDistanceKernel:
+    """Instantiate the kernel registered under ``name``.
+
+    ``options`` are forwarded to the kernel factory (e.g.
+    ``get_kernel("sampled", rate=0.05)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown stack-distance kernel {name!r}; available: "
+            f"{', '.join(available_kernels())}"
+        ) from None
+    return factory(**options)
+
+
+def resolve_kernel(
+    kernel: Union[str, StackDistanceKernel, None]
+) -> StackDistanceKernel:
+    """Coerce a kernel spec (name, instance, or ``None``) to an instance.
+
+    ``None`` resolves to :data:`DEFAULT_KERNEL`; instances pass through
+    unchanged so callers can hand a pre-seeded kernel down a call chain.
+    """
+    if kernel is None:
+        return get_kernel(DEFAULT_KERNEL)
+    if isinstance(kernel, StackDistanceKernel):
+        return kernel
+    return get_kernel(kernel)

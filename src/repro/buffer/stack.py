@@ -23,7 +23,8 @@ paper's "large index-entry scans" tractable in pure Python.
 from __future__ import annotations
 
 import itertools
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -111,16 +112,30 @@ class FetchCurve:
         if not len(trace):
             raise TraceError("cannot build a FetchCurve from an empty trace")
         distances, cold = stack_distances(trace)
-        histogram: Dict[int, int] = {}
-        for d in distances:
-            histogram[d] = histogram.get(d, 0) + 1
+        return cls.from_distances(distances, cold)
+
+    @classmethod
+    def from_distances(
+        cls, distances: Iterable[int], cold_misses: int
+    ) -> "FetchCurve":
+        """Build the curve from a precomputed reuse-depth sequence.
+
+        This is the constructor the pluggable kernels use: any pass that
+        produces the multiset of reuse depths plus the compulsory-miss
+        count yields exactly this curve.  ``Counter`` does the histogram
+        in C rather than a Python dict loop.
+        """
+        histogram = Counter(distances)
+        accesses = cold_misses + sum(histogram.values())
+        if not accesses:
+            raise TraceError("cannot build a FetchCurve from an empty trace")
         depths = tuple(sorted(histogram))
         cumulative = tuple(
             itertools.accumulate(histogram[d] for d in depths)
         )
         return cls(
-            accesses=len(trace),
-            distinct_pages=cold,
+            accesses=accesses,
+            distinct_pages=cold_misses,
             depths=depths,
             cumulative_reuses=cumulative,
         )
@@ -165,15 +180,14 @@ class FetchCurve:
                 f"no buffer size achieves <= {max_fetches} fetches; the "
                 f"compulsory-miss floor is {self.distinct_pages}"
             )
-        # F is non-increasing in B, so binary search over candidate depths.
-        lo, hi = 1, max(self.max_depth, 1)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.fetches(mid) <= max_fetches:
-                hi = mid
-            else:
-                lo = mid + 1
-        return lo
+        # F(B) <= max_fetches iff hits(B) >= reuses - (max_fetches - A).
+        # F only decreases at stored depth values, so the answer is read
+        # straight off the cumulative histogram with one bisect instead of
+        # a binary search over fetches() calls.
+        needed_hits = self.reuses - (max_fetches - self.distinct_pages)
+        if needed_hits <= 0:
+            return 1
+        return self.depths[bisect_left(self.cumulative_reuses, needed_hits)]
 
 
 class StackDistanceAnalyzer:

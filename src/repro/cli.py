@@ -9,8 +9,12 @@ Commands mirror how a DBA would interact with EPFIS:
 * ``gwl``       — build the simulated GWL database and print Tables 2-3.
 * ``locality``  — profile a dataset's index-order trace locality.
 * ``contention``— simulate concurrent scans sharing one LRU pool.
+* ``perf``      — time one LRU-Fit pass per stack-distance kernel.
 
-Every command is deterministic given its ``--seed``.
+Every command is deterministic given its ``--seed``.  ``experiment`` can
+fan its ground-truth simulations across processes (``--workers``) and run
+them on any registered kernel (``--kernel``) without changing results for
+exact kernels.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import random
 import sys
 from typing import List, Optional
 
+from repro.buffer.kernels import available_kernels
 from repro.catalog.catalog import SystemCatalog
 from repro.datagen.gwl import build_gwl_database
 from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
@@ -134,6 +139,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     result = run_error_behavior(
         index, paper_estimators(index), scans, grid,
         dataset_name=dataset.name,
+        workers=args.workers,
+        kernel=args.kernel,
+        seed=args.seed,
     )
     rows = []
     for buffer_pages, percent in zip(grid, grid.percents()):
@@ -214,6 +222,44 @@ def _cmd_contention(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf.timing import compare_kernels
+
+    dataset = build_synthetic_dataset(_spec_from_args(args))
+    trace = dataset.index.page_sequence()
+    comparison = compare_kernels(
+        trace, kernels=args.kernels or None, repeats=args.repeats
+    )
+    rows = []
+    for t in comparison.timings:
+        rows.append(
+            (
+                t.kernel,
+                "yes" if t.exact else "no",
+                f"{t.median_ns / 1e6:.1f}",
+                f"{t.speedup:.2f}x",
+                f"{t.max_rel_error_pct:.2f}",
+                "ok" if t.agrees else "MISMATCH",
+            )
+        )
+    print(
+        format_table(
+            ["kernel", "exact", "median ms", "speedup", "max err %",
+             "agreement"],
+            rows,
+            title=(
+                f"LRU-Fit pass per kernel — {dataset.name} "
+                f"({comparison.references} refs, "
+                f"{comparison.distinct_pages} pages)"
+            ),
+        )
+    )
+    if not comparison.all_agree:
+        print("error: kernel disagreement detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_gwl(args: argparse.Namespace) -> int:
     db = build_gwl_database(scale=args.scale, seed=args.seed)
     print(
@@ -286,6 +332,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_experiment.add_argument("--scans", type=int, default=100)
     p_experiment.add_argument("--floor", type=int, default=12,
                               help="smallest buffer size in the grid")
+    p_experiment.add_argument("--workers", type=int, default=1,
+                              help="ground-truth worker processes "
+                                   "(1 = serial, 0 = one per CPU)")
+    p_experiment.add_argument("--kernel", choices=available_kernels(),
+                              default="baseline",
+                              help="stack-distance kernel for ground truth")
     p_experiment.set_defaults(handler=_cmd_experiment)
 
     p_gwl = sub.add_parser(
@@ -311,6 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_contention.add_argument("--buffer", type=int, required=True,
                               help="shared pool size in pages")
     p_contention.set_defaults(handler=_cmd_contention)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="time one LRU-Fit pass per stack-distance kernel",
+    )
+    _add_spec_arguments(p_perf)
+    p_perf.add_argument("--kernels", nargs="+", default=None,
+                        choices=available_kernels(),
+                        help="kernels to time (default: all registered)")
+    p_perf.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per kernel (median)")
+    p_perf.set_defaults(handler=_cmd_perf)
 
     return parser
 

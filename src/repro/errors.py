@@ -44,6 +44,10 @@ class TraceError(ReproError):
     """A page-reference trace was malformed or empty where data is required."""
 
 
+class KernelError(ReproError):
+    """A stack-distance kernel was unknown, misconfigured, or misused."""
+
+
 class FitError(ReproError):
     """Curve fitting failed (too few points, bad segment count, ...)."""
 

@@ -24,11 +24,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.buffer.stack import FetchCurve
+from repro.buffer.kernels import (
+    DEFAULT_KERNEL,
+    available_kernels,
+    resolve_kernel,
+)
 from repro.catalog.catalog import IndexStatistics
-from repro.errors import EstimationError
+from repro.errors import EstimationError, TraceError
 from repro.estimators.base import PageFetchEstimator
 from repro.estimators.formulas import cardenas
 from repro.fit.segments import PiecewiseLinear, fit_piecewise_linear
@@ -53,6 +57,10 @@ class LRUFitConfig:
     footnoted geometric alternative ``B_i = B_min * (B_max/B_min)**(i/k)``.
     ``b_range`` lets a DBA pin the modeled range explicitly ("If desired,
     the range of B can be specified by the database administrator").
+    ``kernel`` names the stack-distance kernel the statistics pass runs on
+    (see :mod:`repro.buffer.kernels`): any exact kernel yields identical
+    statistics; ``"sampled"`` trades a documented approximation error for
+    an order-of-magnitude faster pass on large indexes.
     """
 
     b_sml: int = B_SML_DEFAULT
@@ -62,6 +70,7 @@ class LRUFitConfig:
     fit_method: str = "optimal"
     b_range: Optional[Tuple[int, int]] = None
     collect_baseline_stats: bool = True
+    kernel: str = DEFAULT_KERNEL
     #: The paper's step heuristic (2*sqrt(range)) yields ~sqrt(range)/2
     #: samples — about 78 at the paper's synthetic table size (T = 25,000)
     #: but only ~11 on a 10x-scaled-down table, which starves the
@@ -97,6 +106,11 @@ class LRUFitConfig:
                 raise EstimationError(
                     f"b_range must satisfy 1 <= lo <= hi, got {self.b_range}"
                 )
+        if self.kernel not in available_kernels():
+            raise EstimationError(
+                f"unknown stack-distance kernel {self.kernel!r}; "
+                f"available: {', '.join(available_kernels())}"
+            )
 
 
 def buffer_grid(
@@ -164,17 +178,62 @@ class LRUFit:
 
     def run_on_trace(
         self,
-        trace: Sequence[int],
+        trace: Iterable[int],
         table_pages: int,
         distinct_keys: int,
         index_name: str = "<anonymous>",
         dc_count: Optional[int] = None,
     ) -> IndexStatistics:
-        """Statistics pass on a pre-extracted page-reference trace."""
-        if not len(trace):
-            raise EstimationError("cannot fit an empty index trace")
-        records = len(trace)
-        curve = FetchCurve.from_trace(trace)
+        """Statistics pass on a pre-extracted page-reference trace.
+
+        ``trace`` may be any iterable of page numbers — a generator is
+        consumed through the configured kernel's streaming interface, so
+        the full trace is never materialized here.
+        """
+        kernel = resolve_kernel(self.config.kernel)
+        try:
+            curve = kernel.analyze(trace)
+        except TraceError:
+            raise EstimationError("cannot fit an empty index trace") from None
+        return self._statistics_from_curve(
+            curve, table_pages, distinct_keys, index_name, dc_count
+        )
+
+    def run_streaming(
+        self,
+        chunks: Iterable[Sequence[int]],
+        table_pages: int,
+        distinct_keys: int,
+        index_name: str = "<anonymous>",
+        dc_count: Optional[int] = None,
+    ) -> IndexStatistics:
+        """Statistics pass over a trace delivered in chunks.
+
+        Equivalent to concatenating ``chunks`` and calling
+        :meth:`run_on_trace`, without ever holding more than one chunk in
+        memory (beyond the kernel's own working state).
+        """
+        stream = resolve_kernel(self.config.kernel).stream()
+        for chunk in chunks:
+            stream.feed(chunk)
+        try:
+            curve = stream.finish()
+        except TraceError:
+            raise EstimationError("cannot fit an empty index trace") from None
+        return self._statistics_from_curve(
+            curve, table_pages, distinct_keys, index_name, dc_count
+        )
+
+    def _statistics_from_curve(
+        self,
+        curve,
+        table_pages: int,
+        distinct_keys: int,
+        index_name: str,
+        dc_count: Optional[int],
+    ) -> IndexStatistics:
+        """Grid sampling, segment fitting, and catalog-record assembly."""
+        records = curve.accesses
 
         if self.config.b_range is not None:
             b_min, b_max = self.config.b_range

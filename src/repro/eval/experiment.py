@@ -6,6 +6,10 @@ every buffer size — i.e. one curve of the paper's error-behaviour figures.
 
 Ground truth is computed once per scan (a single stack-distance pass serves
 every buffer size); estimators are then queried per (scan, buffer size).
+The per-scan passes can be fanned across worker processes (``workers``) and
+run on any registered stack-distance kernel (``kernel``); parallel runs
+reproduce serial results exactly under fixed seeds — see
+:func:`repro.eval.ground_truth.ground_truth_tables`.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ExperimentError
 from repro.estimators.base import PageFetchEstimator
 from repro.eval.buffer_grid import BufferGrid
-from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.ground_truth import ScanTraceExtractor, ground_truth_tables
 from repro.eval.metrics import aggregate_relative_error
 from repro.storage.index import Index
 from repro.workload.scans import ScanSpec
@@ -74,8 +78,18 @@ def run_error_behavior(
     scans: Sequence[ScanSpec],
     buffer_grid: BufferGrid,
     dataset_name: Optional[str] = None,
+    workers: int = 1,
+    kernel: Optional[str] = None,
+    seed: int = 0,
 ) -> ErrorBehaviorResult:
-    """Run the experiment and return the per-estimator error curves."""
+    """Run the experiment and return the per-estimator error curves.
+
+    ``workers`` parallelizes the ground-truth LRU simulations across forked
+    processes (1 = serial, <= 0 = one per CPU); ``kernel`` selects the
+    stack-distance kernel for those simulations (``None`` = exact default);
+    ``seed`` feeds the deterministic per-scan kernel seeding.  Results are
+    identical across worker counts.
+    """
     if not estimators:
         raise ExperimentError("at least one estimator is required")
     if not scans:
@@ -86,17 +100,15 @@ def run_error_behavior(
     buffer_sizes = list(buffer_grid)
 
     # Ground truth: actuals[s][g] = fetches of scan s at grid point g.
-    actuals: List[List[int]] = []
-    usable_scans: List[ScanSpec] = []
-    for scan in scans:
-        curve = extractor.fetch_curve_for(scan)
-        if curve is None:
-            # A scan whose sargable predicate filtered out every record
-            # fetches nothing; it contributes zero to both sums.
-            actuals.append([0] * len(buffer_sizes))
-        else:
-            actuals.append([curve.fetches(b) for b in buffer_sizes])
-        usable_scans.append(scan)
+    usable_scans: List[ScanSpec] = list(scans)
+    actuals: List[List[int]] = ground_truth_tables(
+        extractor,
+        usable_scans,
+        buffer_sizes,
+        workers=workers,
+        kernel=kernel,
+        seed=seed,
+    )
 
     curves: List[EstimatorErrorCurve] = []
     for estimator in estimators:

@@ -12,18 +12,29 @@ suites fast in pure Python:
 * Each scan's trace is analyzed once with the Mattson stack-distance pass
   (:class:`~repro.buffer.stack.FetchCurve`), after which *every* buffer size
   on the evaluation grid is answered from the histogram.
+
+For big suites, :func:`ground_truth_tables` additionally fans the per-scan
+analyses across worker processes (fork start method, inherited state, no
+pickling of the extractor per task).  Scans are seeded deterministically by
+ordinal — :func:`derive_scan_seed` — so a parallel run reproduces the serial
+run bit-for-bit, for any worker count and any kernel (including the sampled
+one, whose randomness comes only from its seed).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.buffer.kernels import StackDistanceKernel, resolve_kernel
 from repro.buffer.stack import FetchCurve
 from repro.errors import ExperimentError
 from repro.storage.index import Index
 from repro.workload.predicates import KeyRange
 from repro.workload.scans import ScanSpec
+
+_M64 = (1 << 64) - 1
 
 
 class ScanTraceExtractor:
@@ -84,12 +95,20 @@ class ScanTraceExtractor:
         lo, hi = self._range_positions(scan.key_range)
         return hi - lo
 
-    def fetch_curve_for(self, scan: ScanSpec) -> Optional[FetchCurve]:
-        """Exact ``B -> F(B)`` for the scan; None if nothing qualifies."""
+    def fetch_curve_for(
+        self,
+        scan: ScanSpec,
+        kernel: Union[str, StackDistanceKernel, None] = None,
+    ) -> Optional[FetchCurve]:
+        """``B -> F(B)`` for the scan; None if nothing qualifies.
+
+        ``kernel`` selects the stack-distance kernel (name or instance;
+        ``None`` = the exact default).
+        """
         trace = self.trace_for(scan)
         if not trace:
             return None
-        return FetchCurve.from_trace(trace)
+        return resolve_kernel(kernel).analyze(trace)
 
     def actual_fetches(
         self, scan: ScanSpec, buffer_sizes: Sequence[int]
@@ -99,3 +118,89 @@ class ScanTraceExtractor:
         if curve is None:
             return {b: 0 for b in buffer_sizes}
         return {b: curve.fetches(b) for b in buffer_sizes}
+
+
+def derive_scan_seed(base_seed: int, ordinal: int) -> int:
+    """Deterministic per-scan seed (SplitMix64 mix of base and ordinal).
+
+    Workers receive scans by ordinal, so the randomness a scan sees is a
+    pure function of ``(base_seed, ordinal)`` — independent of scheduling,
+    chunking, or worker count.
+    """
+    z = (base_seed * 0x9E3779B97F4A7C15 + ordinal + 1) & _M64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    return (z ^ (z >> 31)) & _M64
+
+
+def _scan_row(
+    extractor: ScanTraceExtractor,
+    scan: ScanSpec,
+    sizes: Sequence[int],
+    kernel: Union[str, StackDistanceKernel, None],
+    seed: int,
+    ordinal: int,
+) -> List[int]:
+    """One ground-truth table row: fetches of ``scan`` at every size."""
+    resolved = resolve_kernel(kernel).reseeded(derive_scan_seed(seed, ordinal))
+    curve = extractor.fetch_curve_for(scan, kernel=resolved)
+    if curve is None:
+        # A scan whose sargable predicate filtered out every record
+        # fetches nothing; it contributes zero at every buffer size.
+        return [0] * len(sizes)
+    return [curve.fetches(b) for b in sizes]
+
+
+# State inherited by forked workers: set in the parent immediately before
+# the pool is created, cleared after.  Fork inheritance means the extractor
+# (which holds the full index trace) is shared copy-on-write instead of
+# being pickled once per task.
+_WORKER_STATE = None
+
+
+def _worker_row(ordinal: int) -> List[int]:
+    """Pool task: compute one row from the fork-inherited state."""
+    extractor, scans, sizes, kernel, seed = _WORKER_STATE
+    return _scan_row(extractor, scans[ordinal], sizes, kernel, seed, ordinal)
+
+
+def ground_truth_tables(
+    extractor: ScanTraceExtractor,
+    scans: Sequence[ScanSpec],
+    buffer_sizes: Sequence[int],
+    workers: int = 1,
+    kernel: Union[str, StackDistanceKernel, None] = None,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Per-scan fetch tables: ``result[s][g]`` = fetches of scan s at size g.
+
+    ``workers > 1`` fans the per-scan LRU analyses across that many forked
+    processes (capped at the scan count); ``workers <= 0`` means one per
+    CPU.  Platforms without the fork start method fall back to the serial
+    path.  Results are identical to the serial computation in all cases —
+    rows come back in scan order and every scan's kernel is re-seeded from
+    its ordinal alone.
+    """
+    sizes = list(buffer_sizes)
+    scans = list(scans)
+    if workers is not None and workers <= 0:
+        workers = multiprocessing.cpu_count()
+    use_fork = (
+        workers is not None
+        and workers > 1
+        and len(scans) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if not use_fork:
+        return [
+            _scan_row(extractor, scan, sizes, kernel, seed, i)
+            for i, scan in enumerate(scans)
+        ]
+    global _WORKER_STATE
+    _WORKER_STATE = (extractor, scans, sizes, kernel, seed)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(workers, len(scans))) as pool:
+            return pool.map(_worker_row, range(len(scans)))
+    finally:
+        _WORKER_STATE = None

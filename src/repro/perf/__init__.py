@@ -1,0 +1,31 @@
+"""Performance measurement utilities for the stack-distance kernels.
+
+* :mod:`repro.perf.timing` — time every registered kernel on one trace and
+  check agreement against the exact baseline (used by ``repro perf``).
+* :mod:`repro.perf.harness` — the reproducible BENCH_core benchmark:
+  uniform and Zipf traces, per-kernel medians and speedups, and the
+  acceptance criteria (compact >= 3x, sampled >= 10x within its documented
+  error bound), written to ``BENCH_core.json``.
+"""
+
+from repro.perf.harness import (
+    build_uniform_trace,
+    build_zipf_trace,
+    run_core_benchmark,
+)
+from repro.perf.timing import (
+    KernelComparison,
+    KernelTiming,
+    compare_kernels,
+    evaluation_band,
+)
+
+__all__ = [
+    "KernelComparison",
+    "KernelTiming",
+    "build_uniform_trace",
+    "build_zipf_trace",
+    "compare_kernels",
+    "evaluation_band",
+    "run_core_benchmark",
+]

@@ -1,0 +1,166 @@
+"""The BENCH_core benchmark: kernel speedups recorded as JSON.
+
+Runs every registered kernel over two deterministic traces — the classic
+50,000-reference uniform bench trace (``random.Random(5)`` over 1,250
+pages, the same fixture ``benchmarks/bench_core_performance.py`` uses) and
+a Zipf-skewed variant — and writes per-kernel medians, speedups versus the
+baseline, and error/agreement data to ``BENCH_core.json`` along with the
+acceptance criteria:
+
+* ``compact`` at least 3x faster than ``baseline``;
+* ``sampled`` at least 10x faster with max relative F(B) error on the
+  evaluation band within the documented 5% bound.
+
+``smoke=True`` shrinks the traces and repeats so the harness itself can run
+inside the tier-1 test suite in well under a second; criteria are reported
+but not meaningful at smoke scale (speedups need the full trace), so the
+JSON records whether the run was a smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.buffer.kernels import SAMPLED_BAND_ERROR_BOUND
+from repro.datagen.zipf import zipf_counts
+from repro.errors import KernelError
+from repro.perf.timing import KernelComparison, compare_kernels
+
+#: The canonical bench-trace shape (see benchmarks/bench_core_performance.py).
+DEFAULT_TRACE_LENGTH = 50_000
+DEFAULT_PAGES = 1_250
+#: Zipf skew of the secondary trace (the paper's 80-20 rule).
+DEFAULT_THETA = 0.86
+
+_MIN_COMPACT_SPEEDUP = 3.0
+_MIN_SAMPLED_SPEEDUP = 10.0
+
+
+def build_uniform_trace(
+    length: int = DEFAULT_TRACE_LENGTH,
+    pages: int = DEFAULT_PAGES,
+    seed: int = 5,
+) -> List[int]:
+    """The uniform bench trace (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    return [rng.randrange(pages) for _ in range(length)]
+
+
+def build_zipf_trace(
+    length: int = DEFAULT_TRACE_LENGTH,
+    pages: int = DEFAULT_PAGES,
+    theta: float = DEFAULT_THETA,
+    seed: int = 11,
+) -> List[int]:
+    """A Zipf-skewed trace: per-page counts from the paper's generator,
+    shuffled deterministically."""
+    counts = zipf_counts(length, pages, theta)
+    trace: List[int] = []
+    for page, count in enumerate(counts):
+        trace.extend([page] * count)
+    random.Random(seed).shuffle(trace)
+    return trace
+
+
+def _comparison_dict(comparison: KernelComparison) -> Dict:
+    """JSON-friendly rendering of one trace's kernel comparison."""
+    return {
+        "references": comparison.references,
+        "distinct_pages": comparison.distinct_pages,
+        "kernels": {
+            t.kernel: {
+                "exact": t.exact,
+                "median_ns": t.median_ns,
+                "median_ms": round(t.median_ns / 1e6, 3),
+                "speedup_vs_baseline": round(t.speedup, 3),
+                "max_rel_error_pct": round(t.max_rel_error_pct, 4),
+                "agrees_with_baseline": t.agrees,
+            }
+            for t in comparison.timings
+        },
+    }
+
+
+def run_core_benchmark(
+    out_path: Optional[Path] = None,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    pages: int = DEFAULT_PAGES,
+    repeats: int = 5,
+    kernels: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+) -> Dict:
+    """Run the core kernel benchmark; optionally write ``out_path``.
+
+    Returns the full result document.  ``smoke=True`` shrinks everything
+    for a sub-second structural run (used by the tier-1 suite).
+    """
+    if smoke:
+        trace_length = min(trace_length, 4_000)
+        pages = min(pages, 300)
+        repeats = 1
+
+    uniform = compare_kernels(
+        build_uniform_trace(trace_length, pages), kernels, repeats
+    )
+    zipf = compare_kernels(
+        build_zipf_trace(trace_length, pages), kernels, repeats
+    )
+
+    criteria: Dict = {
+        "compact_min_speedup": _MIN_COMPACT_SPEEDUP,
+        "sampled_min_speedup": _MIN_SAMPLED_SPEEDUP,
+        "sampled_max_band_error_pct": 100.0 * SAMPLED_BAND_ERROR_BOUND,
+        "measured_on": "uniform",
+        "meaningful": not smoke,
+    }
+    try:
+        compact = uniform.timing("compact")
+        sampled = uniform.timing("sampled")
+        criteria.update(
+            {
+                "compact_speedup": round(compact.speedup, 3),
+                "sampled_speedup": round(sampled.speedup, 3),
+                "sampled_band_error_pct": round(
+                    sampled.max_rel_error_pct, 4
+                ),
+                "passed": (
+                    compact.speedup >= _MIN_COMPACT_SPEEDUP
+                    and sampled.speedup >= _MIN_SAMPLED_SPEEDUP
+                    and sampled.max_rel_error_pct
+                    <= 100.0 * SAMPLED_BAND_ERROR_BOUND
+                    and uniform.all_agree
+                    and zipf.all_agree
+                ),
+            }
+        )
+    except KernelError:  # kernels filtered out: criteria not applicable
+        criteria["passed"] = None
+
+    document = {
+        "schema": 1,
+        "generated_by": "benchmarks/run_core_bench.py",
+        "config": {
+            "trace_length": trace_length,
+            "pages": pages,
+            "repeats": repeats,
+            "uniform_seed": 5,
+            "zipf_seed": 11,
+            "zipf_theta": DEFAULT_THETA,
+            "smoke": smoke,
+        },
+        "traces": {
+            "uniform": _comparison_dict(uniform),
+            "zipf": _comparison_dict(zipf),
+        },
+        "criteria": criteria,
+    }
+    if out_path is not None:
+        out_path = Path(out_path)
+        out_path.write_text(
+            json.dumps(document, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+    return document

@@ -1,25 +1,49 @@
-"""The :class:`ReferenceTrace` value type.
+"""The :class:`ReferenceTrace` value type and streaming trace analysis.
 
 A reference trace is the ordered sequence of data-page numbers touched by an
 index scan.  It is immutable, sliceable (partial scans are contiguous
-sub-traces of the full index-order trace), and caches its fetch curve so
-that repeated buffer-size queries cost one stack-distance pass total.
+sub-traces of the full index-order trace), and caches its fetch curves so
+that repeated buffer-size queries cost one stack-distance pass per kernel.
+
+For traces too large to materialize, :func:`streaming_fetch_curve` feeds
+chunks straight into a kernel stream (see :mod:`repro.buffer.kernels`) and
+returns the same queryable curve without ever holding the full sequence.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
+from repro.buffer.kernels import StackDistanceKernel, resolve_kernel
 from repro.buffer.stack import FetchCurve
 from repro.errors import TraceError
 from repro.storage.btree import KeyBound
 from repro.storage.index import Index
 
+KernelSpec = Union[str, StackDistanceKernel, None]
+
+
+def streaming_fetch_curve(
+    chunks: Iterable[Sequence[int]], kernel: KernelSpec = None
+) -> FetchCurve:
+    """Analyze a chunked trace without materializing it.
+
+    ``chunks`` is any iterable of page-number sequences (for example a
+    generator reading one index leaf at a time); ``kernel`` is a kernel
+    name, instance, or ``None`` for the default.  Returns the kernel's
+    fetch curve — exact for exact kernels, an
+    :class:`~repro.buffer.kernels.ApproximateFetchCurve` for ``sampled``.
+    """
+    stream = resolve_kernel(kernel).stream()
+    for chunk in chunks:
+        stream.feed(chunk)
+    return stream.finish()
+
 
 class ReferenceTrace:
     """An immutable page-reference sequence with cached LRU analysis."""
 
-    __slots__ = ("_pages", "_curve")
+    __slots__ = ("_pages", "_curves")
 
     def __init__(self, pages: Sequence[int]) -> None:
         if not len(pages):
@@ -27,7 +51,7 @@ class ReferenceTrace:
         if any(p < 0 for p in pages):
             raise TraceError("page numbers must be >= 0")
         self._pages: Tuple[int, ...] = tuple(pages)
-        self._curve: Optional[FetchCurve] = None
+        self._curves: Dict[str, FetchCurve] = {}
 
     @classmethod
     def from_index(
@@ -71,15 +95,23 @@ class ReferenceTrace:
             )
         return ReferenceTrace(self._pages[start:stop])
 
-    def fetch_curve(self) -> FetchCurve:
-        """The exact ``B -> F(B)`` function (computed once, then cached)."""
-        if self._curve is None:
-            self._curve = FetchCurve.from_trace(self._pages)
-        return self._curve
+    def fetch_curve(self, kernel: KernelSpec = None) -> FetchCurve:
+        """The ``B -> F(B)`` function (one pass per kernel, then cached).
 
-    def fetches(self, buffer_pages: int) -> int:
-        """Exact LRU fetches for this trace at the given buffer size."""
-        return self.fetch_curve().fetches(buffer_pages)
+        ``kernel`` selects a registered stack-distance kernel by name or
+        instance; ``None`` means the default exact kernel.  Curves are
+        cached per kernel name, so alternating queries don't re-analyze.
+        """
+        resolved = resolve_kernel(kernel)
+        cached = self._curves.get(resolved.name)
+        if cached is None:
+            cached = resolved.analyze(self._pages)
+            self._curves[resolved.name] = cached
+        return cached
+
+    def fetches(self, buffer_pages: int, kernel: KernelSpec = None) -> int:
+        """LRU fetches for this trace at the given buffer size."""
+        return self.fetch_curve(kernel).fetches(buffer_pages)
 
     @property
     def distinct_pages(self) -> int:

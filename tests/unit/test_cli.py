@@ -70,6 +70,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "EPFIS" in out and "ML" in out and "OT" in out
 
+    def test_experiment_parallel_matches_serial(self, capsys):
+        base = ["experiment", *self.SMALL, "--scans", "8", "--floor", "4"]
+        assert main([*base, "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([*base, "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_experiment_kernel_flag(self, capsys):
+        assert main(
+            ["experiment", *self.SMALL, "--scans", "8", "--floor", "4",
+             "--kernel", "sampled"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EPFIS" in out
+
+    def test_perf(self, capsys):
+        assert main(
+            ["perf", *self.SMALL, "--repeats", "1",
+             "--kernels", "baseline", "compact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LRU-Fit pass per kernel" in out
+        assert "compact" in out and "baseline" in out
+        assert "MISMATCH" not in out
+
     def test_gwl(self, capsys):
         assert main(["gwl", "--scale", "0.05"]) == 0
         out = capsys.readouterr().out

@@ -10,7 +10,11 @@ from repro.estimators.epfis import EPFISEstimator
 from repro.estimators.naive import PerfectlyClusteredEstimator
 from repro.eval.buffer_grid import BufferGrid, evaluation_buffer_grid
 from repro.eval.experiment import run_error_behavior
-from repro.eval.ground_truth import ScanTraceExtractor
+from repro.eval.ground_truth import (
+    ScanTraceExtractor,
+    derive_scan_seed,
+    ground_truth_tables,
+)
 from repro.eval.metrics import (
     aggregate_relative_error,
     max_absolute_percent_error,
@@ -180,6 +184,64 @@ class TestRunErrorBehavior:
         grid = evaluation_buffer_grid(index.table.page_count)
         with pytest.raises(ExperimentError):
             run_error_behavior(index, [], [], grid)
+
+
+class TestParallelGroundTruth:
+    """The multiprocessing runner must reproduce serial results exactly."""
+
+    @pytest.fixture(scope="class")
+    def extractor(self, skewed_dataset):
+        return ScanTraceExtractor(skewed_dataset.index)
+
+    @pytest.fixture(scope="class")
+    def scans(self, skewed_dataset):
+        return generate_scan_mix(
+            skewed_dataset.index, count=12, rng=random.Random(9)
+        )
+
+    def test_derive_scan_seed_is_deterministic_and_spread(self):
+        seeds = [derive_scan_seed(7, i) for i in range(64)]
+        assert seeds == [derive_scan_seed(7, i) for i in range(64)]
+        assert len(set(seeds)) == 64
+        assert derive_scan_seed(8, 0) != derive_scan_seed(7, 0)
+
+    @pytest.mark.parametrize("kernel", [None, "compact", "sampled"])
+    def test_parallel_matches_serial(self, extractor, scans, kernel):
+        sizes = [5, 20, 80]
+        serial = ground_truth_tables(
+            extractor, scans, sizes, workers=1, kernel=kernel, seed=3
+        )
+        parallel = ground_truth_tables(
+            extractor, scans, sizes, workers=3, kernel=kernel, seed=3
+        )
+        assert parallel == serial
+
+    def test_worker_count_does_not_matter(self, extractor, scans):
+        sizes = [10, 40]
+        results = [
+            ground_truth_tables(
+                extractor, scans, sizes, workers=w, kernel="sampled", seed=1
+            )
+            for w in (1, 2, 4)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_run_error_behavior_parallel_matches_serial(
+        self, skewed_dataset
+    ):
+        index = skewed_dataset.index
+        scans = generate_scan_mix(index, count=8, rng=random.Random(4))
+        grid = evaluation_buffer_grid(index.table.page_count)
+        estimators = [EPFISEstimator.from_index(index)]
+        serial = run_error_behavior(
+            index, estimators, scans, grid, workers=1
+        )
+        parallel = run_error_behavior(
+            index, estimators, scans, grid, workers=2
+        )
+        assert [c.points for c in parallel.curves] == [
+            c.points for c in serial.curves
+        ]
 
 
 class TestReport:
