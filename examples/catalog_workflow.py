@@ -5,9 +5,11 @@ separate phases, the way a real DBMS runs EPFIS.
 Phase 1 (statistics collection, e.g. a nightly RUNSTATS): run LRU-Fit on
 each index and persist the results to a catalog file.
 
-Phase 2 (query compilation, any time later, no data access): load the
-catalog, rebuild the estimators from the records alone, and cost scans.
-The baselines (ML / DC / SD / OT) reconstruct from the same records — the
+Phase 2 (query compilation, any time later, no data access): point an
+EstimationEngine at the catalog file and ask for estimates by
+(index name, estimator name).  The engine reloads the catalog if the file
+changes, binds registry estimators lazily, and caches the bindings — the
+baselines (ML / DC / SD / OT) reconstruct from the same records, so the
 one statistics pass serves all five algorithms.
 
 Run:  python examples/catalog_workflow.py
@@ -17,17 +19,14 @@ import tempfile
 from pathlib import Path
 
 from repro import (
-    DCEstimator,
-    EPFISEstimator,
+    EstimationEngine,
     LRUFit,
-    MackertLohmanEstimator,
-    OTEstimator,
-    SDEstimator,
     ScanSelectivity,
     SyntheticSpec,
     SystemCatalog,
     build_synthetic_dataset,
 )
+from repro.estimators import PAPER_ESTIMATOR_NAMES
 from repro.eval.report import format_table
 
 
@@ -57,28 +56,22 @@ def collect_statistics(catalog_path: Path) -> None:
 
 
 def compile_queries(catalog_path: Path) -> None:
-    """Phase 2: estimates from catalog records only."""
+    """Phase 2: estimates served from catalog records only."""
     print("phase 2: query compilation (no data access)")
-    catalog = SystemCatalog.load(catalog_path)
+    engine = EstimationEngine(catalog_path)
     selectivity = ScanSelectivity(range_selectivity=0.08)
     rows = []
-    for name in catalog:
-        stats = catalog.get(name)
-        estimators = [
-            EPFISEstimator.from_statistics(stats),
-            MackertLohmanEstimator.from_statistics(stats),
-            DCEstimator.from_statistics(stats),
-            SDEstimator.from_statistics(stats),
-            OTEstimator.from_statistics(stats),
-        ]
-        for buffer_pages in (stats.table_pages // 10, stats.table_pages // 2):
-            rows.append(
-                (
-                    name,
-                    buffer_pages,
-                    *(f"{e.estimate(selectivity, buffer_pages):.0f}"
-                      for e in estimators),
+    for name in engine.index_names():
+        table_pages = engine.statistics(name).table_pages
+        for buffer_pages in (table_pages // 10, table_pages // 2):
+            estimates = [
+                engine.estimate(
+                    name, estimator, selectivity, buffer_pages
                 )
+                for estimator in PAPER_ESTIMATOR_NAMES
+            ]
+            rows.append(
+                (name, buffer_pages, *(f"{e:.0f}" for e in estimates))
             )
     print(
         format_table(
@@ -86,6 +79,11 @@ def compile_queries(catalog_path: Path) -> None:
             rows,
             title="Estimated page fetches for an 8%-selectivity scan",
         )
+    )
+    calls = sum(m["calls"] for m in engine.metrics().values())
+    print(
+        f"\n{calls} estimator calls over "
+        f"{engine.cached_estimators()} cached bindings"
     )
     print(
         "\nNote how only EPFIS, ML and SD respond to the buffer size at "

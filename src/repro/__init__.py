@@ -40,7 +40,7 @@ from repro.buffer import (
     StackDistanceAnalyzer,
     simulate_fetches,
 )
-from repro.catalog import IndexStatistics, SystemCatalog
+from repro.catalog import CatalogStore, IndexStatistics, SystemCatalog
 from repro.datagen import (
     Dataset,
     GWLDatabase,
@@ -53,6 +53,7 @@ from repro.datagen import (
     zipf_counts,
 )
 from repro.errors import ReproError
+from repro.engine import EstimationEngine
 from repro.estimators import (
     CardenasEstimator,
     DCEstimator,
@@ -69,14 +70,20 @@ from repro.estimators import (
     SmoothEPFISEstimator,
     WatersEstimator,
     YaoEstimator,
+    available_estimators,
     cardenas,
+    get_estimator,
+    register_estimator,
+    resolve_estimator,
     waters,
     yao,
 )
 from repro.eval import (
     BufferGrid,
+    ExperimentSpec,
     evaluation_buffer_grid,
     run_error_behavior,
+    run_experiment_spec,
 )
 from repro.executor import QueryExecutor, plan_from_choice
 from repro.fit import PiecewiseLinear, fit_piecewise_linear
@@ -109,11 +116,14 @@ __all__ = [
     "CardenasEstimator",
     "CompositeIndex",
     "BufferGrid",
+    "CatalogStore",
     "ClockBufferPool",
     "DCEstimator",
     "Dataset",
     "EPFISEstimator",
     "EstIO",
+    "EstimationEngine",
+    "ExperimentSpec",
     "FIFOBufferPool",
     "FenwickTree",
     "FetchCurve",
@@ -150,9 +160,11 @@ __all__ = [
     "TableShape",
     "WindowPlacer",
     "append_records",
+    "available_estimators",
     "build_gwl_database",
     "build_synthetic_dataset",
     "cardenas",
+    "get_estimator",
     "choose_access_plan",
     "clustering_factor",
     "delete_records",
@@ -161,7 +173,10 @@ __all__ = [
     "generate_scan_mix",
     "major_range",
     "plan_from_choice",
+    "register_estimator",
+    "resolve_estimator",
     "run_error_behavior",
+    "run_experiment_spec",
     "WatersEstimator",
     "YaoEstimator",
     "simulate_contention",

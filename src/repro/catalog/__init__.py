@@ -4,9 +4,28 @@
 associated with the index for later use by Est-IO" (Section 4.1).  The
 catalog holds one :class:`IndexStatistics` record per index — everything
 Est-IO and the baseline estimators need at query-compilation time, with no
-access to the data itself — and round-trips to JSON.
+access to the data itself — and round-trips to JSON.  The wire format is
+versioned (:data:`SCHEMA_VERSION`, with migration hooks for old files) and
+saves are atomic; :class:`CatalogStore` serves snapshots of a catalog file
+to long-lived readers, reloading when the file changes.
 """
 
-from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.catalog.catalog import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    IndexStatistics,
+    SystemCatalog,
+    migrate_payload,
+    payload_version,
+)
+from repro.catalog.store import CatalogStore
 
-__all__ = ["IndexStatistics", "SystemCatalog"]
+__all__ = [
+    "CatalogStore",
+    "IndexStatistics",
+    "MIGRATIONS",
+    "SCHEMA_VERSION",
+    "SystemCatalog",
+    "migrate_payload",
+    "payload_version",
+]

@@ -5,17 +5,30 @@
 (Est-IO, the baseline estimators): a compact summary that fully determines
 every estimate.  :class:`SystemCatalog` is a named collection of them with
 file round-tripping, standing in for the host DBMS's catalog tables.
+
+The wire format is versioned: files carry a top-level ``schema_version``
+and an ``indexes`` mapping.  Version-0 files (the original unversioned
+flat ``{name: record}`` mapping) migrate transparently on load via
+:data:`MIGRATIONS`; saves are atomic (tmp file + ``os.replace``) so a
+crash mid-save can never truncate the catalog serving concurrent readers.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Callable, Dict, Iterator, Optional, Union
 
 from repro.errors import CatalogError
 from repro.fit.segments import PiecewiseLinear
+
+#: Current catalog wire-format version.  v0 = the unversioned flat
+#: ``{name: record}`` mapping; v1 wraps it as
+#: ``{"schema_version": 1, "indexes": {...}}``.
+SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -72,6 +85,31 @@ class IndexStatistics:
             raise CatalogError(
                 f"need 1 <= b_min <= b_max, got [{self.b_min}, {self.b_max}]"
             )
+        if not 1 <= self.f_min <= self.table_records:
+            raise CatalogError(
+                f"f_min must be in [1, N={self.table_records}], got "
+                f"{self.f_min}: a scan fetches at least one page and at "
+                f"most one per record"
+            )
+        if self.table_records > self.table_pages:
+            # C is *defined* from f_min: C = (N - F_min)/(N - T), clamped
+            # to [0, 1] (LRU-Fit clamps when f_min falls outside [T, N]).
+            # Tolerate one record of rounding so hand-written records with
+            # a rounded f_min still validate, but reject anything farther —
+            # a record whose two fields disagree would silently skew every
+            # correction and urn-model term downstream.
+            derived = (self.table_records - self.f_min) / (
+                self.table_records - self.table_pages
+            )
+            derived = min(1.0, max(0.0, derived))
+            tolerance = 1.0 / (self.table_records - self.table_pages)
+            if abs(self.clustering_factor - derived) > tolerance + 1e-9:
+                raise CatalogError(
+                    f"clustering_factor {self.clustering_factor!r} is "
+                    f"inconsistent with f_min={self.f_min}: "
+                    f"C = (N - F_min)/(N - T) gives {derived!r} for "
+                    f"N={self.table_records}, T={self.table_pages}"
+                )
 
     def to_dict(self) -> dict:
         """JSON-ready dictionary form of this record."""
@@ -151,22 +189,37 @@ class SystemCatalog:
             )
         del self._entries[index_name]
 
+    def to_dict(self) -> dict:
+        """JSON-ready dictionary in the current (v1) wire format."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "indexes": {
+                name: stats.to_dict()
+                for name, stats in self._entries.items()
+            },
+        }
+
     def to_json(self, indent: int = 2) -> str:
         """Serialize the whole catalog to a JSON string."""
-        payload = {
-            name: stats.to_dict() for name, stats in self._entries.items()
-        }
-        return json.dumps(payload, indent=indent, sort_keys=True)
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "SystemCatalog":
-        """Parse a catalog from :meth:`to_json` output."""
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise CatalogError(f"invalid catalog JSON: {exc}") from exc
+    def from_dict(cls, payload: dict) -> "SystemCatalog":
+        """Rebuild a catalog from any supported wire-format version."""
+        if not isinstance(payload, dict):
+            raise CatalogError(
+                f"catalog payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        payload = migrate_payload(payload)
         catalog = cls()
-        for name, record in payload.items():
+        indexes = payload["indexes"]
+        if not isinstance(indexes, dict):
+            raise CatalogError(
+                f"catalog 'indexes' must be an object mapping index names "
+                f"to records, got {type(indexes).__name__}"
+            )
+        for name, record in indexes.items():
             stats = IndexStatistics.from_dict(record)
             if stats.index_name != name:
                 raise CatalogError(
@@ -176,11 +229,100 @@ class SystemCatalog:
             catalog.put(stats)
         return catalog
 
+    @classmethod
+    def from_json(cls, text: str) -> "SystemCatalog":
+        """Parse a catalog from :meth:`to_json` output (any version)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CatalogError(f"invalid catalog JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
     def save(self, path: Union[str, Path]) -> None:
-        """Write the catalog to ``path`` as JSON."""
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        """Atomically write the catalog to ``path`` as JSON.
+
+        The JSON is written to a temporary file in the destination
+        directory, fsynced, and moved into place with ``os.replace`` —
+        readers (including :class:`~repro.catalog.store.CatalogStore`
+        instances polling mtime) see either the old complete file or the
+        new complete file, never a truncated hybrid.
+        """
+        path = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent) or ".",
+            prefix=path.name + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SystemCatalog":
-        """Read a catalog previously written by :meth:`save`."""
+        """Read a catalog previously written by :meth:`save` (any version)."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Wire-format migrations
+# ----------------------------------------------------------------------
+def _migrate_v0(payload: dict) -> dict:
+    """v0 -> v1: wrap the flat ``{name: record}`` mapping."""
+    return {"schema_version": 1, "indexes": payload}
+
+
+#: Migration hooks: version k -> function upgrading a version-k payload to
+#: version k+1.  ``migrate_payload`` chains them until the payload reaches
+#: :data:`SCHEMA_VERSION`; a future v2 adds its upgrader under key 1.
+MIGRATIONS: Dict[int, Callable[[dict], dict]] = {
+    0: _migrate_v0,
+}
+
+
+def payload_version(payload: dict) -> int:
+    """The wire-format version of a parsed catalog payload.
+
+    Files predating versioning carry no ``schema_version`` key; they are
+    the flat v0 mapping.
+    """
+    version = payload.get("schema_version", 0)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise CatalogError(
+            f"catalog schema_version must be an integer, got {version!r}"
+        )
+    return version
+
+
+def migrate_payload(payload: dict) -> dict:
+    """Upgrade ``payload`` to the current wire format, step by step."""
+    version = payload_version(payload)
+    if version > SCHEMA_VERSION:
+        raise CatalogError(
+            f"catalog schema_version {version} is newer than this "
+            f"library's {SCHEMA_VERSION}; upgrade the repro package (or "
+            f"re-run statistics collection) to read this file"
+        )
+    while version < SCHEMA_VERSION:
+        payload = MIGRATIONS[version](payload)
+        new_version = payload_version(payload)
+        if new_version <= version:
+            raise CatalogError(
+                f"catalog migration from version {version} did not "
+                f"advance the schema_version (got {new_version})"
+            )
+        version = new_version
+    if "indexes" not in payload:
+        raise CatalogError(
+            f"catalog (schema_version {version}) is missing the "
+            f"'indexes' mapping"
+        )
+    return payload

@@ -1,0 +1,123 @@
+"""A reloading, caching view over a catalog file.
+
+In the paper's deployment the catalog lives in the DBMS and is read by
+every query compilation; here it lives in a JSON file that a statistics
+pass rewrites periodically (atomically — see
+:meth:`~repro.catalog.catalog.SystemCatalog.save`) while many serving
+processes keep reading it.  :class:`CatalogStore` is the reader's side of
+that contract:
+
+* **mtime-based reload** — each access stats the file and reparses only
+  when the ``(mtime_ns, size, inode)`` stamp changed, so steady-state
+  reads cost one ``stat(2)``, not a JSON parse;
+* **bounded snapshot cache** — recently parsed snapshots are kept in a
+  small LRU keyed by stamp, so a writer flapping between generations (or
+  tests restoring a previous file) does not force a reparse per flip;
+* **generation counter** — bumps whenever the served snapshot changes,
+  letting downstream caches (the estimation engine's bound estimators)
+  invalidate exactly when the statistics they were built from changed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.errors import CatalogError
+
+#: Parsed snapshots kept per store; catalogs are small, flapping is rare.
+DEFAULT_SNAPSHOT_CACHE = 4
+
+_Stamp = Tuple[int, int, int]
+
+
+class CatalogStore:
+    """Serve :class:`SystemCatalog` snapshots from a file, reloading on change."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        cache_size: int = DEFAULT_SNAPSHOT_CACHE,
+    ) -> None:
+        if cache_size < 1:
+            raise CatalogError(
+                f"cache_size must be >= 1, got {cache_size}"
+            )
+        self._path = Path(path)
+        self._cache_size = cache_size
+        self._snapshots: "OrderedDict[_Stamp, SystemCatalog]" = OrderedDict()
+        self._current_stamp: Optional[_Stamp] = None
+        self._generation = 0
+
+    @property
+    def path(self) -> Path:
+        """The catalog file this store serves."""
+        return self._path
+
+    @property
+    def generation(self) -> int:
+        """Increments every time the served snapshot changes."""
+        return self._generation
+
+    def _stamp(self) -> _Stamp:
+        try:
+            info = os.stat(self._path)
+        except FileNotFoundError:
+            raise CatalogError(
+                f"catalog file {str(self._path)!r} does not exist; run "
+                f"statistics collection (e.g. `repro fit --catalog ...`) "
+                f"first"
+            ) from None
+        return (info.st_mtime_ns, info.st_size, info.st_ino)
+
+    def catalog(self) -> SystemCatalog:
+        """The current snapshot, reloaded iff the file changed on disk."""
+        stamp = self._stamp()
+        snapshot = self._snapshots.get(stamp)
+        if snapshot is None:
+            snapshot = SystemCatalog.load(self._path)
+            self._snapshots[stamp] = snapshot
+            while len(self._snapshots) > self._cache_size:
+                self._snapshots.popitem(last=False)
+        else:
+            self._snapshots.move_to_end(stamp)
+        if stamp != self._current_stamp:
+            self._current_stamp = stamp
+            self._generation += 1
+        return snapshot
+
+    def get(self, index_name: str) -> IndexStatistics:
+        """Statistics for one index from the current snapshot."""
+        return self.catalog().get(index_name)
+
+    def __contains__(self, index_name: str) -> bool:
+        return index_name in self.catalog()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.catalog())
+
+    def __len__(self) -> int:
+        return len(self.catalog())
+
+    def invalidate(self) -> None:
+        """Drop all cached snapshots; the next access reparses the file."""
+        self._snapshots.clear()
+        self._current_stamp = None
+        self._generation += 1
+
+    def save(self, catalog: SystemCatalog) -> None:
+        """Atomically write ``catalog`` to this store's file.
+
+        The next :meth:`catalog` call picks the new file up through the
+        normal stamp check (and bumps :attr:`generation` accordingly).
+        """
+        catalog.save(self._path)
+
+    def __repr__(self) -> str:
+        return (
+            f"CatalogStore(path={str(self._path)!r}, "
+            f"generation={self._generation})"
+        )

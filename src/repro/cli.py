@@ -11,16 +11,19 @@ Commands mirror how a DBA would interact with EPFIS:
 * ``contention``— simulate concurrent scans sharing one LRU pool.
 * ``perf``      — time one LRU-Fit pass per stack-distance kernel.
 
-Every command is deterministic given its ``--seed``.  ``experiment`` can
-fan its ground-truth simulations across processes (``--workers``) and run
-them on any registered kernel (``--kernel``) without changing results for
-exact kernels.
+Every command is deterministic given its ``--seed``.  ``experiment`` is a
+thin builder over the declarative :class:`~repro.eval.spec.ExperimentSpec`:
+the positional flags construct a spec, ``--spec FILE`` runs a saved one,
+and ``--save-spec FILE`` writes the flags out as a spec file — the three
+paths produce byte-identical output for equivalent parameters.
+``estimate`` serves from a saved catalog through the
+:class:`~repro.engine.EstimationEngine`, so any registered estimator
+(``--estimator``) can answer, not just EPFIS.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import List, Optional
 
@@ -28,14 +31,17 @@ from repro.buffer.kernels import available_kernels
 from repro.catalog.catalog import SystemCatalog
 from repro.datagen.gwl import build_gwl_database
 from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
+from repro.engine import EstimationEngine
 from repro.errors import ReproError
-from repro.estimators.epfis import EPFISEstimator, LRUFit, LRUFitConfig
-from repro.eval.buffer_grid import evaluation_buffer_grid
-from repro.eval.experiment import run_error_behavior
-from repro.eval.figures import paper_estimators, table2_rows, table3_rows
+from repro.estimators.epfis import LRUFit, LRUFitConfig
+from repro.estimators.registry import (
+    PAPER_ESTIMATOR_NAMES,
+    available_estimators,
+)
+from repro.eval.figures import table2_rows, table3_rows
 from repro.eval.report import format_table
+from repro.eval.spec import ExperimentSpec, run_experiment_spec
 from repro.types import ScanSelectivity
-from repro.workload.scans import generate_scan_mix
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -103,46 +109,57 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    catalog = SystemCatalog.load(args.catalog)
-    names = [args.index] if args.index else list(catalog)
+    engine = EstimationEngine(args.catalog)
+    names = [args.index] if args.index else engine.index_names()
     selectivity = ScanSelectivity(args.sigma, args.sargable)
     rows = []
+    display_name = args.estimator
     for name in names:
-        estimator = EPFISEstimator.from_statistics(catalog.get(name))
-        for buffer_pages in args.buffers:
-            rows.append(
-                (
-                    name,
-                    buffer_pages,
-                    f"{estimator.estimate(selectivity, buffer_pages):.1f}",
-                )
-            )
+        estimates = engine.estimate_many(
+            name,
+            args.estimator,
+            [(selectivity, buffer_pages) for buffer_pages in args.buffers],
+        )
+        display_name = engine.estimator(name, args.estimator).name
+        for buffer_pages, estimate in zip(args.buffers, estimates):
+            rows.append((name, buffer_pages, f"{estimate:.1f}"))
     print(
         format_table(
             ["index", "buffer pages", "estimated fetches"],
             rows,
             title=(
-                f"EPFIS estimates (sigma={args.sigma}, S={args.sargable})"
+                f"{display_name} estimates "
+                f"(sigma={args.sigma}, S={args.sargable})"
             ),
         )
     )
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    dataset = build_synthetic_dataset(_spec_from_args(args))
-    index = dataset.index
-    grid = evaluation_buffer_grid(index.table.page_count, floor=args.floor)
-    scans = generate_scan_mix(
-        index, count=args.scans, rng=random.Random(args.seed)
-    )
-    result = run_error_behavior(
-        index, paper_estimators(index), scans, grid,
-        dataset_name=dataset.name,
-        workers=args.workers,
+def _experiment_spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """The positional ``experiment`` flags, as a declarative spec."""
+    return ExperimentSpec(
+        dataset=_spec_from_args(args),
+        estimators=tuple(args.estimators or PAPER_ESTIMATOR_NAMES),
+        scan_count=args.scans,
+        buffer_floor=args.floor,
         kernel=args.kernel,
+        workers=args.workers,
         seed=args.seed,
     )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.spec:
+        spec = ExperimentSpec.load(args.spec)
+    else:
+        spec = _experiment_spec_from_args(args)
+    if args.save_spec:
+        spec.save(args.save_spec)
+        print(f"wrote experiment spec to {args.save_spec}")
+        return 0
+    result = run_experiment_spec(spec)
+    grid = result.buffer_grid
     rows = []
     for buffer_pages, percent in zip(grid, grid.percents()):
         row: List[object] = [buffer_pages, f"{percent:.0f}%"]
@@ -154,7 +171,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         format_table(
             ["B", "B/T", *(c.estimator for c in result.curves)],
             rows,
-            title=f"Error metric (%) by buffer size — {dataset.name}",
+            title=f"Error metric (%) by buffer size — {result.dataset}",
         )
     )
     return 0
@@ -323,6 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="sargable-predicate selectivity S")
     p_estimate.add_argument("--buffers", type=int, nargs="+", required=True,
                             help="buffer sizes to estimate at")
+    p_estimate.add_argument("--estimator", default="epfis",
+                            choices=available_estimators(),
+                            help="registered estimator to serve with "
+                                 "(default epfis)")
     p_estimate.set_defaults(handler=_cmd_estimate)
 
     p_experiment = sub.add_parser(
@@ -338,6 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_experiment.add_argument("--kernel", choices=available_kernels(),
                               default="baseline",
                               help="stack-distance kernel for ground truth")
+    p_experiment.add_argument("--estimators", nargs="+", default=None,
+                              choices=available_estimators(),
+                              help="estimators to compare (default: the "
+                                   "paper's five)")
+    p_experiment.add_argument("--spec", default=None, metavar="FILE",
+                              help="run a saved experiment spec (JSON); "
+                                   "other experiment flags are ignored")
+    p_experiment.add_argument("--save-spec", default=None, metavar="FILE",
+                              help="write the equivalent spec JSON instead "
+                                   "of running")
     p_experiment.set_defaults(handler=_cmd_experiment)
 
     p_gwl = sub.add_parser(

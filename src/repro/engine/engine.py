@@ -1,0 +1,241 @@
+"""The estimation engine: the serving side of the EPFIS split.
+
+The paper separates statistics *collection* (LRU-Fit, run while "statistics
+are being gathered for other purposes") from statistics *consumption*
+(Est-IO, run on every optimizer call).  :class:`EstimationEngine` is the
+consumption side packaged as one long-lived object, the way a query
+compiler would hold it:
+
+* it reads catalog records through a :class:`~repro.catalog.CatalogStore`
+  (or a plain in-memory :class:`~repro.catalog.SystemCatalog`),
+* it resolves ``(index_name, estimator_name)`` to a *bound* estimator via
+  the estimator registry, caching the binding in a bounded LRU so repeated
+  compilations of the same shape pay construction cost once,
+* it invalidates those bindings exactly when the underlying statistics
+  change (the store's generation counter moves),
+* it counts calls, estimates, and wall-clock latency per estimator, the
+  observability hook a high-traffic deployment graphs first.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.catalog.store import CatalogStore
+from repro.errors import EngineError
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.registry import get_estimator
+from repro.types import ScanSelectivity
+
+#: Bound (index, estimator) pairs kept alive per engine.
+DEFAULT_ESTIMATOR_CACHE = 256
+
+
+@dataclass
+class EstimatorCallStats:
+    """Serving counters for one estimator name."""
+
+    calls: int = 0
+    estimates: int = 0
+    seconds: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy (for logging/metrics export)."""
+        mean_us = (
+            1e6 * self.seconds / self.calls if self.calls else 0.0
+        )
+        return {
+            "calls": self.calls,
+            "estimates": self.estimates,
+            "seconds": self.seconds,
+            "mean_call_us": mean_us,
+        }
+
+
+@dataclass(frozen=True)
+class _CacheKey:
+    index_name: str
+    estimator_name: str
+    options: Tuple[Tuple[str, object], ...] = field(default=())
+
+
+class EstimationEngine:
+    """Answer page-fetch queries from catalog statistics, by name.
+
+    ``catalog`` may be a :class:`~repro.catalog.SystemCatalog` (static
+    in-memory statistics), a :class:`~repro.catalog.CatalogStore`
+    (file-backed, auto-reloading), or a path (wrapped in a store).
+    """
+
+    def __init__(
+        self,
+        catalog: Union[SystemCatalog, CatalogStore, str, Path],
+        cache_size: int = DEFAULT_ESTIMATOR_CACHE,
+    ) -> None:
+        if cache_size < 1:
+            raise EngineError(f"cache_size must be >= 1, got {cache_size}")
+        if isinstance(catalog, (str, Path)):
+            catalog = CatalogStore(catalog)
+        if not isinstance(catalog, (SystemCatalog, CatalogStore)):
+            raise EngineError(
+                f"catalog must be a SystemCatalog, CatalogStore, or path, "
+                f"got {type(catalog).__name__}"
+            )
+        self._source = catalog
+        self._cache_size = cache_size
+        self._bound: "OrderedDict[_CacheKey, PageFetchEstimator]" = (
+            OrderedDict()
+        )
+        self._bound_generation = -1
+        self._metrics: Dict[str, EstimatorCallStats] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog access
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Union[SystemCatalog, CatalogStore]:
+        """The catalog (or store) this engine serves from."""
+        return self._source
+
+    def catalog(self) -> SystemCatalog:
+        """The current catalog snapshot (reloaded if file-backed)."""
+        if isinstance(self._source, CatalogStore):
+            return self._source.catalog()
+        return self._source
+
+    def statistics(self, index_name: str) -> IndexStatistics:
+        """The catalog record for one index."""
+        return self.catalog().get(index_name)
+
+    def index_names(self) -> List[str]:
+        """Sorted names of every index the engine can estimate for."""
+        return list(self.catalog())
+
+    def _sync_with_source(self) -> None:
+        """Drop bound estimators when the backing statistics changed."""
+        if isinstance(self._source, CatalogStore):
+            self._source.catalog()  # refresh the stamp/generation
+            generation = self._source.generation
+            if generation != self._bound_generation:
+                self._bound.clear()
+                self._bound_generation = generation
+
+    # ------------------------------------------------------------------
+    # Estimator binding
+    # ------------------------------------------------------------------
+    def estimator(
+        self, index_name: str, estimator_name: str, **options
+    ) -> PageFetchEstimator:
+        """The bound estimator for ``(index_name, estimator_name)``.
+
+        Bindings are cached (LRU, ``cache_size`` entries) and rebuilt
+        automatically after the catalog file changes; ``options`` are
+        forwarded to the registry factory and participate in the cache
+        key.
+        """
+        self._sync_with_source()
+        key = _CacheKey(
+            index_name, estimator_name, tuple(sorted(options.items()))
+        )
+        bound = self._bound.get(key)
+        if bound is None:
+            stats = self.statistics(index_name)
+            bound = get_estimator(estimator_name, stats, **options)
+            self._bound[key] = bound
+            while len(self._bound) > self._cache_size:
+                self._bound.popitem(last=False)
+        else:
+            self._bound.move_to_end(key)
+        return bound
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        index_name: str,
+        estimator_name: str,
+        selectivity: ScanSelectivity,
+        buffer_pages: int,
+        **options,
+    ) -> float:
+        """One page-fetch estimate (the optimizer's per-plan question)."""
+        bound = self.estimator(index_name, estimator_name, **options)
+        started = time.perf_counter()
+        result = bound.estimate(selectivity, buffer_pages)
+        self._record(estimator_name, 1, time.perf_counter() - started)
+        return result
+
+    def estimate_many(
+        self,
+        index_name: str,
+        estimator_name: str,
+        pairs: Iterable[Tuple[ScanSelectivity, int]],
+        **options,
+    ) -> List[float]:
+        """Batched estimates through the estimator's fast path."""
+        bound = self.estimator(index_name, estimator_name, **options)
+        pairs = list(pairs)
+        started = time.perf_counter()
+        results = bound.estimate_many(pairs)
+        self._record(
+            estimator_name, len(pairs), time.perf_counter() - started
+        )
+        return results
+
+    def estimate_grid(
+        self,
+        index_name: str,
+        estimator_name: str,
+        selectivities: Sequence[ScanSelectivity],
+        buffer_pages: Sequence[int],
+        **options,
+    ) -> List[List[float]]:
+        """Cross-product estimates, one row per buffer size."""
+        bound = self.estimator(index_name, estimator_name, **options)
+        started = time.perf_counter()
+        results = bound.estimate_grid(selectivities, buffer_pages)
+        self._record(
+            estimator_name,
+            len(selectivities) * len(buffer_pages),
+            time.perf_counter() - started,
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _record(self, estimator_name: str, estimates: int, seconds: float
+                ) -> None:
+        stats = self._metrics.setdefault(
+            estimator_name.lower(), EstimatorCallStats()
+        )
+        stats.calls += 1
+        stats.estimates += estimates
+        stats.seconds += seconds
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-estimator serving counters, as plain dicts."""
+        return {
+            name: stats.snapshot()
+            for name, stats in sorted(self._metrics.items())
+        }
+
+    def cached_estimators(self) -> int:
+        """Number of currently bound (index, estimator) pairs."""
+        return len(self._bound)
+
+    def reset_metrics(self) -> None:
+        """Zero the serving counters (e.g. between load phases)."""
+        self._metrics.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimationEngine(source={self._source!r}, "
+            f"bound={len(self._bound)})"
+        )

@@ -60,6 +60,10 @@ class CatalogError(ReproError):
     """Catalog lookup or (de)serialization failed."""
 
 
+class EngineError(ReproError):
+    """The estimation engine was configured or queried incorrectly."""
+
+
 class WorkloadError(ReproError):
     """A scan specification or workload was invalid."""
 

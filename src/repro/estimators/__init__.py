@@ -38,9 +38,17 @@ from repro.estimators.naive import (
     PerfectlyUnclusteredEstimator,
 )
 from repro.estimators.ot import OTEstimator
+from repro.estimators.registry import (
+    PAPER_ESTIMATOR_NAMES,
+    available_estimators,
+    get_estimator,
+    register_estimator,
+    resolve_estimator,
+)
 from repro.estimators.sd import SDEstimator
 
 __all__ = [
+    "PAPER_ESTIMATOR_NAMES",
     "CardenasEstimator",
     "DCEstimator",
     "EPFISEstimator",
@@ -57,7 +65,11 @@ __all__ = [
     "SmoothEstIO",
     "WatersEstimator",
     "YaoEstimator",
+    "available_estimators",
     "cardenas",
+    "get_estimator",
+    "register_estimator",
+    "resolve_estimator",
     "smooth_correction_weight",
     "waters",
     "yao",

@@ -9,10 +9,13 @@ integers — optimizers compare costs, they do not schedule I/Os.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Union
+from typing import Iterable, List, Sequence, Tuple, Union
 
 from repro.errors import EstimationError
 from repro.types import ScanSelectivity
+
+#: One batched estimation request: ``(selectivity, buffer_pages)``.
+EstimationRequest = Tuple[ScanSelectivity, int]
 
 
 class PageFetchEstimator(ABC):
@@ -31,6 +34,39 @@ class PageFetchEstimator(ABC):
         and S (index-sargable predicates); ``buffer_pages`` is the paper's
         B, the LRU buffer available to the scan.
         """
+
+    def estimate_many(
+        self, pairs: Iterable[EstimationRequest]
+    ) -> List[float]:
+        """Batched :meth:`estimate`: one result per ``(selectivity, B)``.
+
+        The default implementation is a plain loop, so every estimator is
+        batchable for free; estimators whose per-call work factors by
+        buffer size (EPFIS's curve interpolation, ML's saturation point)
+        override this to hoist that work out of the loop.  Overrides must
+        return exactly what the loop would — batching is an optimization,
+        never a semantic.
+        """
+        return [self.estimate(sel, b) for sel, b in pairs]
+
+    def estimate_grid(
+        self,
+        selectivities: Sequence[ScanSelectivity],
+        buffer_pages: Sequence[int],
+    ) -> List[List[float]]:
+        """Estimates for the cross product, row per buffer size.
+
+        ``result[g][s]`` is the estimate for ``selectivities[s]`` at
+        ``buffer_pages[g]`` — the shape the experiment runner consumes.
+        """
+        flat = self.estimate_many(
+            [(sel, b) for b in buffer_pages for sel in selectivities]
+        )
+        width = len(selectivities)
+        return [
+            flat[g * width:(g + 1) * width]
+            for g in range(len(buffer_pages))
+        ]
 
     def estimate_sigma(
         self,

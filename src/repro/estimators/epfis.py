@@ -333,29 +333,72 @@ class EstIO:
             return min(1.0, ratio)
         return max(1.0, ratio)
 
+    def _correction_weight(self, phi: float, sigma: float) -> float:
+        """Equation 1's weight ``nu * min(1, phi/(6 sigma))``.
+
+        The smooth variant overrides only this hook; every other step of
+        the estimate is shared.
+        """
+        if phi >= 3.0 * sigma:
+            return min(1.0, phi / (6.0 * sigma))
+        return 0.0
+
     def estimate(
         self, selectivity: ScanSelectivity, buffer_pages: int
     ) -> float:
         """Steps 4-7 of the complete algorithm (Section 4.3)."""
+        if selectivity.range_selectivity == 0.0:
+            return 0.0
+        pf_b = self.full_scan_fetches(buffer_pages)
+        return self._estimate_from_pf(selectivity, buffer_pages, pf_b)
+
+    def estimate_many(
+        self, pairs: Iterable[Tuple[ScanSelectivity, int]]
+    ) -> List[float]:
+        """Batched estimates; ``PF_B`` is interpolated once per distinct B.
+
+        A serving batch typically holds many scans at few buffer sizes
+        (the experiment grid is the extreme case: every scan at every grid
+        point), so hoisting the curve walk amortizes the dominant
+        per-call cost.  Results are bit-identical to the per-call path.
+        """
+        pf_cache: dict = {}
+        results: List[float] = []
+        for selectivity, buffer_pages in pairs:
+            if selectivity.range_selectivity == 0.0:
+                results.append(0.0)
+                continue
+            pf_b = pf_cache.get(buffer_pages)
+            if pf_b is None:
+                pf_b = self.full_scan_fetches(buffer_pages)
+                pf_cache[buffer_pages] = pf_b
+            results.append(
+                self._estimate_from_pf(selectivity, buffer_pages, pf_b)
+            )
+        return results
+
+    def _estimate_from_pf(
+        self,
+        selectivity: ScanSelectivity,
+        buffer_pages: int,
+        pf_b: float,
+    ) -> float:
+        """Steps 5-7 given an already-interpolated full-scan fetch count."""
         sigma = selectivity.range_selectivity
         s = selectivity.sargable_selectivity
         stats = self.stats
-        if sigma == 0.0:
-            return 0.0
-
-        pf_b = self.full_scan_fetches(buffer_pages)
         estimate = sigma * pf_b
 
         # Step 6: heuristic correction for small sigma against a weakly
         # clustered index with relatively plentiful buffer (Equation 1).
         if self.apply_correction:
             phi = self._phi(buffer_pages)
-            nu = 1.0 if phi >= 3.0 * sigma else 0.0
-            if nu:
+            weight = self._correction_weight(phi, sigma)
+            if weight > 0.0:
                 t = stats.table_pages
                 n = stats.table_records
                 correction = (
-                    min(1.0, phi / (6.0 * sigma))
+                    weight
                     * (1.0 - stats.clustering_factor)
                     * cardenas(t, sigma * n)
                 )
@@ -434,4 +477,11 @@ class EPFISEstimator(PageFetchEstimator):
     ) -> float:
         return self._est_io.estimate(
             selectivity, self._check_buffer(buffer_pages)
+        )
+
+    def estimate_many(
+        self, pairs: Iterable[Tuple[ScanSelectivity, int]]
+    ) -> List[float]:
+        return self._est_io.estimate_many(
+            [(sel, self._check_buffer(b)) for sel, b in pairs]
         )

@@ -24,7 +24,7 @@ variant isolates exactly one design decision.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.catalog.catalog import IndexStatistics
 from repro.estimators.base import PageFetchEstimator
@@ -43,46 +43,17 @@ def smooth_correction_weight(phi: float, sigma: float) -> float:
 
 
 class SmoothEstIO(EstIO):
-    """Est-IO with the smooth correction ramp."""
+    """Est-IO with the smooth correction ramp.
 
-    def estimate(
-        self, selectivity: ScanSelectivity, buffer_pages: int
-    ) -> float:
-        """Equation 1 with ``w_smooth`` in place of the nu indicator."""
-        sigma = selectivity.range_selectivity
-        s = selectivity.sargable_selectivity
-        stats = self.stats
-        if sigma == 0.0:
-            return 0.0
+    Only the Equation 1 weight differs; interpolation, the Cardenas term,
+    the urn model, the clamp — and therefore the batched
+    :meth:`~repro.estimators.epfis.EstIO.estimate_many` fast path — are
+    all inherited from :class:`~repro.estimators.epfis.EstIO`.
+    """
 
-        pf_b = self.full_scan_fetches(buffer_pages)
-        estimate = sigma * pf_b
-
-        if self.apply_correction:
-            phi = self._phi(buffer_pages)
-            weight = smooth_correction_weight(phi, sigma)
-            if weight > 0.0:
-                t = stats.table_pages
-                n = stats.table_records
-                estimate += (
-                    weight
-                    * (1.0 - stats.clustering_factor)
-                    * cardenas(t, sigma * n)
-                )
-
-        if self.apply_sargable and s < 1.0:
-            t = stats.table_pages
-            n = stats.table_records
-            c = stats.clustering_factor
-            referenced = c * sigma * t + (1.0 - c) * min(float(t), sigma * n)
-            referenced = max(referenced, 1.0)
-            qualifying = s * sigma * n
-            estimate *= 1.0 - (1.0 - 1.0 / referenced) ** qualifying
-
-        if self.clamp:
-            upper = max(1.0, s * sigma * stats.table_records)
-            estimate = min(max(estimate, 0.0), upper)
-        return estimate
+    def _correction_weight(self, phi: float, sigma: float) -> float:
+        """``w_smooth`` in place of the nu indicator."""
+        return smooth_correction_weight(phi, sigma)
 
 
 class SmoothEPFISEstimator(PageFetchEstimator):
@@ -121,4 +92,11 @@ class SmoothEPFISEstimator(PageFetchEstimator):
         """Delegate to the smooth Est-IO."""
         return self._est_io.estimate(
             selectivity, self._check_buffer(buffer_pages)
+        )
+
+    def estimate_many(
+        self, pairs: Iterable[Tuple[ScanSelectivity, int]]
+    ) -> List[float]:
+        return self._est_io.estimate_many(
+            [(sel, self._check_buffer(b)) for sel, b in pairs]
         )

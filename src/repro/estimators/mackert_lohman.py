@@ -19,6 +19,8 @@ root of its errors on data whose clustering deviates from the model.
 from __future__ import annotations
 
 import math
+from typing import Dict, Iterable, List, Tuple
+
 from repro.catalog.catalog import IndexStatistics
 from repro.errors import EstimationError
 from repro.estimators.base import PageFetchEstimator
@@ -100,8 +102,40 @@ class MackertLohmanEstimator(PageFetchEstimator):
             return 1.0
 
         q = self._q()
-        p = 1.0 - q
         n = self._n_saturation(q, buffer_pages)
+        return self._estimate_saturated(x, q, n)
+
+    def _estimate_saturated(self, x: float, q: float, n: float) -> float:
+        """The two-branch ML formula given the saturation point ``n``."""
+        p = 1.0 - q
         if x <= n:
             return self._t * (1.0 - q ** x)
         return self._t * (1.0 - q ** n) + (x - n) * self._t * p * q ** n
+
+    def estimate_many(
+        self, pairs: Iterable[Tuple[ScanSelectivity, int]]
+    ) -> List[float]:
+        """Batched estimates; the saturation point is solved once per B.
+
+        ``q`` depends only on the table shape and ``n`` only on ``(q, B)``,
+        so a batch over few distinct buffer sizes pays for the logarithms
+        once, not per scan.  Results match the per-call path exactly.
+        """
+        q = self._q()
+        n_cache: Dict[int, float] = {}
+        results: List[float] = []
+        for selectivity, buffer_pages in pairs:
+            buffer_pages = self._check_buffer(buffer_pages)
+            x = selectivity.combined * self._i
+            if x <= 0.0:
+                results.append(0.0)
+                continue
+            if self._t == 1:
+                results.append(1.0)
+                continue
+            n = n_cache.get(buffer_pages)
+            if n is None:
+                n = self._n_saturation(q, buffer_pages)
+                n_cache[buffer_pages] = n
+            results.append(self._estimate_saturated(x, q, n))
+        return results

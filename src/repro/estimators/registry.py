@@ -1,0 +1,144 @@
+"""Name-based registry of page-fetch estimators.
+
+The serving-side twin of :mod:`repro.buffer.kernels.registry`: where that
+registry lets the statistics pass name its stack-distance kernel, this one
+lets everything downstream of the catalog — the estimation engine, the
+experiment runner, the CLI — name an estimator without importing its
+module.  A factory takes the catalog record
+(:class:`~repro.catalog.catalog.IndexStatistics`) plus optional
+estimator-specific options and returns a bound
+:class:`~repro.estimators.base.PageFetchEstimator`, mirroring the paper's
+split: statistics are collected once, estimators are (re)constructed from
+the record alone at query-compilation time.
+
+Names are case-insensitive; both the registry key (``"epfis"``) and the
+estimator's display name (``"EPFIS"``) resolve.  Built-ins self-register
+when :mod:`repro.estimators` is imported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Union
+
+from repro.catalog.catalog import IndexStatistics
+from repro.errors import EstimationError
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.dc import DCEstimator
+from repro.estimators.epfis import EPFISEstimator
+from repro.estimators.epfis_smooth import SmoothEPFISEstimator
+from repro.estimators.mackert_lohman import MackertLohmanEstimator
+from repro.estimators.naive import (
+    PerfectlyClusteredEstimator,
+    PerfectlyUnclusteredEstimator,
+)
+from repro.estimators.ot import OTEstimator
+from repro.estimators.sd import SDEstimator
+
+#: Factory signature: catalog record (+ options) -> bound estimator.
+EstimatorFactory = Callable[..., PageFetchEstimator]
+
+#: The five algorithms every error figure compares, in figure order.
+PAPER_ESTIMATOR_NAMES: Tuple[str, ...] = ("epfis", "ml", "dc", "sd", "ot")
+
+_FACTORIES: Dict[str, EstimatorFactory] = {}
+#: Display-name ("EPFIS") -> registry-key ("epfis") aliases.
+_ALIASES: Dict[str, str] = {}
+
+
+def _normalize(name: str) -> str:
+    if not name or not isinstance(name, str):
+        raise EstimationError(
+            f"estimator name must be a non-empty string, got {name!r}"
+        )
+    return name.lower()
+
+
+def register_estimator(
+    name: str,
+    factory: EstimatorFactory,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` under ``name`` (stored lowercase).
+
+    Registering an already-taken name raises
+    :class:`~repro.errors.EstimationError` unless ``replace=True`` — an
+    experiment may deliberately shadow a built-in variant, but should
+    never do so by accident.
+    """
+    key = _normalize(name)
+    if key in _FACTORIES and not replace:
+        raise EstimationError(
+            f"estimator {name!r} is already registered; pass replace=True "
+            f"to override"
+        )
+    _FACTORIES[key] = factory
+
+
+def available_estimators() -> Tuple[str, ...]:
+    """Sorted registry keys of every registered estimator."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_estimator(
+    name: str, stats: IndexStatistics, **options
+) -> PageFetchEstimator:
+    """Bind the estimator registered under ``name`` to a catalog record.
+
+    ``options`` are forwarded to the factory (e.g.
+    ``get_estimator("epfis", stats, phi_rule="literal-max")``).
+    """
+    key = _normalize(name)
+    key = _ALIASES.get(key, key)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise EstimationError(
+            f"unknown estimator {name!r}; available: "
+            f"{', '.join(available_estimators())}"
+        ) from None
+    return factory(stats, **options)
+
+
+def resolve_estimator(
+    estimator: Union[str, PageFetchEstimator],
+    stats: IndexStatistics,
+    **options,
+) -> PageFetchEstimator:
+    """Coerce an estimator spec (name or instance) to a bound instance.
+
+    Instances pass through unchanged so callers can hand a pre-configured
+    estimator down a call chain; names are bound to ``stats`` via
+    :func:`get_estimator`.
+    """
+    if isinstance(estimator, PageFetchEstimator):
+        return estimator
+    return get_estimator(estimator, stats, **options)
+
+
+def _register_builtins() -> None:
+    builtins: Tuple[Tuple[str, EstimatorFactory, str], ...] = (
+        ("epfis", EPFISEstimator.from_statistics, EPFISEstimator.name),
+        (
+            "epfis-smooth",
+            SmoothEPFISEstimator.from_statistics,
+            SmoothEPFISEstimator.name,
+        ),
+        ("ml", MackertLohmanEstimator.from_statistics,
+         MackertLohmanEstimator.name),
+        ("dc", DCEstimator.from_statistics, DCEstimator.name),
+        ("sd", SDEstimator.from_statistics, SDEstimator.name),
+        ("ot", OTEstimator.from_statistics, OTEstimator.name),
+        # The "very first attempts" naive pair (Section 3 lead-in).
+        ("clustered", PerfectlyClusteredEstimator.from_statistics,
+         PerfectlyClusteredEstimator.name),
+        ("unclustered", PerfectlyUnclusteredEstimator.from_statistics,
+         PerfectlyUnclusteredEstimator.name),
+    )
+    for key, factory, display in builtins:
+        register_estimator(key, factory)
+        alias = _normalize(display)
+        if alias != key:
+            _ALIASES[alias] = key
+
+
+_register_builtins()

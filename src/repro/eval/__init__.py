@@ -12,8 +12,10 @@ from repro.eval.buffer_grid import BufferGrid, evaluation_buffer_grid
 from repro.eval.experiment import (
     ErrorBehaviorResult,
     EstimatorErrorCurve,
+    resolve_estimators,
     run_error_behavior,
 )
+from repro.eval.spec import ExperimentSpec, run_experiment_spec
 from repro.eval.export import (
     load_result_json,
     result_to_csv,
@@ -34,6 +36,7 @@ __all__ = [
     "BufferGrid",
     "ErrorBehaviorResult",
     "EstimatorErrorCurve",
+    "ExperimentSpec",
     "ScanTraceExtractor",
     "ScatterSummary",
     "aggregate_relative_error",
@@ -43,9 +46,11 @@ __all__ = [
     "load_result_json",
     "max_absolute_percent_error",
     "percent",
+    "resolve_estimators",
     "result_to_csv",
     "result_to_dict",
     "run_error_behavior",
+    "run_experiment_spec",
     "save_result_csv",
     "save_result_json",
     "spearman",

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExperimentError
 from repro.estimators.base import PageFetchEstimator
+from repro.estimators.epfis import LRUFit, LRUFitConfig
+from repro.estimators.registry import resolve_estimator
 from repro.eval.buffer_grid import BufferGrid
 from repro.eval.ground_truth import ScanTraceExtractor, ground_truth_tables
 from repro.eval.metrics import aggregate_relative_error
@@ -72,17 +74,48 @@ class ErrorBehaviorResult:
         }
 
 
+def resolve_estimators(
+    index: Index,
+    estimators: Sequence[Union[str, PageFetchEstimator]],
+    lru_fit_config: Optional[LRUFitConfig] = None,
+) -> List[PageFetchEstimator]:
+    """Coerce a mixed list of estimator names/instances to instances.
+
+    Named estimators are bound through the registry to one shared LRU-Fit
+    statistics pass over ``index`` (run only if at least one name appears),
+    mirroring the paper's premise that a single statistics pass serves
+    every algorithm.  Instances pass through unchanged.
+    """
+    stats = None
+    resolved: List[PageFetchEstimator] = []
+    for estimator in estimators:
+        if isinstance(estimator, str) and stats is None:
+            config = lru_fit_config or LRUFitConfig(
+                collect_baseline_stats=True
+            )
+            stats = LRUFit(config).run(index)
+        resolved.append(resolve_estimator(estimator, stats))
+    return resolved
+
+
 def run_error_behavior(
     index: Index,
-    estimators: Sequence[PageFetchEstimator],
+    estimators: Sequence[Union[str, PageFetchEstimator]],
     scans: Sequence[ScanSpec],
     buffer_grid: BufferGrid,
     dataset_name: Optional[str] = None,
     workers: int = 1,
     kernel: Optional[str] = None,
     seed: int = 0,
+    lru_fit_config: Optional[LRUFitConfig] = None,
 ) -> ErrorBehaviorResult:
     """Run the experiment and return the per-estimator error curves.
+
+    ``estimators`` may mix instances with registry names ("epfis", "ml",
+    ...); names are bound to one shared statistics pass — see
+    :func:`resolve_estimators` (``lru_fit_config`` tunes that pass).  This
+    is how a declarative :class:`~repro.eval.spec.ExperimentSpec` flows
+    through: its estimator names land here unchanged.
 
     ``workers`` parallelizes the ground-truth LRU simulations across forked
     processes (1 = serial, <= 0 = one per CPU); ``kernel`` selects the
@@ -96,6 +129,7 @@ def run_error_behavior(
         raise ExperimentError("at least one scan is required")
     started = time.perf_counter()
 
+    resolved = resolve_estimators(index, estimators, lru_fit_config)
     extractor = ScanTraceExtractor(index)
     buffer_sizes = list(buffer_grid)
 
@@ -109,21 +143,28 @@ def run_error_behavior(
         kernel=kernel,
         seed=seed,
     )
+    # Selectivities are a property of the scan workload alone — compute
+    # them once, not once per estimator.
+    per_scan_selectivities = [scan.selectivity() for scan in usable_scans]
+    # actuals transposed: per grid point, every scan's true fetch count.
+    actuals_by_grid = [
+        [actuals[s][g] for s in range(len(usable_scans))]
+        for g in range(len(buffer_sizes))
+    ]
 
     curves: List[EstimatorErrorCurve] = []
-    for estimator in estimators:
-        # estimates[s] is buffer-independent work hoisted out where the
-        # estimator allows it; the interface is per-(scan, B), so just
-        # evaluate the grid.
+    for estimator in resolved:
+        # One batched call per estimator: buffer-independent work (curve
+        # interpolation, saturation points) is hoisted inside
+        # estimate_grid's fast paths.
+        estimate_rows = estimator.estimate_grid(
+            per_scan_selectivities, buffer_sizes
+        )
         points: List[Tuple[int, float]] = []
-        per_scan_selectivities = [scan.selectivity() for scan in usable_scans]
         for g, buffer_pages in enumerate(buffer_sizes):
-            estimates = [
-                estimator.estimate(sel, buffer_pages)
-                for sel in per_scan_selectivities
-            ]
-            scan_actuals = [actuals[s][g] for s in range(len(usable_scans))]
-            error = aggregate_relative_error(estimates, scan_actuals)
+            error = aggregate_relative_error(
+                estimate_rows[g], actuals_by_grid[g]
+            )
             points.append((buffer_pages, error))
         curves.append(
             EstimatorErrorCurve(estimator.name, tuple(points))

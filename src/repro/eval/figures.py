@@ -37,11 +37,11 @@ from repro.datagen.synthetic import (
 )
 from repro.errors import ExperimentError
 from repro.estimators.base import PageFetchEstimator
-from repro.estimators.dc import DCEstimator
-from repro.estimators.epfis import EPFISEstimator, LRUFit, LRUFitConfig
-from repro.estimators.mackert_lohman import MackertLohmanEstimator
-from repro.estimators.ot import OTEstimator
-from repro.estimators.sd import SDEstimator
+from repro.estimators.epfis import LRUFit, LRUFitConfig
+from repro.estimators.registry import (
+    PAPER_ESTIMATOR_NAMES,
+    get_estimator,
+)
 from repro.eval.buffer_grid import BufferGrid, evaluation_buffer_grid
 from repro.eval.experiment import ErrorBehaviorResult, run_error_behavior
 from repro.storage.index import Index
@@ -76,18 +76,14 @@ def paper_estimators(
     """The five algorithms every error figure compares.
 
     One LRU-Fit statistics pass feeds EPFIS and the catalog-derived
-    baselines (ML, DC, SD, OT), mirroring the paper's premise that the LRU
-    simulation happens "while statistics are being gathered for other
-    purposes".
+    baselines (ML, DC, SD, OT) through the estimator registry, mirroring
+    the paper's premise that the LRU simulation happens "while statistics
+    are being gathered for other purposes".
     """
     config = lru_fit_config or LRUFitConfig(collect_baseline_stats=True)
     stats = LRUFit(config).run(index)
     return [
-        EPFISEstimator.from_statistics(stats),
-        MackertLohmanEstimator.from_statistics(stats),
-        DCEstimator.from_statistics(stats),
-        SDEstimator.from_statistics(stats),
-        OTEstimator.from_statistics(stats),
+        get_estimator(name, stats) for name in PAPER_ESTIMATOR_NAMES
     ]
 
 

@@ -1,0 +1,232 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` captures everything one error-behaviour
+experiment needs — the synthetic dataset, the estimators (by registry
+name), the scan workload, the evaluation buffer grid, and the execution
+knobs (kernel, workers, seed) — as a single JSON-round-trippable value.
+The CLI's positional flags are thin builders over this type, and
+``repro experiment --spec FILE`` runs a saved one; a spec file is the
+reproducibility unit (commit it next to the figure it generated).
+
+Wire format (all groups optional except ``dataset``)::
+
+    {
+      "dataset":   {"records": 2000, "distinct_values": 50, ...},
+      "estimators": ["epfis", "ml", "dc", "sd", "ot"],
+      "scans":     {"count": 100, "small_probability": 0.5},
+      "buffer_grid": {"floor": 12},
+      "kernel":    "baseline",
+      "workers":   1,
+      "seed":      0
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.buffer.kernels import available_kernels
+from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
+from repro.errors import ExperimentError
+from repro.estimators.registry import (
+    PAPER_ESTIMATOR_NAMES,
+    available_estimators,
+)
+from repro.eval.buffer_grid import PAPER_FLOOR, evaluation_buffer_grid
+from repro.eval.experiment import ErrorBehaviorResult, run_error_behavior
+from repro.workload.scans import generate_scan_mix
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One error-behaviour experiment, fully specified."""
+
+    dataset: SyntheticSpec
+    estimators: Tuple[str, ...] = PAPER_ESTIMATOR_NAMES
+    scan_count: int = 100
+    small_probability: float = 0.5
+    large_probability: Optional[float] = None
+    buffer_floor: int = PAPER_FLOOR
+    kernel: str = "baseline"
+    workers: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "estimators", tuple(self.estimators))
+        if not self.estimators:
+            raise ExperimentError(
+                "an experiment spec needs at least one estimator"
+            )
+        known = set(available_estimators())
+        for name in self.estimators:
+            if not isinstance(name, str) or name.lower() not in known:
+                raise ExperimentError(
+                    f"unknown estimator {name!r} in spec; available: "
+                    f"{', '.join(sorted(known))}"
+                )
+        if self.scan_count < 1:
+            raise ExperimentError(
+                f"scan_count must be >= 1, got {self.scan_count}"
+            )
+        if self.buffer_floor < 1:
+            raise ExperimentError(
+                f"buffer_floor must be >= 1, got {self.buffer_floor}"
+            )
+        if self.kernel not in available_kernels():
+            raise ExperimentError(
+                f"unknown kernel {self.kernel!r} in spec; available: "
+                f"{', '.join(available_kernels())}"
+            )
+
+    # ------------------------------------------------------------------
+    # dict / JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dictionary form (regenerates this spec exactly)."""
+        dataset = dataclasses.asdict(self.dataset)
+        if self.dataset.name == self.dataset.default_name():
+            del dataset["name"]  # derived; keep the file free of noise
+        payload = {
+            "dataset": dataset,
+            "estimators": list(self.estimators),
+            "scans": {
+                "count": self.scan_count,
+                "small_probability": self.small_probability,
+            },
+            "buffer_grid": {"floor": self.buffer_floor},
+            "kernel": self.kernel,
+            "workers": self.workers,
+            "seed": self.seed,
+        }
+        if self.large_probability is not None:
+            payload["scans"]["large_probability"] = self.large_probability
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(payload, dict):
+            raise ExperimentError(
+                f"experiment spec must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        known_keys = {
+            "dataset", "estimators", "scans", "buffer_grid", "kernel",
+            "workers", "seed",
+        }
+        unknown = sorted(set(payload) - known_keys)
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiment-spec keys {unknown}; known: "
+                f"{sorted(known_keys)}"
+            )
+        if "dataset" not in payload:
+            raise ExperimentError("experiment spec is missing 'dataset'")
+        try:
+            dataset = SyntheticSpec(**payload["dataset"])
+        except TypeError as exc:
+            raise ExperimentError(
+                f"bad 'dataset' section in experiment spec: {exc}"
+            ) from None
+
+        scans = payload.get("scans", {})
+        if not isinstance(scans, dict):
+            raise ExperimentError(
+                f"'scans' must be an object, got {type(scans).__name__}"
+            )
+        unknown = sorted(
+            set(scans) - {"count", "small_probability", "large_probability"}
+        )
+        if unknown:
+            raise ExperimentError(f"unknown 'scans' keys {unknown}")
+
+        grid = payload.get("buffer_grid", {})
+        if not isinstance(grid, dict):
+            raise ExperimentError(
+                f"'buffer_grid' must be an object, got "
+                f"{type(grid).__name__}"
+            )
+        unknown = sorted(set(grid) - {"floor"})
+        if unknown:
+            raise ExperimentError(f"unknown 'buffer_grid' keys {unknown}")
+
+        return cls(
+            dataset=dataset,
+            estimators=tuple(
+                payload.get("estimators", PAPER_ESTIMATOR_NAMES)
+            ),
+            scan_count=scans.get("count", 100),
+            small_probability=scans.get("small_probability", 0.5),
+            large_probability=scans.get("large_probability"),
+            buffer_floor=grid.get("floor", PAPER_FLOOR),
+            kernel=payload.get("kernel", "baseline"),
+            workers=payload.get("workers", 1),
+            seed=payload.get("seed", 0),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(
+                f"invalid experiment-spec JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the spec to a JSON file."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Read a spec previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise ExperimentError(
+                f"experiment spec file {str(path)!r} does not exist"
+            )
+        return cls.from_json(path.read_text(encoding="utf-8"))
+
+
+def run_experiment_spec(spec: ExperimentSpec) -> ErrorBehaviorResult:
+    """Execute a declarative spec: the one entry point behind the CLI.
+
+    Builds the dataset, the Section 5 buffer grid, and the random scan mix
+    (all deterministic under the spec's seeds), then hands the estimator
+    *names* to :func:`~repro.eval.experiment.run_error_behavior`, which
+    binds them to one shared statistics pass via the registry.  Identical
+    specs produce identical results, byte for byte.
+    """
+    dataset = build_synthetic_dataset(spec.dataset)
+    index = dataset.index
+    grid = evaluation_buffer_grid(
+        index.table.page_count, floor=spec.buffer_floor
+    )
+    scans = generate_scan_mix(
+        index,
+        count=spec.scan_count,
+        small_probability=spec.small_probability,
+        large_probability=spec.large_probability,
+        rng=random.Random(spec.seed),
+    )
+    return run_error_behavior(
+        index,
+        list(spec.estimators),
+        scans,
+        grid,
+        dataset_name=dataset.name,
+        workers=spec.workers,
+        kernel=spec.kernel,
+        seed=spec.seed,
+    )

@@ -41,7 +41,7 @@ class TestCorruptedCatalog:
     def test_missing_field(self, saved_catalog):
         path, stats = saved_catalog
         payload = json.loads(path.read_text())
-        del payload[stats.index_name]["fpf_curve"]
+        del payload["indexes"][stats.index_name]["fpf_curve"]
         path.write_text(json.dumps(payload))
         with pytest.raises(CatalogError):
             SystemCatalog.load(path)
@@ -49,16 +49,28 @@ class TestCorruptedCatalog:
     def test_out_of_domain_clustering_factor(self, saved_catalog):
         path, stats = saved_catalog
         payload = json.loads(path.read_text())
-        payload[stats.index_name]["clustering_factor"] = 3.5
+        payload["indexes"][stats.index_name]["clustering_factor"] = 3.5
         path.write_text(json.dumps(payload))
         with pytest.raises(CatalogError) as exc_info:
             SystemCatalog.load(path)
         assert "clustering_factor" in str(exc_info.value)
 
+    def test_inconsistent_f_min_detected(self, saved_catalog):
+        path, stats = saved_catalog
+        payload = json.loads(path.read_text())
+        record = payload["indexes"][stats.index_name]
+        record["f_min"] = max(1, record["f_min"] // 2)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CatalogError) as exc_info:
+            SystemCatalog.load(path)
+        assert "f_min" in str(exc_info.value)
+
     def test_unsorted_curve_knots(self, saved_catalog):
         path, stats = saved_catalog
         payload = json.loads(path.read_text())
-        payload[stats.index_name]["fpf_curve"] = [[10.0, 5.0], [10.0, 7.0]]
+        payload["indexes"][stats.index_name]["fpf_curve"] = [
+            [10.0, 5.0], [10.0, 7.0]
+        ]
         path.write_text(json.dumps(payload))
         with pytest.raises(ReproError):
             SystemCatalog.load(path)
@@ -66,10 +78,28 @@ class TestCorruptedCatalog:
     def test_renamed_entry_detected(self, saved_catalog):
         path, stats = saved_catalog
         payload = json.loads(path.read_text())
-        payload["impostor"] = payload.pop(stats.index_name)
+        payload["indexes"]["impostor"] = payload["indexes"].pop(
+            stats.index_name
+        )
         path.write_text(json.dumps(payload))
         with pytest.raises(CatalogError):
             SystemCatalog.load(path)
+
+    def test_future_schema_version_rejected(self, saved_catalog):
+        path, _stats = saved_catalog
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CatalogError) as exc_info:
+            SystemCatalog.load(path)
+        assert "99" in str(exc_info.value)
+
+    def test_legacy_unversioned_file_still_loads(self, saved_catalog):
+        path, stats = saved_catalog
+        payload = json.loads(path.read_text())
+        # Rewrite the file in the pre-versioning flat format.
+        path.write_text(json.dumps(payload["indexes"]))
+        assert SystemCatalog.load(path).get(stats.index_name) == stats
 
 
 class TestMalformedTraces:

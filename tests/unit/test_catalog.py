@@ -1,8 +1,17 @@
-"""Unit tests for IndexStatistics and SystemCatalog."""
+"""Unit tests for IndexStatistics, SystemCatalog, and the wire format."""
+
+import json
 
 import pytest
 
-from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.catalog.catalog import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    IndexStatistics,
+    SystemCatalog,
+    migrate_payload,
+    payload_version,
+)
 from repro.errors import CatalogError
 from repro.fit.segments import PiecewiseLinear
 
@@ -14,15 +23,23 @@ def _stats(name="t.a", **overrides):
         table_records=4_000,
         distinct_keys=50,
         clustering_factor=0.7,
-        fpf_curve=PiecewiseLinear(((12.0, 900.0), (100.0, 100.0))),
+        fpf_curve=PiecewiseLinear(((12.0, 1270.0), (100.0, 100.0))),
         b_min=12,
         b_max=100,
-        f_min=900,
+        f_min=1_270,
         dc_cluster_count=40,
         fetches_b1=1_200,
         fetches_b3=1_000,
     )
     defaults.update(overrides)
+    if "f_min" not in overrides:
+        # Keep f_min consistent with C = (N - F_min)/(N - T) when a test
+        # overrides the clustering factor or the table shape.
+        n, t = defaults["table_records"], defaults["table_pages"]
+        if n > t:
+            defaults["f_min"] = round(
+                n - defaults["clustering_factor"] * (n - t)
+            )
     return IndexStatistics(**defaults)
 
 
@@ -45,6 +62,42 @@ class TestIndexStatistics:
         with pytest.raises(CatalogError):
             _stats(b_min=200)  # > b_max
 
+    def test_f_min_domain(self):
+        with pytest.raises(CatalogError) as exc_info:
+            _stats(f_min=0)
+        assert "f_min" in str(exc_info.value)
+        with pytest.raises(CatalogError):
+            _stats(f_min=4_001)  # > N
+
+    def test_f_min_clustering_consistency(self):
+        # C = (N - F_min)/(N - T): 0.7 with N=4000, T=100 demands
+        # f_min = 1270, not 900.
+        with pytest.raises(CatalogError) as exc_info:
+            _stats(f_min=900)
+        assert "clustering_factor" in str(exc_info.value)
+        assert "f_min" in str(exc_info.value)
+
+    def test_f_min_consistency_tolerates_rounding(self):
+        # One record of slack: any integer f_min rounds to a C within
+        # 1/(N - T) of the stored float.
+        _stats(f_min=1_271)
+        _stats(f_min=1_269)
+
+    def test_f_min_clamped_clustering_accepted(self):
+        # f_min below T drives the raw ratio above 1; LRU-Fit stores the
+        # clamped C = 1.0 and the record must validate.
+        _stats(clustering_factor=1.0, f_min=50)
+
+    def test_degenerate_shape_skips_consistency(self):
+        # N == T leaves C undefined by the formula; any C in [0, 1] loads.
+        _stats(
+            table_pages=100,
+            table_records=100,
+            clustering_factor=0.3,
+            f_min=100,
+            distinct_keys=50,
+        )
+
     def test_dict_round_trip(self):
         stats = _stats()
         again = IndexStatistics.from_dict(stats.to_dict())
@@ -59,8 +112,9 @@ class TestIndexStatistics:
     def test_from_dict_missing_field(self):
         payload = _stats().to_dict()
         del payload["table_pages"]
-        with pytest.raises(CatalogError):
+        with pytest.raises(CatalogError) as exc_info:
             IndexStatistics.from_dict(payload)
+        assert "table_pages" in str(exc_info.value)
 
 
 class TestSystemCatalog:
@@ -123,3 +177,95 @@ class TestSystemCatalog:
         catalog.save(path)
         again = SystemCatalog.load(path)
         assert again.get("t.a") == catalog.get("t.a")
+
+    def test_save_is_atomic_leaves_no_droppings(self, tmp_path):
+        catalog = SystemCatalog()
+        catalog.put(_stats())
+        path = tmp_path / "catalog.json"
+        catalog.save(path)
+        catalog.save(path)  # overwrite goes through the same rename
+        assert [p.name for p in tmp_path.iterdir()] == ["catalog.json"]
+
+    def test_save_into_missing_directory_raises(self, tmp_path):
+        catalog = SystemCatalog()
+        catalog.put(_stats())
+        with pytest.raises(OSError):
+            catalog.save(tmp_path / "no-such-dir" / "catalog.json")
+
+
+class TestWireFormat:
+    """Versioning, migration, and corruption paths of the JSON format."""
+
+    def test_current_files_carry_schema_version(self):
+        catalog = SystemCatalog()
+        catalog.put(_stats())
+        payload = json.loads(catalog.to_json())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["indexes"]) == {"t.a"}
+
+    def test_v0_flat_mapping_migrates(self):
+        stats = _stats()
+        v0_text = json.dumps({stats.index_name: stats.to_dict()})
+        catalog = SystemCatalog.from_json(v0_text)
+        assert catalog.get("t.a") == stats
+
+    def test_v0_round_trip_field_equality(self):
+        """old -> new -> old: every v0 record field survives unchanged."""
+        stats = _stats()
+        v0_payload = {stats.index_name: stats.to_dict()}
+        migrated = SystemCatalog.from_json(json.dumps(v0_payload))
+        new_payload = json.loads(migrated.to_json())
+        assert new_payload["indexes"] == v0_payload
+
+    def test_empty_v0_file(self):
+        assert len(SystemCatalog.from_json("{}")) == 0
+
+    def test_future_schema_version_rejected(self):
+        text = json.dumps(
+            {"schema_version": SCHEMA_VERSION + 1, "indexes": {}}
+        )
+        with pytest.raises(CatalogError) as exc_info:
+            SystemCatalog.from_json(text)
+        message = str(exc_info.value)
+        assert str(SCHEMA_VERSION + 1) in message
+        assert "upgrade" in message
+
+    def test_non_integer_schema_version_rejected(self):
+        with pytest.raises(CatalogError):
+            SystemCatalog.from_json(
+                json.dumps({"schema_version": "one", "indexes": {}})
+            )
+
+    def test_truncated_json(self):
+        catalog = SystemCatalog()
+        catalog.put(_stats())
+        text = catalog.to_json()
+        with pytest.raises(CatalogError) as exc_info:
+            SystemCatalog.from_json(text[: len(text) // 2])
+        assert "invalid catalog JSON" in str(exc_info.value)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(CatalogError):
+            SystemCatalog.from_json("[1, 2, 3]")
+
+    def test_indexes_must_be_mapping(self):
+        with pytest.raises(CatalogError) as exc_info:
+            SystemCatalog.from_json(
+                json.dumps({"schema_version": 1, "indexes": []})
+            )
+        assert "indexes" in str(exc_info.value)
+
+    def test_payload_version_detection(self):
+        assert payload_version({"a": {}}) == 0
+        assert payload_version({"schema_version": 1, "indexes": {}}) == 1
+
+    def test_stuck_migration_detected(self):
+        # A migration hook that forgets to bump the version must not spin.
+        original = MIGRATIONS[0]
+        MIGRATIONS[0] = lambda payload: dict(payload)
+        try:
+            with pytest.raises(CatalogError) as exc_info:
+                migrate_payload({"flat": "v0-ish"})
+            assert "did not advance" in str(exc_info.value)
+        finally:
+            MIGRATIONS[0] = original

@@ -1,0 +1,99 @@
+"""Unit tests for the reloading CatalogStore."""
+
+import os
+
+import pytest
+
+from repro.catalog import CatalogStore, SystemCatalog
+from repro.errors import CatalogError
+
+from tests.unit.test_catalog import _stats
+
+
+def _write(path, *records):
+    catalog = SystemCatalog()
+    for stats in records:
+        catalog.put(stats)
+    catalog.save(path)
+    return catalog
+
+
+def _touch(path, offset_ns):
+    """Give ``path`` a distinct mtime without sleeping."""
+    info = os.stat(path)
+    os.utime(path, ns=(info.st_atime_ns, info.st_mtime_ns + offset_ns))
+
+
+class TestCatalogStore:
+    def test_missing_file_is_actionable(self, tmp_path):
+        store = CatalogStore(tmp_path / "none.json")
+        with pytest.raises(CatalogError) as exc_info:
+            store.catalog()
+        assert "repro fit" in str(exc_info.value)
+
+    def test_serves_records(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"), _stats("t.b"))
+        store = CatalogStore(path)
+        assert store.get("t.a").index_name == "t.a"
+        assert "t.b" in store
+        assert sorted(store) == ["t.a", "t.b"]
+        assert len(store) == 2
+
+    def test_same_file_same_snapshot_object(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats())
+        store = CatalogStore(path)
+        first = store.catalog()
+        assert store.catalog() is first
+        assert store.generation == 1
+
+    def test_reloads_on_change(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = CatalogStore(path)
+        assert "t.b" not in store
+        generation = store.generation
+        _write(path, _stats("t.a"), _stats("t.b"))
+        _touch(path, 5_000_000)
+        assert "t.b" in store
+        assert store.generation > generation
+
+    def test_unchanged_file_does_not_bump_generation(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats())
+        store = CatalogStore(path)
+        store.catalog()
+        generation = store.generation
+        for _ in range(3):
+            store.catalog()
+        assert store.generation == generation
+
+    def test_invalidate_forces_reparse(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats())
+        store = CatalogStore(path)
+        first = store.catalog()
+        store.invalidate()
+        assert store.catalog() is not first
+
+    def test_snapshot_cache_is_bounded(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        store = CatalogStore(path, cache_size=2)
+        for i in range(4):
+            _write(path, _stats(f"t.{i}"))
+            _touch(path, (i + 1) * 5_000_000)
+            store.catalog()
+        assert len(store._snapshots) <= 2
+
+    def test_save_round_trips_through_store(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        store = CatalogStore(path)
+        catalog = SystemCatalog()
+        catalog.put(_stats("t.new"))
+        store.save(catalog)
+        assert store.get("t.new").index_name == "t.new"
+
+    def test_bad_cache_size(self, tmp_path):
+        with pytest.raises(CatalogError):
+            CatalogStore(tmp_path / "c.json", cache_size=0)

@@ -1,8 +1,13 @@
 """Unit tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.eval.spec import ExperimentSpec
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
 class TestParser:
@@ -20,6 +25,15 @@ class TestParser:
             build_parser().parse_args(
                 ["estimate", "--catalog", "x.json", "--buffers", "10"]
             )
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "--catalog", "x.json", "--sigma", "0.1",
+                 "--buffers", "10", "--estimator", "nope"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--estimators", "nope"])
 
 
 class TestCommands:
@@ -78,6 +92,25 @@ class TestCommands:
         parallel = capsys.readouterr().out
         assert parallel == serial
 
+    def test_estimate_with_named_estimator(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat.json")
+        assert main(["fit", *self.SMALL, "--catalog", catalog]) == 0
+        assert main(
+            ["estimate", "--catalog", catalog, "--sigma", "0.2",
+             "--buffers", "20", "--estimator", "ml"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ML estimates" in out
+
+    def test_experiment_estimators_subset(self, capsys):
+        assert main(
+            ["experiment", *self.SMALL, "--scans", "8", "--floor", "4",
+             "--estimators", "epfis", "ot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "EPFIS" in out and "OT" in out
+        assert "ML" not in out and "DC" not in out
+
     def test_experiment_kernel_flag(self, capsys):
         assert main(
             ["experiment", *self.SMALL, "--scans", "8", "--floor", "4",
@@ -115,3 +148,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "sharing a 30-page" in out
         assert "overhead" in out
+
+
+class TestExperimentSpecPaths:
+    """The three `experiment` entry paths agree byte for byte."""
+
+    FLAGS = [
+        "--records", "2000", "--distinct", "50", "--records-per-page", "20",
+        "--theta", "0.86", "--window", "0.2", "--seed", "3",
+        "--scans", "10", "--floor", "4",
+    ]
+
+    def test_example_spec_matches_flags_byte_for_byte(self, capsys):
+        spec_path = EXAMPLES / "experiment_spec.json"
+        assert main(["experiment", "--spec", str(spec_path)]) == 0
+        from_spec = capsys.readouterr().out
+        assert main(["experiment", *self.FLAGS]) == 0
+        from_flags = capsys.readouterr().out
+        assert from_spec == from_flags
+
+    def test_save_spec_equals_example_file(self, tmp_path, capsys):
+        saved = tmp_path / "spec.json"
+        assert main(
+            ["experiment", *self.FLAGS, "--save-spec", str(saved)]
+        ) == 0
+        assert "wrote experiment spec" in capsys.readouterr().out
+        example = EXAMPLES / "experiment_spec.json"
+        assert saved.read_text() == example.read_text()
+
+    def test_saved_spec_round_trips(self, tmp_path, capsys):
+        saved = tmp_path / "spec.json"
+        assert main(
+            ["experiment", *self.FLAGS, "--save-spec", str(saved)]
+        ) == 0
+        capsys.readouterr()
+        spec = ExperimentSpec.load(saved)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_missing_spec_file_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["experiment", "--spec", str(tmp_path / "missing.json")]
+        )
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().err

@@ -1,0 +1,148 @@
+"""Unit tests for the name-based estimator registry."""
+
+import pytest
+
+from repro.estimators import LRUFit, PageFetchEstimator
+from repro.errors import EstimationError
+from repro.estimators.registry import (
+    PAPER_ESTIMATOR_NAMES,
+    _FACTORIES,
+    available_estimators,
+    get_estimator,
+    register_estimator,
+    resolve_estimator,
+)
+from repro.types import ScanSelectivity
+
+
+@pytest.fixture(scope="module")
+def stats(clustered_dataset):
+    return LRUFit().run(clustered_dataset.index)
+
+
+class TestLookup:
+    def test_paper_names_are_registered(self):
+        available = available_estimators()
+        for name in PAPER_ESTIMATOR_NAMES:
+            assert name in available
+
+    def test_variants_are_registered(self):
+        available = available_estimators()
+        for name in ("epfis-smooth", "clustered", "unclustered"):
+            assert name in available
+
+    def test_every_registered_name_binds(self, stats):
+        for name in available_estimators():
+            estimator = get_estimator(name, stats)
+            assert isinstance(estimator, PageFetchEstimator)
+            assert estimator.estimate(ScanSelectivity(0.1), 10) >= 0.0
+
+    def test_lookup_is_case_insensitive(self, stats):
+        assert type(get_estimator("EPFIS", stats)) is type(
+            get_estimator("epfis", stats)
+        )
+
+    def test_display_name_aliases_resolve(self, stats):
+        # "ML" is the display name; "ml" is the registry key.
+        for display in ("ML", "DC", "SD", "OT"):
+            estimator = get_estimator(display, stats)
+            assert estimator.name == display
+
+    def test_unknown_name_lists_available(self, stats):
+        with pytest.raises(EstimationError) as exc_info:
+            get_estimator("definitely-not-registered", stats)
+        assert "available" in str(exc_info.value)
+        assert "epfis" in str(exc_info.value)
+
+    def test_non_string_name_rejected(self, stats):
+        with pytest.raises(EstimationError):
+            get_estimator(None, stats)
+        with pytest.raises(EstimationError):
+            get_estimator("", stats)
+
+
+class TestRegistration:
+    @pytest.fixture()
+    def scratch_name(self):
+        name = "test-scratch-estimator"
+        yield name
+        _FACTORIES.pop(name, None)
+
+    def test_register_and_bind(self, scratch_name, stats):
+        from repro.estimators.naive import PerfectlyClusteredEstimator
+
+        register_estimator(
+            scratch_name, PerfectlyClusteredEstimator.from_statistics
+        )
+        assert scratch_name in available_estimators()
+        assert isinstance(
+            get_estimator(scratch_name, stats), PerfectlyClusteredEstimator
+        )
+
+    def test_duplicate_registration_refused(self, scratch_name):
+        register_estimator(scratch_name, lambda stats: None)
+        with pytest.raises(EstimationError) as exc_info:
+            register_estimator(scratch_name, lambda stats: None)
+        assert "replace=True" in str(exc_info.value)
+
+    def test_replace_allows_override(self, scratch_name, stats):
+        from repro.estimators.naive import (
+            PerfectlyClusteredEstimator,
+            PerfectlyUnclusteredEstimator,
+        )
+
+        register_estimator(
+            scratch_name, PerfectlyClusteredEstimator.from_statistics
+        )
+        register_estimator(
+            scratch_name,
+            PerfectlyUnclusteredEstimator.from_statistics,
+            replace=True,
+        )
+        assert isinstance(
+            get_estimator(scratch_name, stats),
+            PerfectlyUnclusteredEstimator,
+        )
+
+
+class TestResolve:
+    def test_instance_passes_through(self, stats):
+        instance = get_estimator("epfis", stats)
+        assert resolve_estimator(instance, stats) is instance
+
+    def test_name_binds(self, stats):
+        estimator = resolve_estimator("ot", stats)
+        assert estimator.name == "OT"
+
+    def test_options_forwarded(self, stats):
+        estimator = resolve_estimator("epfis", stats, phi_rule="literal-max")
+        assert estimator.est_io.phi_rule == "literal-max"
+
+
+class TestBatchConsistency:
+    """estimate_many / estimate_grid agree with the scalar path for every
+    registered estimator — the batched fast paths must not drift."""
+
+    def test_batched_equals_looped(self, stats):
+        pairs = [
+            (ScanSelectivity(sigma, sargable), b)
+            for sigma in (0.0, 0.05, 0.3, 1.0)
+            for sargable in (1.0, 0.4)
+            for b in (4, 30, 120)
+        ]
+        for name in available_estimators():
+            estimator = get_estimator(name, stats)
+            batched = estimator.estimate_many(pairs)
+            looped = [estimator.estimate(sel, b) for sel, b in pairs]
+            assert batched == looped, f"batch drift in {name!r}"
+
+    def test_grid_layout(self, stats):
+        selectivities = [ScanSelectivity(s) for s in (0.1, 0.5, 0.9)]
+        buffers = [5, 50]
+        for name in PAPER_ESTIMATOR_NAMES:
+            estimator = get_estimator(name, stats)
+            grid = estimator.estimate_grid(selectivities, buffers)
+            assert len(grid) == len(buffers)
+            for g, b in enumerate(buffers):
+                for s, sel in enumerate(selectivities):
+                    assert grid[g][s] == estimator.estimate(sel, b)

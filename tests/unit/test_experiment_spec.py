@@ -1,0 +1,157 @@
+"""Unit tests for declarative experiment specs."""
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticSpec
+from repro.errors import ExperimentError
+from repro.eval.spec import ExperimentSpec, run_experiment_spec
+
+TINY_DATASET = SyntheticSpec(
+    records=1_000,
+    distinct_values=25,
+    records_per_page=20,
+    theta=0.0,
+    window=0.2,
+    seed=5,
+)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        dataset=TINY_DATASET,
+        estimators=("epfis", "ot"),
+        scan_count=4,
+        buffer_floor=4,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_five(self):
+        spec = ExperimentSpec(dataset=TINY_DATASET)
+        assert spec.estimators == ("epfis", "ml", "dc", "sd", "ot")
+
+    def test_estimators_coerced_to_tuple(self):
+        spec = tiny_spec(estimators=["epfis", "ml"])
+        assert spec.estimators == ("epfis", "ml")
+
+    def test_needs_at_least_one_estimator(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(estimators=())
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ExperimentError) as exc_info:
+            tiny_spec(estimators=("epfis", "nope"))
+        assert "available" in str(exc_info.value)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(kernel="nope")
+
+    def test_bad_scan_count(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(scan_count=0)
+
+    def test_bad_buffer_floor(self):
+        with pytest.raises(ExperimentError):
+            tiny_spec(buffer_floor=0)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = tiny_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = tiny_spec(large_probability=0.25, kernel="sampled",
+                         workers=2)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        spec = tiny_spec()
+        spec.save(path)
+        assert ExperimentSpec.load(path) == spec
+
+    def test_minimal_dict_fills_defaults(self):
+        spec = ExperimentSpec.from_dict(
+            {"dataset": {"records": 1_000, "distinct_values": 25,
+                         "records_per_page": 20}}
+        )
+        assert spec.scan_count == 100
+        assert spec.kernel == "baseline"
+        assert spec.estimators == ("epfis", "ml", "dc", "sd", "ot")
+
+    def test_derived_dataset_name_is_omitted(self):
+        payload = tiny_spec().to_dict()
+        assert "name" not in payload["dataset"]
+
+    def test_explicit_dataset_name_survives(self):
+        named = SyntheticSpec(
+            records=1_000, distinct_values=25, records_per_page=20,
+            name="my-dataset",
+        )
+        spec = ExperimentSpec(dataset=named, estimators=("epfis",))
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt.dataset.name == "my-dataset"
+
+
+class TestRejection:
+    def test_non_object_payload(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_dict([1, 2, 3])
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ExperimentError) as exc_info:
+            ExperimentSpec.from_dict(
+                {"dataset": {"records": 1_000, "distinct_values": 25,
+                             "records_per_page": 20}, "scnas": {}}
+            )
+        assert "scnas" in str(exc_info.value)
+
+    def test_unknown_scans_key(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_dict(
+                {"dataset": {"records": 1_000, "distinct_values": 25,
+                             "records_per_page": 20},
+                 "scans": {"cuont": 10}}
+            )
+
+    def test_unknown_buffer_grid_key(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_dict(
+                {"dataset": {"records": 1_000, "distinct_values": 25,
+                             "records_per_page": 20},
+                 "buffer_grid": {"ceiling": 10}}
+            )
+
+    def test_missing_dataset(self):
+        with pytest.raises(ExperimentError) as exc_info:
+            ExperimentSpec.from_dict({"seed": 1})
+        assert "dataset" in str(exc_info.value)
+
+    def test_bad_dataset_field(self):
+        with pytest.raises(ExperimentError) as exc_info:
+            ExperimentSpec.from_dict({"dataset": {"rcords": 1_000}})
+        assert "dataset" in str(exc_info.value)
+
+    def test_invalid_json(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_json("{not json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.load(tmp_path / "missing.json")
+
+
+class TestExecution:
+    def test_identical_specs_identical_results(self):
+        first = run_experiment_spec(tiny_spec())
+        second = run_experiment_spec(tiny_spec())
+        assert first == second  # elapsed_seconds excluded from compare
+
+    def test_curves_follow_spec_order(self):
+        result = run_experiment_spec(tiny_spec(estimators=("ot", "epfis")))
+        assert [c.estimator for c in result.curves] == ["OT", "EPFIS"]
