@@ -10,6 +10,8 @@ Commands mirror how a DBA would interact with EPFIS:
 * ``locality``  — profile a dataset's index-order trace locality.
 * ``contention``— simulate concurrent scans sharing one LRU pool.
 * ``perf``      — time one LRU-Fit pass per stack-distance kernel.
+* ``verify``    — run the differential verification harness (LRU oracle
+  cross-checks, metamorphic invariants, golden-fixture regression).
 
 Every command is deterministic given its ``--seed``.  ``experiment`` is a
 thin builder over the declarative :class:`~repro.eval.spec.ExperimentSpec`:
@@ -277,6 +279,77 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import DEFAULT_GOLDEN_PATH, run_verification
+
+    golden_path = (
+        None if args.no_golden else (args.golden or DEFAULT_GOLDEN_PATH)
+    )
+    report = run_verification(
+        families=args.families,
+        names=args.cases,
+        kernels=args.kernels,
+        invariants=not args.no_invariants,
+        golden_path=golden_path,
+        regen=args.regen,
+    )
+    rows = []
+    for case in report.cases:
+        for result in case.differentials:
+            if result.held_exact:
+                status = (
+                    "exact" if not result.mismatches
+                    else f"{len(result.mismatches)} MISMATCHES"
+                )
+            else:
+                status = (
+                    f"band {100 * result.max_band_error:.2f}% "
+                    f"/ {100 * result.error_bound:.0f}%"
+                )
+            if not result.streaming_consistent:
+                status += " +stream-DIVERGED"
+            rows.append(
+                (
+                    case.case,
+                    result.kernel,
+                    len(result.checked_sizes),
+                    status,
+                    "ok" if result.ok else "FAIL",
+                )
+            )
+    print(
+        format_table(
+            ["case", "kernel", "sizes", "oracle agreement", "verdict"],
+            rows,
+            title=(
+                f"Differential verification — {len(report.cases)} corpus "
+                f"traces vs the LRU oracle"
+            ),
+        )
+    )
+    violations = [v for c in report.cases for v in c.violations]
+    if args.no_invariants:
+        print("invariants: skipped")
+    else:
+        print(f"invariants: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation}")
+    if report.regenerated_path:
+        print(f"goldens: regenerated {report.regenerated_path}")
+    elif args.no_golden:
+        print("goldens: skipped")
+    elif report.golden_drift:
+        print(f"goldens: {len(report.golden_drift)} drift(s)")
+        for drift in report.golden_drift:
+            print(f"  {drift}")
+    else:
+        print("goldens: no drift")
+    if not report.ok:
+        print("error: verification failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_gwl(args: argparse.Namespace) -> int:
     db = build_gwl_database(scale=args.scale, seed=args.seed)
     print(
@@ -406,6 +479,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--repeats", type=int, default=5,
                         help="timing repetitions per kernel (median)")
     p_perf.set_defaults(handler=_cmd_perf)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the differential verification harness",
+    )
+    p_verify.add_argument("--families", nargs="+", default=None,
+                          metavar="FAMILY",
+                          help="trace families to verify (default: all)")
+    p_verify.add_argument("--cases", nargs="+", default=None,
+                          metavar="NAME",
+                          help="corpus cases to verify (default: all)")
+    p_verify.add_argument("--kernels", nargs="+", default=None,
+                          choices=available_kernels(),
+                          help="kernels to cross-check (default: all)")
+    p_verify.add_argument("--no-invariants", action="store_true",
+                          help="skip the metamorphic invariant stage")
+    p_verify.add_argument("--no-golden", action="store_true",
+                          help="skip the golden-fixture stage")
+    p_verify.add_argument("--golden", default=None, metavar="FILE",
+                          help="golden fixture path (default: the "
+                               "committed fixture)")
+    p_verify.add_argument("--regen", action="store_true",
+                          help="regenerate the golden fixture instead of "
+                               "comparing against it")
+    p_verify.set_defaults(handler=_cmd_verify)
 
     return parser
 

@@ -82,3 +82,7 @@ class ExperimentError(ReproError):
 
 class OptimizerError(ReproError):
     """Access-path selection was asked to choose among zero plans."""
+
+
+class VerificationError(ReproError):
+    """The differential-verification harness was misconfigured or failed."""

@@ -1,0 +1,122 @@
+"""Differential verification harness.
+
+Correctness tooling — not ad-hoc tests — for every fast path in the
+library.  Three layers, each reusable on its own:
+
+* :mod:`repro.verify.traces` — a deterministic, seeded trace corpus
+  (uniform, Zipf, clustered, sequential-scan, adversarial loops);
+* :mod:`repro.verify.oracle` — differential replay of each trace
+  through the direct LRU simulator (the oracle), every registered
+  stack-distance kernel, and the streaming chunked path;
+* :mod:`repro.verify.invariants` — metamorphic predicates (curve
+  monotonicity and bounds, Est-IO selectivity monotonicity, batched vs
+  scalar consistency, catalog round-trip stability, engine cache
+  coherence);
+* :mod:`repro.verify.golden` — committed regression snapshots of seeded
+  curves and estimator outputs, regenerated with ``repro verify --regen``.
+
+:func:`repro.verify.runner.run_verification` composes all of it; the
+``repro verify`` CLI subcommand and the pytest suite are thin callers.
+"""
+
+from repro.verify.golden import (
+    DEFAULT_GOLDEN_PATH,
+    GOLDEN_ESTIMATORS,
+    GOLDEN_PROBES,
+    GOLDEN_SCHEMA_VERSION,
+    compare_golden,
+    golden_snapshot,
+    load_golden,
+    render_golden,
+    statistics_for_case,
+    write_golden,
+)
+from repro.verify.invariants import (
+    FLOAT_TOLERANCE,
+    SARGABLE_PROBES,
+    SIGMA_PROBES,
+    InvariantViolation,
+    check_batched_consistency,
+    check_catalog_round_trip,
+    check_curve_bounds,
+    check_curve_monotone,
+    check_engine_cache_consistency,
+    check_selectivity_monotone,
+)
+from repro.verify.oracle import (
+    STREAMING_CHUNK_SIZES,
+    DifferentialResult,
+    Mismatch,
+    differential_check,
+    oracle_curve,
+    oracle_fetches,
+)
+from repro.verify.runner import (
+    MONOTONE_ESTIMATORS,
+    CaseVerification,
+    VerificationReport,
+    run_verification,
+    verify_case,
+)
+from repro.verify.traces import (
+    BAND_FRACTIONS,
+    FAMILIES,
+    TraceCase,
+    clustered_trace,
+    corpus_case,
+    corpus_cases,
+    drifting_scan_trace,
+    loop_trace,
+    nested_loop_trace,
+    sequential_scan_trace,
+    uniform_trace,
+    verification_corpus,
+    zipf_trace,
+)
+
+__all__ = [
+    "BAND_FRACTIONS",
+    "DEFAULT_GOLDEN_PATH",
+    "FAMILIES",
+    "FLOAT_TOLERANCE",
+    "GOLDEN_ESTIMATORS",
+    "GOLDEN_PROBES",
+    "GOLDEN_SCHEMA_VERSION",
+    "MONOTONE_ESTIMATORS",
+    "SARGABLE_PROBES",
+    "SIGMA_PROBES",
+    "STREAMING_CHUNK_SIZES",
+    "CaseVerification",
+    "DifferentialResult",
+    "InvariantViolation",
+    "Mismatch",
+    "TraceCase",
+    "VerificationReport",
+    "check_batched_consistency",
+    "check_catalog_round_trip",
+    "check_curve_bounds",
+    "check_curve_monotone",
+    "check_engine_cache_consistency",
+    "check_selectivity_monotone",
+    "clustered_trace",
+    "compare_golden",
+    "corpus_case",
+    "corpus_cases",
+    "differential_check",
+    "drifting_scan_trace",
+    "golden_snapshot",
+    "load_golden",
+    "loop_trace",
+    "nested_loop_trace",
+    "oracle_curve",
+    "oracle_fetches",
+    "render_golden",
+    "run_verification",
+    "sequential_scan_trace",
+    "statistics_for_case",
+    "uniform_trace",
+    "verification_corpus",
+    "verify_case",
+    "write_golden",
+    "zipf_trace",
+]

@@ -1,0 +1,191 @@
+"""Golden regression snapshots of seeded curves and estimator outputs.
+
+Oracle cross-checks catch *incorrect* results; goldens catch *changed*
+ones.  A committed JSON fixture records, for every corpus trace:
+
+* the exact fetch curve (baseline kernel — proven equal to the oracle by
+  the differential stage) on the case's canonical buffer grid,
+* the sampled kernel's estimate on the same grid (deterministic under its
+  default seed), and
+* every applicable estimator's output on a fixed probe grid, computed
+  from the LRU-Fit statistics of the trace.
+
+Any code change that moves one of these numbers — a refactor that was
+supposed to be behavior-preserving, a "small" kernel optimization, a
+reordering of float arithmetic — fails the comparison and must either be
+fixed or explicitly blessed by regenerating the fixture
+(``repro verify --regen``).
+
+The snapshot is rendered with sorted keys and a fixed indent, and floats
+pass through :mod:`json` (shortest-repr), so two runs of the same code
+produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.buffer.kernels import get_kernel
+from repro.errors import VerificationError
+from repro.estimators.epfis import LRUFit
+from repro.estimators.registry import get_estimator
+from repro.types import ScanSelectivity
+from repro.verify.traces import TraceCase, verification_corpus
+
+#: Wire-format version of the golden fixture.
+GOLDEN_SCHEMA_VERSION = 1
+
+#: The committed fixture, shipped next to this module.
+DEFAULT_GOLDEN_PATH = Path(__file__).with_name("golden_corpus.json")
+
+#: Estimators snapshotted per case.  ``dc`` is excluded: its cluster
+#: counter is defined over index key spans, which a bare page trace does
+#: not have.
+GOLDEN_ESTIMATORS: Tuple[str, ...] = (
+    "epfis", "epfis-smooth", "ml", "sd", "ot", "clustered", "unclustered",
+)
+
+#: Estimator probe grid: (range selectivity, sargable selectivity).
+GOLDEN_PROBES: Tuple[Tuple[float, float], ...] = (
+    (0.001, 1.0), (0.01, 1.0), (0.1, 1.0), (0.1, 0.5),
+    (0.5, 1.0), (0.5, 0.5), (1.0, 1.0),
+)
+
+
+def statistics_for_case(case: TraceCase):
+    """The LRU-Fit catalog record for one corpus trace.
+
+    The trace *is* the table here: ``table_pages`` is its distinct-page
+    count (a full scan touches every table page) and each distinct page
+    doubles as one distinct key.
+    """
+    return LRUFit().run_on_trace(
+        case.pages,
+        table_pages=case.distinct_pages,
+        distinct_keys=case.distinct_pages,
+        index_name=case.name,
+    )
+
+
+def _estimator_rows(case: TraceCase) -> Dict[str, List[float]]:
+    stats = statistics_for_case(case)
+    t = stats.table_pages
+    buffers = sorted({1, max(1, t // 20), max(1, t // 2), t})
+    requests = [
+        (ScanSelectivity(sigma, s), b)
+        for b in buffers
+        for sigma, s in GOLDEN_PROBES
+    ]
+    return {
+        name: get_estimator(name, stats).estimate_many(requests)
+        for name in GOLDEN_ESTIMATORS
+    }
+
+
+def golden_snapshot(
+    cases: Optional[Sequence[TraceCase]] = None,
+) -> dict:
+    """Compute the full golden payload for ``cases`` (default: corpus)."""
+    if cases is None:
+        cases = verification_corpus()
+    payload: dict = {
+        "schema_version": GOLDEN_SCHEMA_VERSION,
+        "cases": {},
+    }
+    for case in cases:
+        sizes = list(case.buffer_sizes())
+        exact = get_kernel("baseline").analyze(case.pages)
+        sampled = get_kernel("sampled").analyze(case.pages)
+        payload["cases"][case.name] = {
+            "family": case.family,
+            "seed": case.seed,
+            "references": case.references,
+            "distinct_pages": case.distinct_pages,
+            "buffer_sizes": sizes,
+            "fetch_curve": [exact.fetches(b) for b in sizes],
+            "sampled_curve": [sampled.fetches(b) for b in sizes],
+            "estimators": _estimator_rows(case),
+        }
+    return payload
+
+
+def render_golden(payload: dict) -> str:
+    """Canonical byte-stable rendering of a golden payload."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def load_golden(path: Union[str, Path] = DEFAULT_GOLDEN_PATH) -> dict:
+    """Read a golden fixture, validating its schema version."""
+    path = Path(path)
+    if not path.exists():
+        raise VerificationError(
+            f"golden fixture {str(path)!r} does not exist; generate it "
+            f"with `repro verify --regen`"
+        )
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise VerificationError(
+            f"golden fixture {str(path)!r} is not valid JSON: {exc}"
+        ) from exc
+    version = payload.get("schema_version")
+    if version != GOLDEN_SCHEMA_VERSION:
+        raise VerificationError(
+            f"golden fixture {str(path)!r} has schema_version "
+            f"{version!r}; this build reads {GOLDEN_SCHEMA_VERSION}"
+        )
+    return payload
+
+
+def write_golden(
+    path: Union[str, Path] = DEFAULT_GOLDEN_PATH,
+    cases: Optional[Sequence[TraceCase]] = None,
+) -> str:
+    """Recompute and write the fixture; returns the rendered text."""
+    text = render_golden(golden_snapshot(cases))
+    Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def compare_golden(
+    expected: dict,
+    actual: dict,
+) -> List[str]:
+    """Structural diff of two golden payloads; empty list means no drift.
+
+    Comparison is exact — including float equality — because both sides
+    are produced by the same code on the same platform; any difference is
+    a behavior change by definition.
+    """
+    drift: List[str] = []
+    expected_cases = expected.get("cases", {})
+    actual_cases = actual.get("cases", {})
+    for name in sorted(set(expected_cases) - set(actual_cases)):
+        drift.append(f"case {name!r}: missing from current run")
+    for name in sorted(set(actual_cases) - set(expected_cases)):
+        drift.append(f"case {name!r}: not present in the fixture")
+    for name in sorted(set(expected_cases) & set(actual_cases)):
+        want, got = expected_cases[name], actual_cases[name]
+        for key in ("family", "seed", "references", "distinct_pages",
+                    "buffer_sizes", "fetch_curve", "sampled_curve"):
+            if want.get(key) != got.get(key):
+                drift.append(
+                    f"case {name!r}: {key} drifted "
+                    f"(expected {_brief(want.get(key))}, "
+                    f"got {_brief(got.get(key))})"
+                )
+        want_est = want.get("estimators", {})
+        got_est = got.get("estimators", {})
+        for est in sorted(set(want_est) | set(got_est)):
+            if want_est.get(est) != got_est.get(est):
+                drift.append(
+                    f"case {name!r}: estimator {est!r} outputs drifted"
+                )
+    return drift
+
+
+def _brief(value: object, limit: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[:limit - 3] + "..."

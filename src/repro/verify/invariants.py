@@ -1,0 +1,290 @@
+"""Metamorphic invariant checkers for curves, estimators, and serving.
+
+These are the properties that must hold *whatever* the workload is — the
+verification harness's second line of defense after oracle agreement.
+Each checker is a reusable predicate: it takes the object under test plus
+the probe grid and returns a list of :class:`InvariantViolation` (empty
+means the invariant held), so the runner, the CLI, and pytest can all
+aggregate them without re-encoding the rules.
+
+Checked invariants, with their source in the paper's model:
+
+* ``curve-monotone`` — F(B) is non-increasing in B (LRU's inclusion
+  property; more buffer never causes more fetches).
+* ``curve-bounds`` — F(B) lies in [distinct pages, total references]
+  (compulsory misses are a floor, one fetch per reference a ceiling).
+* ``selectivity-monotone`` — Est-IO estimates never decrease as the
+  range selectivity grows (reading more of the index cannot cost less).
+  Note: EPFIS's Equation-1 heuristic correction deliberately switches
+  off at sigma = phi/3, which makes the *corrected* estimate step down
+  there; the runner therefore checks this invariant on the uncorrected
+  Est-IO path (``apply_correction=False``) for the EPFIS family.
+* ``batched-consistency`` — ``estimate_many`` and ``estimate_grid``
+  return exactly what scalar ``estimate`` loops would (batching is an
+  optimization, never a semantic).
+* ``catalog-round-trip`` — save -> load -> estimate reproduces the
+  in-memory estimates bit for bit (the wire format loses nothing an
+  estimator reads).
+* ``engine-cache`` — the estimation engine's cached (warm) answers equal
+  its cold ones, and its per-estimator call counters track every call.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.engine import EstimationEngine
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.registry import get_estimator
+from repro.types import ScanSelectivity
+
+#: Absolute slack for float comparisons that are only *mathematically*
+#: equal (monotonicity across independently rounded estimates).  Exact
+#: replays (batched vs scalar, save/load, cache hits) use equality.
+FLOAT_TOLERANCE = 1e-9
+
+#: Default range-selectivity probes (log-ish spread plus the full scan).
+SIGMA_PROBES: Tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0,
+)
+#: Default sargable-selectivity probes.
+SARGABLE_PROBES: Tuple[float, ...] = (1.0, 0.5)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough context to reproduce it."""
+
+    invariant: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.subject}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Fetch-curve invariants
+# ----------------------------------------------------------------------
+def check_curve_monotone(
+    curve, buffer_sizes: Sequence[int], subject: str = "curve"
+) -> List[InvariantViolation]:
+    """F(B) must be non-increasing in B."""
+    violations = []
+    previous_b: Optional[int] = None
+    previous_f = 0
+    for b in sorted(buffer_sizes):
+        f = curve.fetches(b)
+        if previous_b is not None and f > previous_f:
+            violations.append(
+                InvariantViolation(
+                    "curve-monotone",
+                    subject,
+                    f"F({b})={f} > F({previous_b})={previous_f}",
+                )
+            )
+        previous_b, previous_f = b, f
+    return violations
+
+
+def check_curve_bounds(
+    curve, buffer_sizes: Sequence[int], subject: str = "curve"
+) -> List[InvariantViolation]:
+    """F(B) must lie within [distinct_pages, accesses] for every B."""
+    violations = []
+    for b in buffer_sizes:
+        f = curve.fetches(b)
+        if not curve.distinct_pages <= f <= curve.accesses:
+            violations.append(
+                InvariantViolation(
+                    "curve-bounds",
+                    subject,
+                    f"F({b})={f} outside [{curve.distinct_pages}, "
+                    f"{curve.accesses}]",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Estimator invariants
+# ----------------------------------------------------------------------
+def check_selectivity_monotone(
+    estimator: PageFetchEstimator,
+    buffer_sizes: Sequence[int],
+    sigmas: Sequence[float] = SIGMA_PROBES,
+    sargables: Sequence[float] = SARGABLE_PROBES,
+    subject: str = "estimator",
+) -> List[InvariantViolation]:
+    """Estimates must not decrease as range selectivity grows."""
+    violations = []
+    ordered = sorted(sigmas)
+    for b in buffer_sizes:
+        for s in sargables:
+            estimates = estimator.estimate_many(
+                [(ScanSelectivity(sigma, s), b) for sigma in ordered]
+            )
+            for i in range(1, len(estimates)):
+                if estimates[i] < estimates[i - 1] - FLOAT_TOLERANCE:
+                    violations.append(
+                        InvariantViolation(
+                            "selectivity-monotone",
+                            subject,
+                            f"B={b}, S={s}: estimate fell from "
+                            f"{estimates[i - 1]!r} at sigma="
+                            f"{ordered[i - 1]} to {estimates[i]!r} at "
+                            f"sigma={ordered[i]}",
+                        )
+                    )
+    return violations
+
+
+def check_batched_consistency(
+    estimator: PageFetchEstimator,
+    buffer_sizes: Sequence[int],
+    sigmas: Sequence[float] = SIGMA_PROBES,
+    sargables: Sequence[float] = SARGABLE_PROBES,
+    subject: str = "estimator",
+) -> List[InvariantViolation]:
+    """``estimate_many``/``estimate_grid`` must equal scalar loops exactly."""
+    violations = []
+    selectivities = [
+        ScanSelectivity(sigma, s) for sigma in sigmas for s in sargables
+    ]
+    pairs = [(sel, b) for b in buffer_sizes for sel in selectivities]
+    scalar = [estimator.estimate(sel, b) for sel, b in pairs]
+    batched = estimator.estimate_many(pairs)
+    if batched != scalar:
+        diffs = [
+            f"({sel.range_selectivity}, {sel.sargable_selectivity}, {b})"
+            for (sel, b), got, want in zip(pairs, batched, scalar)
+            if got != want
+        ]
+        violations.append(
+            InvariantViolation(
+                "batched-consistency",
+                subject,
+                f"estimate_many diverged from scalar estimate at "
+                f"{len(diffs)} of {len(pairs)} requests "
+                f"(first: {diffs[0]})",
+            )
+        )
+    grid = estimator.estimate_grid(selectivities, list(buffer_sizes))
+    expected_grid = [
+        [estimator.estimate(sel, b) for sel in selectivities]
+        for b in buffer_sizes
+    ]
+    if grid != expected_grid:
+        violations.append(
+            InvariantViolation(
+                "batched-consistency",
+                subject,
+                "estimate_grid diverged from nested scalar loops",
+            )
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Serving-stack invariants
+# ----------------------------------------------------------------------
+def _probe_requests(
+    stats: IndexStatistics,
+    sigmas: Sequence[float],
+    sargables: Sequence[float],
+) -> List[Tuple[ScanSelectivity, int]]:
+    t = stats.table_pages
+    buffers = sorted({1, max(1, t // 20), max(1, t // 2), t})
+    return [
+        (ScanSelectivity(sigma, s), b)
+        for b in buffers
+        for sigma in sigmas
+        for s in sargables
+    ]
+
+
+def check_catalog_round_trip(
+    stats: IndexStatistics,
+    estimator_names: Sequence[str],
+    sigmas: Sequence[float] = SIGMA_PROBES,
+    sargables: Sequence[float] = SARGABLE_PROBES,
+    directory: Optional[Path] = None,
+) -> List[InvariantViolation]:
+    """save -> load -> estimate must be bit-stable for every estimator."""
+    violations = []
+    requests = _probe_requests(stats, sigmas, sargables)
+    catalog = SystemCatalog()
+    catalog.put(stats)
+    with tempfile.TemporaryDirectory(dir=directory) as tmp:
+        path = Path(tmp) / "catalog.json"
+        catalog.save(path)
+        reloaded = SystemCatalog.load(path).get(stats.index_name)
+    for name in estimator_names:
+        before = get_estimator(name, stats).estimate_many(requests)
+        after = get_estimator(name, reloaded).estimate_many(requests)
+        if before != after:
+            drifted = sum(1 for x, y in zip(before, after) if x != y)
+            violations.append(
+                InvariantViolation(
+                    "catalog-round-trip",
+                    f"{stats.index_name}/{name}",
+                    f"{drifted} of {len(requests)} estimates changed "
+                    f"across save/load",
+                )
+            )
+    return violations
+
+
+def check_engine_cache_consistency(
+    stats: IndexStatistics,
+    estimator_names: Sequence[str],
+    sigmas: Sequence[float] = SIGMA_PROBES,
+    sargables: Sequence[float] = SARGABLE_PROBES,
+) -> List[InvariantViolation]:
+    """Warm (cached-binding) engine answers must equal cold ones, and the
+    per-estimator metrics must count both calls."""
+    violations = []
+    requests = _probe_requests(stats, sigmas, sargables)
+    catalog = SystemCatalog()
+    catalog.put(stats)
+    engine = EstimationEngine(catalog)
+    for name in estimator_names:
+        cold = engine.estimate_many(stats.index_name, name, requests)
+        warm = engine.estimate_many(stats.index_name, name, requests)
+        if cold != warm:
+            violations.append(
+                InvariantViolation(
+                    "engine-cache",
+                    f"{stats.index_name}/{name}",
+                    "cached-binding estimates differ from cold ones",
+                )
+            )
+        direct = get_estimator(name, stats).estimate_many(requests)
+        if cold != direct:
+            violations.append(
+                InvariantViolation(
+                    "engine-cache",
+                    f"{stats.index_name}/{name}",
+                    "engine estimates differ from a directly bound "
+                    "estimator",
+                )
+            )
+        counters = engine.metrics().get(name.lower())
+        if (
+            counters is None
+            or counters["calls"] != 2
+            or counters["estimates"] != 2 * len(requests)
+        ):
+            violations.append(
+                InvariantViolation(
+                    "engine-cache",
+                    f"{stats.index_name}/{name}",
+                    f"metrics did not track both calls: {counters!r}",
+                )
+            )
+        engine.reset_metrics()
+    return violations

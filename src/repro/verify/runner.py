@@ -1,0 +1,226 @@
+"""The verification runner: one call that exercises the whole harness.
+
+``run_verification`` is what both the ``repro verify`` CLI subcommand and
+the pytest suite invoke: differential oracle checks for every (corpus
+case, kernel) pair, the metamorphic invariants on each case's curves and
+LRU-Fit statistics, and the golden-fixture drift comparison.  The result
+is a plain report object that renders to the CLI table and asserts
+cleanly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.buffer.kernels import available_kernels, get_kernel
+from repro.errors import VerificationError
+from repro.estimators.registry import get_estimator
+from repro.verify.golden import (
+    DEFAULT_GOLDEN_PATH,
+    GOLDEN_ESTIMATORS,
+    compare_golden,
+    golden_snapshot,
+    load_golden,
+    render_golden,
+    statistics_for_case,
+    write_golden,
+)
+from repro.verify.invariants import (
+    InvariantViolation,
+    check_batched_consistency,
+    check_catalog_round_trip,
+    check_curve_bounds,
+    check_curve_monotone,
+    check_engine_cache_consistency,
+    check_selectivity_monotone,
+)
+from repro.verify.oracle import (
+    DifferentialResult,
+    differential_check,
+    oracle_fetches,
+)
+from repro.verify.traces import TraceCase, corpus_cases
+
+#: Estimators whose estimates are monotone in the range selectivity.
+#: The EPFIS family is checked with ``apply_correction=False``: the
+#: Equation-1 heuristic deliberately steps down where it disengages
+#: (sigma = phi/3), so the *corrected* estimate is not globally monotone
+#: (see DESIGN.md's erratum discussion).
+MONOTONE_ESTIMATORS: Tuple[Tuple[str, dict], ...] = (
+    ("epfis", {"apply_correction": False}),
+    ("epfis-smooth", {"apply_correction": False}),
+    ("ml", {}),
+    ("sd", {}),
+    ("ot", {}),
+    ("clustered", {}),
+    ("unclustered", {}),
+)
+
+
+@dataclass(frozen=True)
+class CaseVerification:
+    """Everything the harness concluded about one corpus trace."""
+
+    case: str
+    family: str
+    references: int
+    distinct_pages: int
+    differentials: Tuple[DifferentialResult, ...]
+    violations: Tuple[InvariantViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every kernel agreed and no invariant was violated."""
+        return (
+            all(d.ok for d in self.differentials)
+            and not self.violations
+        )
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """The full harness outcome, ready for rendering or asserting."""
+
+    cases: Tuple[CaseVerification, ...]
+    #: Golden drift messages; empty when the fixture matched (or the
+    #: golden stage was skipped / just regenerated).
+    golden_drift: Tuple[str, ...]
+    #: Path the fixture was (re)written to, when ``regen`` was requested.
+    regenerated_path: Optional[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when every case passed and the goldens showed no drift."""
+        return all(c.ok for c in self.cases) and not self.golden_drift
+
+    def failures(self) -> List[str]:
+        """Human-readable description of every failure, for reports."""
+        lines: List[str] = []
+        for case in self.cases:
+            for result in case.differentials:
+                if not result.ok:
+                    lines.append(result.describe())
+            lines.extend(str(v) for v in case.violations)
+        lines.extend(f"golden drift: {d}" for d in self.golden_drift)
+        return lines
+
+
+def _case_invariants(
+    case: TraceCase, kernels: Sequence[str]
+) -> List[InvariantViolation]:
+    """Curve, estimator, and serving invariants for one corpus case."""
+    violations: List[InvariantViolation] = []
+    sizes = case.buffer_sizes()
+    for name in kernels:
+        curve = get_kernel(name).analyze(case.pages)
+        subject = f"{case.name}/{name}"
+        violations += check_curve_monotone(curve, sizes, subject)
+        violations += check_curve_bounds(curve, sizes, subject)
+
+    stats = statistics_for_case(case)
+    t = stats.table_pages
+    probe_buffers = sorted({1, max(1, t // 20), max(1, t // 2), t})
+    for name in GOLDEN_ESTIMATORS:
+        violations += check_batched_consistency(
+            get_estimator(name, stats),
+            probe_buffers,
+            subject=f"{case.name}/{name}",
+        )
+    for name, options in MONOTONE_ESTIMATORS:
+        violations += check_selectivity_monotone(
+            get_estimator(name, stats, **options),
+            probe_buffers,
+            subject=f"{case.name}/{name}",
+        )
+    violations += check_catalog_round_trip(stats, GOLDEN_ESTIMATORS)
+    violations += check_engine_cache_consistency(stats, GOLDEN_ESTIMATORS)
+    return violations
+
+
+def verify_case(
+    case: TraceCase,
+    kernels: Optional[Sequence[str]] = None,
+    invariants: bool = True,
+) -> CaseVerification:
+    """Run the differential and invariant stages for one trace."""
+    names = tuple(kernels) if kernels is not None else available_kernels()
+    oracle = {b: oracle_fetches(case.pages, b) for b in case.buffer_sizes()}
+    return CaseVerification(
+        case=case.name,
+        family=case.family,
+        references=case.references,
+        distinct_pages=case.distinct_pages,
+        differentials=tuple(
+            differential_check(case, names, oracle=oracle)
+        ),
+        violations=tuple(
+            _case_invariants(case, names) if invariants else ()
+        ),
+    )
+
+
+def run_verification(
+    families: Optional[Sequence[str]] = None,
+    names: Optional[Sequence[str]] = None,
+    kernels: Optional[Sequence[str]] = None,
+    invariants: bool = True,
+    golden_path: Union[str, Path, None] = DEFAULT_GOLDEN_PATH,
+    regen: bool = False,
+) -> VerificationReport:
+    """Run the full harness and return its report.
+
+    ``families``/``names`` filter the corpus; ``kernels`` limits the
+    kernel set (default: all registered); ``golden_path=None`` skips the
+    golden stage; ``regen=True`` rewrites the fixture instead of
+    comparing against it.  A filtered run compares only the selected
+    cases against their fixture entries, and refuses to *regenerate*
+    (a partial corpus must never overwrite the complete fixture).
+    """
+    cases = corpus_cases(families=families, names=names)
+    if not cases:
+        raise VerificationError("corpus filter selected no cases")
+    report_cases = tuple(
+        verify_case(case, kernels, invariants=invariants)
+        for case in cases
+    )
+
+    drift: Tuple[str, ...] = ()
+    regenerated: Optional[str] = None
+    if golden_path is not None:
+        filtered = families is not None or names is not None
+        if regen:
+            if filtered:
+                raise VerificationError(
+                    "refusing to regenerate goldens from a filtered "
+                    "corpus; run --regen without family/case filters"
+                )
+            first = write_golden(golden_path)
+            # Byte-stability gate: regenerating twice must render the
+            # identical file, or the snapshot itself is nondeterministic.
+            second = render_golden(golden_snapshot())
+            if first != second:
+                raise VerificationError(
+                    "golden snapshot is not byte-stable across two "
+                    "consecutive renders"
+                )
+            regenerated = str(golden_path)
+        else:
+            expected = load_golden(golden_path)
+            actual = golden_snapshot(cases)
+            if filtered:
+                expected = {
+                    **expected,
+                    "cases": {
+                        k: v
+                        for k, v in expected.get("cases", {}).items()
+                        if k in actual["cases"]
+                    },
+                }
+            drift = tuple(compare_golden(expected, actual))
+    return VerificationReport(
+        cases=report_cases,
+        golden_drift=drift,
+        regenerated_path=regenerated,
+    )

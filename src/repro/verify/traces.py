@@ -1,0 +1,330 @@
+"""Deterministic trace corpus for differential verification.
+
+Every fast path in this library (the pluggable stack-distance kernels, the
+streaming chunked analysis, the serving engine) promises to reproduce what
+a plain LRU buffer pool would do.  The corpus built here is the shared
+workload those promises are checked against: a fixed set of page-reference
+traces spanning the access patterns the paper's workloads exhibit —
+
+``uniform``
+    Independent uniform references; the urn-model regime (Cardenas).
+``zipf``
+    Generalized-Zipf skew (the paper's 80-20 duplicate model); stresses the
+    sampled kernel's post-stratification.
+``clustered``
+    Sequential runs with occasional jumps — index order correlated with
+    page order, the paper's C close to 1 regime.
+``sequential``
+    Repeated full scans and drifting ascending scans; cyclic references are
+    LRU's classic worst case (B < scan length thrashes).
+``loop``
+    Tight and nested loop patterns — adversarial step-shaped fetch curves
+    whose sharp knees catch off-by-one errors in depth accounting.
+
+Each case is generated from an explicit seed with :class:`random.Random`
+only, so the corpus is bit-identical across runs, platforms, and Python
+versions — a precondition for the golden regression fixtures built on it.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.buffer.kernels.sampled import DEFAULT_MIN_PAGES
+from repro.errors import VerificationError
+
+#: Fractions of the distinct-page count making up the evaluation band
+#: (Section 5's 5%..90% grid) on which the sampled kernel documents its
+#: error bound.
+BAND_FRACTIONS: Tuple[float, ...] = tuple(
+    f / 100.0 for f in range(5, 91, 5)
+)
+
+#: The corpus family names, in presentation order.
+FAMILIES: Tuple[str, ...] = (
+    "uniform", "zipf", "clustered", "sequential", "loop",
+)
+
+
+@dataclass(frozen=True)
+class TraceCase:
+    """One named, seeded page-reference trace of the corpus."""
+
+    name: str
+    family: str
+    seed: int
+    pages: Tuple[int, ...]
+    #: Human-readable generator parameters (for reports and goldens).
+    params: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise VerificationError(
+                f"unknown trace family {self.family!r}; known: "
+                f"{', '.join(FAMILIES)}"
+            )
+        if not self.pages:
+            raise VerificationError(
+                f"trace case {self.name!r} has an empty trace"
+            )
+
+    @property
+    def references(self) -> int:
+        """Total page references (the paper's M)."""
+        return len(self.pages)
+
+    @functools.cached_property
+    def distinct_pages(self) -> int:
+        """Distinct pages referenced (the paper's A)."""
+        return len(set(self.pages))
+
+    @property
+    def sampled_is_exact(self) -> bool:
+        """Whether the sampled kernel's small-universe escape hatch makes
+        its analysis of this trace exact (universe within ``min_pages``)."""
+        return self.distinct_pages <= DEFAULT_MIN_PAGES
+
+    def band_sizes(self) -> Tuple[int, ...]:
+        """The evaluation-band buffer sizes (5%..90% of A, 5% steps)."""
+        a = self.distinct_pages
+        return tuple(
+            sorted({max(1, round(f * a)) for f in BAND_FRACTIONS})
+        )
+
+    def buffer_sizes(self) -> Tuple[int, ...]:
+        """Canonical differential grid: tiny pools, the evaluation band,
+        the full universe, and one size beyond it (where every curve must
+        sit on its compulsory-miss floor)."""
+        a = self.distinct_pages
+        sizes = {1, 2, 3, 5, 8, a, a + 7}
+        sizes.update(self.band_sizes())
+        return tuple(sorted(sizes))
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceCase(name={self.name!r}, family={self.family!r}, "
+            f"refs={self.references}, distinct={self.distinct_pages})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Generators (pure functions of their parameters and seed)
+# ----------------------------------------------------------------------
+def uniform_trace(pages: int, refs: int, seed: int) -> List[int]:
+    """Independent uniform references over ``pages`` page numbers."""
+    rng = random.Random(seed)
+    return [rng.randrange(pages) for _ in range(refs)]
+
+
+def zipf_trace(
+    pages: int, refs: int, theta: float, seed: int
+) -> List[int]:
+    """Generalized-Zipf references: rank r drawn with weight r^-theta.
+
+    Page numbers are shuffled so popularity is uncorrelated with page
+    order, matching the paper's duplicate model where hot keys land on
+    arbitrary pages.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** theta for rank in range(pages)]
+    cumulative = list(itertools.accumulate(weights))
+    labels = list(range(pages))
+    rng.shuffle(labels)
+    ranks = rng.choices(range(pages), cum_weights=cumulative, k=refs)
+    return [labels[r] for r in ranks]
+
+
+def clustered_trace(
+    pages: int,
+    refs: int,
+    seed: int,
+    run_min: int = 4,
+    run_max: int = 24,
+    jump_probability: float = 0.15,
+) -> List[int]:
+    """Sequential runs with occasional random jumps (C close to 1)."""
+    rng = random.Random(seed)
+    out: List[int] = []
+    position = 0
+    while len(out) < refs:
+        if rng.random() < jump_probability:
+            position = rng.randrange(pages)
+        run = rng.randint(run_min, run_max)
+        for offset in range(run):
+            out.append((position + offset) % pages)
+        position = (position + run) % pages
+    return out[:refs]
+
+
+def sequential_scan_trace(pages: int, passes: int) -> List[int]:
+    """``passes`` repeated full scans — the cyclic LRU worst case."""
+    return list(range(pages)) * passes
+
+
+def drifting_scan_trace(pages: int, refs: int, seed: int) -> List[int]:
+    """An ascending scan with small backward jitter.
+
+    Models an index scan over a nearly clustered table: mostly forward
+    progress with short back-references to recently left pages.
+    """
+    rng = random.Random(seed)
+    out: List[int] = []
+    position = 0
+    while len(out) < refs:
+        if rng.random() < 0.25 and position:
+            out.append((position - rng.randint(1, 4)) % pages)
+        else:
+            out.append(position % pages)
+            position += 1
+    return out[:refs]
+
+
+def loop_trace(loop_pages: int, repeats: int) -> List[int]:
+    """A tight cyclic loop: F(B) steps sharply at B = loop_pages."""
+    return list(range(loop_pages)) * repeats
+
+
+def nested_loop_trace(
+    blocks: int,
+    block_pages: int,
+    inner_repeats: int,
+    outer_repeats: int,
+) -> List[int]:
+    """Nested loops: inner reuse inside each block, outer reuse across
+    blocks — a two-knee fetch curve."""
+    out: List[int] = []
+    for _ in range(outer_repeats):
+        for block in range(blocks):
+            base = block * block_pages
+            span = list(range(base, base + block_pages))
+            for _ in range(inner_repeats):
+                out.extend(span)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The corpus
+# ----------------------------------------------------------------------
+def _case(
+    name: str,
+    family: str,
+    seed: int,
+    builder: Callable[[], List[int]],
+    **params: object,
+) -> TraceCase:
+    return TraceCase(
+        name=name,
+        family=family,
+        seed=seed,
+        pages=tuple(builder()),
+        params=tuple(sorted(params.items())),
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def verification_corpus() -> Tuple[TraceCase, ...]:
+    """The full differential-verification corpus, built deterministically.
+
+    Small cases (universe within the sampled kernel's ``min_pages``) pin
+    the sampled kernel to *exactness* through its escape hatch; large
+    cases exercise real sampling and are held to the documented band
+    error.  The tuple is cached — corpus construction is pure.
+    """
+    return (
+        _case(
+            "uniform-small", "uniform", 101,
+            lambda: uniform_trace(220, 4_000, 101),
+            pages=220, refs=4_000,
+        ),
+        _case(
+            "uniform-band", "uniform", 102,
+            lambda: uniform_trace(1_600, 24_000, 102),
+            pages=1_600, refs=24_000,
+        ),
+        _case(
+            "zipf-small", "zipf", 103,
+            lambda: zipf_trace(220, 4_000, 0.86, 103),
+            pages=220, refs=4_000, theta=0.86,
+        ),
+        _case(
+            "zipf-band", "zipf", 203,
+            lambda: zipf_trace(1_600, 24_000, 0.86, 203),
+            pages=1_600, refs=24_000, theta=0.86,
+        ),
+        _case(
+            "clustered-small", "clustered", 105,
+            lambda: clustered_trace(220, 4_000, 105),
+            pages=220, refs=4_000,
+        ),
+        _case(
+            "clustered-band", "clustered", 106,
+            lambda: clustered_trace(1_600, 24_000, 106),
+            pages=1_600, refs=24_000,
+        ),
+        _case(
+            "sequential-scan", "sequential", 107,
+            lambda: sequential_scan_trace(240, 8),
+            pages=240, passes=8,
+        ),
+        _case(
+            "sequential-drift", "sequential", 108,
+            lambda: drifting_scan_trace(1_400, 3_500, 108),
+            pages=1_400, refs=3_500,
+        ),
+        _case(
+            "loop-tight", "loop", 109,
+            lambda: loop_trace(180, 18),
+            loop_pages=180, repeats=18,
+        ),
+        _case(
+            "loop-nested", "loop", 110,
+            lambda: nested_loop_trace(6, 40, 3, 5),
+            blocks=6, block_pages=40, inner_repeats=3, outer_repeats=5,
+        ),
+    )
+
+
+def corpus_case(name: str) -> TraceCase:
+    """Look one corpus case up by name."""
+    for case in verification_corpus():
+        if case.name == name:
+            return case
+    known = ", ".join(c.name for c in verification_corpus())
+    raise VerificationError(
+        f"unknown corpus case {name!r}; known: {known}"
+    )
+
+
+def corpus_cases(
+    families: Optional[Sequence[str]] = None,
+    names: Optional[Sequence[str]] = None,
+) -> Tuple[TraceCase, ...]:
+    """The corpus filtered by family and/or case name.
+
+    ``None`` means "no filter"; asking for an unknown family or name is an
+    error (a filter that silently matched nothing would make a CI stage
+    trivially green).
+    """
+    cases = verification_corpus()
+    if families is not None:
+        unknown = sorted(set(families) - set(FAMILIES))
+        if unknown:
+            raise VerificationError(
+                f"unknown trace families {unknown}; known: "
+                f"{', '.join(FAMILIES)}"
+            )
+        cases = tuple(c for c in cases if c.family in families)
+    if names is not None:
+        by_name: Dict[str, TraceCase] = {c.name: c for c in cases}
+        unknown = sorted(set(names) - set(by_name))
+        if unknown:
+            raise VerificationError(
+                f"unknown corpus cases {unknown}; known: "
+                f"{', '.join(sorted(by_name))}"
+            )
+        cases = tuple(c for c in cases if c.name in set(names))
+    return cases

@@ -1,17 +1,43 @@
 """Shared fixtures: small, deterministic datasets reused across test modules.
 
 Session-scoped where construction is non-trivial; all randomness is seeded.
+
+Hypothesis runs under pinned profiles so property tests are deterministic
+everywhere: ``derandomize=True`` fixes the example stream (no flaky CI
+reruns, no shrink-database coupling between machines) and ``deadline=None``
+keeps slow-but-correct examples from failing on loaded CI runners.  Select
+a profile with ``HYPOTHESIS_PROFILE`` (default ``repro``; ``ci`` widens the
+example budget for the scheduled exhaustive runs).
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
 from repro.storage.index import Index
 from repro.storage.table import Table
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    max_examples=200,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture(scope="session")

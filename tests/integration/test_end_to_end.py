@@ -18,6 +18,7 @@ from repro.workload.predicates import HashSamplePredicate
 from repro.workload.scans import generate_scan_mix
 
 
+@pytest.mark.slow
 class TestEstimateVsGroundTruth:
     """EPFIS must track exact LRU fetch counts on real generated data."""
 

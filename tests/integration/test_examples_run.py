@@ -13,6 +13,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 #: script name -> fragment its output must contain

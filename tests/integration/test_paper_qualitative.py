@@ -16,6 +16,8 @@ from repro.eval.experiment import run_error_behavior
 from repro.eval.figures import max_error_summary, paper_estimators
 from repro.workload.scans import generate_scan_mix
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def figure_results():

@@ -1,0 +1,138 @@
+"""Integration tests: the full differential verification harness.
+
+The fast smoke stage (default run) covers one small case per exactness
+regime plus the golden tripwire; the exhaustive full-corpus run — the
+acceptance gate every later optimisation must pass — is marked ``slow``
+and runs in CI's dedicated verify stage (and via ``repro verify``).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import VerificationError
+from repro.verify import (
+    DEFAULT_GOLDEN_PATH,
+    run_verification,
+    verify_case,
+)
+from repro.verify.traces import corpus_case
+
+
+class TestSmoke:
+    def test_small_case_verifies_with_invariants(self):
+        result = verify_case(corpus_case("loop-nested"))
+        assert result.ok
+        assert result.violations == ()
+        # All kernels held exact on a sub-min_pages universe.
+        assert all(d.held_exact and d.ok for d in result.differentials)
+
+    def test_sampled_band_case_verifies(self):
+        result = verify_case(
+            corpus_case("sequential-drift"), invariants=False
+        )
+        sampled = [
+            d for d in result.differentials if d.kernel == "sampled"
+        ][0]
+        assert not sampled.held_exact
+        assert 0.0 < sampled.max_band_error <= sampled.error_bound
+        assert result.ok
+
+    def test_filtered_run_compares_golden_subset(self):
+        report = run_verification(names=["loop-tight"])
+        assert report.ok
+        assert report.golden_drift == ()
+
+    def test_empty_filter_product_is_rejected(self):
+        with pytest.raises(VerificationError):
+            run_verification(
+                families=["loop"], names=["uniform-small"],
+                golden_path=None,
+            )
+
+    def test_filtered_regen_is_refused(self, tmp_path):
+        with pytest.raises(VerificationError):
+            run_verification(
+                families=["loop"],
+                golden_path=tmp_path / "golden.json",
+                regen=True,
+            )
+
+
+@pytest.mark.slow
+class TestFullCorpus:
+    def test_full_harness_passes_and_goldens_are_stable(self, tmp_path):
+        """The acceptance gate: every exact kernel and the streaming path
+        match the LRU oracle exactly on the whole corpus, sampled stays
+        within its band, no invariant is violated, and the committed
+        fixture matches a byte-stable regeneration."""
+        report = run_verification()
+        assert report.ok, "\n".join(report.failures())
+        for case in report.cases:
+            for diff in case.differentials:
+                assert diff.streaming_consistent, diff.describe()
+                if diff.held_exact:
+                    assert diff.mismatches == (), diff.describe()
+                else:
+                    assert diff.max_band_error <= diff.error_bound, (
+                        diff.describe()
+                    )
+
+        # Two consecutive regenerations into a scratch path must be
+        # byte-identical to each other *and* to the committed fixture.
+        scratch = tmp_path / "golden.json"
+        regen = run_verification(
+            golden_path=scratch, regen=True, invariants=False,
+            kernels=["baseline"],
+        )
+        assert regen.regenerated_path == str(scratch)
+        committed = DEFAULT_GOLDEN_PATH.read_text(encoding="utf-8")
+        assert scratch.read_text(encoding="utf-8") == committed
+
+
+@pytest.mark.slow
+class TestVerifyCLI:
+    def test_cli_full_run_exits_zero(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "Differential verification" in out
+        assert "goldens: no drift" in out
+        assert "MISMATCH" not in out
+
+    def test_cli_regen_writes_fixture(self, tmp_path, capsys):
+        path = tmp_path / "golden.json"
+        assert main(["verify", "--regen", "--golden", str(path),
+                     "--no-invariants", "--kernels", "baseline"]) == 0
+        assert "regenerated" in capsys.readouterr().out
+        assert path.exists()
+
+
+class TestVerifyCLIFast:
+    def test_cli_filtered_run(self, capsys):
+        assert main(
+            ["verify", "--cases", "loop-tight", "--no-invariants"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "loop-tight" in out
+        assert "invariants: skipped" in out
+
+    def test_cli_drift_is_reported_and_fails(self, tmp_path, capsys):
+        # A fixture with a tampered entry must fail the comparison.
+        from repro.verify import golden_snapshot, render_golden
+        from repro.verify.traces import corpus_cases
+
+        payload = golden_snapshot(corpus_cases(names=["loop-tight"]))
+        payload["cases"]["loop-tight"]["fetch_curve"][0] += 1
+        path = tmp_path / "golden.json"
+        path.write_text(render_golden(payload), encoding="utf-8")
+        code = main(
+            ["verify", "--cases", "loop-tight", "--no-invariants",
+             "--kernels", "baseline", "--golden", str(path)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "drift" in captured.out
+        assert "verification failed" in captured.err
+
+    def test_cli_unknown_family_is_clean_error(self, capsys):
+        assert main(["verify", "--families", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,5 +1,6 @@
 """Unit tests for the command-line interface."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -34,6 +35,12 @@ class TestParser:
             )
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "--estimators", "nope"])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--kernel", "nope"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--kernels", "nope"])
 
 
 class TestCommands:
@@ -191,3 +198,38 @@ class TestExperimentSpecPaths:
         )
         assert code == 1
         assert "does not exist" in capsys.readouterr().err
+
+    def test_malformed_spec_json_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text('{"dataset": [unterminated', encoding="utf-8")
+        assert main(["experiment", "--spec", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "invalid experiment-spec JSON" in err
+
+    def test_spec_with_unknown_estimator_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        spec = ExperimentSpec.load(EXAMPLES / "experiment_spec.json")
+        payload = spec.to_dict()
+        payload["estimators"] = ["epfis", "nope"]
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        assert main(["experiment", "--spec", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown estimator" in err and "nope" in err
+
+    def test_spec_with_unknown_kernel_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        spec = ExperimentSpec.load(EXAMPLES / "experiment_spec.json")
+        payload = spec.to_dict()
+        payload["kernel"] = "warp-drive"
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        assert main(["experiment", "--spec", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown kernel" in err and "warp-drive" in err

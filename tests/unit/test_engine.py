@@ -157,3 +157,36 @@ class TestMetrics:
         engine.estimate(name, "dc", ScanSelectivity(0.1), 10)
         engine.reset_metrics()
         assert engine.metrics() == {}
+
+    def test_counters_accumulate_across_repeated_calls(
+        self, engine, catalog
+    ):
+        """Per-estimator tallies are independent and keep accumulating:
+        the bound-estimator cache must not swallow accounting."""
+        name = next(iter(catalog))
+        for _ in range(7):
+            engine.estimate(name, "epfis", ScanSelectivity(0.3), 25)
+        for _ in range(3):
+            engine.estimate_many(
+                name, "ml", [(ScanSelectivity(0.1), 10)] * 5
+            )
+        metrics = engine.metrics()
+        assert set(metrics) == {"epfis", "ml"}
+        assert metrics["epfis"]["calls"] == 7
+        assert metrics["epfis"]["estimates"] == 7
+        assert metrics["ml"]["calls"] == 3
+        assert metrics["ml"]["estimates"] == 15
+        for per in metrics.values():
+            assert per["seconds"] >= 0.0
+            assert per["mean_call_us"] >= 0.0
+
+    def test_grid_counts_every_cell(self, engine, catalog):
+        name = next(iter(catalog))
+        engine.estimate_grid(
+            name, "epfis",
+            [ScanSelectivity(0.1), ScanSelectivity(0.5)],
+            [5, 10, 20],
+        )
+        metrics = engine.metrics()
+        assert metrics["epfis"]["calls"] == 1
+        assert metrics["epfis"]["estimates"] == 6

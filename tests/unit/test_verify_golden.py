@@ -1,0 +1,133 @@
+"""Unit tests for golden snapshot build / compare / round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.golden import (
+    DEFAULT_GOLDEN_PATH,
+    GOLDEN_ESTIMATORS,
+    compare_golden,
+    golden_snapshot,
+    load_golden,
+    render_golden,
+    statistics_for_case,
+    write_golden,
+)
+from repro.verify.traces import corpus_case, corpus_cases
+
+SUBSET = corpus_cases(names=["loop-tight", "loop-nested"])
+
+
+class TestSnapshot:
+    def test_snapshot_contains_every_requested_case(self):
+        payload = golden_snapshot(SUBSET)
+        assert set(payload["cases"]) == {"loop-tight", "loop-nested"}
+        entry = payload["cases"]["loop-tight"]
+        assert entry["references"] == 3240
+        assert len(entry["fetch_curve"]) == len(entry["buffer_sizes"])
+        assert set(entry["estimators"]) == set(GOLDEN_ESTIMATORS)
+
+    def test_rendering_is_byte_stable(self):
+        first = render_golden(golden_snapshot(SUBSET))
+        second = render_golden(golden_snapshot(SUBSET))
+        assert first == second
+
+    def test_statistics_for_case_are_self_consistent(self):
+        case = corpus_case("loop-tight")
+        stats = statistics_for_case(case)
+        assert stats.table_pages == case.distinct_pages
+        assert stats.table_records == case.references
+        assert stats.index_name == case.name
+
+
+class TestRoundTrip:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "golden.json"
+        text = write_golden(path, SUBSET)
+        assert path.read_text(encoding="utf-8") == text
+        assert compare_golden(load_golden(path),
+                              golden_snapshot(SUBSET)) == []
+
+    def test_regen_twice_is_byte_identical(self, tmp_path):
+        path = tmp_path / "golden.json"
+        first = write_golden(path, SUBSET)
+        second = write_golden(path, SUBSET)
+        assert first == second
+
+    def test_missing_fixture_is_clean_error(self, tmp_path):
+        with pytest.raises(VerificationError):
+            load_golden(tmp_path / "absent.json")
+
+    def test_malformed_fixture_is_clean_error(self, tmp_path):
+        path = tmp_path / "golden.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(VerificationError):
+            load_golden(path)
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "golden.json"
+        path.write_text(
+            json.dumps({"schema_version": 999, "cases": {}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(VerificationError):
+            load_golden(path)
+
+
+class TestCompare:
+    def test_identical_payloads_have_no_drift(self):
+        payload = golden_snapshot(SUBSET)
+        assert compare_golden(payload, payload) == []
+
+    def test_curve_drift_detected(self):
+        expected = golden_snapshot(SUBSET)
+        actual = json.loads(json.dumps(expected))
+        actual["cases"]["loop-tight"]["fetch_curve"][0] += 1
+        drift = compare_golden(expected, actual)
+        assert len(drift) == 1
+        assert "fetch_curve" in drift[0]
+
+    def test_estimator_drift_detected(self):
+        expected = golden_snapshot(SUBSET)
+        actual = json.loads(json.dumps(expected))
+        actual["cases"]["loop-nested"]["estimators"]["epfis"][0] += 0.5
+        drift = compare_golden(expected, actual)
+        assert drift == [
+            "case 'loop-nested': estimator 'epfis' outputs drifted"
+        ]
+
+    def test_missing_and_extra_cases_detected(self):
+        expected = golden_snapshot(SUBSET)
+        actual = json.loads(json.dumps(expected))
+        del actual["cases"]["loop-tight"]
+        drift = compare_golden(expected, actual)
+        assert any("missing from current run" in d for d in drift)
+        drift = compare_golden(actual, expected)
+        assert any("not present in the fixture" in d for d in drift)
+
+
+class TestCommittedFixture:
+    def test_committed_fixture_loads_and_covers_full_corpus(self):
+        payload = load_golden(DEFAULT_GOLDEN_PATH)
+        assert set(payload["cases"]) == {
+            c.name for c in corpus_cases()
+        }
+
+    def test_committed_fixture_matches_current_code_on_subset(self):
+        """A fast drift gate: two cases recomputed against the fixture.
+
+        The full-corpus gate runs in the integration suite; this keeps a
+        regression tripwire in the default (fast) run.
+        """
+        expected = load_golden(DEFAULT_GOLDEN_PATH)
+        actual = golden_snapshot(SUBSET)
+        trimmed = {
+            **expected,
+            "cases": {
+                k: v for k, v in expected["cases"].items()
+                if k in actual["cases"]
+            },
+        }
+        assert compare_golden(trimmed, actual) == []

@@ -1,0 +1,139 @@
+"""Unit tests for the metamorphic invariant checkers.
+
+Each checker is exercised both ways: it must stay silent on a conforming
+subject and it must *detect* a deliberately broken one — a checker that
+can't fail is not a check.
+"""
+
+from typing import Iterable, List
+
+from repro.estimators.base import PageFetchEstimator
+from repro.estimators.registry import get_estimator
+from repro.verify.golden import GOLDEN_ESTIMATORS, statistics_for_case
+from repro.verify.invariants import (
+    check_batched_consistency,
+    check_catalog_round_trip,
+    check_curve_bounds,
+    check_curve_monotone,
+    check_engine_cache_consistency,
+    check_selectivity_monotone,
+)
+from repro.verify.traces import corpus_case
+
+
+class _FakeCurve:
+    """A curve stub returning scripted fetch counts."""
+
+    accesses = 100
+    distinct_pages = 10
+
+    def __init__(self, table):
+        self._table = table
+
+    def fetches(self, buffer_pages):
+        return self._table[buffer_pages]
+
+
+class _BrokenBatchEstimator(PageFetchEstimator):
+    """Scalar path fine; batched path silently off by one."""
+
+    name = "broken"
+
+    def estimate(self, selectivity, buffer_pages):
+        return float(buffer_pages) * selectivity.range_selectivity
+
+    def estimate_many(self, pairs: Iterable) -> List[float]:
+        return [self.estimate(sel, b) + 1.0 for sel, b in pairs]
+
+
+class _ShrinkingEstimator(PageFetchEstimator):
+    """Estimates *decrease* with selectivity — unphysical by design."""
+
+    name = "shrinking"
+
+    def estimate(self, selectivity, buffer_pages):
+        return 100.0 - selectivity.range_selectivity
+
+
+class TestCurveCheckers:
+    def test_monotone_curve_passes(self):
+        curve = _FakeCurve({1: 90, 2: 80, 3: 80, 4: 10})
+        assert check_curve_monotone(curve, [1, 2, 3, 4]) == []
+
+    def test_non_monotone_curve_detected(self):
+        curve = _FakeCurve({1: 80, 2: 90})
+        violations = check_curve_monotone(curve, [2, 1], subject="s")
+        assert len(violations) == 1
+        assert violations[0].invariant == "curve-monotone"
+        assert "F(2)=90" in violations[0].message
+
+    def test_bounds_pass_inside_envelope(self):
+        curve = _FakeCurve({1: 100, 2: 10})
+        assert check_curve_bounds(curve, [1, 2]) == []
+
+    def test_bounds_detect_escape(self):
+        curve = _FakeCurve({1: 101, 2: 9})
+        violations = check_curve_bounds(curve, [1, 2])
+        assert len(violations) == 2
+        assert all(v.invariant == "curve-bounds" for v in violations)
+
+    def test_real_curves_satisfy_both(self):
+        case = corpus_case("zipf-small")
+        from repro.buffer.kernels import get_kernel
+
+        for kernel in ("baseline", "sampled"):
+            curve = get_kernel(kernel).analyze(case.pages)
+            sizes = case.buffer_sizes()
+            assert check_curve_monotone(curve, sizes) == []
+            assert check_curve_bounds(curve, sizes) == []
+
+
+class TestEstimatorCheckers:
+    def test_batched_consistency_on_builtins(self):
+        stats = statistics_for_case(corpus_case("clustered-small"))
+        for name in GOLDEN_ESTIMATORS:
+            assert check_batched_consistency(
+                get_estimator(name, stats), [1, 5, 40]
+            ) == []
+
+    def test_batched_divergence_detected(self):
+        violations = check_batched_consistency(
+            _BrokenBatchEstimator(), [1, 2], subject="broken"
+        )
+        kinds = {v.invariant for v in violations}
+        assert kinds == {"batched-consistency"}
+        # Both estimate_many and estimate_grid (built on it) diverge.
+        assert len(violations) == 2
+
+    def test_selectivity_monotone_on_uncorrected_epfis(self):
+        stats = statistics_for_case(corpus_case("uniform-small"))
+        estimator = get_estimator(
+            "epfis", stats, apply_correction=False
+        )
+        assert check_selectivity_monotone(estimator, [1, 20, 100]) == []
+
+    def test_selectivity_decrease_detected(self):
+        violations = check_selectivity_monotone(
+            _ShrinkingEstimator(), [1], subject="shrinking"
+        )
+        assert violations
+        assert violations[0].invariant == "selectivity-monotone"
+        assert "fell" in violations[0].message
+
+
+class TestServingCheckers:
+    def test_catalog_round_trip_is_stable(self):
+        stats = statistics_for_case(corpus_case("loop-nested"))
+        assert check_catalog_round_trip(stats, GOLDEN_ESTIMATORS) == []
+
+    def test_engine_cache_is_coherent(self):
+        stats = statistics_for_case(corpus_case("loop-nested"))
+        assert check_engine_cache_consistency(
+            stats, GOLDEN_ESTIMATORS
+        ) == []
+
+    def test_violation_renders_with_context(self):
+        from repro.verify.invariants import InvariantViolation
+
+        text = str(InvariantViolation("engine-cache", "idx/epfis", "boom"))
+        assert text == "[engine-cache] idx/epfis: boom"

@@ -1,0 +1,104 @@
+"""Unit tests for the LRU-oracle differential checker."""
+
+import pytest
+
+from repro.buffer.lru import LRUBufferPool
+from repro.errors import VerificationError
+from repro.verify.oracle import (
+    DifferentialResult,
+    Mismatch,
+    differential_check,
+    oracle_curve,
+    oracle_fetches,
+)
+from repro.verify.traces import TraceCase, corpus_case
+
+
+class TestOracle:
+    def test_oracle_matches_hand_computed_trace(self):
+        # [0, 1, 0, 2, 0]: with B=2, the second 0 hits, then 2 evicts 1,
+        # and the final 0 still hits (0 was refreshed).
+        trace = [0, 1, 0, 2, 0]
+        assert oracle_fetches(trace, 2) == 3
+        assert oracle_fetches(trace, 1) == 5
+        assert oracle_fetches(trace, 3) == 3
+
+    def test_oracle_equals_simulator(self):
+        case = corpus_case("zipf-small")
+        for b in (1, 7, 50):
+            assert oracle_fetches(case.pages, b) == LRUBufferPool(b).run(
+                case.pages
+            )
+
+    def test_oracle_curve_shape(self):
+        curve = oracle_curve([0, 1, 0, 2, 0], [1, 2, 3])
+        assert curve == [(1, 5), (2, 3), (3, 3)]
+
+    def test_bad_buffer_size_rejected(self):
+        with pytest.raises(VerificationError):
+            oracle_fetches([0, 1], 0)
+
+
+class TestDifferentialCheck:
+    def test_small_case_all_kernels_agree(self):
+        results = differential_check(corpus_case("loop-nested"))
+        assert results
+        assert all(r.ok for r in results)
+        # Every kernel is held exact on a sub-min_pages universe.
+        assert all(r.held_exact for r in results)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(VerificationError):
+            differential_check(corpus_case("loop-tight"), ["nope"])
+
+    def test_incomplete_precomputed_oracle_rejected(self):
+        case = corpus_case("loop-tight")
+        with pytest.raises(VerificationError):
+            differential_check(case, ["baseline"], oracle={1: 3240})
+
+    def test_mismatch_fails_the_result(self):
+        case = corpus_case("loop-tight")
+        sizes = case.buffer_sizes()
+        # Corrupt the oracle: an exact kernel can no longer "agree".
+        corrupt = {b: oracle_fetches(case.pages, b) for b in sizes}
+        corrupt[sizes[0]] += 1
+        results = differential_check(case, ["baseline"], oracle=corrupt)
+        assert not results[0].ok
+        assert results[0].mismatches
+        assert "mismatch" in results[0].describe()
+
+    def test_result_describe_mentions_band_for_approximate(self):
+        case = corpus_case("uniform-band")
+        assert not case.sampled_is_exact
+        (result,) = differential_check(case, ["sampled"])
+        assert result.ok
+        assert not result.held_exact
+        assert "band error" in result.describe()
+
+    def test_streaming_divergence_fails(self):
+        result = DifferentialResult(
+            case="x",
+            kernel="baseline",
+            held_exact=True,
+            checked_sizes=(1,),
+            mismatches=(),
+            max_band_error=0.0,
+            error_bound=0.0,
+            streaming_consistent=False,
+        )
+        assert not result.ok
+        assert "DIVERGED" in result.describe()
+        assert str(Mismatch(4, 10, 11)) == "B=4: expected 10, got 11"
+
+
+class TestLoopAdversary:
+    def test_loop_curve_steps_exactly_at_loop_size(self):
+        """The classic LRU cliff: one page less than the loop thrashes."""
+        case = TraceCase(
+            name="loop-tight", family="loop", seed=0,
+            pages=tuple([*range(10)] * 5),
+        )
+        assert oracle_fetches(case.pages, 9) == 50   # every ref misses
+        assert oracle_fetches(case.pages, 10) == 10  # only cold misses
+        results = differential_check(case)
+        assert all(r.ok for r in results)

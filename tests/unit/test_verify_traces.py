@@ -1,0 +1,100 @@
+"""Unit tests for the verification trace corpus."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.traces import (
+    FAMILIES,
+    corpus_case,
+    corpus_cases,
+    drifting_scan_trace,
+    loop_trace,
+    nested_loop_trace,
+    sequential_scan_trace,
+    uniform_trace,
+    verification_corpus,
+    zipf_trace,
+)
+
+
+class TestGenerators:
+    def test_uniform_is_deterministic(self):
+        assert uniform_trace(50, 500, 7) == uniform_trace(50, 500, 7)
+        assert uniform_trace(50, 500, 7) != uniform_trace(50, 500, 8)
+
+    def test_zipf_skews_toward_hot_pages(self):
+        trace = zipf_trace(100, 10_000, 1.0, 3)
+        counts = sorted(
+            (trace.count(p) for p in set(trace)), reverse=True
+        )
+        # The hottest page must dominate the median page heavily.
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+    def test_sequential_scan_is_pure_cycle(self):
+        trace = sequential_scan_trace(10, 3)
+        assert trace == list(range(10)) * 3
+
+    def test_loop_traces_use_exactly_their_universe(self):
+        assert set(loop_trace(25, 4)) == set(range(25))
+        nested = nested_loop_trace(3, 10, 2, 2)
+        assert set(nested) == set(range(30))
+
+    def test_drifting_scan_stays_in_universe(self):
+        trace = drifting_scan_trace(40, 400, 11)
+        assert all(0 <= p < 40 for p in trace)
+        assert len(trace) == 400
+
+
+class TestCorpus:
+    def test_corpus_is_deterministic(self):
+        first = verification_corpus()
+        verification_corpus.cache_clear()
+        second = verification_corpus()
+        assert [c.name for c in first] == [c.name for c in second]
+        assert all(a.pages == b.pages for a, b in zip(first, second))
+
+    def test_every_family_is_represented(self):
+        present = {c.family for c in verification_corpus()}
+        assert present == set(FAMILIES)
+
+    def test_names_are_unique(self):
+        names = [c.name for c in verification_corpus()]
+        assert len(names) == len(set(names))
+
+    def test_small_cases_pin_sampled_exactness(self):
+        cases = verification_corpus()
+        assert any(c.sampled_is_exact for c in cases)
+        assert any(not c.sampled_is_exact for c in cases)
+
+    def test_buffer_sizes_cover_floor_and_beyond_universe(self):
+        for case in verification_corpus():
+            sizes = case.buffer_sizes()
+            assert sizes[0] == 1
+            assert sizes[-1] == case.distinct_pages + 7
+            assert list(sizes) == sorted(set(sizes))
+
+    def test_band_sizes_stay_within_universe(self):
+        for case in verification_corpus():
+            band = case.band_sizes()
+            assert all(1 <= b <= case.distinct_pages for b in band)
+
+
+class TestFilters:
+    def test_filter_by_family(self):
+        loops = corpus_cases(families=["loop"])
+        assert loops and all(c.family == "loop" for c in loops)
+
+    def test_filter_by_name(self):
+        assert corpus_case("loop-tight").family == "loop"
+        only = corpus_cases(names=["loop-tight"])
+        assert [c.name for c in only] == ["loop-tight"]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(VerificationError):
+            corpus_cases(families=["nope"])
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(VerificationError):
+            corpus_cases(names=["nope"])
+        with pytest.raises(VerificationError):
+            corpus_case("nope")
