@@ -52,8 +52,23 @@ from repro.datagen import (
     delete_records,
     zipf_counts,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    CheckpointError,
+    FaultInjectionError,
+    ReproError,
+    ResilienceError,
+)
 from repro.engine import EstimationEngine
+from repro.resilience import (
+    BreakerPolicy,
+    Checkpointer,
+    CheckpointPolicy,
+    CircuitBreaker,
+    FaultInjector,
+    FaultRule,
+    ResilientCatalogStore,
+    RetryPolicy,
+)
 from repro.estimators import (
     CardenasEstimator,
     DCEstimator,
@@ -113,10 +128,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BTreeIndex",
+    "BreakerPolicy",
     "CardenasEstimator",
     "CompositeIndex",
     "BufferGrid",
     "CatalogStore",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "Checkpointer",
+    "CircuitBreaker",
     "ClockBufferPool",
     "DCEstimator",
     "Dataset",
@@ -125,6 +145,9 @@ __all__ = [
     "EstimationEngine",
     "ExperimentSpec",
     "FIFOBufferPool",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultRule",
     "FenwickTree",
     "FetchCurve",
     "GWLDatabase",
@@ -148,6 +171,9 @@ __all__ = [
     "RID",
     "ReferenceTrace",
     "ReproError",
+    "ResilienceError",
+    "ResilientCatalogStore",
+    "RetryPolicy",
     "SDEstimator",
     "ScanKind",
     "ScanSelectivity",

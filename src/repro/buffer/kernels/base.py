@@ -19,9 +19,10 @@ error bound (see :mod:`repro.buffer.kernels.sampled`).
 from __future__ import annotations
 
 import abc
+import pickle
 from typing import ClassVar, Iterable
 
-from repro.errors import KernelError
+from repro.errors import CheckpointError, KernelError
 
 
 class KernelStream(abc.ABC):
@@ -30,6 +31,12 @@ class KernelStream(abc.ABC):
     Feed page references in any number of chunks, then call :meth:`finish`
     exactly once to obtain the fetch curve.  Streams are single-use: after
     ``finish()`` both methods raise :class:`~repro.errors.KernelError`.
+
+    Streams are also *snapshotable*: :meth:`snapshot_state` serializes the
+    complete mid-pass state so a long statistics scan can be checkpointed
+    and later resumed with :meth:`from_snapshot` — feeding the restored
+    stream the remaining references produces output identical to an
+    uninterrupted pass (see :mod:`repro.resilience.checkpoint`).
     """
 
     _finished: bool = False
@@ -51,6 +58,35 @@ class KernelStream(abc.ABC):
             raise KernelError("kernel stream already finished")
         self._finished = True
         return self._result()
+
+    def snapshot_state(self) -> bytes:
+        """The stream's complete mid-pass state, serialized.
+
+        Every built-in stream keeps only plain Python state (dicts, lists,
+        integers), so the default pickle round-trip restores it exactly;
+        a kernel holding unpicklable state must override this pair.
+        Snapshots are internal wire data for checkpoints — not a stable
+        cross-version format.
+        """
+        if self._finished:
+            raise KernelError("cannot snapshot a finished kernel stream")
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_snapshot(blob: bytes) -> "KernelStream":
+        """Rebuild a stream from :meth:`snapshot_state` output."""
+        try:
+            stream = pickle.loads(blob)
+        except Exception as exc:
+            raise CheckpointError(
+                f"kernel stream snapshot failed to deserialize: {exc}"
+            ) from exc
+        if not isinstance(stream, KernelStream):
+            raise CheckpointError(
+                f"snapshot did not contain a kernel stream, got "
+                f"{type(stream).__name__}"
+            )
+        return stream
 
     @abc.abstractmethod
     def _consume(self, pages: Iterable[int]) -> None:

@@ -31,6 +31,34 @@ from repro.fit.segments import PiecewiseLinear
 SCHEMA_VERSION = 1
 
 
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + replace).
+
+    The text is written to a temporary file in the destination directory,
+    fsynced, and moved into place with ``os.replace`` — readers see either
+    the old complete file or the new complete file, never a truncated
+    hybrid.  Shared by catalog saves and LRU-Fit checkpoints.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".",
+        prefix=path.name + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 @dataclass(frozen=True)
 class IndexStatistics:
     """Everything stored in the catalog about one index.
@@ -247,24 +275,7 @@ class SystemCatalog:
         instances polling mtime) see either the old complete file or the
         new complete file, never a truncated hybrid.
         """
-        path = Path(path)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent) or ".",
-            prefix=path.name + ".",
-            suffix=".tmp",
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(self.to_json())
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SystemCatalog":

@@ -7,40 +7,84 @@ pass rewrites periodically (atomically — see
 processes keep reading it.  :class:`CatalogStore` is the reader's side of
 that contract:
 
-* **mtime-based reload** — each access stats the file and reparses only
-  when the ``(mtime_ns, size, inode)`` stamp changed, so steady-state
-  reads cost one ``stat(2)``, not a JSON parse;
+* **content-stamped reload** — each access reads the file once and keys
+  the parsed snapshot by ``(size, sha256)`` of the bytes actually read.
+  An earlier revision stamped ``(mtime_ns, size, inode)`` from a separate
+  ``stat(2)``; that was cheaper but had two real bugs: a same-size
+  in-place rewrite landing within mtime granularity was invisible (stale
+  statistics served forever), and the stat/parse pair could straddle a
+  concurrent rewrite (TOCTOU).  Stamping the content itself closes both
+  — the stamp and the parse always describe the same bytes.  Catalog
+  files are small (KBs), so the read-per-access cost is negligible next
+  to a JSON parse, and the parse still only happens on change;
 * **bounded snapshot cache** — recently parsed snapshots are kept in a
   small LRU keyed by stamp, so a writer flapping between generations (or
   tests restoring a previous file) does not force a reparse per flip;
 * **generation counter** — bumps whenever the served snapshot changes,
   letting downstream caches (the estimation engine's bound estimators)
   invalidate exactly when the statistics they were built from changed.
+
+All filesystem access goes through a :class:`CatalogIO` object — the
+seam the resilience layer's fault injector wraps (see
+:mod:`repro.resilience.faults`) and the hook a test can replace without
+monkeypatching globals.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
 
-from repro.catalog.catalog import IndexStatistics, SystemCatalog
+from repro.catalog.catalog import (
+    IndexStatistics,
+    SystemCatalog,
+    atomic_write_text,
+)
 from repro.errors import CatalogError
 
 #: Parsed snapshots kept per store; catalogs are small, flapping is rare.
 DEFAULT_SNAPSHOT_CACHE = 4
 
-_Stamp = Tuple[int, int, int]
+#: ``(size, sha256 hexdigest)`` of the file content.
+_Stamp = Tuple[int, str]
+
+
+class CatalogIO:
+    """Real filesystem access used by :class:`CatalogStore`.
+
+    Deliberately tiny: one read primitive, one atomic-write primitive,
+    one rename primitive.  The resilience layer's
+    :class:`~repro.resilience.faults.FaultInjector` subclasses this to
+    inject deterministic failures on exactly these operations.
+    """
+
+    def read_bytes(self, path: Union[str, Path]) -> bytes:
+        """The complete current content of ``path``."""
+        return Path(path).read_bytes()
+
+    def save_text(self, path: Union[str, Path], text: str) -> None:
+        """Atomically replace ``path`` with ``text``."""
+        atomic_write_text(path, text)
+
+    def replace(
+        self, src: Union[str, Path], dst: Union[str, Path]
+    ) -> None:
+        """Atomic rename (used to quarantine corrupt files)."""
+        os.replace(src, dst)
 
 
 class CatalogStore:
-    """Serve :class:`SystemCatalog` snapshots from a file, reloading on change."""
+    """Serve :class:`SystemCatalog` snapshots from a file, reloading on
+    change."""
 
     def __init__(
         self,
         path: Union[str, Path],
         cache_size: int = DEFAULT_SNAPSHOT_CACHE,
+        io: Optional[CatalogIO] = None,
     ) -> None:
         if cache_size < 1:
             raise CatalogError(
@@ -48,6 +92,7 @@ class CatalogStore:
             )
         self._path = Path(path)
         self._cache_size = cache_size
+        self._io = io or CatalogIO()
         self._snapshots: "OrderedDict[_Stamp, SystemCatalog]" = OrderedDict()
         self._current_stamp: Optional[_Stamp] = None
         self._generation = 0
@@ -58,27 +103,46 @@ class CatalogStore:
         return self._path
 
     @property
+    def io(self) -> CatalogIO:
+        """The I/O object all file access goes through."""
+        return self._io
+
+    @property
     def generation(self) -> int:
         """Increments every time the served snapshot changes."""
         return self._generation
 
-    def _stamp(self) -> _Stamp:
+    def _read(self) -> Tuple[_Stamp, bytes]:
+        """One read of the catalog file plus its content stamp.
+
+        Raises :class:`~repro.errors.CatalogError` when the file does
+        not exist; any other :class:`OSError` (the transient class)
+        propagates for the caller — or a resilient subclass — to handle.
+        """
         try:
-            info = os.stat(self._path)
+            data = self._io.read_bytes(self._path)
         except FileNotFoundError:
             raise CatalogError(
                 f"catalog file {str(self._path)!r} does not exist; run "
                 f"statistics collection (e.g. `repro fit --catalog ...`) "
                 f"first"
             ) from None
-        return (info.st_mtime_ns, info.st_size, info.st_ino)
+        return (len(data), hashlib.sha256(data).hexdigest()), data
 
-    def catalog(self) -> SystemCatalog:
-        """The current snapshot, reloaded iff the file changed on disk."""
-        stamp = self._stamp()
+    def _parse_and_cache(
+        self, stamp: _Stamp, data: bytes
+    ) -> SystemCatalog:
+        """Serve the snapshot for ``(stamp, data)``, parsing on miss."""
         snapshot = self._snapshots.get(stamp)
         if snapshot is None:
-            snapshot = SystemCatalog.load(self._path)
+            try:
+                text = data.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise CatalogError(
+                    f"catalog file {str(self._path)!r} is not valid "
+                    f"UTF-8: {exc}"
+                ) from exc
+            snapshot = SystemCatalog.from_json(text)
             self._snapshots[stamp] = snapshot
             while len(self._snapshots) > self._cache_size:
                 self._snapshots.popitem(last=False)
@@ -88,6 +152,11 @@ class CatalogStore:
             self._current_stamp = stamp
             self._generation += 1
         return snapshot
+
+    def catalog(self) -> SystemCatalog:
+        """The current snapshot, reloaded iff the file changed on disk."""
+        stamp, data = self._read()
+        return self._parse_and_cache(stamp, data)
 
     def get(self, index_name: str) -> IndexStatistics:
         """Statistics for one index from the current snapshot."""
@@ -111,10 +180,12 @@ class CatalogStore:
     def save(self, catalog: SystemCatalog) -> None:
         """Atomically write ``catalog`` to this store's file.
 
-        The next :meth:`catalog` call picks the new file up through the
-        normal stamp check (and bumps :attr:`generation` accordingly).
+        The write goes through this store's :class:`CatalogIO` (so
+        injected write faults apply); the next :meth:`catalog` call
+        picks the new file up through the normal stamp check (and bumps
+        :attr:`generation` accordingly).
         """
-        catalog.save(self._path)
+        self._io.save_text(self._path, catalog.to_json())
 
     def __repr__(self) -> str:
         return (

@@ -20,7 +20,15 @@ and ``--save-spec FILE`` writes the flags out as a spec file — the three
 paths produce byte-identical output for equivalent parameters.
 ``estimate`` serves from a saved catalog through the
 :class:`~repro.engine.EstimationEngine`, so any registered estimator
-(``--estimator``) can answer, not just EPFIS.
+(``--estimator``) can answer, not just EPFIS; ``--fallback`` arms the
+engine's degraded-mode chain so a failing estimator is answered by the
+next name instead of an error.
+
+Long statistics passes survive interruption: ``fit`` and ``experiment``
+accept ``--checkpoint DIR`` (periodic atomic snapshots of the kernel
+state) and ``--resume`` (continue an interrupted pass from the latest
+snapshot); a resumed run produces byte-identical results — see
+:mod:`repro.resilience.checkpoint`.
 """
 
 from __future__ import annotations
@@ -95,10 +103,43 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _checkpointer_from_args(args: argparse.Namespace):
+    """Build the Checkpointer for ``--checkpoint``; None when unset."""
+    if not args.checkpoint:
+        if args.resume:
+            raise ReproError("--resume requires --checkpoint DIR")
+        return None
+    from repro.resilience.checkpoint import Checkpointer, CheckpointPolicy
+
+    return Checkpointer(
+        args.checkpoint,
+        CheckpointPolicy(every_refs=args.checkpoint_every),
+    )
+
+
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.resilience.checkpoint import DEFAULT_EVERY_REFS
+
+    parser.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="checkpoint the statistics pass into DIR "
+                             "(periodic atomic snapshots)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted pass from the latest "
+                             "checkpoint in --checkpoint DIR")
+    parser.add_argument("--checkpoint-every", type=int,
+                        default=DEFAULT_EVERY_REFS, metavar="REFS",
+                        help="snapshot cadence in consumed references "
+                             f"(default {DEFAULT_EVERY_REFS})")
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     dataset = build_synthetic_dataset(_spec_from_args(args))
     config = LRUFitConfig(segments=args.segments, grid_rule=args.grid_rule)
-    stats = LRUFit(config).run(dataset.index)
+    stats = LRUFit(config).run(
+        dataset.index,
+        checkpoint=_checkpointer_from_args(args),
+        resume=args.resume,
+    )
     catalog = SystemCatalog()
     catalog.put(stats)
     catalog.save(args.catalog)
@@ -111,7 +152,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    engine = EstimationEngine(args.catalog)
+    engine = EstimationEngine(args.catalog, fallback_chain=args.fallback)
     names = [args.index] if args.index else engine.index_names()
     selectivity = ScanSelectivity(args.sigma, args.sargable)
     rows = []
@@ -160,7 +201,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         spec.save(args.save_spec)
         print(f"wrote experiment spec to {args.save_spec}")
         return 0
-    result = run_experiment_spec(spec)
+    result = run_experiment_spec(
+        spec,
+        checkpoint=_checkpointer_from_args(args),
+        resume=args.resume,
+    )
     grid = result.buffer_grid
     rows = []
     for buffer_pages, percent in zip(grid, grid.percents()):
@@ -399,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--segments", type=int, default=6)
     p_fit.add_argument("--grid-rule", choices=("paper", "graefe"),
                        default="paper")
+    _add_checkpoint_arguments(p_fit)
     p_fit.set_defaults(handler=_cmd_fit)
 
     p_estimate = sub.add_parser(
@@ -417,6 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=available_estimators(),
                             help="registered estimator to serve with "
                                  "(default epfis)")
+    p_estimate.add_argument("--fallback", nargs="+", default=None,
+                            choices=available_estimators(),
+                            metavar="NAME",
+                            help="degraded-mode fallback chain tried in "
+                                 "order when the estimator fails")
     p_estimate.set_defaults(handler=_cmd_estimate)
 
     p_experiment = sub.add_parser(
@@ -442,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_experiment.add_argument("--save-spec", default=None, metavar="FILE",
                               help="write the equivalent spec JSON instead "
                                    "of running")
+    _add_checkpoint_arguments(p_experiment)
     p_experiment.set_defaults(handler=_cmd_experiment)
 
     p_gwl = sub.add_parser(

@@ -14,7 +14,13 @@ compiler would hold it:
 * it invalidates those bindings exactly when the underlying statistics
   change (the store's generation counter moves),
 * it counts calls, estimates, and wall-clock latency per estimator, the
-  observability hook a high-traffic deployment graphs first.
+  observability hook a high-traffic deployment graphs first,
+* and — when configured with a ``fallback_chain`` and/or a
+  ``breaker_policy`` — it serves in *degraded mode*: a failing estimator
+  trips a per-name circuit breaker and the next chain member answers
+  instead, so the optimizer never sees an exception as long as any
+  member can produce an estimate (see DESIGN.md, "Resilience
+  architecture").
 """
 
 from __future__ import annotations
@@ -23,13 +29,23 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.catalog.catalog import IndexStatistics, SystemCatalog
 from repro.catalog.store import CatalogStore
-from repro.errors import EngineError
+from repro.errors import EngineError, ReproError
 from repro.estimators.base import PageFetchEstimator
-from repro.estimators.registry import get_estimator
+from repro.estimators.registry import available_estimators, get_estimator
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 from repro.types import ScanSelectivity
 
 #: Bound (index, estimator) pairs kept alive per engine.
@@ -38,11 +54,19 @@ DEFAULT_ESTIMATOR_CACHE = 256
 
 @dataclass
 class EstimatorCallStats:
-    """Serving counters for one estimator name."""
+    """Serving counters for one estimator name.
+
+    ``errors`` counts calls that raised; ``degraded_serves`` counts
+    requests that *asked* for this estimator but were answered by a
+    fallback-chain member instead.  Both stay zero outside degraded-mode
+    configurations.
+    """
 
     calls: int = 0
     estimates: int = 0
     seconds: float = 0.0
+    errors: int = 0
+    degraded_serves: int = 0
 
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy (for logging/metrics export)."""
@@ -54,6 +78,8 @@ class EstimatorCallStats:
             "estimates": self.estimates,
             "seconds": self.seconds,
             "mean_call_us": mean_us,
+            "errors": self.errors,
+            "degraded_serves": self.degraded_serves,
         }
 
 
@@ -69,13 +95,24 @@ class EstimationEngine:
 
     ``catalog`` may be a :class:`~repro.catalog.SystemCatalog` (static
     in-memory statistics), a :class:`~repro.catalog.CatalogStore`
-    (file-backed, auto-reloading), or a path (wrapped in a store).
+    (file-backed, auto-reloading — including the resilient subclass), or
+    a path (wrapped in a store).
+
+    ``fallback_chain`` names registry estimators tried, in order, when a
+    requested estimator fails (the requested name is always tried
+    first); ``breaker_policy`` adds a per-estimator circuit breaker so a
+    repeatedly failing member is skipped until its cooldown elapses.
+    With neither configured the engine behaves exactly as before:
+    estimator exceptions propagate unchanged.
     """
 
     def __init__(
         self,
         catalog: Union[SystemCatalog, CatalogStore, str, Path],
         cache_size: int = DEFAULT_ESTIMATOR_CACHE,
+        fallback_chain: Optional[Sequence[str]] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if cache_size < 1:
             raise EngineError(f"cache_size must be >= 1, got {cache_size}")
@@ -93,6 +130,23 @@ class EstimationEngine:
         )
         self._bound_generation = -1
         self._metrics: Dict[str, EstimatorCallStats] = {}
+        if fallback_chain is not None:
+            known = set(available_estimators())
+            normalized = []
+            for name in fallback_chain:
+                key = str(name).lower()
+                if key not in known:
+                    raise EngineError(
+                        f"unknown fallback estimator {name!r}; "
+                        f"available: {', '.join(sorted(known))}"
+                    )
+                if key not in normalized:
+                    normalized.append(key)
+            fallback_chain = tuple(normalized)
+        self._fallback: Optional[Tuple[str, ...]] = fallback_chain
+        self._breaker_policy = breaker_policy
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._clock = clock
 
     # ------------------------------------------------------------------
     # Catalog access
@@ -154,6 +208,92 @@ class EstimationEngine:
         return bound
 
     # ------------------------------------------------------------------
+    # Degraded-mode serving
+    # ------------------------------------------------------------------
+    @property
+    def fallback_chain(self) -> Optional[Tuple[str, ...]]:
+        """The configured fallback estimator names (normalized)."""
+        return self._fallback
+
+    def _resilient(self) -> bool:
+        return (
+            self._fallback is not None
+            or self._breaker_policy is not None
+        )
+
+    def _breaker_for(self, name: str) -> Optional[CircuitBreaker]:
+        if self._breaker_policy is None:
+            return None
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._breaker_policy, clock=self._clock
+            )
+            self._breakers[name] = breaker
+        return breaker
+
+    def _serve(
+        self,
+        index_name: str,
+        estimator_name: str,
+        options: dict,
+        call: Callable[[PageFetchEstimator], Tuple[object, int]],
+    ):
+        """Run ``call`` against the first chain member that can answer.
+
+        ``call`` maps a bound estimator to ``(result, estimate_count)``.
+        Without resilience configured this is the legacy single-try
+        path — exceptions propagate unchanged.
+        """
+        if not self._resilient():
+            bound = self.estimator(index_name, estimator_name, **options)
+            started = time.perf_counter()
+            result, count = call(bound)
+            self._record(
+                estimator_name, count, time.perf_counter() - started
+            )
+            return result
+        requested = estimator_name.lower()
+        chain = [requested]
+        chain.extend(
+            name for name in (self._fallback or ()) if name != requested
+        )
+        last_error: Optional[Exception] = None
+        skipped: List[str] = []
+        for name in chain:
+            breaker = self._breaker_for(name)
+            if breaker is not None and not breaker.allow():
+                skipped.append(name)
+                continue
+            try:
+                bound = self.estimator(
+                    index_name,
+                    name,
+                    **(options if name == requested else {}),
+                )
+                started = time.perf_counter()
+                result, count = call(bound)
+                elapsed = time.perf_counter() - started
+            except ReproError as exc:
+                last_error = exc
+                self._stats(name).errors += 1
+                if breaker is not None:
+                    breaker.record_failure()
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            self._record(name, count, elapsed)
+            if name != requested:
+                self._stats(requested).degraded_serves += 1
+            return result
+        raise EngineError(
+            f"no estimator in the chain {chain} could answer for index "
+            f"{index_name!r}"
+            + (f" (breaker-open: {skipped})" if skipped else "")
+            + (f"; last error: {last_error}" if last_error else "")
+        ) from last_error
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def estimate(
@@ -165,11 +305,12 @@ class EstimationEngine:
         **options,
     ) -> float:
         """One page-fetch estimate (the optimizer's per-plan question)."""
-        bound = self.estimator(index_name, estimator_name, **options)
-        started = time.perf_counter()
-        result = bound.estimate(selectivity, buffer_pages)
-        self._record(estimator_name, 1, time.perf_counter() - started)
-        return result
+        return self._serve(
+            index_name,
+            estimator_name,
+            options,
+            lambda bound: (bound.estimate(selectivity, buffer_pages), 1),
+        )
 
     def estimate_many(
         self,
@@ -179,14 +320,13 @@ class EstimationEngine:
         **options,
     ) -> List[float]:
         """Batched estimates through the estimator's fast path."""
-        bound = self.estimator(index_name, estimator_name, **options)
         pairs = list(pairs)
-        started = time.perf_counter()
-        results = bound.estimate_many(pairs)
-        self._record(
-            estimator_name, len(pairs), time.perf_counter() - started
+        return self._serve(
+            index_name,
+            estimator_name,
+            options,
+            lambda bound: (bound.estimate_many(pairs), len(pairs)),
         )
-        return results
 
     def estimate_grid(
         self,
@@ -197,24 +337,27 @@ class EstimationEngine:
         **options,
     ) -> List[List[float]]:
         """Cross-product estimates, one row per buffer size."""
-        bound = self.estimator(index_name, estimator_name, **options)
-        started = time.perf_counter()
-        results = bound.estimate_grid(selectivities, buffer_pages)
-        self._record(
+        return self._serve(
+            index_name,
             estimator_name,
-            len(selectivities) * len(buffer_pages),
-            time.perf_counter() - started,
+            options,
+            lambda bound: (
+                bound.estimate_grid(selectivities, buffer_pages),
+                len(selectivities) * len(buffer_pages),
+            ),
         )
-        return results
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def _record(self, estimator_name: str, estimates: int, seconds: float
-                ) -> None:
-        stats = self._metrics.setdefault(
+    def _stats(self, estimator_name: str) -> EstimatorCallStats:
+        return self._metrics.setdefault(
             estimator_name.lower(), EstimatorCallStats()
         )
+
+    def _record(self, estimator_name: str, estimates: int, seconds: float
+                ) -> None:
+        stats = self._stats(estimator_name)
         stats.calls += 1
         stats.estimates += estimates
         stats.seconds += seconds
@@ -225,6 +368,38 @@ class EstimationEngine:
             name: stats.snapshot()
             for name, stats in sorted(self._metrics.items())
         }
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Current circuit-breaker state per estimator name.
+
+        Empty when no breaker policy is configured; states are
+        ``closed``, ``open``, or ``half-open`` (the open → half-open
+        transition happens lazily as the cooldown elapses).
+        """
+        return {
+            name: breaker.state
+            for name, breaker in sorted(self._breakers.items())
+        }
+
+    def resilience_metrics(self) -> Dict[str, object]:
+        """One truthful roll-up of every degradation this engine saw.
+
+        Combines per-estimator degraded serves and errors, breaker
+        states, and — when the catalog source is a
+        :class:`~repro.resilience.store.ResilientCatalogStore` — its
+        retry/quarantine/stale-serve counters under ``"catalog"``.
+        """
+        rollup: Dict[str, object] = {
+            "degraded_serves": sum(
+                s.degraded_serves for s in self._metrics.values()
+            ),
+            "errors": sum(s.errors for s in self._metrics.values()),
+            "breaker_state": self.breaker_states(),
+        }
+        store_metrics = getattr(self._source, "metrics", None)
+        if callable(store_metrics):
+            rollup["catalog"] = store_metrics()
+        return rollup
 
     def cached_estimators(self) -> int:
         """Number of currently bound (index, estimator) pairs."""

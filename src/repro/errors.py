@@ -86,3 +86,16 @@ class OptimizerError(ReproError):
 
 class VerificationError(ReproError):
     """The differential-verification harness was misconfigured or failed."""
+
+
+class ResilienceError(ReproError):
+    """A resilience facility (checkpoint, retry, breaker) was misused."""
+
+
+class CheckpointError(ResilienceError):
+    """An LRU-Fit checkpoint was missing, corrupt, or inconsistent with
+    the run being resumed (wrong kernel, diverging trace prefix, ...)."""
+
+
+class FaultInjectionError(ResilienceError):
+    """A fault-injection plan named an unknown fault kind or operation."""

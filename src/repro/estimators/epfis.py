@@ -153,27 +153,58 @@ def buffer_grid(
     return grid
 
 
+#: Chunk size used when a checkpointed ``run`` streams the index trace.
+CHECKPOINT_CHUNK_REFS = 8_192
+
+
 class LRUFit:
     """Subprogram LRU-Fit: one statistics pass over the index entries."""
 
     def __init__(self, config: Optional[LRUFitConfig] = None) -> None:
         self.config = config or LRUFitConfig()
 
-    def run(self, index: Index) -> IndexStatistics:
-        """Scan ``index``'s entries and produce its catalog record."""
+    def run(
+        self,
+        index: Index,
+        checkpoint=None,
+        resume: bool = False,
+    ) -> IndexStatistics:
+        """Scan ``index``'s entries and produce its catalog record.
+
+        With ``checkpoint`` (a directory path or
+        :class:`~repro.resilience.checkpoint.Checkpointer`), the scan is
+        streamed in chunks with periodic atomic snapshots, and
+        ``resume=True`` continues an interrupted pass — see
+        :meth:`run_streaming`.
+        """
         trace = index.page_sequence()
         table_pages = index.table.page_count
         distinct_keys = index.distinct_key_count()
+        dc_count = (
+            dc_cluster_count(index)
+            if self.config.collect_baseline_stats
+            else None
+        )
+        if checkpoint is not None:
+            chunks = (
+                trace[i:i + CHECKPOINT_CHUNK_REFS]
+                for i in range(0, len(trace), CHECKPOINT_CHUNK_REFS)
+            )
+            return self.run_streaming(
+                chunks,
+                table_pages=table_pages,
+                distinct_keys=distinct_keys,
+                index_name=index.name,
+                dc_count=dc_count,
+                checkpoint=checkpoint,
+                resume=resume,
+            )
         return self.run_on_trace(
             trace,
             table_pages=table_pages,
             distinct_keys=distinct_keys,
             index_name=index.name,
-            dc_count=(
-                dc_cluster_count(index)
-                if self.config.collect_baseline_stats
-                else None
-            ),
+            dc_count=dc_count,
         )
 
     def run_on_trace(
@@ -206,16 +237,36 @@ class LRUFit:
         distinct_keys: int,
         index_name: str = "<anonymous>",
         dc_count: Optional[int] = None,
+        checkpoint=None,
+        resume: bool = False,
     ) -> IndexStatistics:
         """Statistics pass over a trace delivered in chunks.
 
         Equivalent to concatenating ``chunks`` and calling
         :meth:`run_on_trace`, without ever holding more than one chunk in
         memory (beyond the kernel's own working state).
+
+        ``checkpoint`` (a directory path or
+        :class:`~repro.resilience.checkpoint.Checkpointer`) enables
+        periodic atomic snapshots of the kernel state; with
+        ``resume=True`` an existing checkpoint is loaded, the
+        already-consumed trace prefix is skipped (and verified against
+        the checkpointed digest), and the pass continues from where it
+        stopped.  A resumed pass produces statistics byte-identical to
+        an uninterrupted one, because the snapshot captures the complete
+        kernel state and the remaining references are identical.  The
+        checkpoint file is removed once the pass completes.
         """
-        stream = resolve_kernel(self.config.kernel).stream()
-        for chunk in chunks:
-            stream.feed(chunk)
+        if checkpoint is None and resume:
+            raise EstimationError(
+                "resume=True requires a checkpoint directory"
+            )
+        if checkpoint is None:
+            stream = resolve_kernel(self.config.kernel).stream()
+            for chunk in chunks:
+                stream.feed(chunk)
+        else:
+            stream = self._feed_checkpointed(chunks, checkpoint, resume)
         try:
             curve = stream.finish()
         except TraceError:
@@ -223,6 +274,82 @@ class LRUFit:
         return self._statistics_from_curve(
             curve, table_pages, distinct_keys, index_name, dc_count
         )
+
+    def _feed_checkpointed(self, chunks, checkpoint, resume):
+        """Feed ``chunks`` under checkpoint protection; return the fed
+        stream (restored from the latest snapshot when resuming)."""
+        import hashlib
+
+        from repro.errors import CheckpointError
+        from repro.resilience.checkpoint import (
+            hash_pages,
+            resolve_checkpointer,
+        )
+
+        checkpointer = resolve_checkpointer(checkpoint)
+        kernel_name = self.config.kernel
+        stream = None
+        skip = 0
+        expected_digest = None
+        hasher = hashlib.sha256()
+        if resume and checkpointer.exists():
+            state = checkpointer.load()
+            if state.kernel != kernel_name:
+                raise CheckpointError(
+                    f"checkpoint was taken with kernel "
+                    f"{state.kernel!r} but this pass uses "
+                    f"{kernel_name!r}; rerun without resume or match "
+                    f"the kernel"
+                )
+            stream = state.stream
+            skip = state.position
+            expected_digest = state.trace_digest
+        if stream is None:
+            stream = resolve_kernel(kernel_name).stream()
+        position = skip
+        for chunk in chunks:
+            if not isinstance(chunk, (list, tuple)):
+                chunk = list(chunk)
+            if skip:
+                if len(chunk) <= skip:
+                    hash_pages(hasher, chunk)
+                    skip -= len(chunk)
+                    if not skip:
+                        self._verify_prefix(hasher, expected_digest)
+                    continue
+                head, chunk = chunk[:skip], chunk[skip:]
+                hash_pages(hasher, head)
+                skip = 0
+                self._verify_prefix(hasher, expected_digest)
+            hash_pages(hasher, chunk)
+            stream.feed(chunk)
+            position += len(chunk)
+            if checkpointer.due(position):
+                checkpointer.save(
+                    stream, position, hasher.hexdigest(), kernel_name
+                )
+        if skip:
+            raise CheckpointError(
+                f"trace ended {skip} references before the checkpoint "
+                f"position; the resumed trace does not match the "
+                f"checkpointed one"
+            )
+        checkpointer.clear()
+        return stream
+
+    @staticmethod
+    def _verify_prefix(hasher, expected_digest) -> None:
+        from repro.errors import CheckpointError
+
+        if (
+            expected_digest is not None
+            and hasher.hexdigest() != expected_digest
+        ):
+            raise CheckpointError(
+                "resumed trace prefix does not digest to the "
+                "checkpointed value; the trace diverged from the "
+                "interrupted run"
+            )
 
     def _statistics_from_curve(
         self,

@@ -78,6 +78,8 @@ def resolve_estimators(
     index: Index,
     estimators: Sequence[Union[str, PageFetchEstimator]],
     lru_fit_config: Optional[LRUFitConfig] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> List[PageFetchEstimator]:
     """Coerce a mixed list of estimator names/instances to instances.
 
@@ -85,6 +87,11 @@ def resolve_estimators(
     statistics pass over ``index`` (run only if at least one name appears),
     mirroring the paper's premise that a single statistics pass serves
     every algorithm.  Instances pass through unchanged.
+
+    ``checkpoint``/``resume`` protect that shared statistics pass — the
+    experiment's long-scan component — with periodic atomic snapshots
+    (see :meth:`~repro.estimators.epfis.LRUFit.run`); a resumed pass
+    yields statistics byte-identical to an uninterrupted one.
     """
     stats = None
     resolved: List[PageFetchEstimator] = []
@@ -93,7 +100,9 @@ def resolve_estimators(
             config = lru_fit_config or LRUFitConfig(
                 collect_baseline_stats=True
             )
-            stats = LRUFit(config).run(index)
+            stats = LRUFit(config).run(
+                index, checkpoint=checkpoint, resume=resume
+            )
         resolved.append(resolve_estimator(estimator, stats))
     return resolved
 
@@ -108,6 +117,8 @@ def run_error_behavior(
     kernel: Optional[str] = None,
     seed: int = 0,
     lru_fit_config: Optional[LRUFitConfig] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ErrorBehaviorResult:
     """Run the experiment and return the per-estimator error curves.
 
@@ -121,7 +132,9 @@ def run_error_behavior(
     processes (1 = serial, <= 0 = one per CPU); ``kernel`` selects the
     stack-distance kernel for those simulations (``None`` = exact default);
     ``seed`` feeds the deterministic per-scan kernel seeding.  Results are
-    identical across worker counts.
+    identical across worker counts.  ``checkpoint``/``resume`` protect
+    the shared statistics pass against interruption (see
+    :func:`resolve_estimators`); they do not change the result.
     """
     if not estimators:
         raise ExperimentError("at least one estimator is required")
@@ -129,7 +142,10 @@ def run_error_behavior(
         raise ExperimentError("at least one scan is required")
     started = time.perf_counter()
 
-    resolved = resolve_estimators(index, estimators, lru_fit_config)
+    resolved = resolve_estimators(
+        index, estimators, lru_fit_config,
+        checkpoint=checkpoint, resume=resume,
+    )
     extractor = ScanTraceExtractor(index)
     buffer_sizes = list(buffer_grid)
 

@@ -199,7 +199,11 @@ class ExperimentSpec:
         return cls.from_json(path.read_text(encoding="utf-8"))
 
 
-def run_experiment_spec(spec: ExperimentSpec) -> ErrorBehaviorResult:
+def run_experiment_spec(
+    spec: ExperimentSpec,
+    checkpoint=None,
+    resume: bool = False,
+) -> ErrorBehaviorResult:
     """Execute a declarative spec: the one entry point behind the CLI.
 
     Builds the dataset, the Section 5 buffer grid, and the random scan mix
@@ -207,6 +211,12 @@ def run_experiment_spec(spec: ExperimentSpec) -> ErrorBehaviorResult:
     *names* to :func:`~repro.eval.experiment.run_error_behavior`, which
     binds them to one shared statistics pass via the registry.  Identical
     specs produce identical results, byte for byte.
+
+    ``checkpoint``/``resume`` are execution knobs, not spec content (a
+    spec stays a pure description of the experiment): they protect the
+    shared statistics pass with periodic atomic snapshots so an
+    interrupted ``repro experiment`` run resumes instead of restarting —
+    see :mod:`repro.resilience.checkpoint`.
     """
     dataset = build_synthetic_dataset(spec.dataset)
     index = dataset.index
@@ -229,4 +239,6 @@ def run_experiment_spec(spec: ExperimentSpec) -> ErrorBehaviorResult:
         workers=spec.workers,
         kernel=spec.kernel,
         seed=spec.seed,
+        checkpoint=checkpoint,
+        resume=resume,
     )

@@ -1,0 +1,76 @@
+"""Resilience layer: the estimator as infrastructure that degrades, not
+fails.
+
+The paper's repro notes flag statistics collection as "easy, but large
+index-entry scans slow" — and a slow pass that loses all progress on
+interruption, a serving engine that dies on one corrupt catalog file, or
+an estimator with no fallback all turn an advisory subsystem into a
+single point of failure.  This package removes those failure modes,
+threaded through three layers (see DESIGN.md, "Resilience
+architecture"):
+
+* :mod:`repro.resilience.checkpoint` — periodic atomic snapshots of the
+  kernel stream during an LRU-Fit pass; an interrupted-then-resumed run
+  produces byte-identical statistics (``repro fit --checkpoint DIR
+  --resume``);
+* :mod:`repro.resilience.faults` + :mod:`repro.resilience.retry` +
+  :mod:`repro.resilience.store` — a deterministic seeded fault injector
+  over catalog I/O, bounded jittered-backoff retries on transient
+  faults, and quarantine-and-continue (``*.quarantined``) with
+  last-known-good serving on persistent corruption;
+* :mod:`repro.resilience.breaker` — per-estimator circuit breakers
+  backing the engine's fallback chain (degraded-mode serving).
+"""
+
+from repro.resilience.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FILENAME,
+    CHECKPOINT_SCHEMA_VERSION,
+    DEFAULT_EVERY_REFS,
+    Checkpointer,
+    CheckpointPolicy,
+    CheckpointState,
+    hash_pages,
+    resolve_checkpointer,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    OPERATIONS,
+    FaultInjector,
+    FaultRule,
+)
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.resilience.store import (
+    QUARANTINE_SUFFIX,
+    ResilientCatalogStore,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerPolicy",
+    "CHECKPOINT_FILENAME",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpointer",
+    "CheckpointPolicy",
+    "CheckpointState",
+    "CircuitBreaker",
+    "DEFAULT_EVERY_REFS",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultRule",
+    "OPERATIONS",
+    "QUARANTINE_SUFFIX",
+    "ResilientCatalogStore",
+    "RetryPolicy",
+    "call_with_retry",
+    "hash_pages",
+    "resolve_checkpointer",
+]

@@ -1,0 +1,94 @@
+"""Bounded retry with deterministic jittered exponential backoff.
+
+Transient I/O faults (EINTR, NFS hiccups, a writer holding a lock for a
+moment) are survived by retrying; persistent ones must surface quickly.
+:class:`RetryPolicy` bounds both dimensions — a fixed attempt budget and a
+capped exponential delay schedule — and the jitter that decorrelates
+concurrent retriers is drawn from a caller-supplied seeded
+:class:`random.Random`, so a test (or a reproduction of an incident) can
+replay the exact delay sequence.  The sleep function is injectable for the
+same reason: the chaos suite runs thousands of injected faults with a
+no-op sleep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+from repro.errors import ResilienceError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a transient fault.
+
+    ``attempts`` is the *total* number of tries (1 = no retry).  The
+    delay before retry ``i`` (0-based) is
+    ``min(max_delay, base_delay * multiplier**i)``, scaled down by up to
+    ``jitter`` (a fraction in [0, 1]) using the caller's RNG.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ResilienceError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+        if self.base_delay < 0:
+            raise ResilienceError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ResilienceError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < self.base_delay:
+            raise ResilienceError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """The jittered backoff before retry ``retry_index`` (0-based)."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** retry_index
+        )
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retry_on: Tuple[type, ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+) -> Tuple[T, int]:
+    """Run ``fn`` under ``policy``; return ``(result, retries_used)``.
+
+    Only exceptions in ``retry_on`` are retried; anything else
+    propagates immediately.  When the attempt budget is exhausted the
+    last transient exception propagates unchanged.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    for attempt in range(policy.attempts):
+        try:
+            return fn(), attempt
+        except retry_on:
+            if attempt == policy.attempts - 1:
+                raise
+            sleep(policy.delay(attempt, rng))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,157 @@
+"""Kill-and-resume recovery: an interrupted LRU-Fit pass, resumed from
+its checkpoint, produces catalog records byte-identical to an
+uninterrupted one — the resilience layer's central guarantee."""
+
+import pytest
+
+from repro.buffer.kernels import available_kernels, resolve_kernel
+from repro.catalog import SystemCatalog
+from repro.cli import main
+from repro.estimators.epfis import LRUFit, LRUFitConfig
+from repro.resilience import CheckpointPolicy, Checkpointer
+from repro.verify import corpus_case, statistics_for_case, verification_corpus
+
+
+class _DyingCheckpointer(Checkpointer):
+    """Kills the process (well, the pass) right after the Nth snapshot."""
+
+    def __init__(self, directory, policy, die_after):
+        super().__init__(directory, policy)
+        self._die_after = die_after
+
+    def save(self, *args, **kwargs):
+        super().save(*args, **kwargs)
+        if self.saves >= self._die_after:
+            raise KeyboardInterrupt("simulated kill -9 after snapshot")
+
+
+def _exact_kernels():
+    return [
+        name for name in available_kernels()
+        if resolve_kernel(name).exact
+    ]
+
+
+def _interrupted_then_resumed(case, kernel, tmp_path):
+    """Run the case's pass killed mid-flight, then resumed to completion."""
+    config = LRUFitConfig(kernel=kernel)
+    refs = case.references
+    ckpt = _DyingCheckpointer(
+        tmp_path / f"{case.name}-{kernel}",
+        CheckpointPolicy(every_refs=max(1, refs // 5)),
+        die_after=2,
+    )
+
+    def run(checkpoint, resume):
+        chunks = (
+            case.pages[i:i + 512]
+            for i in range(0, refs, 512)
+        )
+        return LRUFit(config).run_streaming(
+            chunks,
+            table_pages=case.distinct_pages,
+            distinct_keys=case.distinct_pages,
+            index_name=case.name,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+
+    with pytest.raises(KeyboardInterrupt):
+        run(ckpt, resume=False)
+    assert ckpt.exists()
+    resumed = run(Checkpointer(ckpt.directory), resume=True)
+    assert not ckpt.exists()  # cleared on completion
+    return resumed
+
+
+def _catalog_bytes(stats):
+    catalog = SystemCatalog()
+    catalog.put(stats)
+    return catalog.to_json().encode("utf-8")
+
+
+class TestKillAndResume:
+    def test_small_case_byte_identical(self, tmp_path):
+        case = corpus_case("uniform-small")
+        baseline = statistics_for_case(case)
+        resumed = _interrupted_then_resumed(case, "baseline", tmp_path)
+        assert resumed == baseline
+        assert _catalog_bytes(resumed) == _catalog_bytes(baseline)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("kernel", _exact_kernels())
+    @pytest.mark.parametrize(
+        "case", verification_corpus(), ids=lambda c: c.name
+    )
+    def test_full_corpus_every_exact_kernel(self, case, kernel, tmp_path):
+        config = LRUFitConfig(kernel=kernel)
+        baseline = LRUFit(config).run_on_trace(
+            case.pages,
+            table_pages=case.distinct_pages,
+            distinct_keys=case.distinct_pages,
+            index_name=case.name,
+        )
+        resumed = _interrupted_then_resumed(case, kernel, tmp_path)
+        assert resumed == baseline
+        assert _catalog_bytes(resumed) == _catalog_bytes(baseline)
+
+
+class TestCheckpointedCli:
+    SMALL = [
+        "--records", "2000", "--distinct", "50",
+        "--records-per-page", "20", "--seed", "3",
+    ]
+
+    def test_fit_with_checkpoint_completes_and_cleans_up(
+        self, tmp_path, capsys
+    ):
+        catalog = str(tmp_path / "cat.json")
+        ckpt_dir = tmp_path / "ckpt"
+        plain = str(tmp_path / "plain.json")
+        assert main(["fit", *self.SMALL, "--catalog", plain]) == 0
+        assert main(
+            [
+                "fit", *self.SMALL, "--catalog", catalog,
+                "--checkpoint", str(ckpt_dir),
+                "--checkpoint-every", "500",
+            ]
+        ) == 0
+        # The pass completed, so no checkpoint file remains...
+        assert not (ckpt_dir / "lru-fit.ckpt.json").exists()
+        # ...and checkpointing changed nothing about the statistics.
+        assert (
+            (tmp_path / "cat.json").read_bytes()
+            == (tmp_path / "plain.json").read_bytes()
+        )
+
+    def test_fit_resume_on_fresh_directory_starts_cleanly(
+        self, tmp_path, capsys
+    ):
+        catalog = str(tmp_path / "cat.json")
+        assert main(
+            [
+                "fit", *self.SMALL, "--catalog", catalog,
+                "--checkpoint", str(tmp_path / "ckpt"), "--resume",
+            ]
+        ) == 0
+
+    def test_resume_without_checkpoint_is_clean_error(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["fit", *self.SMALL, "--catalog",
+             str(tmp_path / "cat.json"), "--resume"]
+        )
+        assert code == 1
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_experiment_accepts_checkpoint_flags(self, tmp_path, capsys):
+        assert main(
+            [
+                "experiment", "--records", "2000", "--distinct", "50",
+                "--records-per-page", "20", "--seed", "3",
+                "--scans", "5", "--floor", "4", "--estimators", "epfis",
+                "--checkpoint", str(tmp_path / "ckpt"),
+            ]
+        ) == 0
+        assert not (tmp_path / "ckpt" / "lru-fit.ckpt.json").exists()

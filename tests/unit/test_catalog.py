@@ -1,6 +1,7 @@
 """Unit tests for IndexStatistics, SystemCatalog, and the wire format."""
 
 import json
+import os
 
 import pytest
 
@@ -191,6 +192,53 @@ class TestSystemCatalog:
         catalog.put(_stats())
         with pytest.raises(OSError):
             catalog.save(tmp_path / "no-such-dir" / "catalog.json")
+
+    def test_crash_during_replace_leaves_original_intact(
+        self, tmp_path, monkeypatch
+    ):
+        # A crash in the publish step (os.replace) must not damage the
+        # existing catalog or leave temp droppings behind.
+        path = tmp_path / "catalog.json"
+        catalog = SystemCatalog()
+        catalog.put(_stats("t.a"))
+        catalog.save(path)
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash during replace")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        doomed = SystemCatalog()
+        doomed.put(_stats("t.a"))
+        doomed.put(_stats("t.b"))
+        with pytest.raises(OSError):
+            doomed.save(path)
+        monkeypatch.undo()
+
+        assert [p.name for p in tmp_path.iterdir()] == ["catalog.json"]
+        survivor = SystemCatalog.load(path)
+        assert sorted(survivor) == ["t.a"]
+
+    def test_crash_during_fsync_leaves_original_intact(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "catalog.json"
+        catalog = SystemCatalog()
+        catalog.put(_stats("t.a"))
+        catalog.save(path)
+
+        def exploding_fsync(fd):
+            raise OSError("injected crash during fsync")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        doomed = SystemCatalog()
+        doomed.put(_stats("t.b"))
+        with pytest.raises(OSError):
+            doomed.save(path)
+        monkeypatch.undo()
+
+        assert [p.name for p in tmp_path.iterdir()] == ["catalog.json"]
+        survivor = SystemCatalog.load(path)
+        assert sorted(survivor) == ["t.a"]
 
 
 class TestWireFormat:

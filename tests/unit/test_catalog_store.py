@@ -97,3 +97,27 @@ class TestCatalogStore:
     def test_bad_cache_size(self, tmp_path):
         with pytest.raises(CatalogError):
             CatalogStore(tmp_path / "c.json", cache_size=0)
+
+    def test_same_size_rewrite_with_same_mtime_is_detected(self, tmp_path):
+        # Regression: the old (mtime, size, inode) stamp could not see a
+        # rewrite that preserved the file size and landed within mtime
+        # granularity (or had its mtime restored).  The content stamp must.
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = CatalogStore(path)
+        assert "t.a" in store
+        generation = store.generation
+        info = os.stat(path)
+
+        # Same-length rewrite ("t.a" -> "t.b"), then restore the mtime so
+        # every stat-based field matches the snapshot the store cached.
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace("t.a", "t.b"), encoding="utf-8")
+        os.utime(path, ns=(info.st_atime_ns, info.st_mtime_ns))
+        after = os.stat(path)
+        assert after.st_size == info.st_size
+        assert after.st_mtime_ns == info.st_mtime_ns
+
+        assert "t.b" in store
+        assert "t.a" not in store
+        assert store.generation > generation

@@ -6,6 +6,7 @@ test happens to touch.
 """
 
 import importlib
+import inspect
 import pkgutil
 
 import pytest
@@ -37,3 +38,22 @@ def test_walk_found_the_tree():
 def test_public_all_resolves():
     for symbol in repro.__all__:
         assert getattr(repro, symbol, None) is not None, symbol
+
+
+def test_public_all_is_complete():
+    # The converse of test_public_all_resolves: every public, non-module
+    # attribute the package exposes must be declared in ``__all__`` so
+    # ``from repro import *`` and the docs see the same API surface.
+    public = {
+        name
+        for name, value in vars(repro).items()
+        if not name.startswith("_")
+        and not inspect.ismodule(value)
+        and name != "annotations"
+    }
+    missing = sorted(public - set(repro.__all__))
+    assert not missing, f"public names missing from __all__: {missing}"
+
+
+def test_public_all_has_no_duplicates():
+    assert len(repro.__all__) == len(set(repro.__all__))

@@ -1,0 +1,144 @@
+"""Unit tests for the deterministic catalog-I/O fault injector."""
+
+import os
+
+import pytest
+
+from repro.catalog.store import CatalogIO
+from repro.errors import FaultInjectionError
+from repro.resilience.faults import FaultInjector, FaultRule
+
+
+class TestFaultRule:
+    def test_valid_rule(self):
+        rule = FaultRule("read", "transient", rate=0.5, limit=3)
+        assert rule.rate == 0.5
+
+    def test_unknown_kind(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRule("read", "gamma-ray")
+
+    def test_unknown_operation(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRule("fsync", "transient")
+
+    def test_kind_operation_mismatch(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRule("write", "corrupt")
+        with pytest.raises(FaultInjectionError):
+            FaultRule("read", "torn-write")
+
+    def test_bad_rate(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRule("read", "transient", rate=1.5)
+
+    def test_bad_limit(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRule("read", "transient", limit=0)
+
+
+class TestFaultInjector:
+    def _file(self, tmp_path, text='{"k": "v"}'):
+        path = tmp_path / "catalog.json"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_transient_read_raises(self, tmp_path):
+        path = self._file(tmp_path)
+        io = FaultInjector([FaultRule("read", "transient")], seed=0)
+        with pytest.raises(OSError) as exc_info:
+            io.read_bytes(path)
+        assert "injected" in str(exc_info.value)
+        assert io.calls["read"] == 1
+        assert io.injected[("read", "transient")] == 1
+
+    def test_corrupt_read_truncates(self, tmp_path):
+        path = self._file(tmp_path, "x" * 100)
+        io = FaultInjector([FaultRule("read", "corrupt")], seed=0)
+        data = io.read_bytes(path)
+        assert data == b"x" * 50
+        # The file itself is untouched — only the read is perturbed.
+        assert path.read_bytes() == b"x" * 100
+
+    def test_torn_write_truncates_on_disk(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        io = FaultInjector([FaultRule("write", "torn-write")], seed=0)
+        io.save_text(path, "0123456789")
+        assert path.read_text(encoding="utf-8") == "01234"
+
+    def test_mtime_collision_preserves_stat_fields(self, tmp_path):
+        path = self._file(tmp_path, '{"old": "contents!"}')
+        before = os.stat(path)
+        io = FaultInjector([FaultRule("write", "mtime-collision")], seed=0)
+        io.save_text(path, '{"new": "x"}')
+        after = os.stat(path)
+        assert after.st_size == before.st_size
+        assert after.st_mtime_ns == before.st_mtime_ns
+        assert path.read_text(encoding="utf-8").startswith('{"new"')
+
+    def test_mtime_collision_without_existing_file_writes_plainly(
+        self, tmp_path
+    ):
+        path = tmp_path / "fresh.json"
+        io = FaultInjector([FaultRule("write", "mtime-collision")], seed=0)
+        io.save_text(path, '{"a": 1}')
+        assert path.read_text(encoding="utf-8") == '{"a": 1}'
+
+    def test_limit_caps_firings(self, tmp_path):
+        path = self._file(tmp_path)
+        io = FaultInjector(
+            [FaultRule("read", "transient", limit=2)], seed=0
+        )
+        for _ in range(2):
+            with pytest.raises(OSError):
+                io.read_bytes(path)
+        # Budget spent: subsequent reads succeed.
+        assert io.read_bytes(path) == b'{"k": "v"}'
+        assert io.injected[("read", "transient")] == 2
+
+    def test_schedule_is_deterministic_under_seed(self, tmp_path):
+        path = self._file(tmp_path)
+        rules = [FaultRule("read", "transient", rate=0.4)]
+
+        def schedule(seed):
+            io = FaultInjector(rules, seed=seed)
+            outcomes = []
+            for _ in range(50):
+                try:
+                    io.read_bytes(path)
+                    outcomes.append("ok")
+                except OSError:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_rate_zero_never_fires(self, tmp_path):
+        path = self._file(tmp_path)
+        io = FaultInjector(
+            [FaultRule("read", "transient", rate=0.0)], seed=0
+        )
+        for _ in range(20):
+            io.read_bytes(path)
+        assert sum(io.injected.values()) == 0
+
+    def test_replace_passes_through(self, tmp_path):
+        src = self._file(tmp_path)
+        dst = tmp_path / "aside.json"
+        io = FaultInjector([FaultRule("read", "transient")], seed=0)
+        io.replace(src, dst)
+        assert dst.exists() and not src.exists()
+
+    def test_wraps_custom_io(self, tmp_path):
+        seen = []
+
+        class SpyIO(CatalogIO):
+            def read_bytes(self, path):
+                seen.append(path)
+                return super().read_bytes(path)
+
+        path = self._file(tmp_path)
+        io = FaultInjector([], io=SpyIO())
+        io.read_bytes(path)
+        assert seen == [path]

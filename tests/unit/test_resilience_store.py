@@ -1,0 +1,220 @@
+"""Unit tests for the retrying, quarantining, stale-serving store."""
+
+import pytest
+
+from repro.catalog import SystemCatalog
+from repro.errors import CatalogError, ResilienceError
+from repro.resilience import (
+    FaultInjector,
+    FaultRule,
+    ResilientCatalogStore,
+    RetryPolicy,
+)
+from repro.resilience.retry import call_with_retry
+
+from tests.unit.test_catalog import _stats
+
+
+def _write(path, *records):
+    catalog = SystemCatalog()
+    for stats in records:
+        catalog.put(stats)
+    catalog.save(path)
+    return catalog
+
+
+def _store(path, rules, **kwargs):
+    kwargs.setdefault("sleep", lambda _t: None)
+    return ResilientCatalogStore(
+        path, io=FaultInjector(rules, seed=0), **kwargs
+    )
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+
+    def test_delay_schedule_is_capped_and_jittered(self):
+        import random
+
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=10.0, max_delay=0.5, jitter=0.5
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(i, rng) for i in range(4)]
+        assert all(0 < d <= 0.5 for d in delays)
+        # Retry 1 onward hits the cap before jitter.
+        assert delays[1] <= 0.5
+
+    def test_call_with_retry_counts_retries(self):
+        failures = [OSError("a"), OSError("b")]
+
+        def flaky():
+            if failures:
+                raise failures.pop(0)
+            return "done"
+
+        result, retries = call_with_retry(
+            flaky, RetryPolicy(attempts=4), sleep=lambda _t: None
+        )
+        assert result == "done"
+        assert retries == 2
+
+    def test_call_with_retry_exhausts_budget(self):
+        def always():
+            raise OSError("permanent")
+
+        with pytest.raises(OSError) as exc_info:
+            call_with_retry(
+                always, RetryPolicy(attempts=3), sleep=lambda _t: None
+            )
+        assert "permanent" in str(exc_info.value)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            call_with_retry(
+                bad, RetryPolicy(attempts=5), sleep=lambda _t: None
+            )
+        assert len(calls) == 1
+
+
+class TestResilientCatalogStore:
+    def test_transient_faults_are_retried_through(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = _store(
+            path, [FaultRule("read", "transient", limit=2)]
+        )
+        assert store.get("t.a").index_name == "t.a"
+        metrics = store.metrics()
+        assert metrics["reads"] == 1
+        assert metrics["retries"] == 2
+        assert metrics["stale_serves"] == 0
+
+    def test_exhausted_retries_without_last_good_raise(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = _store(
+            path,
+            [FaultRule("read", "transient")],
+            retry=RetryPolicy(attempts=2),
+        )
+        with pytest.raises(CatalogError) as exc_info:
+            store.catalog()
+        assert "no last-known-good" in str(exc_info.value)
+
+    def test_exhausted_retries_with_last_good_serve_stale(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = _store(
+            path,
+            # Two clean reads, then permanent transient faults.
+            [FaultRule("read", "transient", rate=0.0, limit=1)],
+            retry=RetryPolicy(attempts=2),
+        )
+        good = store.catalog()
+        # Swap in an injector that always faults, keeping store state.
+        store._io = FaultInjector([FaultRule("read", "transient")], seed=0)
+        served = store.catalog()
+        assert served is good
+        assert store.metrics()["stale_serves"] == 1
+
+    def test_corrupt_file_is_quarantined_and_stale_served(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = _store(path, [])
+        good = store.catalog()
+        store._io = FaultInjector([FaultRule("read", "corrupt")], seed=0)
+        served = store.catalog()
+        assert served is good
+        assert not path.exists()
+        assert store.quarantine_path.exists()
+        metrics = store.metrics()
+        assert metrics["quarantines"] == 1
+        assert metrics["stale_serves"] == 1
+
+    def test_reads_after_quarantine_keep_serving_stale(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = _store(path, [])
+        good = store.catalog()
+        store._io = FaultInjector([FaultRule("read", "corrupt")], seed=0)
+        store.catalog()  # quarantines
+        store._io = FaultInjector([], seed=0)
+        for _ in range(3):
+            assert store.catalog() is good  # file gone -> stale
+        assert store.metrics()["stale_serves"] == 4
+
+    def test_fresh_save_recovers_after_quarantine(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = _store(path, [])
+        store.catalog()
+        store._io = FaultInjector([FaultRule("read", "corrupt")], seed=0)
+        store.catalog()  # quarantines
+        store._io = FaultInjector([], seed=0)
+        catalog = SystemCatalog()
+        catalog.put(_stats("t.b"))
+        store.save(catalog)
+        assert "t.b" in store
+        assert store.metrics()["has_last_good"] is True
+
+    def test_corrupt_without_last_good_raises(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text("{broken", encoding="utf-8")
+        store = _store(path, [])
+        with pytest.raises(CatalogError):
+            store.catalog()
+        assert store.quarantine_path.exists()
+
+    def test_quarantine_can_be_disabled(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text("{broken", encoding="utf-8")
+        store = _store(path, [], quarantine=False)
+        with pytest.raises(CatalogError):
+            store.catalog()
+        assert path.exists()
+        assert not store.quarantine_path.exists()
+        assert store.metrics()["quarantines"] == 0
+
+    def test_missing_file_without_last_good_raises(self, tmp_path):
+        store = _store(tmp_path / "none.json", [])
+        with pytest.raises(CatalogError):
+            store.catalog()
+
+    def test_is_a_drop_in_catalog_store(self, tmp_path):
+        from repro.catalog import CatalogStore
+
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"), _stats("t.b"))
+        store = _store(path, [])
+        assert isinstance(store, CatalogStore)
+        assert sorted(store) == ["t.a", "t.b"]
+        assert len(store) == 2
+        assert store.generation == 1
+
+    def test_metrics_shape(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _write(path, _stats("t.a"))
+        store = _store(path, [])
+        store.catalog()
+        assert store.metrics() == {
+            "reads": 1,
+            "retries": 0,
+            "quarantines": 0,
+            "stale_serves": 0,
+            "has_last_good": True,
+        }
