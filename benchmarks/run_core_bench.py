@@ -59,7 +59,20 @@ def main(argv=None) -> int:
             f"err {row['max_rel_error_pct']:6.2f}%  "
             f"{'ok' if row['agrees_with_baseline'] else 'MISMATCH'}"
         )
+    instrumentation = document.get("instrumentation")
+    if instrumentation is not None:
+        print(
+            f"instrumentation overhead: "
+            f"{instrumentation['overhead_pct']:+.2f}% "
+            f"(bound {instrumentation['bound_pct']:.0f}%)  "
+            f"{'ok' if instrumentation['ok'] else 'OVER BUDGET'}"
+        )
     print(f"criteria passed: {criteria.get('passed')}  -> {args.out}")
+    # The instrumentation bound is enforced even in smoke runs: the
+    # overhead measurement uses its own fixed trace and stays meaningful
+    # at smoke scale, unlike the kernel speedup criteria.
+    if instrumentation is not None and not instrumentation["ok"]:
+        return 1
     return 0 if criteria.get("passed") or args.smoke else 1
 
 

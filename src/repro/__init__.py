@@ -102,6 +102,12 @@ from repro.eval import (
 )
 from repro.executor import QueryExecutor, plan_from_choice
 from repro.fit import PiecewiseLinear, fit_piecewise_linear
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    global_registry,
+    observability_session,
+)
 from repro.optimizer import choose_access_plan
 from repro.storage import (
     BTreeIndex,
@@ -159,6 +165,7 @@ __all__ = [
     "LRUBufferPool",
     "LRUFit",
     "LRUFitConfig",
+    "MetricsRegistry",
     "MinorColumnPredicate",
     "MackertLohmanEstimator",
     "OTEstimator",
@@ -184,6 +191,7 @@ __all__ = [
     "SystemCatalog",
     "Table",
     "TableShape",
+    "Tracer",
     "WindowPlacer",
     "append_records",
     "available_estimators",
@@ -197,7 +205,9 @@ __all__ = [
     "evaluation_buffer_grid",
     "fit_piecewise_linear",
     "generate_scan_mix",
+    "global_registry",
     "major_range",
+    "observability_session",
     "plan_from_choice",
     "register_estimator",
     "resolve_estimator",

@@ -20,9 +20,32 @@ from __future__ import annotations
 
 import abc
 import pickle
+import time
 from typing import ClassVar, Iterable
 
 from repro.errors import CheckpointError, KernelError
+from repro.obs import instruments
+from repro.obs.metrics import global_registry
+
+
+def _record_kernel_pass(
+    kernel_name: str, references: int, elapsed_ns: int
+) -> None:
+    """Publish one finished pass's profile to the global registry.
+
+    Called from both the streaming path (:meth:`KernelStream.finish`)
+    and one-shot fast paths that bypass streams; a no-op while the
+    global registry is disabled.
+    """
+    if not global_registry().enabled:
+        return
+    labels = {"kernel": kernel_name}
+    instruments.kernel_references().labels(**labels).inc(references)
+    instruments.kernel_feed_seconds().labels(**labels).inc(elapsed_ns)
+    if elapsed_ns > 0:
+        instruments.kernel_references_per_second().labels(**labels).set(
+            references * 1e9 / elapsed_ns
+        )
 
 
 class KernelStream(abc.ABC):
@@ -40,12 +63,26 @@ class KernelStream(abc.ABC):
     """
 
     _finished: bool = False
+    # Class-level defaults keep pre-observability pickled snapshots
+    # loadable: a restored stream missing these attributes falls back
+    # here instead of raising AttributeError.
+    kernel_name: str = "unknown"
+    _obs_feed_ns: int = 0
 
     def feed(self, pages: Iterable[int]) -> None:
         """Consume the next chunk of page references."""
         if self._finished:
             raise KernelError("cannot feed a finished kernel stream")
-        self._consume(pages)
+        if not global_registry().enabled:
+            self._consume(pages)
+            return
+        started = time.perf_counter_ns()
+        try:
+            self._consume(pages)
+        finally:
+            self._obs_feed_ns = self._obs_feed_ns + (
+                time.perf_counter_ns() - started
+            )
 
     def finish(self):
         """Close the stream and return the fetch curve for everything fed.
@@ -57,7 +94,17 @@ class KernelStream(abc.ABC):
         if self._finished:
             raise KernelError("kernel stream already finished")
         self._finished = True
-        return self._result()
+        if not global_registry().enabled:
+            return self._result()
+        started = time.perf_counter_ns()
+        curve = self._result()
+        elapsed = self._obs_feed_ns + (
+            time.perf_counter_ns() - started
+        )
+        _record_kernel_pass(
+            self.kernel_name, getattr(curve, "accesses", 0), elapsed
+        )
+        return curve
 
     def snapshot_state(self) -> bytes:
         """The stream's complete mid-pass state, serialized.
@@ -112,8 +159,19 @@ class StackDistanceKernel(abc.ABC):
     exact: ClassVar[bool] = True
 
     @abc.abstractmethod
+    def _new_stream(self) -> KernelStream:
+        """Implementation hook: a fresh single-use stream."""
+
     def stream(self) -> KernelStream:
-        """A fresh single-use stream for one trace."""
+        """A fresh single-use stream for one trace.
+
+        The stream is tagged with this kernel's registry ``name`` so the
+        pass profile it publishes at ``finish()`` (references consumed,
+        feed time, references/second) is labeled per kernel.
+        """
+        s = self._new_stream()
+        s.kernel_name = self.name
+        return s
 
     def analyze(self, trace: Iterable[int]):
         """One-shot analysis: stream the whole ``trace`` and finish."""

@@ -9,10 +9,16 @@ exact kernel is validated against this one.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List
 
-from repro.buffer.kernels.base import KernelStream, StackDistanceKernel
+from repro.buffer.kernels.base import (
+    KernelStream,
+    StackDistanceKernel,
+    _record_kernel_pass,
+)
 from repro.buffer.stack import FetchCurve, stack_distances
+from repro.obs.metrics import global_registry
 
 
 class _BaselineStream(KernelStream):
@@ -99,13 +105,23 @@ class BaselineKernel(StackDistanceKernel):
     name = "baseline"
     exact = True
 
-    def stream(self) -> KernelStream:
+    def _new_stream(self) -> KernelStream:
         """A fresh growable-Fenwick stream."""
         return _BaselineStream()
 
     def analyze(self, trace: Iterable[int]) -> FetchCurve:
         """One-shot pass; sized sequences skip the growable indirection."""
         if hasattr(trace, "__len__"):
+            if not global_registry().enabled:
+                distances, cold = stack_distances(trace)
+                return FetchCurve.from_distances(distances, cold)
+            started = time.perf_counter_ns()
             distances, cold = stack_distances(trace)
-            return FetchCurve.from_distances(distances, cold)
+            curve = FetchCurve.from_distances(distances, cold)
+            _record_kernel_pass(
+                self.name,
+                curve.accesses,
+                time.perf_counter_ns() - started,
+            )
+            return curve
         return super().analyze(trace)

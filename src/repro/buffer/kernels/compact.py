@@ -112,6 +112,6 @@ class CompactKernel(StackDistanceKernel):
     name = "compact"
     exact = True
 
-    def stream(self) -> KernelStream:
+    def _new_stream(self) -> KernelStream:
         """A fresh big-integer recency stream."""
         return _CompactStream()

@@ -470,7 +470,7 @@ class SampledKernel(StackDistanceKernel):
         self.guard_factor = guard_factor
         self.stratify = stratify
 
-    def stream(self) -> KernelStream:
+    def _new_stream(self) -> KernelStream:
         """A fresh sampling stream bound to this kernel's configuration."""
         return _SampledStream(self)
 

@@ -130,6 +130,6 @@ class VectorizedKernel(StackDistanceKernel):
                 "the 'numpy' kernel requires numpy, which is not installed"
             )
 
-    def stream(self) -> KernelStream:
+    def _new_stream(self) -> KernelStream:
         """A fresh buffering stream."""
         return _VectorizedStream()

@@ -12,6 +12,18 @@ Commands mirror how a DBA would interact with EPFIS:
 * ``perf``      — time one LRU-Fit pass per stack-distance kernel.
 * ``verify``    — run the differential verification harness (LRU oracle
   cross-checks, metamorphic invariants, golden-fixture regression).
+* ``metrics``   — print the standard metric-family schema this build
+  exports (Prometheus text or canonical JSONL).
+
+``fit``, ``estimate``, ``experiment``, and ``verify`` additionally take
+``--metrics-out FILE`` (export every metric recorded during the run;
+``-`` for stdout; format by extension or ``--metrics-format``) and
+``--trace-out FILE`` (stream the run's span tree as JSON lines) — see
+:mod:`repro.obs`.  When an export targets stdout (``-``) the command's
+human-readable report moves to stderr so stdout stays machine-parseable
+(``repro experiment --metrics-out - | promcheck -`` just works).
+Without these flags the observability layer stays disabled and costs
+nothing.
 
 Every command is deterministic given its ``--seed``.  ``experiment`` is a
 thin builder over the declarative :class:`~repro.eval.spec.ExperimentSpec`:
@@ -34,6 +46,7 @@ snapshot); a resumed run produces byte-identical results — see
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -51,6 +64,8 @@ from repro.estimators.registry import (
 from repro.eval.figures import table2_rows, table3_rows
 from repro.eval.report import format_table
 from repro.eval.spec import ExperimentSpec, run_experiment_spec
+from repro.obs.metrics import global_registry
+from repro.obs.session import observability_session
 from repro.types import ScanSelectivity
 
 
@@ -151,8 +166,37 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="export metrics recorded during the run "
+                             "('-' for stdout)")
+    parser.add_argument("--metrics-format",
+                        choices=("auto", "prom", "jsonl"), default="auto",
+                        help="metrics export format (auto: by file "
+                             "extension; '-' means prom)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the run's span tree as JSON lines "
+                             "('-' for stdout)")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.export import to_jsonl, to_prometheus
+    from repro.obs.instruments import register_standard_families
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    register_standard_families(registry)
+    render = to_prometheus if args.format == "prom" else to_jsonl
+    sys.stdout.write(render(registry.snapshot()))
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    engine = EstimationEngine(args.catalog, fallback_chain=args.fallback)
+    engine = EstimationEngine(
+        args.catalog,
+        fallback_chain=args.fallback,
+        registry=global_registry(),
+    )
     names = [args.index] if args.index else engine.index_names()
     selectivity = ScanSelectivity(args.sigma, args.sargable)
     rows = []
@@ -445,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--grid-rule", choices=("paper", "graefe"),
                        default="paper")
     _add_checkpoint_arguments(p_fit)
+    _add_obs_arguments(p_fit)
     p_fit.set_defaults(handler=_cmd_fit)
 
     p_estimate = sub.add_parser(
@@ -468,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="NAME",
                             help="degraded-mode fallback chain tried in "
                                  "order when the estimator fails")
+    _add_obs_arguments(p_estimate)
     p_estimate.set_defaults(handler=_cmd_estimate)
 
     p_experiment = sub.add_parser(
@@ -494,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the equivalent spec JSON instead "
                                    "of running")
     _add_checkpoint_arguments(p_experiment)
+    _add_obs_arguments(p_experiment)
     p_experiment.set_defaults(handler=_cmd_experiment)
 
     p_gwl = sub.add_parser(
@@ -555,7 +602,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--regen", action="store_true",
                           help="regenerate the golden fixture instead of "
                                "comparing against it")
+    _add_obs_arguments(p_verify)
     p_verify.set_defaults(handler=_cmd_verify)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="print the standard metric-family schema this build exports",
+    )
+    p_metrics.add_argument("--format", choices=("prom", "jsonl"),
+                           default="prom",
+                           help="output format (default prom)")
+    p_metrics.set_defaults(handler=_cmd_metrics)
 
     return parser
 
@@ -564,8 +621,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
     try:
-        return args.handler(args)
+        with observability_session(
+            metrics_out=metrics_out,
+            trace_out=trace_out,
+            metrics_format=getattr(args, "metrics_format", "auto"),
+        ):
+            if "-" in (metrics_out, trace_out):
+                # An export claimed stdout: keep it machine-parseable
+                # by moving the human-readable report to stderr.
+                with contextlib.redirect_stdout(sys.stderr):
+                    return args.handler(args)
+            return args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -45,11 +45,28 @@ from repro.catalog.store import CatalogStore
 from repro.errors import EngineError, ReproError
 from repro.estimators.base import PageFetchEstimator
 from repro.estimators.registry import available_estimators, get_estimator
+from repro.obs import instruments
+from repro.obs.metrics import (
+    NS_TO_SECONDS,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.tracing import span as obs_span
 from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 from repro.types import ScanSelectivity
 
 #: Bound (index, estimator) pairs kept alive per engine.
 DEFAULT_ESTIMATOR_CACHE = 256
+
+
+def _bind_engine_families(registry: MetricsRegistry) -> Dict[str, object]:
+    """Resolve the per-estimator serving families on ``registry`` once."""
+    return {
+        "latency": instruments.engine_call_latency(registry),
+        "estimates": instruments.engine_estimates(registry),
+        "errors": instruments.engine_errors(registry),
+        "degraded": instruments.engine_degraded_serves(registry),
+    }
 
 
 @dataclass
@@ -113,6 +130,7 @@ class EstimationEngine:
         fallback_chain: Optional[Sequence[str]] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if cache_size < 1:
             raise EngineError(f"cache_size must be >= 1, got {cache_size}")
@@ -129,7 +147,24 @@ class EstimationEngine:
             OrderedDict()
         )
         self._bound_generation = -1
-        self._metrics: Dict[str, EstimatorCallStats] = {}
+        # Serving counters live on a metrics registry: the engine's own
+        # always-enabled one by default (``metrics()`` stays truthful
+        # with no setup) or a caller-provided registry.  Latencies are
+        # accumulated as integer nanoseconds inside the registry and
+        # converted to seconds only in views/snapshots, so a nanosecond
+        # can never vanish into a large float running total.  Every
+        # record is mirrored onto the process-global registry (no-op
+        # while it is disabled) so exports carry the engine families.
+        self._registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._fam = _bind_engine_families(self._registry)
+        shared = global_registry()
+        self._fam_mirror = (
+            _bind_engine_families(shared)
+            if shared is not self._registry
+            else None
+        )
         if fallback_chain is not None:
             known = set(available_estimators())
             normalized = []
@@ -227,7 +262,10 @@ class EstimationEngine:
         breaker = self._breakers.get(name)
         if breaker is None:
             breaker = CircuitBreaker(
-                self._breaker_policy, clock=self._clock
+                self._breaker_policy,
+                clock=self._clock,
+                registry=self._registry,
+                name=name,
             )
             self._breakers[name] = breaker
         return breaker
@@ -246,12 +284,21 @@ class EstimationEngine:
         path — exceptions propagate unchanged.
         """
         if not self._resilient():
-            bound = self.estimator(index_name, estimator_name, **options)
-            started = time.perf_counter()
-            result, count = call(bound)
-            self._record(
-                estimator_name, count, time.perf_counter() - started
-            )
+            with obs_span(
+                "engine-serve",
+                index=index_name,
+                estimator=estimator_name,
+            ):
+                bound = self.estimator(
+                    index_name, estimator_name, **options
+                )
+                started = time.perf_counter_ns()
+                result, count = call(bound)
+                self._record(
+                    estimator_name,
+                    count,
+                    time.perf_counter_ns() - started,
+                )
             return result
         requested = estimator_name.lower()
         chain = [requested]
@@ -266,17 +313,20 @@ class EstimationEngine:
                 skipped.append(name)
                 continue
             try:
-                bound = self.estimator(
-                    index_name,
-                    name,
-                    **(options if name == requested else {}),
-                )
-                started = time.perf_counter()
-                result, count = call(bound)
-                elapsed = time.perf_counter() - started
+                with obs_span(
+                    "engine-serve", index=index_name, estimator=name
+                ):
+                    bound = self.estimator(
+                        index_name,
+                        name,
+                        **(options if name == requested else {}),
+                    )
+                    started = time.perf_counter_ns()
+                    result, count = call(bound)
+                    elapsed = time.perf_counter_ns() - started
             except ReproError as exc:
                 last_error = exc
-                self._stats(name).errors += 1
+                self._count("errors", name)
                 if breaker is not None:
                     breaker.record_failure()
                 continue
@@ -284,7 +334,7 @@ class EstimationEngine:
                 breaker.record_success()
             self._record(name, count, elapsed)
             if name != requested:
-                self._stats(requested).degraded_serves += 1
+                self._count("degraded", requested)
             return result
         raise EngineError(
             f"no estimator in the chain {chain} could answer for index "
@@ -350,23 +400,54 @@ class EstimationEngine:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def _stats(self, estimator_name: str) -> EstimatorCallStats:
-        return self._metrics.setdefault(
-            estimator_name.lower(), EstimatorCallStats()
+    def _count(self, family: str, estimator_name: str) -> None:
+        name = estimator_name.lower()
+        self._fam[family].labels(estimator=name).inc()
+        if self._fam_mirror is not None:
+            self._fam_mirror[family].labels(estimator=name).inc()
+
+    def _record(
+        self, estimator_name: str, estimates: int, elapsed_ns: int
+    ) -> None:
+        name = estimator_name.lower()
+        for fams in (self._fam, self._fam_mirror):
+            if fams is None:
+                continue
+            fams["latency"].labels(estimator=name).observe(elapsed_ns)
+            if estimates:
+                fams["estimates"].labels(estimator=name).inc(estimates)
+
+    def _served_names(self) -> List[str]:
+        names = set()
+        for family in self._fam.values():
+            names.update(key[0] for key in family.children())
+        return sorted(names)
+
+    def _stats_view(self, name: str) -> EstimatorCallStats:
+        latency = self._fam["latency"].labels(estimator=name)
+        return EstimatorCallStats(
+            calls=latency.count,
+            estimates=self._fam["estimates"].labels(
+                estimator=name
+            ).value,
+            seconds=latency.sum * NS_TO_SECONDS,
+            errors=self._fam["errors"].labels(estimator=name).value,
+            degraded_serves=self._fam["degraded"].labels(
+                estimator=name
+            ).value,
         )
 
-    def _record(self, estimator_name: str, estimates: int, seconds: float
-                ) -> None:
-        stats = self._stats(estimator_name)
-        stats.calls += 1
-        stats.estimates += estimates
-        stats.seconds += seconds
-
     def metrics(self) -> Dict[str, Dict[str, float]]:
-        """Per-estimator serving counters, as plain dicts."""
+        """Per-estimator serving counters, as plain dicts.
+
+        A view over the engine's metrics registry shaped exactly like
+        the pre-registry dicts (pinned by the equality tests); latency
+        sums are exact integer nanoseconds underneath, converted to
+        seconds here.
+        """
         return {
-            name: stats.snapshot()
-            for name, stats in sorted(self._metrics.items())
+            name: self._stats_view(name).snapshot()
+            for name in self._served_names()
         }
 
     def breaker_states(self) -> Dict[str, str]:
@@ -391,9 +472,13 @@ class EstimationEngine:
         """
         rollup: Dict[str, object] = {
             "degraded_serves": sum(
-                s.degraded_serves for s in self._metrics.values()
+                child.value
+                for child in self._fam["degraded"].children().values()
             ),
-            "errors": sum(s.errors for s in self._metrics.values()),
+            "errors": sum(
+                child.value
+                for child in self._fam["errors"].children().values()
+            ),
             "breaker_state": self.breaker_states(),
         }
         store_metrics = getattr(self._source, "metrics", None)
@@ -407,7 +492,8 @@ class EstimationEngine:
 
     def reset_metrics(self) -> None:
         """Zero the serving counters (e.g. between load phases)."""
-        self._metrics.clear()
+        for family in self._fam.values():
+            family.clear()
 
     def __repr__(self) -> str:
         return (

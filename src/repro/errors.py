@@ -99,3 +99,9 @@ class CheckpointError(ResilienceError):
 
 class FaultInjectionError(ResilienceError):
     """A fault-injection plan named an unknown fault kind or operation."""
+
+
+class ObservabilityError(ReproError):
+    """A metrics instrument or trace sink was declared or used
+    inconsistently (conflicting family types, bad labels, negative
+    counter increments, unwritable export paths, ...)."""

@@ -36,6 +36,7 @@ from repro.errors import EstimationError, TraceError
 from repro.estimators.base import PageFetchEstimator
 from repro.estimators.formulas import cardenas
 from repro.fit.segments import PiecewiseLinear, fit_piecewise_linear
+from repro.obs.tracing import span as obs_span
 from repro.storage.index import Index
 from repro.trace.stats import B_SML_DEFAULT, dc_cluster_count, min_modeled_buffer
 from repro.types import ScanSelectivity
@@ -177,35 +178,40 @@ class LRUFit:
         ``resume=True`` continues an interrupted pass — see
         :meth:`run_streaming`.
         """
-        trace = index.page_sequence()
-        table_pages = index.table.page_count
-        distinct_keys = index.distinct_key_count()
-        dc_count = (
-            dc_cluster_count(index)
-            if self.config.collect_baseline_stats
-            else None
-        )
-        if checkpoint is not None:
-            chunks = (
-                trace[i:i + CHECKPOINT_CHUNK_REFS]
-                for i in range(0, len(trace), CHECKPOINT_CHUNK_REFS)
+        with obs_span(
+            "lru-fit", index=index.name, kernel=self.config.kernel
+        ):
+            with obs_span("trace-generation", index=index.name) as sp:
+                trace = index.page_sequence()
+                sp.set_attribute("references", len(trace))
+            table_pages = index.table.page_count
+            distinct_keys = index.distinct_key_count()
+            dc_count = (
+                dc_cluster_count(index)
+                if self.config.collect_baseline_stats
+                else None
             )
-            return self.run_streaming(
-                chunks,
+            if checkpoint is not None:
+                chunks = (
+                    trace[i:i + CHECKPOINT_CHUNK_REFS]
+                    for i in range(0, len(trace), CHECKPOINT_CHUNK_REFS)
+                )
+                return self.run_streaming(
+                    chunks,
+                    table_pages=table_pages,
+                    distinct_keys=distinct_keys,
+                    index_name=index.name,
+                    dc_count=dc_count,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                )
+            return self.run_on_trace(
+                trace,
                 table_pages=table_pages,
                 distinct_keys=distinct_keys,
                 index_name=index.name,
                 dc_count=dc_count,
-                checkpoint=checkpoint,
-                resume=resume,
             )
-        return self.run_on_trace(
-            trace,
-            table_pages=table_pages,
-            distinct_keys=distinct_keys,
-            index_name=index.name,
-            dc_count=dc_count,
-        )
 
     def run_on_trace(
         self,
@@ -223,7 +229,10 @@ class LRUFit:
         """
         kernel = resolve_kernel(self.config.kernel)
         try:
-            curve = kernel.analyze(trace)
+            with obs_span(
+                "kernel-pass", kernel=kernel.name, index=index_name
+            ):
+                curve = kernel.analyze(trace)
         except TraceError:
             raise EstimationError("cannot fit an empty index trace") from None
         return self._statistics_from_curve(
@@ -261,16 +270,26 @@ class LRUFit:
             raise EstimationError(
                 "resume=True requires a checkpoint directory"
             )
-        if checkpoint is None:
-            stream = resolve_kernel(self.config.kernel).stream()
-            for chunk in chunks:
-                stream.feed(chunk)
-        else:
-            stream = self._feed_checkpointed(chunks, checkpoint, resume)
-        try:
-            curve = stream.finish()
-        except TraceError:
-            raise EstimationError("cannot fit an empty index trace") from None
+        with obs_span(
+            "kernel-pass",
+            kernel=self.config.kernel,
+            index=index_name,
+            streaming=True,
+        ):
+            if checkpoint is None:
+                stream = resolve_kernel(self.config.kernel).stream()
+                for chunk in chunks:
+                    stream.feed(chunk)
+            else:
+                stream = self._feed_checkpointed(
+                    chunks, checkpoint, resume
+                )
+            try:
+                curve = stream.finish()
+            except TraceError:
+                raise EstimationError(
+                    "cannot fit an empty index trace"
+                ) from None
         return self._statistics_from_curve(
             curve, table_pages, distinct_keys, index_name, dc_count
         )
@@ -360,6 +379,19 @@ class LRUFit:
         dc_count: Optional[int],
     ) -> IndexStatistics:
         """Grid sampling, segment fitting, and catalog-record assembly."""
+        with obs_span("segment-fit", index=index_name):
+            return self._fit_statistics(
+                curve, table_pages, distinct_keys, index_name, dc_count
+            )
+
+    def _fit_statistics(
+        self,
+        curve,
+        table_pages: int,
+        distinct_keys: int,
+        index_name: str,
+        dc_count: Optional[int],
+    ) -> IndexStatistics:
         records = curve.accesses
 
         if self.config.b_range is not None:

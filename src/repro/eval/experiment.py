@@ -25,6 +25,9 @@ from repro.estimators.registry import resolve_estimator
 from repro.eval.buffer_grid import BufferGrid
 from repro.eval.ground_truth import ScanTraceExtractor, ground_truth_tables
 from repro.eval.metrics import aggregate_relative_error
+from repro.obs import instruments
+from repro.obs.metrics import global_registry
+from repro.obs.tracing import span as obs_span
 from repro.storage.index import Index
 from repro.workload.scans import ScanSpec
 
@@ -151,14 +154,19 @@ def run_error_behavior(
 
     # Ground truth: actuals[s][g] = fetches of scan s at grid point g.
     usable_scans: List[ScanSpec] = list(scans)
-    actuals: List[List[int]] = ground_truth_tables(
-        extractor,
-        usable_scans,
-        buffer_sizes,
-        workers=workers,
-        kernel=kernel,
-        seed=seed,
-    )
+    with obs_span(
+        "ground-truth",
+        scans=len(usable_scans),
+        buffer_sizes=len(buffer_sizes),
+    ):
+        actuals: List[List[int]] = ground_truth_tables(
+            extractor,
+            usable_scans,
+            buffer_sizes,
+            workers=workers,
+            kernel=kernel,
+            seed=seed,
+        )
     # Selectivities are a property of the scan workload alone — compute
     # them once, not once per estimator.
     per_scan_selectivities = [scan.selectivity() for scan in usable_scans]
@@ -169,13 +177,28 @@ def run_error_behavior(
     ]
 
     curves: List[EstimatorErrorCurve] = []
+    registry = global_registry()
     for estimator in resolved:
         # One batched call per estimator: buffer-independent work (curve
         # interpolation, saturation points) is hoisted inside
-        # estimate_grid's fast paths.
-        estimate_rows = estimator.estimate_grid(
-            per_scan_selectivities, buffer_sizes
-        )
+        # estimate_grid's fast paths.  Each estimator's Est-IO stage is
+        # recorded into the shared engine serving families — latency as
+        # integer nanoseconds — and gets its own span; both are no-ops
+        # unless an exporter is attached.
+        name = estimator.name.lower()
+        with obs_span("est-io", estimator=estimator.name):
+            started_ns = time.perf_counter_ns()
+            estimate_rows = estimator.estimate_grid(
+                per_scan_selectivities, buffer_sizes
+            )
+            elapsed_ns = time.perf_counter_ns() - started_ns
+        if registry.enabled:
+            instruments.engine_call_latency(registry).labels(
+                estimator=name
+            ).observe(elapsed_ns)
+            instruments.engine_estimates(registry).labels(
+                estimator=name
+            ).inc(len(per_scan_selectivities) * len(buffer_sizes))
         points: List[Tuple[int, float]] = []
         for g, buffer_pages in enumerate(buffer_sizes):
             error = aggregate_relative_error(

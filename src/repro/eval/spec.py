@@ -39,6 +39,7 @@ from repro.estimators.registry import (
 )
 from repro.eval.buffer_grid import PAPER_FLOOR, evaluation_buffer_grid
 from repro.eval.experiment import ErrorBehaviorResult, run_error_behavior
+from repro.obs.tracing import span as obs_span
 from repro.workload.scans import generate_scan_mix
 
 
@@ -218,27 +219,34 @@ def run_experiment_spec(
     interrupted ``repro experiment`` run resumes instead of restarting —
     see :mod:`repro.resilience.checkpoint`.
     """
-    dataset = build_synthetic_dataset(spec.dataset)
-    index = dataset.index
-    grid = evaluation_buffer_grid(
-        index.table.page_count, floor=spec.buffer_floor
-    )
-    scans = generate_scan_mix(
-        index,
-        count=spec.scan_count,
-        small_probability=spec.small_probability,
-        large_probability=spec.large_probability,
-        rng=random.Random(spec.seed),
-    )
-    return run_error_behavior(
-        index,
-        list(spec.estimators),
-        scans,
-        grid,
-        dataset_name=dataset.name,
-        workers=spec.workers,
+    with obs_span(
+        "experiment",
+        dataset=spec.dataset.name,
         kernel=spec.kernel,
         seed=spec.seed,
-        checkpoint=checkpoint,
-        resume=resume,
-    )
+    ):
+        with obs_span("build-dataset", dataset=spec.dataset.name):
+            dataset = build_synthetic_dataset(spec.dataset)
+        index = dataset.index
+        grid = evaluation_buffer_grid(
+            index.table.page_count, floor=spec.buffer_floor
+        )
+        scans = generate_scan_mix(
+            index,
+            count=spec.scan_count,
+            small_probability=spec.small_probability,
+            large_probability=spec.large_probability,
+            rng=random.Random(spec.seed),
+        )
+        return run_error_behavior(
+            index,
+            list(spec.estimators),
+            scans,
+            grid,
+            dataset_name=dataset.name,
+            workers=spec.workers,
+            kernel=spec.kernel,
+            seed=spec.seed,
+            checkpoint=checkpoint,
+            resume=resume,
+        )

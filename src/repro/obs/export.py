@@ -1,0 +1,122 @@
+"""Exporters rendering a registry snapshot to wire formats.
+
+Two formats, both produced from the canonical
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dictionary so equal
+registry state always renders byte-identically:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, one sample per line, histograms as
+  cumulative ``_bucket``/``_sum``/``_count`` series).  Validated by
+  :mod:`repro.obs.promcheck`.
+* :func:`to_jsonl` — canonical JSON lines: one minified, key-sorted
+  JSON object per sample.  The machine-diffable form (goldens, CI
+  artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+def _fmt_value(value: Number) -> str:
+    """Prometheus sample value: ints bare, floats via ``repr``."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _le_str(bound: Optional[Number]) -> str:
+    return "+Inf" if bound is None else _fmt_value(bound)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: List[str] = []
+    for family in snapshot["families"]:
+        name = family["name"]
+        if family["help"]:
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if family["type"] == "histogram":
+                for bound, cumulative in sample["buckets"]:
+                    le = f'le="{_le_str(bound)}"'
+                    lines.append(
+                        f"{name}_bucket{_label_str(labels, le)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_str(labels)} "
+                    f"{_fmt_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(labels)} "
+                    f"{sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} "
+                    f"{_fmt_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_jsonl(snapshot: dict) -> str:
+    """Render a registry snapshot as canonical JSON lines.
+
+    One object per sample; families with no samples still emit one
+    schema line (``"samples": 0``) so the exported family set is
+    identical between the two formats.
+    """
+    lines: List[str] = []
+    for family in snapshot["families"]:
+        base = {
+            "name": family["name"],
+            "type": family["type"],
+            "help": family["help"],
+        }
+        if not family["samples"]:
+            lines.append(_dump({**base, "samples": 0}))
+            continue
+        for sample in family["samples"]:
+            record = {**base, "labels": sample["labels"]}
+            if family["type"] == "histogram":
+                record["buckets"] = sample["buckets"]
+                record["sum"] = sample["sum"]
+                record["count"] = sample["count"]
+            else:
+                record["value"] = sample["value"]
+            lines.append(_dump(record))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _dump(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

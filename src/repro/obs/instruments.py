@@ -1,0 +1,240 @@
+"""The catalog of standard metric families this codebase exports.
+
+Every instrumentation site goes through one of these accessors, so a
+family is always declared with the same type, labels, buckets, and
+scale no matter which subsystem touches it first — including when the
+engine's private registry and the process-global registry both carry
+the same family name.
+
+Durations are declared in **integer nanoseconds** with a snapshot-time
+scale of 1e-9: exporters show seconds (the Prometheus convention), the
+registry never loses sub-microsecond resolution to float summation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.metrics import (
+    NS_TO_SECONDS,
+    MetricFamily,
+    MetricsRegistry,
+    global_registry,
+)
+
+# ----------------------------------------------------------------------
+# Kernel profiling (global registry; recorded by KernelStream)
+# ----------------------------------------------------------------------
+KERNEL_REFERENCES_TOTAL = "repro_kernel_references_total"
+KERNEL_FEED_SECONDS_TOTAL = "repro_kernel_feed_seconds_total"
+KERNEL_REFERENCES_PER_SECOND = "repro_kernel_references_per_second"
+
+# ----------------------------------------------------------------------
+# Checkpoint profiling (global registry; recorded by Checkpointer)
+# ----------------------------------------------------------------------
+CHECKPOINT_SAVE_SECONDS = "repro_checkpoint_save_seconds"
+CHECKPOINT_LOAD_SECONDS = "repro_checkpoint_load_seconds"
+
+# ----------------------------------------------------------------------
+# Engine serving (per-engine registry; also recorded by the experiment
+# runner's per-estimator Est-IO stage on the global registry)
+# ----------------------------------------------------------------------
+ENGINE_CALL_LATENCY_SECONDS = "repro_engine_call_latency_seconds"
+ENGINE_ESTIMATES_TOTAL = "repro_engine_estimates_total"
+ENGINE_ERRORS_TOTAL = "repro_engine_errors_total"
+ENGINE_DEGRADED_SERVES_TOTAL = "repro_engine_degraded_serves_total"
+
+# ----------------------------------------------------------------------
+# Resilient catalog store
+# ----------------------------------------------------------------------
+CATALOG_READS_TOTAL = "repro_catalog_reads_total"
+CATALOG_RETRIES_TOTAL = "repro_catalog_retries_total"
+CATALOG_QUARANTINES_TOTAL = "repro_catalog_quarantines_total"
+CATALOG_STALE_SERVES_TOTAL = "repro_catalog_stale_serves_total"
+
+# ----------------------------------------------------------------------
+# Circuit breakers
+# ----------------------------------------------------------------------
+BREAKER_STATE = "repro_breaker_state"
+BREAKER_OPENS_TOTAL = "repro_breaker_opens_total"
+
+#: Gauge encoding of :mod:`repro.resilience.breaker` states.
+BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+def _registry(registry: MetricsRegistry = None) -> MetricsRegistry:
+    return registry if registry is not None else global_registry()
+
+
+def kernel_references(registry=None) -> MetricFamily:
+    """Total page references consumed, per kernel."""
+    return _registry(registry).counter(
+        KERNEL_REFERENCES_TOTAL,
+        "Page references consumed by stack-distance kernel streams.",
+        ("kernel",),
+    )
+
+
+def kernel_feed_seconds(registry=None) -> MetricFamily:
+    """Total wall-clock time inside kernel ``feed``, per kernel."""
+    return _registry(registry).counter(
+        KERNEL_FEED_SECONDS_TOTAL,
+        "Wall-clock seconds spent consuming references, per kernel.",
+        ("kernel",),
+        scale=NS_TO_SECONDS,
+    )
+
+
+def kernel_references_per_second(registry=None) -> MetricFamily:
+    """Throughput of the most recently finished stream, per kernel."""
+    return _registry(registry).gauge(
+        KERNEL_REFERENCES_PER_SECOND,
+        "References/second of the last finished kernel stream.",
+        ("kernel",),
+    )
+
+
+def checkpoint_save_seconds(registry=None) -> MetricFamily:
+    """Latency distribution of checkpoint snapshot saves."""
+    return _registry(registry).histogram(
+        CHECKPOINT_SAVE_SECONDS,
+        "Latency of LRU-Fit checkpoint snapshot saves.",
+    )
+
+
+def checkpoint_load_seconds(registry=None) -> MetricFamily:
+    """Latency distribution of checkpoint loads (resume path)."""
+    return _registry(registry).histogram(
+        CHECKPOINT_LOAD_SECONDS,
+        "Latency of LRU-Fit checkpoint loads.",
+    )
+
+
+def engine_call_latency(registry=None) -> MetricFamily:
+    """Per-estimator serving latency histogram (count == calls)."""
+    return _registry(registry).histogram(
+        ENGINE_CALL_LATENCY_SECONDS,
+        "Latency of estimator serving calls.",
+        ("estimator",),
+    )
+
+
+def engine_estimates(registry=None) -> MetricFamily:
+    """Individual estimates produced, per estimator."""
+    return _registry(registry).counter(
+        ENGINE_ESTIMATES_TOTAL,
+        "Individual page-fetch estimates produced.",
+        ("estimator",),
+    )
+
+
+def engine_errors(registry=None) -> MetricFamily:
+    """Calls that raised, per estimator."""
+    return _registry(registry).counter(
+        ENGINE_ERRORS_TOTAL,
+        "Estimator serving calls that raised.",
+        ("estimator",),
+    )
+
+
+def engine_degraded_serves(registry=None) -> MetricFamily:
+    """Requests answered by a fallback-chain member, per requested name."""
+    return _registry(registry).counter(
+        ENGINE_DEGRADED_SERVES_TOTAL,
+        "Requests answered by a fallback estimator instead of the "
+        "requested one.",
+        ("estimator",),
+    )
+
+
+def catalog_reads(registry=None) -> MetricFamily:
+    """Catalog snapshot requests against a resilient store."""
+    return _registry(registry).counter(
+        CATALOG_READS_TOTAL,
+        "Catalog snapshot requests served by the resilient store.",
+    )
+
+
+def catalog_retries(registry=None) -> MetricFamily:
+    """Transient-fault read retries."""
+    return _registry(registry).counter(
+        CATALOG_RETRIES_TOTAL,
+        "Catalog read retries after transient faults.",
+    )
+
+
+def catalog_quarantines(registry=None) -> MetricFamily:
+    """Corrupt catalog files set aside."""
+    return _registry(registry).counter(
+        CATALOG_QUARANTINES_TOTAL,
+        "Corrupt catalog files quarantined.",
+    )
+
+
+def catalog_stale_serves(registry=None) -> MetricFamily:
+    """Requests served from the last-known-good snapshot."""
+    return _registry(registry).counter(
+        CATALOG_STALE_SERVES_TOTAL,
+        "Catalog requests answered from the last-known-good snapshot.",
+    )
+
+
+def breaker_state(registry=None) -> MetricFamily:
+    """Current breaker state (0 closed, 1 half-open, 2 open)."""
+    return _registry(registry).gauge(
+        BREAKER_STATE,
+        "Circuit-breaker state: 0=closed, 1=half-open, 2=open.",
+        ("estimator",),
+    )
+
+
+def breaker_opens(registry=None) -> MetricFamily:
+    """Times a breaker tripped open, per estimator."""
+    return _registry(registry).counter(
+        BREAKER_OPENS_TOTAL,
+        "Times a circuit breaker tripped open.",
+        ("estimator",),
+    )
+
+
+#: Accessors for every standard family, in export order.
+_STANDARD_ACCESSORS = (
+    breaker_opens,
+    breaker_state,
+    catalog_quarantines,
+    catalog_reads,
+    catalog_retries,
+    catalog_stale_serves,
+    checkpoint_load_seconds,
+    checkpoint_save_seconds,
+    engine_call_latency,
+    engine_degraded_serves,
+    engine_errors,
+    engine_estimates,
+    kernel_feed_seconds,
+    kernel_references,
+    kernel_references_per_second,
+)
+
+
+def standard_family_names() -> List[str]:
+    """Names of every standard family, sorted."""
+    probe = MetricsRegistry(enabled=False)
+    return sorted(
+        accessor(probe).name for accessor in _STANDARD_ACCESSORS
+    )
+
+
+def register_standard_families(registry=None) -> None:
+    """Declare every standard family on ``registry``.
+
+    Exports then always carry the full family schema (``# HELP`` /
+    ``# TYPE``) even for families nothing recorded into during the run;
+    label-less families additionally materialize their zero-valued
+    sample so dashboards see an explicit 0 rather than an absence.
+    """
+    registry = _registry(registry)
+    for accessor in _STANDARD_ACCESSORS:
+        family = accessor(registry)
+        if not family.labelnames:
+            family.labels()

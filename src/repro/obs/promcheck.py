@@ -1,0 +1,236 @@
+"""A validator for the Prometheus text exposition format.
+
+Checks the structural rules the exporter must uphold — enough to catch
+a malformed export in CI without depending on a Prometheus client:
+
+* every sample line parses as ``name{labels} value``;
+* a ``# TYPE`` declaration precedes a family's samples and names a
+  known type, and no family is declared twice;
+* histogram series are complete and consistent per label set:
+  ``_bucket`` counts are cumulative (monotone non-decreasing by ``le``),
+  a ``+Inf`` bucket exists, ``_count`` equals the ``+Inf`` bucket, and
+  ``_sum`` is present.
+
+Usable as a module (:func:`check_prometheus_text`) or a script::
+
+    repro experiment ... --metrics-out - | python -m repro.obs.promcheck -
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_labels(raw: Optional[str]) -> Optional[Dict[str, str]]:
+    if not raw:
+        return {}
+    labels: Dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            return None
+        labels[match.group(1)] = match.group(2)
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return labels
+
+
+def _parse_value(raw: str) -> Optional[float]:
+    if raw in ("+Inf", "Inf"):
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _base_name(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class _HistogramSeries:
+    """Accumulates one label-set's _bucket/_sum/_count samples."""
+
+    def __init__(self) -> None:
+        self.buckets: List[Tuple[float, float]] = []
+        self.sum: Optional[float] = None
+        self.count: Optional[float] = None
+
+
+def check_prometheus_text(text: str) -> List[str]:
+    """Return a list of problems; an empty list means the text is valid."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    histograms: Dict[str, Dict[tuple, _HistogramSeries]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(
+                    f"line {lineno}: unknown comment form: {line!r}"
+                )
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _TYPES:
+                    problems.append(
+                        f"line {lineno}: malformed TYPE line: {line!r}"
+                    )
+                    continue
+                name = parts[2]
+                if name in types:
+                    problems.append(
+                        f"line {lineno}: duplicate TYPE for {name!r}"
+                    )
+                types[name] = parts[3]
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(
+                f"line {lineno}: unparseable sample line: {line!r}"
+            )
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        if labels is None:
+            problems.append(
+                f"line {lineno}: unparseable labels: {line!r}"
+            )
+            continue
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {lineno}: unparseable value "
+                f"{match.group('value')!r}"
+            )
+            continue
+
+        base = _base_name(name)
+        family = base if base in types else name
+        if family not in types:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding "
+                f"# TYPE declaration"
+            )
+            continue
+
+        if types[family] == "histogram" and base in types:
+            key = tuple(
+                sorted(
+                    (k, v) for k, v in labels.items() if k != "le"
+                )
+            )
+            series = histograms.setdefault(base, {}).setdefault(
+                key, _HistogramSeries()
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without "
+                        f"an 'le' label"
+                    )
+                    continue
+                bound = _parse_value(labels["le"])
+                if bound is None:
+                    problems.append(
+                        f"line {lineno}: unparseable le="
+                        f"{labels['le']!r}"
+                    )
+                    continue
+                series.buckets.append((bound, value))
+            elif name.endswith("_sum"):
+                series.sum = value
+            elif name.endswith("_count"):
+                series.count = value
+
+    for name, by_labels in sorted(histograms.items()):
+        for key, series in sorted(by_labels.items()):
+            where = f"histogram {name!r} labels {dict(key)}"
+            if not series.buckets:
+                problems.append(f"{where}: no _bucket samples")
+                continue
+            bounds = [b for b, _ in series.buckets]
+            counts = [c for _, c in series.buckets]
+            if bounds != sorted(bounds):
+                problems.append(
+                    f"{where}: bucket bounds not sorted: {bounds}"
+                )
+            if any(
+                later < earlier
+                for earlier, later in zip(counts, counts[1:])
+            ):
+                problems.append(
+                    f"{where}: bucket counts not cumulative: {counts}"
+                )
+            if bounds[-1] != float("inf"):
+                problems.append(f"{where}: missing +Inf bucket")
+            elif series.count is None:
+                problems.append(f"{where}: missing _count sample")
+            elif series.count != counts[-1]:
+                problems.append(
+                    f"{where}: _count {series.count} != +Inf bucket "
+                    f"{counts[-1]}"
+                )
+            if series.sum is None:
+                problems.append(f"{where}: missing _sum sample")
+
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate a metrics file (or stdin for ``-``); 0 when valid."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.obs.promcheck <metrics-file|->",
+            file=sys.stderr,
+        )
+        return 2
+    if argv[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    problems = check_prometheus_text(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"promcheck: {len(problems)} problem(s)", file=sys.stderr
+        )
+        return 1
+    print("promcheck: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

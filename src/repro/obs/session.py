@@ -1,0 +1,125 @@
+"""One run's observability lifecycle, as a context manager.
+
+:func:`observability_session` is what the CLI wraps command handlers
+in.  When neither ``metrics_out`` nor ``trace_out`` is requested it
+yields immediately and changes nothing — the global registry stays
+disabled and instrumentation remains no-op-cheap.  When an export is
+requested it:
+
+1. enables the process-global registry and pre-declares the standard
+   family catalog (so exports always carry the full schema);
+2. installs a real :class:`~repro.obs.tracing.Tracer` as the active
+   tracer, streaming finished spans to ``trace_out`` as JSON lines;
+3. on exit, renders the registry snapshot to ``metrics_out`` —
+   Prometheus text or canonical JSONL, chosen explicitly or by file
+   extension (``-`` writes to stdout) — then restores the previous
+   tracer and returns the registry to its disabled, empty state.
+
+Export failures raise :class:`~repro.errors.ObservabilityError`; the
+wrapped command's own result is never altered.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.export import to_jsonl, to_prometheus
+from repro.obs.instruments import register_standard_families
+from repro.obs.metrics import global_registry
+from repro.obs.tracing import NULL_TRACER, Tracer, set_active_tracer
+
+#: Accepted values for ``metrics_format``.
+METRICS_FORMATS = ("auto", "prom", "jsonl")
+
+
+def resolve_metrics_format(path: str, metrics_format: str) -> str:
+    """The concrete exporter ("prom" or "jsonl") for ``path``.
+
+    ``auto`` picks by extension: ``.jsonl``/``.json`` mean JSONL,
+    anything else (including stdout's ``-``) means Prometheus text.
+    """
+    if metrics_format not in METRICS_FORMATS:
+        raise ObservabilityError(
+            f"unknown metrics format {metrics_format!r} "
+            f"(want one of {list(METRICS_FORMATS)})"
+        )
+    if metrics_format != "auto":
+        return metrics_format
+    lowered = path.lower()
+    if lowered.endswith(".jsonl") or lowered.endswith(".json"):
+        return "jsonl"
+    return "prom"
+
+
+def _write_output(path: str, text: str, what: str) -> None:
+    if path == "-":
+        sys.stdout.write(text)
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as exc:
+        raise ObservabilityError(
+            f"could not write {what} to {path!r}: {exc}"
+        ) from exc
+
+
+@contextlib.contextmanager
+def observability_session(
+    metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    metrics_format: str = "auto",
+    clock_ns: Callable[[], int] = time.time_ns,
+) -> Iterator[None]:
+    """Enable, run, export, restore — see the module docstring."""
+    if metrics_out is None and trace_out is None:
+        yield
+        return
+
+    if metrics_out is not None:
+        # Fail on a bad format choice before doing any work.
+        resolve_metrics_format(metrics_out, metrics_format)
+
+    registry = global_registry()
+    registry.enable()
+    register_standard_families(registry)
+
+    trace_handle = None
+    previous_tracer = None
+    try:
+        if trace_out is not None:
+            if trace_out == "-":
+                sink = sys.stdout
+            else:
+                try:
+                    trace_handle = open(
+                        trace_out, "w", encoding="utf-8"
+                    )
+                except OSError as exc:
+                    raise ObservabilityError(
+                        f"could not open trace sink {trace_out!r}: "
+                        f"{exc}"
+                    ) from exc
+                sink = trace_handle
+            tracer = Tracer(sink=sink, clock_ns=clock_ns)
+            previous_tracer = set_active_tracer(tracer)
+        yield
+        if metrics_out is not None:
+            fmt = resolve_metrics_format(metrics_out, metrics_format)
+            render = to_prometheus if fmt == "prom" else to_jsonl
+            _write_output(
+                metrics_out, render(registry.snapshot()), "metrics"
+            )
+    finally:
+        if previous_tracer is not None:
+            set_active_tracer(previous_tracer)
+        else:
+            set_active_tracer(NULL_TRACER)
+        if trace_handle is not None:
+            trace_handle.close()
+        registry.disable()
+        registry.clear()

@@ -1,0 +1,241 @@
+"""Structured tracing: spans with parent links and a JSONL sink.
+
+A :class:`Span` covers one timed operation; a :class:`Tracer` hands out
+spans as context managers and maintains a per-thread stack so nesting
+produces correct parent links without any explicit plumbing::
+
+    tracer = Tracer(sink=open("trace.jsonl", "w"))
+    with tracer.span("experiment", dataset="synthetic-u"):
+        with tracer.span("lru-fit"):        # parent: experiment
+            with tracer.span("kernel-pass"):  # parent: lru-fit
+                ...
+
+Each finished span is appended to ``tracer.spans`` and — when a sink is
+attached — written immediately as one minified, key-sorted JSON line.
+Span/trace ids are sequential (deterministic per tracer) and the clock
+is injectable, so traces golden-test cleanly.
+
+Library code does not hold a tracer: it calls the module-level
+:func:`span` helper, which delegates to the *active* tracer
+(:func:`set_active_tracer`).  The default active tracer is
+:data:`NULL_TRACER`, whose spans are a shared no-op object — an
+untraced run pays one method call and a dict build per span site.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import IO, Callable, List, Optional
+
+#: Span completion statuses.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+class Span:
+    """One timed operation; use as a context manager via ``Tracer.span``."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start_ns",
+        "end_ns", "attrs", "status", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = tracer.trace_id
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.start_ns: Optional[int] = None
+        self.end_ns: Optional[int] = None
+        self.attrs = attrs
+        self.status = STATUS_OK
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach one attribute (JSON-serializable value)."""
+        self.attrs[key] = value
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        """Wall-clock duration, once the span has finished."""
+        if self.start_ns is None or self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    def record(self) -> dict:
+        """The span's canonical dictionary form (what the sink writes)."""
+        return {
+            "attrs": self.attrs,
+            "duration_ns": self.duration_ns,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "span_id": self.span_id,
+            "start_ns": self.start_ns,
+            "status": self.status,
+            "trace_id": self.trace_id,
+        }
+
+    def __enter__(self) -> "Span":
+        self._tracer._start(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = STATUS_ERROR
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, span_id={self.span_id!r}, "
+            f"parent_id={self.parent_id!r})"
+        )
+
+
+#: Monotone source for default trace ids (deterministic per process).
+_TRACE_IDS = itertools.count(1)
+
+
+class Tracer:
+    """Hands out spans, links parents per thread, writes a JSONL sink."""
+
+    def __init__(
+        self,
+        sink: Optional[IO[str]] = None,
+        clock_ns: Callable[[], int] = time.time_ns,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        self._sink = sink
+        self._clock_ns = clock_ns
+        self.trace_id = trace_id or f"{next(_TRACE_IDS):032x}"
+        self._span_ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: Every finished span, in completion order.
+        self.spans: List[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        """True — a real tracer records (cf. :class:`NullTracer`)."""
+        return True
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span; enter it (``with``) to start the clock."""
+        return Span(self, name, attrs)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _start(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span.span_id = f"{next(self._span_ids):016x}"
+        span.start_ns = self._clock_ns()
+        stack.append(span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_ns = self._clock_ns()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # misnested exit: drop through to it
+            while stack and stack.pop() is not span:
+                pass
+        with self._lock:
+            self.spans.append(span)
+            if self._sink is not None:
+                self._sink.write(
+                    json.dumps(
+                        span.record(),
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+
+    def flush(self) -> None:
+        """Flush the sink, when it supports flushing."""
+        if self._sink is not None and hasattr(self._sink, "flush"):
+            self._sink.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(trace_id={self.trace_id!r}, "
+            f"spans={len(self.spans)})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span: the cost of tracing while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every span is the shared no-op span."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """The shared no-op span; arguments are discarded."""
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        """Always ``None`` — a null tracer has no open spans."""
+        return None
+
+    def flush(self) -> None:
+        """Nothing to flush."""
+
+
+#: The default active tracer (tracing off).
+NULL_TRACER = NullTracer()
+
+_active = NULL_TRACER
+
+
+def active_tracer():
+    """The tracer library instrumentation currently records into."""
+    return _active
+
+
+def set_active_tracer(tracer) -> object:
+    """Install ``tracer`` as the active tracer; returns the previous one.
+
+    Pass :data:`NULL_TRACER` (or the returned previous tracer) to turn
+    tracing back off; instrumentation sites never need to know.
+    """
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def span(name: str, **attrs: object):
+    """A span on the active tracer (no-op span when tracing is off)."""
+    return _active.span(name, **attrs)

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import json
 import random
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.buffer.kernels import SAMPLED_BAND_ERROR_BOUND
+from repro.buffer.kernels import SAMPLED_BAND_ERROR_BOUND, get_kernel
 from repro.datagen.zipf import zipf_counts
 from repro.errors import KernelError
+from repro.obs.metrics import global_registry
 from repro.perf.timing import KernelComparison, compare_kernels
 
 #: The canonical bench-trace shape (see benchmarks/bench_core_performance.py).
@@ -63,6 +65,82 @@ def build_zipf_trace(
         trace.extend([page] * count)
     random.Random(seed).shuffle(trace)
     return trace
+
+
+#: The bound the overhead guard enforces: an *enabled* global registry
+#: may slow the instrumented kernel hot path by at most this much.
+INSTRUMENTATION_OVERHEAD_BOUND_PCT = 5.0
+
+#: Trace shape for the overhead measurement; modest enough to stay
+#: sub-second at smoke scale, large enough to dominate timer noise.
+_OVERHEAD_TRACE_LENGTH = 8_000
+_OVERHEAD_PAGES = 400
+
+
+def measure_instrumentation_overhead(
+    kernel: str = "baseline",
+    trace_length: int = _OVERHEAD_TRACE_LENGTH,
+    pages: int = _OVERHEAD_PAGES,
+    repeats: int = 5,
+) -> Dict:
+    """Instrumented-vs-uninstrumented kernel throughput, as percent.
+
+    Times the kernel's full analyze pass with the process-global
+    registry disabled and enabled, taking the minimum of ``repeats``
+    runs each (minimum-of-N is the standard noise filter for
+    microbenchmarks — any one run can only be slowed by interference).
+    The prior enabled/disabled state and any recorded values of the
+    global registry are restored afterwards.
+    """
+    trace = build_uniform_trace(trace_length, pages, seed=7)
+    impl = get_kernel(kernel)
+    registry = global_registry()
+    was_enabled = registry.enabled
+    chunk = 1_024  # exercise the instrumented chunked feed path
+
+    def _one_pass() -> None:
+        stream = impl.stream()
+        for i in range(0, len(trace), chunk):
+            stream.feed(trace[i:i + chunk])
+        stream.finish()
+
+    def _pass_ns() -> int:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter_ns()
+            _one_pass()
+            elapsed = time.perf_counter_ns() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    try:
+        registry.disable()
+        _one_pass()  # warmup (allocator, caches)
+        disabled_ns = _pass_ns()
+        registry.enable()
+        enabled_ns = _pass_ns()
+    finally:
+        if was_enabled:
+            registry.enable()
+        else:
+            registry.disable()
+            registry.clear(prefix="repro_kernel_")
+    overhead_pct = (
+        100.0 * (enabled_ns - disabled_ns) / disabled_ns
+        if disabled_ns
+        else 0.0
+    )
+    return {
+        "kernel": kernel,
+        "references": trace_length,
+        "repeats": repeats,
+        "disabled_ns": disabled_ns,
+        "enabled_ns": enabled_ns,
+        "overhead_pct": round(overhead_pct, 3),
+        "bound_pct": INSTRUMENTATION_OVERHEAD_BOUND_PCT,
+        "ok": overhead_pct <= INSTRUMENTATION_OVERHEAD_BOUND_PCT,
+    }
 
 
 def _comparison_dict(comparison: KernelComparison) -> Dict:
@@ -139,6 +217,17 @@ def run_core_benchmark(
     except KernelError:  # kernels filtered out: criteria not applicable
         criteria["passed"] = None
 
+    # Observability guard: an enabled metrics registry must not slow the
+    # kernel hot path by more than the documented bound.  Measured even
+    # in smoke runs (the measurement is minimum-of-N over its own fixed
+    # trace, so it stays meaningful at smoke scale).
+    try:
+        instrumentation = measure_instrumentation_overhead(
+            repeats=2 if smoke else 5
+        )
+    except KernelError:  # baseline filtered out of a custom kernel set
+        instrumentation = None
+
     document = {
         "schema": 1,
         "generated_by": "benchmarks/run_core_bench.py",
@@ -156,6 +245,7 @@ def run_core_benchmark(
             "zipf": _comparison_dict(zipf),
         },
         "criteria": criteria,
+        "instrumentation": instrumentation,
     }
     if out_path is not None:
         out_path = Path(out_path)

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ResilienceError
+from repro.obs import instruments
+from repro.obs.metrics import MetricsRegistry
 
 #: The three breaker states, as reported by :attr:`CircuitBreaker.state`.
 BREAKER_CLOSED = "closed"
@@ -62,21 +64,40 @@ class BreakerPolicy:
 
 
 class CircuitBreaker:
-    """One breaker instance (the engine keeps one per estimator name)."""
+    """One breaker instance (the engine keeps one per estimator name).
+
+    When given a :class:`~repro.obs.metrics.MetricsRegistry` (and the
+    estimator ``name`` to label with), every state transition is
+    mirrored onto the ``repro_breaker_state`` gauge and trips onto the
+    ``repro_breaker_opens_total`` counter; without one the breaker only
+    keeps its local ``opens`` count.
+    """
 
     def __init__(
         self,
         policy: Optional[BreakerPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "",
     ) -> None:
         self.policy = policy or BreakerPolicy()
         self._clock = clock
-        self._state = BREAKER_CLOSED
+        self._registry = registry
+        self._obs_name = name
         self._consecutive_failures = 0
         self._half_open_successes = 0
         self._opened_at = 0.0
         #: Times the breaker tripped open (observability).
         self.opens = 0
+        self._set_state(BREAKER_CLOSED)
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        registry = self._registry
+        if registry is not None and registry.enabled:
+            instruments.breaker_state(registry).labels(
+                estimator=self._obs_name
+            ).set(instruments.BREAKER_STATE_VALUES[state])
 
     @property
     def state(self) -> str:
@@ -87,7 +108,7 @@ class CircuitBreaker:
             and self._clock() - self._opened_at
             >= self.policy.cooldown_seconds
         ):
-            self._state = BREAKER_HALF_OPEN
+            self._set_state(BREAKER_HALF_OPEN)
             self._half_open_successes = 0
         return self._state
 
@@ -103,7 +124,7 @@ class CircuitBreaker:
                 self._half_open_successes
                 >= self.policy.half_open_successes
             ):
-                self._state = BREAKER_CLOSED
+                self._set_state(BREAKER_CLOSED)
                 self._consecutive_failures = 0
         else:
             self._consecutive_failures = 0
@@ -119,11 +140,16 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self._state = BREAKER_OPEN
+        self._set_state(BREAKER_OPEN)
         self._opened_at = self._clock()
         self._consecutive_failures = 0
         self._half_open_successes = 0
         self.opens += 1
+        registry = self._registry
+        if registry is not None and registry.enabled:
+            instruments.breaker_opens(registry).labels(
+                estimator=self._obs_name
+            ).inc()
 
     def __repr__(self) -> str:
         return (

@@ -39,6 +39,8 @@ from typing import Callable, Iterable, Optional, Union
 from repro.buffer.kernels.base import KernelStream
 from repro.catalog.catalog import atomic_write_text
 from repro.errors import CheckpointError
+from repro.obs import instruments
+from repro.obs.metrics import global_registry
 
 #: Wire-format version of checkpoint files.
 CHECKPOINT_SCHEMA_VERSION = 1
@@ -164,6 +166,8 @@ class Checkpointer:
         kernel: str,
     ) -> None:
         """Atomically snapshot ``stream`` at ``position`` references."""
+        timed = global_registry().enabled
+        started = time.perf_counter_ns() if timed else 0
         blob = stream.snapshot_state()
         payload = {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
@@ -178,9 +182,15 @@ class Checkpointer:
         self._last_position = position
         self._last_time = self._clock()
         self.saves += 1
+        if timed:
+            instruments.checkpoint_save_seconds().labels().observe(
+                time.perf_counter_ns() - started
+            )
 
     def load(self) -> CheckpointState:
         """Read and validate the checkpoint; fail closed on any damage."""
+        timed = global_registry().enabled
+        started = time.perf_counter_ns() if timed else 0
         try:
             text = self.path.read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -225,6 +235,10 @@ class Checkpointer:
         stream = KernelStream.from_snapshot(blob)
         self._last_position = position
         self._last_time = self._clock()
+        if timed:
+            instruments.checkpoint_load_seconds().labels().observe(
+                time.perf_counter_ns() - started
+            )
         return CheckpointState(
             kernel=kernel,
             position=position,

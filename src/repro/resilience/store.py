@@ -37,10 +37,26 @@ from repro.catalog.store import (
     CatalogStore,
 )
 from repro.errors import CatalogError
+from repro.obs import instruments
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.resilience.retry import RetryPolicy, call_with_retry
 
 #: Appended to the catalog file name when a corrupt file is set aside.
 QUARANTINE_SUFFIX = ".quarantined"
+
+
+def _bind_catalog_counters(registry: MetricsRegistry) -> Dict[str, object]:
+    """Resolve the four catalog counter children on ``registry`` once."""
+    return {
+        "reads": instruments.catalog_reads(registry).labels(),
+        "retries": instruments.catalog_retries(registry).labels(),
+        "quarantines": instruments.catalog_quarantines(
+            registry
+        ).labels(),
+        "stale_serves": instruments.catalog_stale_serves(
+            registry
+        ).labels(),
+    }
 
 
 class ResilientCatalogStore(CatalogStore):
@@ -61,6 +77,7 @@ class ResilientCatalogStore(CatalogStore):
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
         quarantine: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(path, cache_size=cache_size, io=io)
         self._retry = retry or RetryPolicy()
@@ -68,10 +85,27 @@ class ResilientCatalogStore(CatalogStore):
         self._sleep = sleep
         self._quarantine_enabled = quarantine
         self._last_good: Optional[SystemCatalog] = None
-        self._reads = 0
-        self._retries = 0
-        self._quarantines = 0
-        self._stale_serves = 0
+        # Recovery counters live on a metrics registry: the store's own
+        # always-enabled one by default (so ``metrics()`` stays truthful
+        # with no setup), or a caller-provided registry.  Increments are
+        # mirrored onto the process-global registry so exports carry
+        # them; the mirror is no-op-cheap while that registry is
+        # disabled.
+        self._obs_registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._counters = _bind_catalog_counters(self._obs_registry)
+        shared = global_registry()
+        self._mirror = (
+            _bind_catalog_counters(shared)
+            if shared is not self._obs_registry
+            else None
+        )
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        self._counters[key].inc(amount)
+        if self._mirror is not None:
+            self._mirror[key].inc(amount)
 
     @property
     def quarantine_path(self) -> Path:
@@ -85,7 +119,7 @@ class ResilientCatalogStore(CatalogStore):
         impossible: the file is unreadable or unparseable *and* no
         previous read ever succeeded.
         """
-        self._reads += 1
+        self._count("reads")
         try:
             (stamp, data), retries = call_with_retry(
                 self._read,
@@ -94,7 +128,8 @@ class ResilientCatalogStore(CatalogStore):
                 sleep=self._sleep,
                 rng=self._retry_rng,
             )
-            self._retries += retries
+            if retries:
+                self._count("retries", retries)
         except OSError as exc:
             return self._serve_stale(
                 f"transient read faults exhausted the retry budget "
@@ -126,13 +161,13 @@ class ResilientCatalogStore(CatalogStore):
             self._io.replace(self._path, self.quarantine_path)
         except OSError:
             return
-        self._quarantines += 1
+        self._count("quarantines")
 
     def _serve_stale(
         self, reason: str, cause: Exception
     ) -> SystemCatalog:
         if self._last_good is not None:
-            self._stale_serves += 1
+            self._count("stale_serves")
             return self._last_good
         raise CatalogError(
             f"catalog {str(self._path)!r} is unavailable and no "
@@ -140,12 +175,16 @@ class ResilientCatalogStore(CatalogStore):
         ) from cause
 
     def metrics(self) -> Dict[str, object]:
-        """Recovery counters (all truthful, all monotone)."""
+        """Recovery counters (all truthful, all monotone).
+
+        A view over the store's metrics registry, shaped exactly like
+        the pre-registry dict (pinned by the equality tests).
+        """
         return {
-            "reads": self._reads,
-            "retries": self._retries,
-            "quarantines": self._quarantines,
-            "stale_serves": self._stale_serves,
+            "reads": self._counters["reads"].value,
+            "retries": self._counters["retries"].value,
+            "quarantines": self._counters["quarantines"].value,
+            "stale_serves": self._counters["stale_serves"].value,
             "has_last_good": self._last_good is not None,
         }
 
@@ -153,5 +192,5 @@ class ResilientCatalogStore(CatalogStore):
         return (
             f"ResilientCatalogStore(path={str(self._path)!r}, "
             f"generation={self._generation}, "
-            f"stale_serves={self._stale_serves})"
+            f"stale_serves={self._counters['stale_serves'].value})"
         )

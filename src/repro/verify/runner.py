@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.buffer.kernels import available_kernels, get_kernel
 from repro.errors import VerificationError
 from repro.estimators.registry import get_estimator
+from repro.obs.tracing import span as obs_span
 from repro.verify.golden import (
     DEFAULT_GOLDEN_PATH,
     GOLDEN_ESTIMATORS,
@@ -146,19 +147,25 @@ def verify_case(
 ) -> CaseVerification:
     """Run the differential and invariant stages for one trace."""
     names = tuple(kernels) if kernels is not None else available_kernels()
-    oracle = {b: oracle_fetches(case.pages, b) for b in case.buffer_sizes()}
-    return CaseVerification(
-        case=case.name,
-        family=case.family,
-        references=case.references,
-        distinct_pages=case.distinct_pages,
-        differentials=tuple(
-            differential_check(case, names, oracle=oracle)
-        ),
-        violations=tuple(
-            _case_invariants(case, names) if invariants else ()
-        ),
-    )
+    with obs_span(
+        "verify-case", case=case.name, family=case.family
+    ):
+        oracle = {
+            b: oracle_fetches(case.pages, b)
+            for b in case.buffer_sizes()
+        }
+        return CaseVerification(
+            case=case.name,
+            family=case.family,
+            references=case.references,
+            distinct_pages=case.distinct_pages,
+            differentials=tuple(
+                differential_check(case, names, oracle=oracle)
+            ),
+            violations=tuple(
+                _case_invariants(case, names) if invariants else ()
+            ),
+        )
 
 
 def run_verification(
@@ -178,13 +185,15 @@ def run_verification(
     cases against their fixture entries, and refuses to *regenerate*
     (a partial corpus must never overwrite the complete fixture).
     """
-    cases = corpus_cases(families=families, names=names)
-    if not cases:
-        raise VerificationError("corpus filter selected no cases")
-    report_cases = tuple(
-        verify_case(case, kernels, invariants=invariants)
-        for case in cases
-    )
+    with obs_span("verify", cases=None) as root:
+        cases = corpus_cases(families=families, names=names)
+        if not cases:
+            raise VerificationError("corpus filter selected no cases")
+        root.set_attribute("cases", len(cases))
+        report_cases = tuple(
+            verify_case(case, kernels, invariants=invariants)
+            for case in cases
+        )
 
     drift: Tuple[str, ...] = ()
     regenerated: Optional[str] = None

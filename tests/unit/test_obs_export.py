@@ -1,0 +1,143 @@
+"""Golden-file tests for the metrics exporters, plus the promcheck
+format checker the CI observability stage relies on."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import to_jsonl, to_prometheus
+from repro.obs.metrics import NS_TO_SECONDS, MetricsRegistry
+from repro.obs.promcheck import check_prometheus_text
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+GOLDEN_PROM = DATA_DIR / "golden_metrics.prom"
+GOLDEN_JSONL = DATA_DIR / "golden_metrics.jsonl"
+
+
+def reference_registry() -> MetricsRegistry:
+    """A fixed registry state covering every exporter feature.
+
+    Counters with and without labels, a negative float gauge, a scaled
+    histogram with an above-range observation (+Inf bucket), label
+    values needing escaping, and a declared-but-never-recorded family.
+    """
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "golden_requests_total",
+        "Requests served.",
+        ("route", "code"),
+    )
+    requests.labels(route="/fit", code=200).inc(3)
+    requests.labels(route="/fit", code=500).inc()
+    requests.labels(route='with"quote\\slash', code=200).inc(2)
+    registry.gauge("golden_temperature", "Last temperature.").labels(
+    ).set(-3.25)
+    latency = registry.histogram(
+        "golden_latency_seconds",
+        "Operation latency.",
+        ("op",),
+        buckets=(1_000, 1_000_000, 1_000_000_000),
+        scale=NS_TO_SECONDS,
+    )
+    child = latency.labels(op="fit")
+    for value in (500, 1_500, 2_000_000, 7_000_000_000):
+        child.observe(value)
+    registry.counter("golden_empty_total", "Never recorded.")
+    return registry
+
+
+class TestGoldenFiles:
+    def test_prometheus_matches_golden(self):
+        rendered = to_prometheus(reference_registry().snapshot())
+        assert rendered == GOLDEN_PROM.read_text(encoding="utf-8")
+
+    def test_jsonl_matches_golden(self):
+        rendered = to_jsonl(reference_registry().snapshot())
+        assert rendered == GOLDEN_JSONL.read_text(encoding="utf-8")
+
+    def test_equal_state_renders_byte_identically(self):
+        first = to_prometheus(reference_registry().snapshot())
+        second = to_prometheus(reference_registry().snapshot())
+        assert first == second
+
+    def test_golden_prometheus_passes_promcheck(self):
+        assert check_prometheus_text(
+            GOLDEN_PROM.read_text(encoding="utf-8")
+        ) == []
+
+    def test_golden_jsonl_lines_parse(self):
+        lines = GOLDEN_JSONL.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        names = {r["name"] for r in records}
+        assert "golden_empty_total" in names  # schema line survives
+        empty = next(
+            r for r in records if r["name"] == "golden_empty_total"
+        )
+        assert empty["samples"] == 0
+
+
+class TestExporterEdgeCases:
+    def test_empty_registry_renders_empty(self):
+        registry = MetricsRegistry()
+        assert to_prometheus(registry.snapshot()) == ""
+        assert to_jsonl(registry.snapshot()) == ""
+
+    def test_histogram_series_are_cumulative_with_inf(self):
+        text = to_prometheus(reference_registry().snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("golden_latency_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in text
+        assert counts[-1] == 4
+
+    def test_label_escaping_round_trips(self):
+        text = to_prometheus(reference_registry().snapshot())
+        assert 'route="with\\"quote\\\\slash"' in text
+        assert check_prometheus_text(text) == []
+
+
+class TestPromcheck:
+    def test_accepts_reference_output(self):
+        text = to_prometheus(reference_registry().snapshot())
+        assert check_prometheus_text(text) == []
+
+    @pytest.mark.parametrize(
+        "text,needle",
+        [
+            ("metric_without_type 1\n", "TYPE"),
+            (
+                "# TYPE m counter\n# TYPE m counter\nm 1\n",
+                "duplicate",
+            ),
+            ("# TYPE m counter\nm not-a-number\n", "value"),
+            (
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\n'
+                "h_sum 1.0\nh_count 5\n",
+                "cumulative",
+            ),
+            (
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                "h_sum 1.0\nh_count 1\n",
+                "+Inf",
+            ),
+            (
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 1.0\nh_count 3\n",
+                "count",
+            ),
+        ],
+    )
+    def test_rejects_malformed_text(self, text, needle):
+        problems = check_prometheus_text(text)
+        assert problems, f"expected a problem for {text!r}"
+        assert any(needle in p for p in problems)

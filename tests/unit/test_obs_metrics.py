@@ -1,0 +1,238 @@
+"""Unit tests for the metrics registry primitives."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DURATION_BUCKETS_NS,
+    NS_TO_SECONDS,
+    MetricsRegistry,
+    global_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        child = registry.counter("c_total").labels()
+        child.inc()
+        child.inc(4)
+        assert child.value == 5
+
+    def test_negative_inc_rejected(self):
+        registry = MetricsRegistry()
+        child = registry.counter("c_total").labels()
+        with pytest.raises(ObservabilityError):
+            child.inc(-1)
+
+    def test_negative_inc_rejected_even_while_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        child = registry.counter("c_total").labels()
+        with pytest.raises(ObservabilityError):
+            child.inc(-1)
+
+    def test_disabled_registry_is_a_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        child = registry.counter("c_total").labels()
+        child.inc(10)
+        assert child.value == 0
+        registry.enable()
+        child.inc(10)
+        assert child.value == 10
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        child = registry.gauge("g").labels()
+        child.set(3)
+        child.set(-1.5)
+        assert child.value == -1.5
+
+    def test_disabled_registry_is_a_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        child = registry.gauge("g").labels()
+        child.set(7)
+        assert child.value == 0
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("h", buckets=(10, 100), scale=1.0)
+        child = family.labels()
+        child.observe(10)  # == bound: belongs to the le=10 bucket
+        child.observe(11)
+        child.observe(1000)  # above the last bound: +Inf
+        assert child.bucket_counts() == [1, 1, 1]
+        assert child.count == 3
+        assert child.sum == 1021
+
+    def test_disabled_registry_is_a_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        child = registry.histogram("h").labels()
+        child.observe(5)
+        assert child.count == 0 and child.sum == 0
+
+    def test_default_duration_buckets(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("h")
+        assert family.buckets == DURATION_BUCKETS_NS
+        assert family.scale == NS_TO_SECONDS
+
+    def test_bad_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", buckets=(3, 2, 1))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h2", buckets=(1, 1, 2))
+
+    def test_integer_nanosecond_sum_is_exact(self):
+        # The regression the scale design exists for: a float running
+        # sum at 1e18 silently swallows +1-nanosecond observations.
+        big, tiny = 10**18, 1
+        assert float(big) + tiny == float(big)  # float loses the ns
+        registry = MetricsRegistry()
+        child = registry.histogram("h").labels()
+        child.observe(big)
+        for _ in range(3):
+            child.observe(tiny)
+        assert child.sum == big + 3  # the registry does not
+
+    def test_scale_applied_only_at_snapshot(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "h", buckets=(1_000, 1_000_000), scale=NS_TO_SECONDS
+        )
+        family.labels().observe(2_500)
+        (sample,) = family.snapshot()["samples"]
+        assert sample["sum"] == 2_500 * NS_TO_SECONDS
+        assert sample["count"] == 1
+        assert sample["buckets"] == [
+            [1_000 * NS_TO_SECONDS, 0],
+            [1_000_000 * NS_TO_SECONDS, 1],
+            [None, 1],
+        ]
+
+
+class TestFamilies:
+    def test_labels_returns_cached_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("k",))
+        assert family.labels(k="a") is family.labels(k="a")
+        assert family.labels(k="a") is not family.labels(k="b")
+
+    def test_label_values_are_stringified(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("k",))
+        family.labels(k=5).inc()
+        assert family.labels(k="5").value == 1
+
+    def test_label_name_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("k",))
+        with pytest.raises(ObservabilityError):
+            family.labels(wrong="x")
+        with pytest.raises(ObservabilityError):
+            family.labels()
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ObservabilityError):
+            registry.counter("has-dash")
+        with pytest.raises(ObservabilityError):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+    def test_redeclaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("k",))
+        second = registry.counter("c_total", "different help", ("k",))
+        assert first is second
+
+    def test_conflicting_redeclaration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m")
+        registry.histogram("h", buckets=(1, 2))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("h", buckets=(1, 2, 3))
+
+
+class TestRegistry:
+    def test_snapshot_sorted_and_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("zz_total").labels().inc()
+        registry.gauge("aa").labels().set(2)
+        names = [f["name"] for f in registry.snapshot()["families"]]
+        assert names == ["aa", "zz_total"]
+
+    def test_reset_zeroes_but_keeps_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("k",))
+        family.labels(k="a").inc(5)
+        registry.reset()
+        assert family.labels(k="a").value == 0
+        assert ("a",) in family.children()
+
+    def test_reset_and_clear_respect_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_kernel_x_total").labels().inc(2)
+        registry.counter("repro_engine_y_total").labels().inc(3)
+        registry.reset(prefix="repro_kernel_")
+        assert registry.get("repro_kernel_x_total").labels().value == 0
+        assert registry.get("repro_engine_y_total").labels().value == 3
+        registry.clear(prefix="repro_kernel_")
+        assert registry.get("repro_kernel_x_total").children() == {}
+        assert registry.get("repro_engine_y_total").children() != {}
+
+    def test_global_registry_disabled_singleton(self):
+        registry = global_registry()
+        assert registry is global_registry()
+        assert not registry.enabled
+
+
+class TestConcurrency:
+    THREADS = 8
+    PER_THREAD = 2_000
+
+    def test_hammered_counter_and_histogram_stay_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "hits_total", labelnames=("worker",)
+        )
+        histogram = registry.histogram(
+            "lat", labelnames=("worker",), buckets=(10, 100), scale=1.0
+        )
+        shared = counter.labels(worker="shared")
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            mine = histogram.labels(worker=str(worker % 2))
+            for i in range(self.PER_THREAD):
+                shared.inc()
+                mine.observe(i % 150)
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,))
+            for n in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = self.THREADS * self.PER_THREAD
+        assert shared.value == total
+        observed = sum(
+            child.count for child in histogram.children().values()
+        )
+        assert observed == total
+        assert len(histogram.children()) == 2  # workers collapse to 0/1
+        for child in histogram.children().values():
+            assert sum(child.bucket_counts()) == child.count

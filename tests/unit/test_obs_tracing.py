@@ -1,0 +1,143 @@
+"""Unit tests for structured tracing: spans, parents, sinks."""
+
+import io
+import json
+import threading
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    STATUS_ERROR,
+    STATUS_OK,
+    NullTracer,
+    Tracer,
+    active_tracer,
+    set_active_tracer,
+    span,
+)
+
+
+def frozen_clock(step=1_000):
+    """A deterministic clock_ns advancing by ``step`` per call."""
+    state = {"now": 0}
+
+    def clock_ns():
+        state["now"] += step
+        return state["now"]
+
+    return clock_ns
+
+
+class TestSpans:
+    def test_nesting_produces_parent_links(self):
+        tracer = Tracer(trace_id="t")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert [s.name for s in tracer.spans] == [
+            "inner", "sibling", "outer",
+        ]
+
+    def test_frozen_clock_yields_deterministic_records(self):
+        tracer = Tracer(clock_ns=frozen_clock(), trace_id="t")
+        with tracer.span("op", kind="test"):
+            pass
+        (finished,) = tracer.spans
+        assert finished.record() == {
+            "attrs": {"kind": "test"},
+            "duration_ns": 1_000,
+            "name": "op",
+            "parent_id": None,
+            "span_id": "0000000000000001",
+            "start_ns": 1_000,
+            "status": STATUS_OK,
+            "trace_id": "t",
+        }
+
+    def test_exception_marks_span_errored(self):
+        tracer = Tracer(trace_id="t")
+        try:
+            with tracer.span("boom") as failed:
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        assert failed.status == STATUS_ERROR
+        assert failed.attrs["error"] == "ValueError"
+
+    def test_set_attribute(self):
+        tracer = Tracer(trace_id="t")
+        with tracer.span("op") as current:
+            current.set_attribute("rows", 7)
+        assert tracer.spans[0].attrs == {"rows": 7}
+
+    def test_sink_receives_one_json_line_per_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(
+            sink=sink, clock_ns=frozen_clock(), trace_id="t"
+        )
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        lines = sink.getvalue().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["b", "a"]
+        assert records[0]["parent_id"] == records[1]["span_id"]
+        # Canonical form: minified, key-sorted.
+        assert lines[0] == json.dumps(
+            records[0], sort_keys=True, separators=(",", ":")
+        )
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer(trace_id="t")
+        done = threading.Event()
+
+        def other_thread():
+            with tracer.span("other-root"):
+                pass
+            done.set()
+
+        with tracer.span("main-root"):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert done.is_set()
+        by_name = {s.name: s for s in tracer.spans}
+        # The other thread's span is a root, not a child of main-root.
+        assert by_name["other-root"].parent_id is None
+        assert by_name["main-root"].parent_id is None
+
+
+class TestActiveTracer:
+    def test_default_is_the_null_tracer(self):
+        assert active_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_spans_are_shared_no_ops(self):
+        first = NULL_TRACER.span("anything", key="value")
+        second = NULL_TRACER.span("else")
+        assert first is second
+        with first as entered:
+            entered.set_attribute("ignored", 1)
+        assert NullTracer().current_span() is None
+
+    def test_module_span_uses_the_installed_tracer(self):
+        tracer = Tracer(trace_id="t")
+        previous = set_active_tracer(tracer)
+        try:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        finally:
+            set_active_tracer(previous)
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert tracer.spans[0].parent_id == tracer.spans[1].span_id
+        assert active_tracer() is previous
+
+    def test_swap_returns_previous(self):
+        tracer = Tracer(trace_id="t")
+        previous = set_active_tracer(tracer)
+        assert set_active_tracer(previous) is tracer
