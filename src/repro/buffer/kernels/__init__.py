@@ -31,10 +31,25 @@ from repro.buffer.kernels.registry import (
     register_kernel,
     resolve_kernel,
 )
+from repro.buffer.kernels.mergeable import (
+    ExactShardSummary,
+    SeamStats,
+    merge_exact_summaries,
+)
 from repro.buffer.kernels.sampled import (
     SAMPLED_BAND_ERROR_BOUND,
     ApproximateFetchCurve,
     SampledKernel,
+    SampledShardSummary,
+    merge_sampled_summaries,
+)
+from repro.buffer.kernels.sharded import (
+    ShardRunResult,
+    as_shard_source,
+    run_sharded_pass,
+    shard_bounds,
+    sharded_chunked_curve,
+    sharded_fetch_curve,
 )
 from repro.buffer.kernels.vectorized import HAVE_NUMPY, VectorizedKernel
 
@@ -49,14 +64,25 @@ __all__ = [
     "BaselineKernel",
     "CompactKernel",
     "DEFAULT_KERNEL",
+    "ExactShardSummary",
     "HAVE_NUMPY",
     "KernelStream",
     "SAMPLED_BAND_ERROR_BOUND",
     "SampledKernel",
+    "SampledShardSummary",
+    "SeamStats",
+    "ShardRunResult",
     "StackDistanceKernel",
     "VectorizedKernel",
+    "as_shard_source",
     "available_kernels",
     "get_kernel",
+    "merge_exact_summaries",
+    "merge_sampled_summaries",
     "register_kernel",
     "resolve_kernel",
+    "run_sharded_pass",
+    "shard_bounds",
+    "sharded_chunked_curve",
+    "sharded_fetch_curve",
 ]

@@ -119,6 +119,32 @@ class KernelStream(abc.ABC):
             raise KernelError("cannot snapshot a finished kernel stream")
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
 
+    def shard_summary(self):
+        """Close the stream and return a mergeable shard summary.
+
+        Sharded passes (:mod:`repro.buffer.kernels.sharded`) feed each
+        contiguous shard of a trace into its own stream and call this
+        instead of :meth:`finish`; the summaries are later combined by
+        the kernel's merge function into the same curve a single pass
+        would have produced.  Kernels that support sharding override
+        this; the default refuses, so the orchestrator fails loudly for
+        unmergeable kernels instead of returning a wrong curve.
+        """
+        raise KernelError(
+            f"kernel {self.kernel_name!r} streams do not produce "
+            f"mergeable shard summaries"
+        )
+
+    def _close_for_summary(self) -> None:
+        """Mark the stream finished on behalf of :meth:`shard_summary`.
+
+        Shard summaries consume the stream exactly like :meth:`finish`
+        does: a second close (or a later ``feed``) must raise.
+        """
+        if self._finished:
+            raise KernelError("kernel stream already finished")
+        self._finished = True
+
     @staticmethod
     def from_snapshot(blob: bytes) -> "KernelStream":
         """Rebuild a stream from :meth:`snapshot_state` output."""
@@ -157,6 +183,10 @@ class StackDistanceKernel(abc.ABC):
     name: ClassVar[str] = "abstract"
     #: True when results are bit-identical to the baseline Fenwick pass.
     exact: ClassVar[bool] = True
+    #: True when :meth:`reseeded` produces a distinctly-seeded kernel.
+    #: Exact kernels are deterministic functions of the trace alone and
+    #: leave this False.
+    seedable: ClassVar[bool] = False
 
     @abc.abstractmethod
     def _new_stream(self) -> KernelStream:
@@ -179,12 +209,25 @@ class StackDistanceKernel(abc.ABC):
         s.feed(trace)
         return s.finish()
 
-    def reseeded(self, seed: int) -> "StackDistanceKernel":
+    def reseeded(
+        self, seed: int, *, require: bool = False
+    ) -> "StackDistanceKernel":
         """A copy of this kernel keyed to ``seed``.
 
         Deterministic parallel runs derive one seed per scan and call this
         so every worker sees the same randomness regardless of scheduling.
-        Exact kernels are seed-free and return ``self``.
+        The base-class contract is explicit: exact kernels are seed-free
+        no-ops returning ``self``; seedable kernels (``seedable = True``,
+        e.g. the SHARDS-style sampled kernel) override this to return a
+        reconfigured copy.  Callers that genuinely depend on the seed
+        taking effect — sharded sampled passes must share one hash seed
+        across workers — pass ``require=True``, which turns the silent
+        no-op into a :class:`~repro.errors.KernelError`.
         """
+        if require and not self.seedable:
+            raise KernelError(
+                f"kernel {self.name!r} does not support seeding but the "
+                f"caller requires seed {seed} to take effect"
+            )
         del seed
         return self

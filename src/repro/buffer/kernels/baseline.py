@@ -10,6 +10,7 @@ exact kernel is validated against this one.
 from __future__ import annotations
 
 import time
+from collections import Counter
 from typing import Dict, Iterable, List
 
 from repro.buffer.kernels.base import (
@@ -17,6 +18,7 @@ from repro.buffer.kernels.base import (
     StackDistanceKernel,
     _record_kernel_pass,
 )
+from repro.buffer.kernels.mergeable import ExactShardSummary
 from repro.buffer.stack import FetchCurve, stack_distances
 from repro.obs.metrics import global_registry
 
@@ -97,6 +99,24 @@ class _BaselineStream(KernelStream):
 
     def _result(self) -> FetchCurve:
         return FetchCurve.from_distances(self._distances, self._cold)
+
+    def shard_summary(self) -> ExactShardSummary:
+        """Reduce this stream's shard to a mergeable summary.
+
+        ``_last_seen`` already carries both orders the seam needs: dict
+        keys in insertion order are the first-local-access sequence, and
+        sorting by value (trace position) yields last-access recency.
+        """
+        self._close_for_summary()
+        last_seen = self._last_seen
+        return ExactShardSummary(
+            histogram=dict(Counter(self._distances)),
+            first_seen=tuple(last_seen),
+            recency=tuple(
+                sorted(last_seen, key=last_seen.__getitem__)
+            ),
+            references=self._position,
+        )
 
 
 class BaselineKernel(StackDistanceKernel):

@@ -23,9 +23,11 @@ Results are bit-identical to the baseline kernel.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Iterable, List
 
 from repro.buffer.kernels.base import KernelStream, StackDistanceKernel
+from repro.buffer.kernels.mergeable import ExactShardSummary
 from repro.buffer.stack import FetchCurve
 
 #: Initial slot capacity; compaction never shrinks below this.
@@ -45,6 +47,10 @@ class _CompactStream(KernelStream):
         self._powers: List[int] = [1 << i for i in range(_MIN_CAPACITY + 1)]
         self._distances: List[int] = []
         self._cold = 0
+        # Cold misses in order: slot insertion order is recency (pages
+        # are re-inserted on reuse), so first-touch order must be kept
+        # separately for shard summaries.
+        self._first_seen: List[int] = []
         self._last_page: object = object()  # sentinel unequal to any page
 
     def _compact(self) -> None:
@@ -70,6 +76,9 @@ class _CompactStream(KernelStream):
         capacity = self._capacity
         powers = self._powers
         append = self._distances.append
+        # setdefault tolerates snapshots pickled before _first_seen
+        # existed (they resume, but cannot produce shard summaries).
+        first_append = self.__dict__.setdefault("_first_seen", []).append
         cold = self._cold
         last_page = self._last_page
         for page in pages:
@@ -84,6 +93,7 @@ class _CompactStream(KernelStream):
                 mask ^= powers[prev]
             else:
                 cold += 1
+                first_append(page)
             if next_slot >= capacity:
                 self._slot_of = slot_of
                 self._mask = mask
@@ -104,6 +114,22 @@ class _CompactStream(KernelStream):
 
     def _result(self) -> FetchCurve:
         return FetchCurve.from_distances(self._distances, self._cold)
+
+    def shard_summary(self) -> ExactShardSummary:
+        """Reduce this stream's shard to a mergeable summary.
+
+        Live slots sorted by slot number are exactly last-access order
+        (the invariant ``_compact`` relies on); first-touch order comes
+        from the ``_first_seen`` list maintained on cold misses.
+        """
+        self._close_for_summary()
+        slot_of = self._slot_of
+        return ExactShardSummary(
+            histogram=dict(Counter(self._distances)),
+            first_seen=tuple(self.__dict__.get("_first_seen", ())),
+            recency=tuple(sorted(slot_of, key=slot_of.__getitem__)),
+            references=self._cold + len(self._distances),
+        )
 
 
 class CompactKernel(StackDistanceKernel):

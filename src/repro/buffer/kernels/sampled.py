@@ -60,7 +60,8 @@ compulsory-miss floor while the absolute error stays small.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.buffer.kernels.base import KernelStream, StackDistanceKernel
 from repro.buffer.kernels.compact import _MIN_CAPACITY
@@ -223,6 +224,21 @@ class ApproximateFetchCurve:
             (hist[-1][0] for _m, hist, _n in strata if hist), default=0
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the complete curve state.
+
+        Two curves that compare equal answer every query identically —
+        the check the sharded merge path's bit-identity claim rests on.
+        """
+        if not isinstance(other, ApproximateFetchCurve):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self.__slots__
+        )
+
+    __hash__ = None  # mutable-style value equality: not hashable
+
     @property
     def reuses(self) -> int:
         """Exact count of non-compulsory references."""
@@ -301,6 +317,32 @@ class ApproximateFetchCurve:
         )
 
 
+@dataclass(frozen=True)
+class SampledShardSummary:
+    """One shard's complete SHARDS state, mergeable by summation.
+
+    Because the 24-bit page hash is a pure function of ``(page, seed)``,
+    shards running under a shared seed sample *the same page subset*;
+    their per-page states merge by adding reference counts, and their
+    guard-rate sub-traces concatenate in shard order.  The merged state
+    is byte-for-byte the state a single pass over the concatenated trace
+    would hold — see :func:`merge_sampled_summaries`.
+    """
+
+    #: ``(seed, target_t, guard_t, min_pages, stratify)`` — shards with
+    #: different fingerprints sampled different subsets and must not be
+    #: merged.
+    fingerprint: Tuple[int, int, int, int, bool]
+    #: page -> [hash24, exact reference count].
+    state: Dict[int, List[int]]
+    #: Guard-rate recorded references, in shard trace order.
+    sub: List[int]
+    #: Verbatim buffer while the escape hatch was still armed, else None.
+    raw: Optional[List[int]]
+    #: References the shard consumed.
+    references: int
+
+
 class _SampledStream(KernelStream):
     """Chunk-fed SHARDS pass: hash-cache + guard-rate reference recording."""
 
@@ -363,6 +405,17 @@ class _SampledStream(KernelStream):
                 if v[0] < guard_t:
                     sub_append(page)
         self._total = total
+
+    def shard_summary(self) -> SampledShardSummary:
+        """Hand over this stream's complete state for merging."""
+        self._close_for_summary()
+        return SampledShardSummary(
+            fingerprint=_stream_fingerprint(self),
+            state=self._state,
+            sub=self._sub,
+            raw=self._raw,
+            references=self._total,
+        )
 
     def _result(self):
         if not self._total:
@@ -442,11 +495,86 @@ class _SampledStream(KernelStream):
         )
 
 
+def _stream_fingerprint(
+    stream: "_SampledStream",
+) -> Tuple[int, int, int, int, bool]:
+    """The sampling configuration a shard's state depends on."""
+    return (
+        stream._seed,
+        stream._target_t,
+        stream._guard_t,
+        stream._min_pages,
+        stream._stratify,
+    )
+
+
+def merge_sampled_summaries(
+    summaries: Sequence[SampledShardSummary], kernel: "SampledKernel"
+) -> ApproximateFetchCurve:
+    """Merge sampled shard summaries (in trace order) into one estimate.
+
+    Reconstructs the internal state a single ``kernel`` pass over the
+    concatenated trace would hold — per-page counts sum (hashes are
+    identical under the shared seed), guard-rate sub-traces concatenate,
+    and the escape-hatch buffer survives exactly when the *merged*
+    universe stays within ``min_pages`` (which implies every shard kept
+    its own buffer) — then runs the standard estimator on it.  The
+    merged result is therefore **bit-identical** to single-pass
+    ``kernel.analyze`` on the full trace, and the documented
+    :data:`SAMPLED_BAND_ERROR_BOUND` transfers to merged estimates
+    unchanged.
+
+    Raises :class:`~repro.errors.KernelError` when the summaries were
+    produced under differing sampling configurations (different seeds
+    sample different page subsets; their states are incommensurable).
+    """
+    if not summaries:
+        raise KernelError("cannot merge zero shard summaries")
+    stream = kernel.stream()
+    expected = _stream_fingerprint(stream)
+    for i, summary in enumerate(summaries):
+        if summary.fingerprint != expected:
+            raise KernelError(
+                f"sampled shard {i} was produced under fingerprint "
+                f"{summary.fingerprint}, expected {expected}; sharded "
+                f"sampled passes must share one hash seed and "
+                f"configuration"
+            )
+    state: Dict[int, List[int]] = {}
+    sub: List[int] = []
+    total = 0
+    for summary in summaries:
+        total += summary.references
+        get = state.get
+        for page, (h, count) in summary.state.items():
+            v = get(page)
+            if v is None:
+                state[page] = [h, count]
+            else:
+                v[1] += count
+        sub.extend(summary.sub)
+    raw: Optional[List[int]] = None
+    if len(state) <= stream._min_pages:
+        # Every shard's local universe is a subset of the merged one, so
+        # each shard's escape hatch is still armed and the concatenated
+        # buffers reconstruct the full trace verbatim.
+        raw = []
+        for summary in summaries:
+            raw.extend(summary.raw or ())
+    stream._state = state
+    stream._sub = sub
+    stream._raw = raw
+    stream._total = total
+    stream._finished = True
+    return stream._result()
+
+
 class SampledKernel(StackDistanceKernel):
     """SHARDS-style approximate kernel (page sampling at a fixed rate)."""
 
     name = "sampled"
     exact = False
+    seedable = True
 
     def __init__(
         self,
@@ -474,8 +602,11 @@ class SampledKernel(StackDistanceKernel):
         """A fresh sampling stream bound to this kernel's configuration."""
         return _SampledStream(self)
 
-    def reseeded(self, seed: int) -> "SampledKernel":
+    def reseeded(
+        self, seed: int, *, require: bool = False
+    ) -> "SampledKernel":
         """The same configuration under a different sampling seed."""
+        del require  # seeding is always supported here
         return SampledKernel(
             rate=self.rate,
             seed=seed,

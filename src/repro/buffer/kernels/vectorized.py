@@ -20,9 +20,11 @@ imports, keeping the package zero-dependency.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Iterable, List
 
 from repro.buffer.kernels.base import KernelStream, StackDistanceKernel
+from repro.buffer.kernels.mergeable import ExactShardSummary
 from repro.buffer.stack import FetchCurve
 from repro.errors import KernelError, TraceError
 
@@ -116,6 +118,41 @@ class _VectorizedStream(KernelStream):
         self._chunks = []
         distances, cold = _vectorized_distances(pages)
         return FetchCurve.from_distances(distances, cold)
+
+    def shard_summary(self) -> ExactShardSummary:
+        """Reduce this stream's shard to a mergeable summary.
+
+        First- and last-occurrence orders come from ``np.unique`` with
+        ``return_index`` over the buffer and its reverse — still fully
+        vectorized, no Python loop over references.
+        """
+        self._close_for_summary()
+        np = _np
+        if not self._chunks:
+            return ExactShardSummary({}, (), (), 0)
+        pages = (
+            self._chunks[0]
+            if len(self._chunks) == 1
+            else np.concatenate(self._chunks)
+        )
+        self._chunks = []
+        distances, cold = _vectorized_distances(pages)
+        n = int(pages.size)
+        uniq, first_idx = np.unique(pages, return_index=True)
+        first_seen = tuple(
+            int(p) for p in uniq[np.argsort(first_idx, kind="stable")]
+        )
+        uniq_r, rev_idx = np.unique(pages[::-1], return_index=True)
+        last_idx = n - 1 - rev_idx
+        recency = tuple(
+            int(p) for p in uniq_r[np.argsort(last_idx, kind="stable")]
+        )
+        return ExactShardSummary(
+            histogram=dict(Counter(distances)),
+            first_seen=first_seen,
+            recency=recency,
+            references=n,
+        )
 
 
 class VectorizedKernel(StackDistanceKernel):

@@ -147,9 +147,25 @@ def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
                              f"(default {DEFAULT_EVERY_REFS})")
 
 
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=1,
+                        help="split the statistics pass into N contiguous "
+                             "shards merged into one curve (default 1: "
+                             "single pass; exact kernels stay "
+                             "bit-identical)")
+    parser.add_argument("--shard-workers", type=int, default=1,
+                        help="process-pool workers for the sharded pass "
+                             "(1 = serial, 0 = one per core)")
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     dataset = build_synthetic_dataset(_spec_from_args(args))
-    config = LRUFitConfig(segments=args.segments, grid_rule=args.grid_rule)
+    config = LRUFitConfig(
+        segments=args.segments,
+        grid_rule=args.grid_rule,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+    )
     stats = LRUFit(config).run(
         dataset.index,
         checkpoint=_checkpointer_from_args(args),
@@ -233,6 +249,8 @@ def _experiment_spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         kernel=args.kernel,
         workers=args.workers,
         seed=args.seed,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
 
 
@@ -330,9 +348,81 @@ def _cmd_contention(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf_sharded(args: argparse.Namespace) -> int:
+    """Time one sharded pass against the single-process equivalent."""
+    from repro.buffer.kernels import as_shard_source
+    from repro.perf.shard import shard_timing, single_pass
+
+    kernel = args.kernels[0] if args.kernels else "compact"
+    if args.paper_scale:
+        from repro.trace.paper_scale import (
+            PAPER_SCALE_PAGES,
+            PAPER_SCALE_REFS,
+            paper_scale_source,
+        )
+
+        refs = (
+            args.paper_refs if args.paper_refs is not None
+            else PAPER_SCALE_REFS
+        )
+        pages = (
+            args.paper_pages if args.paper_pages is not None
+            else PAPER_SCALE_PAGES
+        )
+        source = paper_scale_source(
+            pattern=args.paper_pattern,
+            refs=refs,
+            pages=pages,
+            seed=args.seed,
+        )
+        origin = (
+            f"paper-scale {args.paper_pattern} "
+            f"({refs} refs, {pages} pages)"
+        )
+    else:
+        dataset = build_synthetic_dataset(_spec_from_args(args))
+        source = as_shard_source(dataset.index.page_sequence())
+        origin = f"{dataset.name} ({source.total_refs} refs)"
+    shards = max(args.shards, 1)
+    reference = single_pass(kernel, source)
+    row = shard_timing(
+        source, shards, args.shard_workers, kernel,
+        exact_curve=reference["curve"],
+    )
+    single_ms = reference["wall_ns"] / 1e6
+    rows = [
+        (f"single {kernel}", f"{single_ms:.1f}", "1.00x", ""),
+        (
+            f"sharded x{row['shards']} "
+            f"({args.shard_workers} worker(s))",
+            f"{row['wall_ms']:.1f}",
+            f"{reference['wall_ns'] / row['wall_ns']:.2f}x",
+            f"merge {row['merge_ms']:.1f} ms; critical path "
+            f"{row['critical_path_ms']:.1f} ms "
+            f"({reference['wall_ns'] / row['critical_path_ns']:.2f}x)",
+        ),
+    ]
+    print(
+        format_table(
+            ["pass", "wall ms", "speedup", "profile"],
+            rows,
+            title=f"Sharded LRU-Fit pass — {origin}",
+        )
+    )
+    if not row["merged_equals_exact"]:
+        print(
+            "error: merged curve diverged from the single pass",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.timing import compare_kernels
 
+    if args.paper_scale or args.shards > 1:
+        return _cmd_perf_sharded(args)
     dataset = build_synthetic_dataset(_spec_from_args(args))
     trace = dataset.index.page_sequence()
     comparison = compare_kernels(
@@ -397,6 +487,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 )
             if not result.streaming_consistent:
                 status += " +stream-DIVERGED"
+            if not result.sharded_consistent:
+                status += " +shard-DIVERGED"
             rows.append(
                 (
                     case.case,
@@ -488,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--segments", type=int, default=6)
     p_fit.add_argument("--grid-rule", choices=("paper", "graefe"),
                        default="paper")
+    _add_shard_arguments(p_fit)
     _add_checkpoint_arguments(p_fit)
     _add_obs_arguments(p_fit)
     p_fit.set_defaults(handler=_cmd_fit)
@@ -539,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_experiment.add_argument("--save-spec", default=None, metavar="FILE",
                               help="write the equivalent spec JSON instead "
                                    "of running")
+    _add_shard_arguments(p_experiment)
     _add_checkpoint_arguments(p_experiment)
     _add_obs_arguments(p_experiment)
     p_experiment.set_defaults(handler=_cmd_experiment)
@@ -577,6 +671,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="kernels to time (default: all registered)")
     p_perf.add_argument("--repeats", type=int, default=5,
                         help="timing repetitions per kernel (median)")
+    _add_shard_arguments(p_perf)
+    p_perf.add_argument("--paper-scale", action="store_true",
+                        help="time the pass on a streamed paper-scale "
+                             "trace instead of a synthetic dataset "
+                             "(implies the sharded timing mode)")
+    p_perf.add_argument("--paper-refs", type=int, default=None,
+                        help="paper-scale trace length "
+                             "(default 10^7 references)")
+    p_perf.add_argument("--paper-pages", type=int, default=None,
+                        help="paper-scale page universe (default 200000)")
+    p_perf.add_argument("--paper-pattern",
+                        choices=("zipf", "clustered"), default="zipf",
+                        help="paper-scale reference pattern")
     p_perf.set_defaults(handler=_cmd_perf)
 
     p_verify = sub.add_parser(

@@ -30,6 +30,8 @@ from repro.buffer.kernels import (
     DEFAULT_KERNEL,
     available_kernels,
     resolve_kernel,
+    sharded_chunked_curve,
+    sharded_fetch_curve,
 )
 from repro.catalog.catalog import IndexStatistics
 from repro.errors import EstimationError, TraceError
@@ -62,6 +64,11 @@ class LRUFitConfig:
     (see :mod:`repro.buffer.kernels`): any exact kernel yields identical
     statistics; ``"sampled"`` trades a documented approximation error for
     an order-of-magnitude faster pass on large indexes.
+    ``shards``/``shard_workers`` split the pass into contiguous shards
+    merged back into one curve (see
+    :mod:`repro.buffer.kernels.sharded`): exact kernels stay
+    bit-identical to a single pass, ``shard_workers > 1`` runs shards on
+    a process pool, and ``shard_workers <= 0`` means one per core.
     """
 
     b_sml: int = B_SML_DEFAULT
@@ -72,6 +79,8 @@ class LRUFitConfig:
     b_range: Optional[Tuple[int, int]] = None
     collect_baseline_stats: bool = True
     kernel: str = DEFAULT_KERNEL
+    shards: int = 1
+    shard_workers: int = 1
     #: The paper's step heuristic (2*sqrt(range)) yields ~sqrt(range)/2
     #: samples — about 78 at the paper's synthetic table size (T = 25,000)
     #: but only ~11 on a 10x-scaled-down table, which starves the
@@ -111,6 +120,10 @@ class LRUFitConfig:
             raise EstimationError(
                 f"unknown stack-distance kernel {self.kernel!r}; "
                 f"available: {', '.join(available_kernels())}"
+            )
+        if self.shards < 1:
+            raise EstimationError(
+                f"shards must be >= 1, got {self.shards}"
             )
 
 
@@ -191,6 +204,13 @@ class LRUFit:
                 if self.config.collect_baseline_stats
                 else None
             )
+            if self.config.shards > 1:
+                curve = self._sharded_pass(
+                    trace, index.name, checkpoint, resume
+                )
+                return self._statistics_from_curve(
+                    curve, table_pages, distinct_keys, index.name, dc_count
+                )
             if checkpoint is not None:
                 chunks = (
                     trace[i:i + CHECKPOINT_CHUNK_REFS]
@@ -225,8 +245,22 @@ class LRUFit:
 
         ``trace`` may be any iterable of page numbers — a generator is
         consumed through the configured kernel's streaming interface, so
-        the full trace is never materialized here.
+        the full trace is never materialized here.  A sharded config
+        (``shards > 1``) needs a range-addressable trace (a sequence or
+        shard source); for one-shot chunk iterators use
+        :meth:`run_streaming` with ``total_refs``.
         """
+        if self.config.shards > 1:
+            if not hasattr(trace, "__len__"):
+                raise EstimationError(
+                    "a sharded pass needs a sized, range-addressable "
+                    "trace; use run_streaming(..., total_refs=...) for "
+                    "one-shot iterators"
+                )
+            curve = self._sharded_pass(trace, index_name, None, False)
+            return self._statistics_from_curve(
+                curve, table_pages, distinct_keys, index_name, dc_count
+            )
         kernel = resolve_kernel(self.config.kernel)
         try:
             with obs_span(
@@ -239,6 +273,27 @@ class LRUFit:
             curve, table_pages, distinct_keys, index_name, dc_count
         )
 
+    def _sharded_pass(self, source, index_name, checkpoint, resume):
+        """Merged fetch curve of a sharded pass over ``source``."""
+        config = self.config
+        try:
+            with obs_span(
+                "kernel-pass",
+                kernel=config.kernel,
+                index=index_name,
+                shards=config.shards,
+            ):
+                return sharded_fetch_curve(
+                    source,
+                    config.shards,
+                    workers=config.shard_workers,
+                    kernel=config.kernel,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                )
+        except TraceError:
+            raise EstimationError("cannot fit an empty index trace") from None
+
     def run_streaming(
         self,
         chunks: Iterable[Sequence[int]],
@@ -248,6 +303,7 @@ class LRUFit:
         dc_count: Optional[int] = None,
         checkpoint=None,
         resume: bool = False,
+        total_refs: Optional[int] = None,
     ) -> IndexStatistics:
         """Statistics pass over a trace delivered in chunks.
 
@@ -265,10 +321,46 @@ class LRUFit:
         an uninterrupted one, because the snapshot captures the complete
         kernel state and the remaining references are identical.  The
         checkpoint file is removed once the pass completes.
+
+        A sharded config (``shards > 1``) additionally needs
+        ``total_refs`` — the exact total reference count — so the chunk
+        stream can be cut into contiguous shards up front; shard
+        boundaries then double as the checkpoint cut points.
         """
         if checkpoint is None and resume:
             raise EstimationError(
                 "resume=True requires a checkpoint directory"
+            )
+        if self.config.shards > 1:
+            if total_refs is None:
+                raise EstimationError(
+                    "a sharded streaming pass needs total_refs to cut "
+                    "shard boundaries up front"
+                )
+            config = self.config
+            try:
+                with obs_span(
+                    "kernel-pass",
+                    kernel=config.kernel,
+                    index=index_name,
+                    streaming=True,
+                    shards=config.shards,
+                ):
+                    curve = sharded_chunked_curve(
+                        chunks,
+                        total_refs,
+                        config.shards,
+                        workers=config.shard_workers,
+                        kernel=config.kernel,
+                        checkpoint=checkpoint,
+                        resume=resume,
+                    )
+            except TraceError:
+                raise EstimationError(
+                    "cannot fit an empty index trace"
+                ) from None
+            return self._statistics_from_curve(
+                curve, table_pages, distinct_keys, index_name, dc_count
             )
         with obs_span(
             "kernel-pass",

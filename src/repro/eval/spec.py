@@ -17,8 +17,14 @@ Wire format (all groups optional except ``dataset``)::
       "buffer_grid": {"floor": 12},
       "kernel":    "baseline",
       "workers":   1,
-      "seed":      0
+      "seed":      0,
+      "shards":    {"count": 4, "workers": 4}
     }
+
+The ``shards`` group (omitted when left at the single-pass default)
+shards the statistics pass itself — see
+:mod:`repro.buffer.kernels.sharded`; exact kernels produce bit-identical
+statistics at any shard count.
 """
 
 from __future__ import annotations
@@ -56,6 +62,8 @@ class ExperimentSpec:
     kernel: str = "baseline"
     workers: int = 1
     seed: int = 0
+    shards: int = 1
+    shard_workers: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "estimators", tuple(self.estimators))
@@ -83,6 +91,10 @@ class ExperimentSpec:
                 f"unknown kernel {self.kernel!r} in spec; available: "
                 f"{', '.join(available_kernels())}"
             )
+        if self.shards < 1:
+            raise ExperimentError(
+                f"shards must be >= 1, got {self.shards}"
+            )
 
     # ------------------------------------------------------------------
     # dict / JSON round trip
@@ -106,6 +118,11 @@ class ExperimentSpec:
         }
         if self.large_probability is not None:
             payload["scans"]["large_probability"] = self.large_probability
+        if (self.shards, self.shard_workers) != (1, 1):
+            payload["shards"] = {
+                "count": self.shards,
+                "workers": self.shard_workers,
+            }
         return payload
 
     @classmethod
@@ -118,7 +135,7 @@ class ExperimentSpec:
             )
         known_keys = {
             "dataset", "estimators", "scans", "buffer_grid", "kernel",
-            "workers", "seed",
+            "workers", "seed", "shards",
         }
         unknown = sorted(set(payload) - known_keys)
         if unknown:
@@ -156,6 +173,16 @@ class ExperimentSpec:
         if unknown:
             raise ExperimentError(f"unknown 'buffer_grid' keys {unknown}")
 
+        sharding = payload.get("shards", {})
+        if not isinstance(sharding, dict):
+            raise ExperimentError(
+                f"'shards' must be an object, got "
+                f"{type(sharding).__name__}"
+            )
+        unknown = sorted(set(sharding) - {"count", "workers"})
+        if unknown:
+            raise ExperimentError(f"unknown 'shards' keys {unknown}")
+
         return cls(
             dataset=dataset,
             estimators=tuple(
@@ -168,6 +195,8 @@ class ExperimentSpec:
             kernel=payload.get("kernel", "baseline"),
             workers=payload.get("workers", 1),
             seed=payload.get("seed", 0),
+            shards=sharding.get("count", 1),
+            shard_workers=sharding.get("workers", 1),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -238,6 +267,18 @@ def run_experiment_spec(
             large_probability=spec.large_probability,
             rng=random.Random(spec.seed),
         )
+        # A non-default sharding tunes the shared statistics pass; the
+        # default stays None so unsharded specs run the exact code path
+        # (and bytes) they always have.
+        lru_fit_config = None
+        if spec.shards > 1:
+            from repro.estimators.epfis import LRUFitConfig
+
+            lru_fit_config = LRUFitConfig(
+                collect_baseline_stats=True,
+                shards=spec.shards,
+                shard_workers=spec.shard_workers,
+            )
         return run_error_behavior(
             index,
             list(spec.estimators),
@@ -247,6 +288,7 @@ def run_experiment_spec(
             workers=spec.workers,
             kernel=spec.kernel,
             seed=spec.seed,
+            lru_fit_config=lru_fit_config,
             checkpoint=checkpoint,
             resume=resume,
         )

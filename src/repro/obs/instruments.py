@@ -30,6 +30,13 @@ KERNEL_FEED_SECONDS_TOTAL = "repro_kernel_feed_seconds_total"
 KERNEL_REFERENCES_PER_SECOND = "repro_kernel_references_per_second"
 
 # ----------------------------------------------------------------------
+# Sharded passes (global registry; recorded by the shard orchestrator)
+# ----------------------------------------------------------------------
+SHARD_FEED_SECONDS_TOTAL = "repro_shard_feed_seconds_total"
+SHARD_MERGE_SECONDS_TOTAL = "repro_shard_merge_seconds_total"
+SHARD_SEAM_REUSES_TOTAL = "repro_shard_seam_reuses_total"
+
+# ----------------------------------------------------------------------
 # Checkpoint profiling (global registry; recorded by Checkpointer)
 # ----------------------------------------------------------------------
 CHECKPOINT_SAVE_SECONDS = "repro_checkpoint_save_seconds"
@@ -90,6 +97,37 @@ def kernel_references_per_second(registry=None) -> MetricFamily:
     return _registry(registry).gauge(
         KERNEL_REFERENCES_PER_SECOND,
         "References/second of the last finished kernel stream.",
+        ("kernel",),
+    )
+
+
+def shard_feed_seconds(registry=None) -> MetricFamily:
+    """Per-shard feed time of sharded passes, labeled by shard ordinal."""
+    return _registry(registry).counter(
+        SHARD_FEED_SECONDS_TOTAL,
+        "Wall-clock seconds each shard of a sharded pass spent feeding "
+        "its kernel stream.",
+        ("kernel", "shard"),
+        scale=NS_TO_SECONDS,
+    )
+
+
+def shard_merge_seconds(registry=None) -> MetricFamily:
+    """Time spent merging shard summaries into one curve."""
+    return _registry(registry).counter(
+        SHARD_MERGE_SECONDS_TOTAL,
+        "Wall-clock seconds spent merging shard summaries.",
+        ("kernel",),
+        scale=NS_TO_SECONDS,
+    )
+
+
+def shard_seam_reuses(registry=None) -> MetricFamily:
+    """Seam corrections: first-local-accesses resolved as reuses."""
+    return _registry(registry).counter(
+        SHARD_SEAM_REUSES_TOTAL,
+        "Shard-boundary first-accesses resolved as reuses of earlier "
+        "shards during the merge.",
         ("kernel",),
     )
 
@@ -214,6 +252,9 @@ _STANDARD_ACCESSORS = (
     kernel_feed_seconds,
     kernel_references,
     kernel_references_per_second,
+    shard_feed_seconds,
+    shard_merge_seconds,
+    shard_seam_reuses,
 )
 
 

@@ -6,12 +6,21 @@
   uniform and Zipf traces, per-kernel medians and speedups, and the
   acceptance criteria (compact >= 3x, sampled >= 10x within its documented
   error bound), written to ``BENCH_core.json``.
+* :mod:`repro.perf.shard` — the BENCH_shard benchmark: sharded LRU-Fit
+  scaling over a paper-scale trace (per-worker wall/critical-path
+  speedups, merged-vs-exact verdicts, sampled merge error), written to
+  ``BENCH_shard.json``.
 """
 
 from repro.perf.harness import (
     build_uniform_trace,
     build_zipf_trace,
     run_core_benchmark,
+)
+from repro.perf.shard import (
+    run_shard_benchmark,
+    shard_timing,
+    single_pass,
 )
 from repro.perf.timing import (
     KernelComparison,
@@ -28,4 +37,7 @@ __all__ = [
     "compare_kernels",
     "evaluation_band",
     "run_core_benchmark",
+    "run_shard_benchmark",
+    "shard_timing",
+    "single_pass",
 ]

@@ -15,6 +15,13 @@ from repro.trace.locality import (
     run_lengths,
     summarize_locality,
 )
+from repro.trace.paper_scale import (
+    PAPER_SCALE_PAGES,
+    PAPER_SCALE_REFS,
+    PaperScaleSpec,
+    PaperScaleTrace,
+    paper_scale_source,
+)
 from repro.trace.reference import ReferenceTrace
 from repro.trace.stats import (
     B_SML_DEFAULT,
@@ -30,7 +37,12 @@ from repro.trace.stats import (
 __all__ = [
     "B_SML_DEFAULT",
     "LocalitySummary",
+    "PAPER_SCALE_PAGES",
+    "PAPER_SCALE_REFS",
+    "PaperScaleSpec",
+    "PaperScaleTrace",
     "ReferenceTrace",
+    "paper_scale_source",
     "clustering_factor",
     "dc_cluster_count",
     "distinct_pages",

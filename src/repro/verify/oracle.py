@@ -14,6 +14,9 @@ sizes and compares:
   when importable) — required to match the oracle *exactly* at every size;
 * the **streaming** chunked path of each kernel — required to match that
   kernel's own one-shot analysis exactly (chunking must be invisible);
+* the **sharded** merge path of each kernel — a shard-and-merge pass
+  (see :mod:`repro.buffer.kernels.sharded`) must likewise reproduce the
+  one-shot analysis fetch for fetch, at several shard counts;
 * the **sampled** kernel — exact when its small-universe escape hatch
   applies, otherwise held to its documented relative-error band on the
   evaluation grid (see :mod:`repro.buffer.kernels.sampled`).
@@ -28,6 +31,7 @@ from repro.buffer.kernels import (
     SAMPLED_BAND_ERROR_BOUND,
     available_kernels,
     get_kernel,
+    sharded_fetch_curve,
 )
 from repro.buffer.lru import LRUBufferPool
 from repro.errors import VerificationError
@@ -37,6 +41,10 @@ from repro.verify.traces import TraceCase
 #: Chunk sizes used to exercise the streaming path; deliberately awkward
 #: (single refs, a prime, and a chunk larger than most corpus traces).
 STREAMING_CHUNK_SIZES: Tuple[int, ...] = (1, 97, 4096)
+
+#: Shard counts used to exercise the sharded merge path (an even split
+#: and a prime one, both forcing multiple seams on corpus traces).
+SHARDED_SHARD_COUNTS: Tuple[int, ...] = (2, 5)
 
 
 def oracle_fetches(trace: Sequence[int], buffer_pages: int) -> int:
@@ -96,11 +104,15 @@ class DifferentialResult:
     error_bound: float
     #: Whether chunk-fed streaming reproduced the one-shot analysis.
     streaming_consistent: bool
+    #: Whether the shard-and-merge pass reproduced the one-shot analysis.
+    sharded_consistent: bool = True
 
     @property
     def ok(self) -> bool:
         """True when this kernel met its contract on this trace."""
         if not self.streaming_consistent:
+            return False
+        if not self.sharded_consistent:
             return False
         if self.held_exact:
             return not self.mismatches
@@ -121,6 +133,8 @@ class DifferentialResult:
             )
         if not self.streaming_consistent:
             verdict += "; streaming DIVERGED from one-shot"
+        if not self.sharded_consistent:
+            verdict += "; sharded merge DIVERGED from one-shot"
         return f"{self.case}/{self.kernel}: {verdict}"
 
 
@@ -138,6 +152,24 @@ def _streaming_consistent(
         )
         for b in sizes:
             if streamed.fetches(b) != one_shot_curve.fetches(b):
+                return False
+    return True
+
+
+def _sharded_consistent(
+    case: TraceCase, kernel_name: str, one_shot_curve, sizes: Sequence[int]
+) -> bool:
+    """A shard-and-merge pass must reproduce the one-shot curve.
+
+    Exact kernels go through the seam-corrected merge; the sampled
+    kernel merges per-shard hash samples under the shared seed.  Both
+    are constructed to be bit-identical to the single pass, so this is
+    an equality check, never a band check.
+    """
+    for shards in SHARDED_SHARD_COUNTS:
+        merged = sharded_fetch_curve(case.pages, shards, kernel=kernel_name)
+        for b in sizes:
+            if merged.fetches(b) != one_shot_curve.fetches(b):
                 return False
     return True
 
@@ -198,6 +230,9 @@ def differential_check(
                     0.0 if held_exact else SAMPLED_BAND_ERROR_BOUND
                 ),
                 streaming_consistent=_streaming_consistent(
+                    case, name, curve, sizes
+                ),
+                sharded_consistent=_sharded_consistent(
                     case, name, curve, sizes
                 ),
             )

@@ -103,6 +103,33 @@ class TestExactKernels:
         assert kernel.reseeded(123) is kernel
 
 
+class TestReseededContract:
+    @pytest.mark.parametrize("name", EXACT_KERNELS)
+    def test_exact_kernels_are_not_seedable(self, name):
+        assert get_kernel(name).seedable is False
+
+    def test_sampled_kernel_is_seedable(self):
+        assert get_kernel("sampled").seedable is True
+
+    @pytest.mark.parametrize("name", EXACT_KERNELS)
+    def test_require_raises_for_exact_kernels(self, name):
+        kernel = get_kernel(name)
+        with pytest.raises(KernelError, match="does not support seeding"):
+            kernel.reseeded(123, require=True)
+
+    @pytest.mark.parametrize("name", EXACT_KERNELS)
+    def test_no_require_stays_a_no_op(self, name):
+        kernel = get_kernel(name)
+        assert kernel.reseeded(123) is kernel
+        assert kernel.reseeded(123, require=False) is kernel
+
+    def test_require_is_satisfied_by_seedable_kernel(self):
+        kernel = get_kernel("sampled")
+        other = kernel.reseeded(99, require=True)
+        assert other is not kernel
+        assert other.seed == 99
+
+
 class TestStreamContract:
     def test_finish_twice_raises(self):
         stream = BaselineKernel().stream()
