@@ -1,11 +1,16 @@
-"""Kernel interface for single-pass LRU stack-distance analysis.
+"""Provider interface for trace-to-fetch-curve analysis passes.
 
-A *kernel* is one interchangeable implementation of the Mattson pass that
-turns a page-reference trace into a queryable ``B -> F(B)`` fetch curve
-(Section 4.1 of the paper).  All kernels share two entry points:
+A :class:`FetchCurveProvider` is one interchangeable implementation of
+the pass that turns a page-reference trace into a queryable
+``B -> F(B)`` fetch curve.  The classic providers are the
+:class:`StackDistanceKernel` subclasses — Mattson passes exploiting
+LRU's stack property (Section 4.1 of the paper); simulated-policy
+kernels (:mod:`repro.buffer.kernels.policy`) extend the same interface
+to non-stack replacement policies.  All providers share two entry
+points:
 
-* :meth:`StackDistanceKernel.analyze` — one-shot analysis of a full trace.
-* :meth:`StackDistanceKernel.stream` — a :class:`KernelStream` that accepts
+* :meth:`FetchCurveProvider.analyze` — one-shot analysis of a full trace.
+* :meth:`FetchCurveProvider.stream` — a :class:`KernelStream` that accepts
   the trace in arbitrary chunks, so LRU-Fit can consume generator-produced
   references without materializing the whole trace in memory.
 
@@ -170,23 +175,44 @@ class KernelStream(abc.ABC):
         """Implementation hook: build the final curve."""
 
 
-class StackDistanceKernel(abc.ABC):
-    """One pluggable implementation of the stack-distance pass.
+class FetchCurveProvider(abc.ABC):
+    """Anything that turns a reference trace into a ``B -> F(B)`` curve.
 
-    Subclasses set ``name`` (the registry key) and ``exact`` (whether the
-    kernel reproduces the baseline bit-for-bit) and implement
-    :meth:`stream`.  Kernel instances are stateless between calls and safe
-    to reuse across traces; all per-trace state lives in the stream.
+    This is the policy-parametric generalization of the original
+    stack-distance kernel interface.  A provider names the replacement
+    ``policy`` whose fetch counts its curves report; the stack-distance
+    kernels are all ``policy = "lru"`` (the paper's model), while
+    :class:`~repro.buffer.kernels.policy.SimulatedPolicyKernel` replays a
+    :class:`~repro.buffer.pool.BufferPool` simulator per buffer size for
+    non-stack policies (CLOCK, 2Q, LeCaR/TinyLFU).
+
+    Every provider shares the same entry points:
+
+    * :meth:`analyze` — one-shot analysis of a full trace.
+    * :meth:`stream` — a :class:`KernelStream` accepting chunked feeds,
+      with snapshot/resume checkpointing and pass metrics for free.
+
+    Provider instances are stateless between calls and safe to reuse
+    across traces; all per-trace state lives in the stream.
     """
 
     #: Registry key; also what ``LRUFitConfig.kernel`` and the CLI accept.
     name: ClassVar[str] = "abstract"
-    #: True when results are bit-identical to the baseline Fenwick pass.
+    #: True when results are bit-identical to the provider's own ground
+    #: truth (the baseline Fenwick pass for LRU kernels; the policy's
+    #: ``BufferPool`` simulator for simulated-policy kernels).
     exact: ClassVar[bool] = True
     #: True when :meth:`reseeded` produces a distinctly-seeded kernel.
     #: Exact kernels are deterministic functions of the trace alone and
     #: leave this False.
     seedable: ClassVar[bool] = False
+    #: The replacement policy whose fetch counts this provider's curves
+    #: report.  ``"lru"`` for every stack-distance kernel.
+    policy: ClassVar[str] = "lru"
+    #: True when streams produce mergeable shard summaries (see
+    #: :meth:`KernelStream.shard_summary`); per-size replay providers
+    #: cannot merge contiguous shards and leave this False.
+    mergeable: ClassVar[bool] = False
 
     @abc.abstractmethod
     def _new_stream(self) -> KernelStream:
@@ -211,7 +237,7 @@ class StackDistanceKernel(abc.ABC):
 
     def reseeded(
         self, seed: int, *, require: bool = False
-    ) -> "StackDistanceKernel":
+    ) -> "FetchCurveProvider":
         """A copy of this kernel keyed to ``seed``.
 
         Deterministic parallel runs derive one seed per scan and call this
@@ -231,3 +257,19 @@ class StackDistanceKernel(abc.ABC):
             )
         del seed
         return self
+
+
+class StackDistanceKernel(FetchCurveProvider):
+    """One pluggable implementation of the LRU stack-distance pass.
+
+    Subclasses set ``name`` (the registry key) and ``exact`` (whether the
+    kernel reproduces the baseline bit-for-bit) and implement
+    :meth:`stream`.  All stack kernels rely on LRU's stack (inclusion)
+    property — one pass yields F(B) for every B simultaneously — so the
+    policy dimension is pinned to ``"lru"`` here.
+    """
+
+    policy: ClassVar[str] = "lru"
+    #: Every built-in stack kernel supports the shard-and-merge pass
+    #: (:mod:`repro.buffer.kernels.sharded`).
+    mergeable: ClassVar[bool] = True

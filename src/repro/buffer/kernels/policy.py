@@ -1,0 +1,138 @@
+"""Simulated-policy fetch-curve providers for non-stack policies.
+
+The stack-distance kernels all lean on LRU's stack (inclusion)
+property: one pass over the trace yields F(B) for every B at once.
+CLOCK, 2Q, and learned mixtures have no such property — the resident
+set at size B is not contained in the resident set at size B+1 — so the
+only exact way to get their fetch curves is the obvious one: replay the
+policy's :class:`~repro.buffer.pool.BufferPool` simulator once per
+requested buffer size.
+
+:class:`SimulatedPolicyKernel` wraps that replay behind the standard
+:class:`~repro.buffer.kernels.base.FetchCurveProvider` interface, so
+every consumer of the streaming ``KernelStream`` API — LRU-Fit's
+chunked feeds, checkpoint snapshot/resume, pass metrics — works for
+non-LRU policies unchanged.  The stream just accumulates the trace
+(there is no per-size state to carry mid-pass); the returned
+:class:`SimulatedFetchCurve` replays lazily and memoizes per size, so a
+six-segment fit touching ~80 grid points costs ~80 replays and repeated
+queries are free.
+
+What these kernels deliberately do *not* support is the shard-and-merge
+pass: a policy without the stack property has no mergeable per-shard
+summary, so ``mergeable`` stays False and sharded orchestration refuses
+loudly (see :meth:`KernelStream.shard_summary`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.buffer.kernels.base import FetchCurveProvider, KernelStream
+from repro.buffer.policies import available_policies, get_policy_pool
+from repro.errors import KernelError, TraceError
+
+
+class SimulatedFetchCurve:
+    """Exact ``B -> F(B)`` curve for one policy, by per-size replay.
+
+    Interface-compatible with :class:`~repro.buffer.stack.FetchCurve`
+    (``accesses``, ``distinct_pages``, ``fetches``, ``hits``, ``curve``)
+    so estimator fitting and the verify invariants consume it
+    unchanged.  The full trace is retained — that is the price of
+    answering arbitrary later sizes exactly for a policy with no stack
+    property.
+    """
+
+    __slots__ = ("policy", "accesses", "distinct_pages", "_pages", "_cache")
+
+    def __init__(self, policy: str, pages: Sequence[int]) -> None:
+        self.policy = policy
+        self._pages: Tuple[int, ...] = tuple(pages)
+        self.accesses = len(self._pages)
+        self.distinct_pages = len(set(self._pages))
+        self._cache: dict = {}
+
+    @property
+    def reuses(self) -> int:
+        """References that were not first touches of their page."""
+        return self.accesses - self.distinct_pages
+
+    def fetches(self, buffer_pages: int) -> int:
+        """Page fetches of a ``policy`` pool with ``buffer_pages`` slots."""
+        if buffer_pages < 1:
+            raise TraceError(
+                f"buffer size must be >= 1, got {buffer_pages}"
+            )
+        cached = self._cache.get(buffer_pages)
+        if cached is None:
+            if buffer_pages >= self.distinct_pages:
+                # Demand-paging pools only evict when full, so a pool
+                # holding the whole universe pays compulsory misses only.
+                cached = self.distinct_pages
+            else:
+                cached = get_policy_pool(
+                    self.policy, buffer_pages
+                ).run(self._pages)
+            self._cache[buffer_pages] = cached
+        return cached
+
+    def hits(self, buffer_pages: int) -> int:
+        """Buffer hits at ``buffer_pages`` (accesses minus fetches)."""
+        return self.accesses - self.fetches(buffer_pages)
+
+    def curve(self, buffer_sizes: Iterable[int]) -> List[Tuple[int, int]]:
+        """``[(B, F(B)), ...]`` for each requested size."""
+        return [(b, self.fetches(b)) for b in buffer_sizes]
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedFetchCurve(policy={self.policy!r}, "
+            f"accesses={self.accesses}, "
+            f"distinct_pages={self.distinct_pages})"
+        )
+
+
+class _SimulatedPolicyStream(KernelStream):
+    """Trace-accumulating stream: all state is the buffered reference list,
+    so the default pickle snapshot/resume round-trips it exactly."""
+
+    def __init__(self, policy: str) -> None:
+        self._policy = policy
+        self._pages: List[int] = []
+
+    def _consume(self, pages: Iterable[int]) -> None:
+        self._pages.extend(pages)
+
+    def _result(self) -> SimulatedFetchCurve:
+        if not self._pages:
+            raise TraceError("cannot analyze an empty reference trace")
+        return SimulatedFetchCurve(self._policy, self._pages)
+
+
+class SimulatedPolicyKernel(FetchCurveProvider):
+    """Fetch-curve provider that replays a pool simulator per size.
+
+    ``exact`` is True in the provider sense: the curve matches the
+    policy's own ``BufferPool`` simulator fetch-for-fetch (that is the
+    differential oracle's check) — it is *not* a claim of agreement
+    with the LRU baseline, which is exactly the drift the policy
+    ablation measures.
+    """
+
+    exact = True
+    seedable = False
+    mergeable = False
+
+    def __init__(self, policy: str) -> None:
+        known = available_policies()
+        if policy not in known:
+            raise KernelError(
+                f"unknown replacement policy {policy!r}; available: "
+                f"{', '.join(known)}"
+            )
+        self.policy = policy
+        self.name = policy
+
+    def _new_stream(self) -> KernelStream:
+        return _SimulatedPolicyStream(self.policy)

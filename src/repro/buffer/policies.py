@@ -1,0 +1,55 @@
+"""Name-based registry of replacement-policy buffer-pool simulators.
+
+This is the single source of truth for which replacement policies the
+library can simulate.  Three layers consume it:
+
+* :func:`repro.buffer.pool.simulate_fetches` — the one-shot convenience
+  simulation.
+* :class:`repro.buffer.kernels.policy.SimulatedPolicyKernel` — the
+  policy-parametric fetch-curve provider that replays a pool per buffer
+  size.
+* the differential verify oracle — each policy kernel is cross-checked
+  fetch-for-fetch against the pool simulator registered here.
+
+``"lru"`` is deliberately registered too: it makes
+``simulate_fetches(trace, b, policy)`` uniform over every policy, even
+though LRU fetch curves normally go through the far faster
+stack-distance kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.buffer.clock import ClockBufferPool
+from repro.buffer.fifo import FIFOBufferPool
+from repro.buffer.lecar import LeCaRBufferPool
+from repro.buffer.lru import LRUBufferPool
+from repro.buffer.pool import BufferPool
+from repro.buffer.twoq import TwoQBufferPool
+from repro.errors import BufferError_
+
+_POOLS: Dict[str, Callable[[int], BufferPool]] = {
+    "lru": LRUBufferPool,
+    "fifo": FIFOBufferPool,
+    "clock": ClockBufferPool,
+    "2q": TwoQBufferPool,
+    "lecar-tinylfu": LeCaRBufferPool,
+}
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Sorted names of every replacement policy with a simulator."""
+    return tuple(sorted(_POOLS))
+
+
+def get_policy_pool(policy: str, capacity: int) -> BufferPool:
+    """A fresh pool simulator for ``policy`` with ``capacity`` slots."""
+    try:
+        pool_cls = _POOLS[policy]
+    except KeyError:
+        raise BufferError_(
+            f"unknown replacement policy {policy!r}; expected one of "
+            f"{', '.join(available_policies())}"
+        ) from None
+    return pool_cls(capacity)

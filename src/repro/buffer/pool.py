@@ -59,7 +59,28 @@ class BufferPool(ABC):
 
     @abstractmethod
     def access(self, page: int) -> bool:
-        """Reference ``page``; return True on a hit, False on a fetch."""
+        """Reference ``page``; return True on a hit, False on a fetch.
+
+        The return-value convention every subclass must honour (and that
+        :mod:`tests.unit.test_buffer_pools` enforces across all of them):
+
+        * **True — hit.** ``page`` was resident when the access arrived;
+          no I/O is simulated, ``hits`` increments by one.  Whether the
+          policy also updates metadata (LRU reorders, CLOCK sets a
+          reference bit, 2Q leaves A1in untouched) is its own business.
+        * **False — fetch.** ``page`` was *not* resident — including
+          when the policy remembers it in a ghost/history structure
+          (2Q's A1out, LeCaR's ghost lists): history is not residency.
+          ``fetches`` increments by one and the page is resident when
+          ``access`` returns.
+
+        Equivalently: the return value is ``page in resident_pages()``
+        evaluated immediately *before* the access, and exactly one of
+        the two counters moves per call.  Getting this inverted in a new
+        policy simulator silently flips its whole fetch curve, which is
+        why the convention is pinned here and by contract tests rather
+        than left to each subclass's docstring.
+        """
 
     @abstractmethod
     def resident_pages(self) -> frozenset:
@@ -80,18 +101,11 @@ class BufferPool(ABC):
 def simulate_fetches(trace: Iterable[int], capacity: int, policy: str = "lru") -> int:
     """Convenience one-shot simulation: fetches for ``trace`` at ``capacity``.
 
-    ``policy`` is one of ``"lru"``, ``"fifo"``, ``"clock"``.
+    ``policy`` is any name in
+    :func:`repro.buffer.policies.available_policies` (``"lru"``,
+    ``"fifo"``, ``"clock"``, ``"2q"``, ``"lecar-tinylfu"``).
     """
     # Imported here to avoid a circular import at module load time.
-    from repro.buffer.clock import ClockBufferPool
-    from repro.buffer.fifo import FIFOBufferPool
-    from repro.buffer.lru import LRUBufferPool
+    from repro.buffer.policies import get_policy_pool
 
-    pools = {"lru": LRUBufferPool, "fifo": FIFOBufferPool, "clock": ClockBufferPool}
-    try:
-        pool_cls = pools[policy]
-    except KeyError:
-        raise BufferError_(
-            f"unknown replacement policy {policy!r}; expected one of {sorted(pools)}"
-        ) from None
-    return pool_cls(capacity).run(trace)
+    return get_policy_pool(policy, capacity).run(trace)

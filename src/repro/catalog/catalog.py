@@ -76,7 +76,15 @@ class IndexStatistics:
     ``dc_cluster_count``    Algorithm DC's CC (optional; None if not gathered)
     ``fetches_b1``          F(B=1), Algorithm SD's J (optional)
     ``fetches_b3``          F(B=3), Algorithm OT's J (optional)
+    ``policy``              replacement policy the curve was fitted under
     ======================  =================================================
+
+    ``policy`` defaults to ``"lru"`` (the paper's model) and is carried
+    on the wire only when it differs, so records written by older
+    versions — and all LRU records, byte for byte — are unaffected; the
+    reader tolerates its absence.  The engine keys estimator bindings on
+    it, so a record refit under another policy never serves a stale
+    LRU-bound estimator.
     """
 
     index_name: str
@@ -91,8 +99,13 @@ class IndexStatistics:
     dc_cluster_count: Optional[int] = None
     fetches_b1: Optional[int] = None
     fetches_b3: Optional[int] = None
+    policy: str = "lru"
 
     def __post_init__(self) -> None:
+        if not self.policy or not isinstance(self.policy, str):
+            raise CatalogError(
+                f"policy must be a non-empty string, got {self.policy!r}"
+            )
         if self.table_pages < 1:
             raise CatalogError(f"table_pages must be >= 1, got {self.table_pages}")
         if self.table_records < self.table_pages:
@@ -140,8 +153,14 @@ class IndexStatistics:
                 )
 
     def to_dict(self) -> dict:
-        """JSON-ready dictionary form of this record."""
-        return {
+        """JSON-ready dictionary form of this record.
+
+        ``policy`` is emitted only when non-default so every LRU record
+        renders the exact bytes it always has (the golden fixtures and
+        on-disk catalogs written before the policy dimension existed
+        stay byte-identical).
+        """
+        payload = {
             "index_name": self.index_name,
             "table_pages": self.table_pages,
             "table_records": self.table_records,
@@ -155,6 +174,9 @@ class IndexStatistics:
             "fetches_b1": self.fetches_b1,
             "fetches_b3": self.fetches_b3,
         }
+        if self.policy != "lru":
+            payload["policy"] = self.policy
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "IndexStatistics":
@@ -173,6 +195,9 @@ class IndexStatistics:
                 dc_cluster_count=data.get("dc_cluster_count"),
                 fetches_b1=data.get("fetches_b1"),
                 fetches_b3=data.get("fetches_b3"),
+                # Tolerant reader: records predating the policy dimension
+                # (and all LRU records) simply omit the key.
+                policy=data.get("policy", "lru"),
             )
         except KeyError as missing:
             raise CatalogError(

@@ -25,6 +25,15 @@ human-readable report moves to stderr so stdout stays machine-parseable
 Without these flags the observability layer stays disabled and costs
 nothing.
 
+``fit`` and ``experiment`` accept ``--policy`` to run the statistics
+pass under a non-LRU replacement policy kernel (``clock``, ``2q``,
+``lecar-tinylfu``); the fitted curve and the catalog record carry the
+policy, and ``estimate --policy`` asserts a served record was fitted
+under the expected one.  ``experiment --policy-ablation`` skips the
+error-behaviour experiment and instead prints the LRU-drift table (how
+far each policy's fetch curve departs from the LRU curve per trace
+family) — see :mod:`repro.eval.ablation`.
+
 Every command is deterministic given its ``--seed``.  ``experiment`` is a
 thin builder over the declarative :class:`~repro.eval.spec.ExperimentSpec`:
 the positional flags construct a spec, ``--spec FILE`` runs a saved one,
@@ -50,7 +59,7 @@ import contextlib
 import sys
 from typing import List, Optional
 
-from repro.buffer.kernels import available_kernels
+from repro.buffer.kernels import available_kernels, available_policy_kernels
 from repro.catalog.catalog import SystemCatalog
 from repro.datagen.gwl import build_gwl_database
 from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
@@ -165,6 +174,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         grid_rule=args.grid_rule,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        policy=args.policy,
     )
     stats = LRUFit(config).run(
         dataset.index,
@@ -177,7 +187,8 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     print(
         f"wrote catalog entry {stats.index_name!r} "
         f"({stats.fpf_curve.segment_count} segments, "
-        f"C = {stats.clustering_factor:.4f}) to {args.catalog}"
+        f"C = {stats.clustering_factor:.4f}, "
+        f"policy = {stats.policy}) to {args.catalog}"
     )
     return 0
 
@@ -218,6 +229,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     rows = []
     display_name = args.estimator
     for name in names:
+        if args.policy is not None:
+            fitted = engine.statistics(name).policy
+            if fitted != args.policy:
+                raise ReproError(
+                    f"catalog entry {name!r} was fitted under policy "
+                    f"{fitted!r}, not {args.policy!r}; refit with "
+                    f"'repro fit --policy {args.policy}' or drop "
+                    f"--policy"
+                )
         estimates = engine.estimate_many(
             name,
             args.estimator,
@@ -251,10 +271,30 @@ def _experiment_spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         seed=args.seed,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        policy=args.policy,
     )
 
 
+def _cmd_policy_ablation(args: argparse.Namespace) -> int:
+    """``experiment --policy-ablation``: print the LRU-drift table."""
+    from repro.eval.ablation import run_policy_ablation
+
+    result = run_policy_ablation(
+        policies=args.policies,
+        families=args.families,
+        kernel=args.kernel,
+    )
+    print(
+        f"LRU-drift ablation — policy fetch curves vs the "
+        f"{result.kernel!r} LRU curve, per corpus family"
+    )
+    print(result.render())
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.policy_ablation:
+        return _cmd_policy_ablation(args)
     if args.spec:
         spec = ExperimentSpec.load(args.spec)
     else:
@@ -580,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--segments", type=int, default=6)
     p_fit.add_argument("--grid-rule", choices=("paper", "graefe"),
                        default="paper")
+    p_fit.add_argument("--policy",
+                       choices=("lru",) + available_policy_kernels(),
+                       default="lru",
+                       help="replacement policy the fetch curve is fitted "
+                            "under (default lru: the paper's stack-"
+                            "distance pass)")
     _add_shard_arguments(p_fit)
     _add_checkpoint_arguments(p_fit)
     _add_obs_arguments(p_fit)
@@ -606,6 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="NAME",
                             help="degraded-mode fallback chain tried in "
                                  "order when the estimator fails")
+    p_estimate.add_argument("--policy",
+                            choices=("lru",) + available_policy_kernels(),
+                            default=None,
+                            help="assert the served record was fitted "
+                                 "under this replacement policy")
     _add_obs_arguments(p_estimate)
     p_estimate.set_defaults(handler=_cmd_estimate)
 
@@ -622,6 +673,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_experiment.add_argument("--kernel", choices=available_kernels(),
                               default="baseline",
                               help="stack-distance kernel for ground truth")
+    p_experiment.add_argument("--policy",
+                              choices=("lru",) + available_policy_kernels(),
+                              default="lru",
+                              help="replacement policy for the statistics "
+                                   "pass and ground truth (default lru)")
+    p_experiment.add_argument("--policy-ablation", action="store_true",
+                              help="print the LRU-drift table (policy "
+                                   "fetch curves vs the LRU curve over "
+                                   "the verification corpus) instead of "
+                                   "running an experiment")
+    p_experiment.add_argument("--policies", nargs="+", default=None,
+                              choices=available_policy_kernels(),
+                              help="policies for --policy-ablation "
+                                   "(default: all registered)")
+    p_experiment.add_argument("--families", nargs="+", default=None,
+                              metavar="FAMILY",
+                              help="corpus families for --policy-ablation "
+                                   "(default: uniform, zipf, loop)")
     p_experiment.add_argument("--estimators", nargs="+", default=None,
                               choices=available_estimators(),
                               help="estimators to compare (default: the "
@@ -697,8 +766,12 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="NAME",
                           help="corpus cases to verify (default: all)")
     p_verify.add_argument("--kernels", nargs="+", default=None,
-                          choices=available_kernels(),
-                          help="kernels to cross-check (default: all)")
+                          choices=(
+                              available_kernels()
+                              + available_policy_kernels()
+                          ),
+                          help="kernels to cross-check (default: every "
+                               "stack and policy kernel)")
     p_verify.add_argument("--no-invariants", action="store_true",
                           help="skip the metamorphic invariant stage")
     p_verify.add_argument("--no-golden", action="store_true",

@@ -105,6 +105,11 @@ class _CacheKey:
     index_name: str
     estimator_name: str
     options: Tuple[Tuple[str, object], ...] = field(default=())
+    #: Replacement policy of the catalog record the binding was built
+    #: from.  Keying on it means refitting an index under another policy
+    #: (same name, same generation for in-memory catalogs) can never
+    #: serve an estimator bound to the old policy's curve.
+    policy: str = "lru"
 
 
 class EstimationEngine:
@@ -225,15 +230,20 @@ class EstimationEngine:
         Bindings are cached (LRU, ``cache_size`` entries) and rebuilt
         automatically after the catalog file changes; ``options`` are
         forwarded to the registry factory and participate in the cache
-        key.
+        key, as does the record's fitted ``policy`` (so an in-place
+        refit under another replacement policy invalidates the binding
+        even when no file generation ticked).
         """
         self._sync_with_source()
+        stats = self.statistics(index_name)
         key = _CacheKey(
-            index_name, estimator_name, tuple(sorted(options.items()))
+            index_name,
+            estimator_name,
+            tuple(sorted(options.items())),
+            policy=stats.policy,
         )
         bound = self._bound.get(key)
         if bound is None:
-            stats = self.statistics(index_name)
             bound = get_estimator(estimator_name, stats, **options)
             self._bound[key] = bound
             while len(self._bound) > self._cache_size:

@@ -29,6 +29,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.buffer.kernels import (
     DEFAULT_KERNEL,
     available_kernels,
+    available_policy_kernels,
     resolve_kernel,
     sharded_chunked_curve,
     sharded_fetch_curve,
@@ -69,6 +70,13 @@ class LRUFitConfig:
     :mod:`repro.buffer.kernels.sharded`): exact kernels stay
     bit-identical to a single pass, ``shard_workers > 1`` runs shards on
     a process pool, and ``shard_workers <= 0`` means one per core.
+    ``policy`` names the replacement policy the fitted curve models:
+    ``"lru"`` (the default, and the paper's model) runs the configured
+    stack-distance ``kernel``; any registered policy kernel (``clock``,
+    ``2q``, ``lecar-tinylfu``) instead replays that policy's pool
+    simulator per grid size — same six-segment fit, non-LRU fetch
+    counts.  A non-LRU policy has no stack property, hence no mergeable
+    shard summaries, so it cannot be combined with ``shards > 1``.
     """
 
     b_sml: int = B_SML_DEFAULT
@@ -81,6 +89,7 @@ class LRUFitConfig:
     kernel: str = DEFAULT_KERNEL
     shards: int = 1
     shard_workers: int = 1
+    policy: str = "lru"
     #: The paper's step heuristic (2*sqrt(range)) yields ~sqrt(range)/2
     #: samples — about 78 at the paper's synthetic table size (T = 25,000)
     #: but only ~11 on a 10x-scaled-down table, which starves the
@@ -124,6 +133,18 @@ class LRUFitConfig:
         if self.shards < 1:
             raise EstimationError(
                 f"shards must be >= 1, got {self.shards}"
+            )
+        policies = ("lru",) + available_policy_kernels()
+        if self.policy not in policies:
+            raise EstimationError(
+                f"unknown replacement policy {self.policy!r}; "
+                f"available: {', '.join(policies)}"
+            )
+        if self.policy != "lru" and self.shards > 1:
+            raise EstimationError(
+                f"policy {self.policy!r} has no stack property and "
+                f"cannot produce mergeable shard summaries; run the "
+                f"pass unsharded (shards=1)"
             )
 
 
@@ -177,6 +198,18 @@ class LRUFit:
     def __init__(self, config: Optional[LRUFitConfig] = None) -> None:
         self.config = config or LRUFitConfig()
 
+    def _provider_name(self) -> str:
+        """The fetch-curve provider this pass runs on.
+
+        For the LRU policy that is the configured stack-distance kernel;
+        for any other policy it is the policy kernel itself (``kernel``
+        selects among interchangeable LRU passes and has no non-LRU
+        counterpart — a simulated policy has exactly one implementation).
+        """
+        if self.config.policy != "lru":
+            return self.config.policy
+        return self.config.kernel
+
     def run(
         self,
         index: Index,
@@ -192,7 +225,9 @@ class LRUFit:
         :meth:`run_streaming`.
         """
         with obs_span(
-            "lru-fit", index=index.name, kernel=self.config.kernel
+            "lru-fit",
+            index=index.name,
+            kernel=self._provider_name(),
         ):
             with obs_span("trace-generation", index=index.name) as sp:
                 trace = index.page_sequence()
@@ -261,7 +296,7 @@ class LRUFit:
             return self._statistics_from_curve(
                 curve, table_pages, distinct_keys, index_name, dc_count
             )
-        kernel = resolve_kernel(self.config.kernel)
+        kernel = resolve_kernel(self._provider_name())
         try:
             with obs_span(
                 "kernel-pass", kernel=kernel.name, index=index_name
@@ -364,12 +399,12 @@ class LRUFit:
             )
         with obs_span(
             "kernel-pass",
-            kernel=self.config.kernel,
+            kernel=self._provider_name(),
             index=index_name,
             streaming=True,
         ):
             if checkpoint is None:
-                stream = resolve_kernel(self.config.kernel).stream()
+                stream = resolve_kernel(self._provider_name()).stream()
                 for chunk in chunks:
                     stream.feed(chunk)
             else:
@@ -398,7 +433,9 @@ class LRUFit:
         )
 
         checkpointer = resolve_checkpointer(checkpoint)
-        kernel_name = self.config.kernel
+        # The checkpoint records the provider (policy kernel for non-LRU
+        # passes) so a resume with a different policy fails loudly.
+        kernel_name = self._provider_name()
         stream = None
         skip = 0
         expected_digest = None
@@ -537,6 +574,7 @@ class LRUFit:
             dc_cluster_count=dc_count,
             fetches_b1=fetches_b1,
             fetches_b3=fetches_b3,
+            policy=self.config.policy,
         )
 
 

@@ -5,9 +5,16 @@
 * the paper's evaluation buffer grid (5% steps of T),
 * an experiment runner producing error-vs-buffer-size curves per estimator,
 * one entry point per paper figure/table (see :mod:`repro.eval.figures`),
+* the LRU-drift policy ablation (see :mod:`repro.eval.ablation`),
 * plain-text table and chart rendering for bench output.
 """
 
+from repro.eval.ablation import (
+    DEFAULT_ABLATION_FAMILIES,
+    PolicyAblationResult,
+    PolicyDriftCell,
+    run_policy_ablation,
+)
 from repro.eval.buffer_grid import BufferGrid, evaluation_buffer_grid
 from repro.eval.experiment import (
     ErrorBehaviorResult,
@@ -34,9 +41,12 @@ from repro.eval.scatter import ScatterSummary, spearman, summarize_scatter
 
 __all__ = [
     "BufferGrid",
+    "DEFAULT_ABLATION_FAMILIES",
     "ErrorBehaviorResult",
     "EstimatorErrorCurve",
     "ExperimentSpec",
+    "PolicyAblationResult",
+    "PolicyDriftCell",
     "ScanTraceExtractor",
     "ScatterSummary",
     "aggregate_relative_error",
@@ -51,6 +61,7 @@ __all__ = [
     "result_to_dict",
     "run_error_behavior",
     "run_experiment_spec",
+    "run_policy_ablation",
     "save_result_csv",
     "save_result_json",
     "spearman",

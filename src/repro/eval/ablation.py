@@ -1,0 +1,191 @@
+"""The LRU-drift policy ablation: how far does EPFIS's LRU model drift?
+
+EPFIS fits and estimates against an LRU fetch curve (Section 2's
+modeling assumption).  Real buffer pools run CLOCK, 2Q, or learned
+mixtures, so the practical question is: *by how much do those policies'
+fetch counts differ from the LRU curve the estimator was fit on?*  This
+module answers it directly: for every policy kernel and every trace in
+the verification corpus (filtered by family), compare the policy's
+fetch curve against the exact LRU baseline across the evaluation band
+and report the max/mean relative fetch error per (policy, family) cell.
+
+The expected qualitative result (and what EXPERIMENTS.md documents):
+CLOCK tracks LRU closely — second-chance is an LRU approximation, so
+the paper's model transfers — while 2Q diverges sharply under looping
+workloads, where its scan-resistant admission queue refuses exactly the
+pages LRU would have kept.
+
+Reuses the deterministic verification corpus
+(:mod:`repro.verify.traces`) rather than inventing new workloads: the
+drift numbers are then directly comparable with the differential and
+golden results computed on the same traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.buffer.kernels import (
+    DEFAULT_KERNEL,
+    available_policy_kernels,
+    get_kernel,
+)
+from repro.errors import ExperimentError
+from repro.obs.tracing import span as obs_span
+from repro.verify.traces import corpus_cases
+
+#: Trace families the acceptance-level ablation must cover.
+DEFAULT_ABLATION_FAMILIES: Tuple[str, ...] = ("uniform", "zipf", "loop")
+
+
+@dataclass(frozen=True)
+class PolicyDriftCell:
+    """Drift of one policy vs the LRU curve over one trace family."""
+
+    policy: str
+    family: str
+    cases: int
+    #: Buffer sizes compared, summed over the family's cases.
+    points: int
+    #: Worst relative fetch error vs LRU, |F_p - F_lru| / F_lru.
+    max_rel_error: float
+    #: Mean relative fetch error over every compared point.
+    mean_rel_error: float
+
+
+@dataclass(frozen=True)
+class PolicyAblationResult:
+    """The full drift table plus provenance."""
+
+    kernel: str
+    policies: Tuple[str, ...]
+    families: Tuple[str, ...]
+    cells: Tuple[PolicyDriftCell, ...]
+
+    def cell(self, policy: str, family: str) -> PolicyDriftCell:
+        """One table cell, looked up by coordinates."""
+        for c in self.cells:
+            if c.policy == policy and c.family == family:
+                return c
+        raise ExperimentError(
+            f"no ablation cell for policy={policy!r}, family={family!r}"
+        )
+
+    def render(self) -> str:
+        """The drift table as aligned text (the CLI's output)."""
+        header = (
+            f"{'policy':<16} {'family':<12} {'cases':>5} "
+            f"{'points':>6} {'max drift':>10} {'mean drift':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for c in self.cells:
+            lines.append(
+                f"{c.policy:<16} {c.family:<12} {c.cases:>5} "
+                f"{c.points:>6} {100 * c.max_rel_error:>9.2f}% "
+                f"{100 * c.mean_rel_error:>9.2f}%"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (for machine-readable experiment output)."""
+        return {
+            "kernel": self.kernel,
+            "policies": list(self.policies),
+            "families": list(self.families),
+            "cells": [
+                {
+                    "policy": c.policy,
+                    "family": c.family,
+                    "cases": c.cases,
+                    "points": c.points,
+                    "max_rel_error": c.max_rel_error,
+                    "mean_rel_error": c.mean_rel_error,
+                }
+                for c in self.cells
+            ],
+        }
+
+
+def run_policy_ablation(
+    policies: Optional[Sequence[str]] = None,
+    families: Optional[Sequence[str]] = None,
+    kernel: str = DEFAULT_KERNEL,
+) -> PolicyAblationResult:
+    """Compute the per-(policy, family) LRU-drift table.
+
+    ``policies`` defaults to every registered policy kernel;
+    ``families`` defaults to :data:`DEFAULT_ABLATION_FAMILIES` (the
+    acceptance set: uniform, Zipf, and loop); ``kernel`` names the exact
+    stack kernel producing the LRU reference curve.  Comparison points
+    are each case's evaluation band (5%..90% of its distinct pages) —
+    the same grid every other band statement in this library is made on.
+    """
+    policy_names = (
+        tuple(policies)
+        if policies is not None
+        else available_policy_kernels()
+    )
+    unknown = sorted(set(policy_names) - set(available_policy_kernels()))
+    if unknown:
+        raise ExperimentError(
+            f"unknown policy kernels {unknown}; registered: "
+            f"{', '.join(available_policy_kernels())}"
+        )
+    if not policy_names:
+        raise ExperimentError("at least one policy is required")
+    family_names = (
+        tuple(families)
+        if families is not None
+        else DEFAULT_ABLATION_FAMILIES
+    )
+    cases = corpus_cases(families=family_names)
+
+    cells: List[PolicyDriftCell] = []
+    with obs_span(
+        "policy-ablation",
+        policies=len(policy_names),
+        families=len(family_names),
+    ):
+        lru = get_kernel(kernel)
+        lru_curves = {c.name: lru.analyze(c.pages) for c in cases}
+        for policy in policy_names:
+            provider = get_kernel(policy)
+            errors: Dict[str, List[float]] = {f: [] for f in family_names}
+            counted: Dict[str, int] = {f: 0 for f in family_names}
+            with obs_span("policy-drift", policy=policy):
+                for case in cases:
+                    curve = provider.analyze(case.pages)
+                    baseline = lru_curves[case.name]
+                    counted[case.family] += 1
+                    for b in case.band_sizes():
+                        want = baseline.fetches(b)
+                        if not want:
+                            continue
+                        got = curve.fetches(b)
+                        errors[case.family].append(
+                            abs(got - want) / want
+                        )
+            for family in family_names:
+                samples = errors[family]
+                if not samples:
+                    raise ExperimentError(
+                        f"family {family!r} produced no comparison "
+                        f"points for policy {policy!r}"
+                    )
+                cells.append(
+                    PolicyDriftCell(
+                        policy=policy,
+                        family=family,
+                        cases=counted[family],
+                        points=len(samples),
+                        max_rel_error=max(samples),
+                        mean_rel_error=sum(samples) / len(samples),
+                    )
+                )
+    return PolicyAblationResult(
+        kernel=kernel,
+        policies=policy_names,
+        families=family_names,
+        cells=tuple(cells),
+    )

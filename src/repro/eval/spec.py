@@ -18,13 +18,22 @@ Wire format (all groups optional except ``dataset``)::
       "kernel":    "baseline",
       "workers":   1,
       "seed":      0,
-      "shards":    {"count": 4, "workers": 4}
+      "shards":    {"count": 4, "workers": 4},
+      "policy":    "clock"
     }
 
 The ``shards`` group (omitted when left at the single-pass default)
 shards the statistics pass itself — see
 :mod:`repro.buffer.kernels.sharded`; exact kernels produce bit-identical
 statistics at any shard count.
+
+``policy`` (omitted when left at the LRU default) runs the whole
+experiment under a non-LRU replacement policy: the shared statistics
+pass fits the policy's simulated fetch curve and the ground-truth scan
+simulations replay the same policy kernel, so the error curves answer
+"how well do the paper's estimators do when the pool isn't LRU?".
+Non-LRU policies have no mergeable shard summaries, so ``policy`` and
+a non-default ``shards`` group are mutually exclusive.
 """
 
 from __future__ import annotations
@@ -36,7 +45,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
-from repro.buffer.kernels import available_kernels
+from repro.buffer.kernels import available_kernels, available_policy_kernels
 from repro.datagen.synthetic import SyntheticSpec, build_synthetic_dataset
 from repro.errors import ExperimentError
 from repro.estimators.registry import (
@@ -64,6 +73,7 @@ class ExperimentSpec:
     seed: int = 0
     shards: int = 1
     shard_workers: int = 1
+    policy: str = "lru"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "estimators", tuple(self.estimators))
@@ -95,6 +105,17 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"shards must be >= 1, got {self.shards}"
             )
+        policies = ("lru",) + available_policy_kernels()
+        if self.policy not in policies:
+            raise ExperimentError(
+                f"unknown replacement policy {self.policy!r} in spec; "
+                f"available: {', '.join(policies)}"
+            )
+        if self.policy != "lru" and self.shards > 1:
+            raise ExperimentError(
+                f"policy {self.policy!r} cannot run sharded: non-LRU "
+                f"policies have no mergeable shard summaries"
+            )
 
     # ------------------------------------------------------------------
     # dict / JSON round trip
@@ -123,6 +144,8 @@ class ExperimentSpec:
                 "count": self.shards,
                 "workers": self.shard_workers,
             }
+        if self.policy != "lru":
+            payload["policy"] = self.policy
         return payload
 
     @classmethod
@@ -135,7 +158,7 @@ class ExperimentSpec:
             )
         known_keys = {
             "dataset", "estimators", "scans", "buffer_grid", "kernel",
-            "workers", "seed", "shards",
+            "workers", "seed", "shards", "policy",
         }
         unknown = sorted(set(payload) - known_keys)
         if unknown:
@@ -197,6 +220,7 @@ class ExperimentSpec:
             seed=payload.get("seed", 0),
             shards=sharding.get("count", 1),
             shard_workers=sharding.get("workers", 1),
+            policy=payload.get("policy", "lru"),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -267,18 +291,23 @@ def run_experiment_spec(
             large_probability=spec.large_probability,
             rng=random.Random(spec.seed),
         )
-        # A non-default sharding tunes the shared statistics pass; the
-        # default stays None so unsharded specs run the exact code path
-        # (and bytes) they always have.
+        # A non-default sharding or policy tunes the shared statistics
+        # pass; the default stays None so plain specs run the exact code
+        # path (and bytes) they always have.
         lru_fit_config = None
-        if spec.shards > 1:
+        if spec.shards > 1 or spec.policy != "lru":
             from repro.estimators.epfis import LRUFitConfig
 
             lru_fit_config = LRUFitConfig(
                 collect_baseline_stats=True,
                 shards=spec.shards,
                 shard_workers=spec.shard_workers,
+                policy=spec.policy,
             )
+        # Under a non-LRU policy the ground-truth simulations replay the
+        # policy kernel too (a name, so it stays fork-safe for workers):
+        # both sides of the error comparison see the same pool behavior.
+        truth_kernel = spec.kernel if spec.policy == "lru" else spec.policy
         return run_error_behavior(
             index,
             list(spec.estimators),
@@ -286,7 +315,7 @@ def run_experiment_spec(
             grid,
             dataset_name=dataset.name,
             workers=spec.workers,
-            kernel=spec.kernel,
+            kernel=truth_kernel,
             seed=spec.seed,
             lru_fit_config=lru_fit_config,
             checkpoint=checkpoint,

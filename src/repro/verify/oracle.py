@@ -19,7 +19,15 @@ sizes and compares:
   one-shot analysis fetch for fetch, at several shard counts;
 * the **sampled** kernel — exact when its small-universe escape hatch
   applies, otherwise held to its documented relative-error band on the
-  evaluation grid (see :mod:`repro.buffer.kernels.sampled`).
+  evaluation grid (see :mod:`repro.buffer.kernels.sampled`);
+* every registered **policy** kernel (``clock``, ``2q``,
+  ``lecar-tinylfu``) — held to exact agreement with *its own*
+  :class:`~repro.buffer.pool.BufferPool` simulator, replayed here size
+  by size exactly as the LRU pool is for LRU kernels.  The dormant
+  :class:`~repro.buffer.clock.ClockBufferPool` thereby becomes a live
+  oracle.  Policy kernels skip the sharded stage (no stack property, no
+  mergeable shard summaries) but their streaming chunked path is held
+  to the same chunking-invisibility contract as every other kernel.
 """
 
 from __future__ import annotations
@@ -30,10 +38,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.buffer.kernels import (
     SAMPLED_BAND_ERROR_BOUND,
     available_kernels,
+    available_policy_kernels,
     get_kernel,
     sharded_fetch_curve,
 )
 from repro.buffer.lru import LRUBufferPool
+from repro.buffer.policies import get_policy_pool
 from repro.errors import VerificationError
 from repro.trace.reference import streaming_fetch_curve
 from repro.verify.traces import TraceCase
@@ -174,6 +184,16 @@ def _sharded_consistent(
     return True
 
 
+def default_verify_kernels() -> Tuple[str, ...]:
+    """The kernels a default verification run checks.
+
+    Every registered stack kernel (against the LRU oracle) plus every
+    registered policy kernel (against its own pool simulator) — the
+    whole policy dimension is differentially verified by default.
+    """
+    return available_kernels() + available_policy_kernels()
+
+
 def differential_check(
     case: TraceCase,
     kernels: Optional[Sequence[str]] = None,
@@ -181,37 +201,61 @@ def differential_check(
 ) -> List[DifferentialResult]:
     """Replay ``case`` through the oracle and every requested kernel.
 
-    ``kernels`` defaults to every registered kernel; ``oracle`` lets a
-    caller reuse precomputed oracle fetches (keyed by buffer size) when
-    checking several kernel sets over the same trace.
+    ``kernels`` defaults to :func:`default_verify_kernels` (every stack
+    kernel plus every policy kernel); ``oracle`` lets a caller reuse
+    precomputed *LRU* oracle fetches (keyed by buffer size) when
+    checking several kernel sets over the same trace — policy kernels
+    always replay their own policy's pool here, so the precomputed dict
+    never applies to them.
     """
-    names = tuple(kernels) if kernels is not None else available_kernels()
-    unknown = sorted(set(names) - set(available_kernels()))
+    names = (
+        tuple(kernels) if kernels is not None else default_verify_kernels()
+    )
+    unknown = sorted(set(names) - set(default_verify_kernels()))
     if unknown:
         raise VerificationError(
             f"unknown kernels {unknown}; registered: "
-            f"{', '.join(available_kernels())}"
+            f"{', '.join(default_verify_kernels())}"
         )
     sizes = case.buffer_sizes()
     band = set(case.band_sizes())
+    lru_names = [
+        n for n in names if getattr(get_kernel(n), "policy", "lru") == "lru"
+    ]
     if oracle is None:
-        oracle = {b: oracle_fetches(case.pages, b) for b in sizes}
-    missing = sorted(set(sizes) - set(oracle))
-    if missing:
-        raise VerificationError(
-            f"precomputed oracle is missing buffer sizes {missing}"
+        oracle = (
+            {b: oracle_fetches(case.pages, b) for b in sizes}
+            if lru_names
+            else {}
         )
+    elif lru_names:
+        missing = sorted(set(sizes) - set(oracle))
+        if missing:
+            raise VerificationError(
+                f"precomputed oracle is missing buffer sizes {missing}"
+            )
 
     results: List[DifferentialResult] = []
     for name in names:
         kernel = get_kernel(name)
         curve = kernel.analyze(case.pages)
-        held_exact = kernel.exact or case.sampled_is_exact
+        if kernel.policy != "lru":
+            # The ground truth for a policy kernel is its own pool
+            # simulator, replayed one size at a time — fetch for fetch,
+            # exactly how the LRU pool serves the stack kernels.
+            truth = {
+                b: get_policy_pool(kernel.policy, b).run(case.pages)
+                for b in sizes
+            }
+            held_exact = True
+        else:
+            truth = oracle
+            held_exact = kernel.exact or case.sampled_is_exact
         mismatches: List[Mismatch] = []
         max_band_error = 0.0
         for b in sizes:
             got = curve.fetches(b)
-            want = oracle[b]
+            want = truth[b]
             if held_exact and got != want:
                 mismatches.append(Mismatch(b, want, got))
             if b in band and want:
@@ -232,8 +276,10 @@ def differential_check(
                 streaming_consistent=_streaming_consistent(
                     case, name, curve, sizes
                 ),
-                sharded_consistent=_sharded_consistent(
-                    case, name, curve, sizes
+                sharded_consistent=(
+                    _sharded_consistent(case, name, curve, sizes)
+                    if kernel.mergeable
+                    else True
                 ),
             )
         )

@@ -89,6 +89,32 @@ class TestFullCorpus:
         assert scratch.read_text(encoding="utf-8") == committed
 
 
+@pytest.mark.policy
+class TestPolicyDifferential:
+    def test_policy_kernels_exact_on_reduced_corpus(self):
+        """CI's policy stage: every policy kernel must match its own
+        pool simulator fetch-for-fetch on the reduced corpus, and its
+        streaming path must be chunking-invisible."""
+        report = run_verification(
+            families=["uniform", "zipf", "loop"],
+            kernels=["clock", "2q", "lecar-tinylfu"],
+            invariants=False,
+            golden_path=None,
+        )
+        assert report.ok, "\n".join(report.failures())
+        for case in report.cases:
+            for diff in case.differentials:
+                assert diff.held_exact
+                assert diff.mismatches == (), diff.describe()
+                assert diff.streaming_consistent, diff.describe()
+
+    def test_policy_kernels_ride_the_default_kernel_set(self):
+        result = verify_case(corpus_case("loop-tight"))
+        kernels = {d.kernel for d in result.differentials}
+        assert {"clock", "2q", "lecar-tinylfu"} <= kernels
+        assert result.ok
+
+
 @pytest.mark.slow
 class TestVerifyCLI:
     def test_cli_full_run_exits_zero(self, capsys):

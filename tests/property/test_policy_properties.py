@@ -1,0 +1,92 @@
+"""Property-based tests for the policy fetch-curve providers.
+
+For *every* trace and every registered policy kernel:
+
+* the kernel's curve equals its pool simulator replayed at each size —
+  the same fetch-for-fetch contract the verify oracle enforces on the
+  corpus, here hunted over arbitrary traces;
+* the curve respects the structural bounds A <= F(B) <= M (monotonicity
+  is deliberately NOT asserted: it is LRU's stack-property theorem, and
+  2Q/LeCaR genuinely violate it — Belady's anomaly);
+* chunked streaming and a snapshot/resume split both reproduce the
+  one-shot analysis exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer.kernels import (
+    KernelStream,
+    available_policy_kernels,
+    get_kernel,
+)
+from repro.buffer.policies import get_policy_pool
+
+pytestmark = pytest.mark.policy
+
+POLICY_KERNELS = sorted(available_policy_kernels())
+
+traces = st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                  max_size=120)
+buffer_sizes = st.integers(min_value=1, max_value=25)
+
+
+@given(trace=traces, b=buffer_sizes,
+       policy=st.sampled_from(POLICY_KERNELS))
+@settings(max_examples=200)
+def test_kernel_matches_pool_simulator(trace, b, policy):
+    """The provider is definitionally its pool, replayed per size."""
+    assert get_kernel(policy).analyze(trace).fetches(b) == get_policy_pool(
+        policy, b
+    ).run(trace)
+
+
+@given(trace=traces, policy=st.sampled_from(POLICY_KERNELS))
+@settings(max_examples=150)
+def test_structural_bounds(trace, policy):
+    """A <= F(B) <= M for every policy at every size."""
+    curve = get_kernel(policy).analyze(trace)
+    assert curve.accesses == len(trace)
+    assert curve.distinct_pages == len(set(trace))
+    for b in (1, 2, 3, 5, 8, 13, 21):
+        assert curve.distinct_pages <= curve.fetches(b) <= curve.accesses
+
+
+@given(trace=traces,
+       sizes=st.lists(st.integers(min_value=1, max_value=30),
+                      min_size=1, max_size=10),
+       policy=st.sampled_from(POLICY_KERNELS))
+@settings(max_examples=100)
+def test_streaming_matches_one_shot(trace, sizes, policy):
+    """Any chunking of the feed is invisible in the resulting curve."""
+    kernel = get_kernel(policy)
+    stream = kernel.stream()
+    i = 0
+    s = 0
+    while i < len(trace):
+        step = sizes[s % len(sizes)]
+        stream.feed(trace[i:i + step])
+        i += step
+        s += 1
+    chunked = stream.finish()
+    one_shot = kernel.analyze(trace)
+    for b in (1, 3, 7, 15):
+        assert chunked.fetches(b) == one_shot.fetches(b)
+
+
+@given(trace=traces, split=st.integers(min_value=0, max_value=120),
+       policy=st.sampled_from(POLICY_KERNELS))
+@settings(max_examples=100)
+def test_snapshot_resume_round_trip(trace, split, policy):
+    """Snapshotting mid-stream and resuming changes nothing."""
+    split = min(split, len(trace))
+    kernel = get_kernel(policy)
+    stream = kernel.stream()
+    stream.feed(trace[:split])
+    resumed = KernelStream.from_snapshot(stream.snapshot_state())
+    resumed.feed(trace[split:])
+    restarted = resumed.finish()
+    one_shot = kernel.analyze(trace)
+    for b in (1, 4, 9, 19):
+        assert restarted.fetches(b) == one_shot.fetches(b)

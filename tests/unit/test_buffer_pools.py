@@ -1,12 +1,25 @@
-"""Unit tests for the LRU / FIFO / CLOCK buffer-pool simulators."""
+"""Unit tests for the LRU / FIFO / CLOCK / 2Q / LeCaR pool simulators."""
+
+import random
 
 import pytest
 
 from repro.buffer.clock import ClockBufferPool
 from repro.buffer.fifo import FIFOBufferPool
+from repro.buffer.lecar import LeCaRBufferPool
 from repro.buffer.lru import LRUBufferPool
+from repro.buffer.policies import available_policies, get_policy_pool
 from repro.buffer.pool import simulate_fetches
+from repro.buffer.twoq import TwoQBufferPool
 from repro.errors import BufferError_
+
+ALL_POOL_CLASSES = (
+    LRUBufferPool,
+    FIFOBufferPool,
+    ClockBufferPool,
+    TwoQBufferPool,
+    LeCaRBufferPool,
+)
 
 
 class TestLRUBasics:
@@ -110,6 +123,133 @@ class TestClock:
         pool.reset()
         assert pool.fetches == 0
         assert pool.resident_pages() == frozenset()
+
+
+class TestTwoQ:
+    def test_ghost_hit_promotes_into_am(self):
+        pool = TwoQBufferPool(4)  # Kin = 1, Kout = 2
+        pool.run([1, 2, 3, 4])    # A1in full
+        pool.run([5, 6])          # evicts 1 then 2 into the ghost list
+        assert pool.access(1) is False  # ghosts are history, not storage
+        assert 1 in pool._am
+        assert pool.access(1) is True   # now a main-queue hit
+
+    def test_a1in_hit_does_not_refresh_fifo_order(self):
+        pool = TwoQBufferPool(4)
+        pool.run([1, 2, 3, 4])
+        assert pool.access(1) is True   # hit in A1in...
+        pool.access(5)                  # ...but FIFO still evicts 1
+        assert 1 not in pool.resident_pages()
+        assert pool.resident_pages() == frozenset({2, 3, 4, 5})
+
+    def test_residency_never_exceeds_capacity(self):
+        rng = random.Random(11)
+        pool = TwoQBufferPool(5)
+        for _ in range(500):
+            pool.access(rng.randrange(40))
+            assert len(pool.resident_pages()) <= 5
+
+    def test_reset(self):
+        pool = TwoQBufferPool(3)
+        pool.run([1, 2, 3, 4, 1])
+        pool.reset()
+        assert pool.accesses == 0
+        assert pool.resident_pages() == frozenset()
+        assert not pool._a1out
+
+
+class TestLeCaR:
+    def test_deterministic_replay(self):
+        rng = random.Random(5)
+        trace = [rng.randrange(30) for _ in range(400)]
+        assert (
+            LeCaRBufferPool(8).run(trace) == LeCaRBufferPool(8).run(trace)
+        )
+
+    def test_hits_and_fetches(self):
+        pool = LeCaRBufferPool(2)
+        pool.run([1, 2, 1, 2])
+        assert pool.fetches == 2
+        assert pool.hits == 2
+
+    def test_regret_discounts_and_renormalizes(self):
+        pool = LeCaRBufferPool(4)
+        pool._apply_regret("lru")
+        assert pool._w_lru < pool._w_lfu
+        assert pool._w_lru + pool._w_lfu == pytest.approx(1.0)
+
+    def test_frequency_counters_decay(self):
+        pool = LeCaRBufferPool(2, decay_window=4)
+        pool.run([1] * 8)
+        # Two halvings keep the counter well below the raw access count.
+        assert pool._freq[1] < 8
+
+    def test_reset(self):
+        pool = LeCaRBufferPool(3)
+        pool.run([1, 2, 3, 4, 1, 2])
+        pool.reset()
+        assert pool.accesses == 0
+        assert pool.resident_pages() == frozenset()
+        assert pool._w_lru == pytest.approx(0.5)
+
+
+class TestAccessContract:
+    """The BufferPool.access contract, pinned across every subclass.
+
+    ``access(page)`` returns True exactly when the page was resident
+    *before* the call (a hit); False means a fetch.  Ghost/history
+    structures never count as residency, the page is always resident on
+    return, exactly one counter moves per call, and residency never
+    exceeds capacity.
+    """
+
+    @staticmethod
+    def _mixed_trace():
+        rng = random.Random(7)
+        loop = list(range(12)) * 4
+        noise = [rng.randrange(25) for _ in range(200)]
+        return loop + noise + loop
+
+    @pytest.mark.parametrize("pool_class", ALL_POOL_CLASSES)
+    @pytest.mark.parametrize("capacity", [1, 2, 3, 5, 8])
+    def test_return_value_is_prior_residency(self, pool_class, capacity):
+        pool = pool_class(capacity)
+        for page in self._mixed_trace():
+            resident_before = page in pool.resident_pages()
+            hits, fetches = pool.hits, pool.fetches
+            assert pool.access(page) is resident_before
+            assert page in pool.resident_pages()
+            assert len(pool.resident_pages()) <= capacity
+            if resident_before:
+                assert (pool.hits, pool.fetches) == (hits + 1, fetches)
+            else:
+                assert (pool.hits, pool.fetches) == (hits, fetches + 1)
+
+    @pytest.mark.parametrize("pool_class", ALL_POOL_CLASSES)
+    def test_reset_makes_replay_identical(self, pool_class):
+        trace = self._mixed_trace()
+        pool = pool_class(4)
+        first = pool.run(trace)
+        pool.reset()
+        assert pool.accesses == 0
+        assert pool.run(trace) == first
+
+
+class TestPolicyRegistry:
+    def test_available_policies(self):
+        assert set(available_policies()) == {
+            "lru", "fifo", "clock", "2q", "lecar-tinylfu",
+        }
+
+    def test_get_policy_pool_dispatch(self):
+        assert isinstance(get_policy_pool("2q", 3), TwoQBufferPool)
+        assert isinstance(
+            get_policy_pool("lecar-tinylfu", 3), LeCaRBufferPool
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BufferError_, match="unknown replacement"):
+            get_policy_pool("mru", 3)
 
 
 class TestSimulateFetches:

@@ -42,6 +42,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["verify", "--kernels", "nope"])
 
+    def test_policy_flags(self):
+        args = build_parser().parse_args(["fit", "--catalog", "c.json"])
+        assert args.policy == "lru"
+        args = build_parser().parse_args(
+            ["experiment", "--policy", "clock"]
+        )
+        assert args.policy == "clock"
+        for command in (
+            ["fit", "--catalog", "c.json", "--policy", "mru"],
+            ["experiment", "--policy", "mru"],
+            ["experiment", "--policy-ablation", "--policies", "mru"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(command)
+
+    def test_verify_accepts_policy_kernels(self):
+        args = build_parser().parse_args(
+            ["verify", "--kernels", "baseline", "clock", "2q"]
+        )
+        assert args.kernels == ["baseline", "clock", "2q"]
+
 
 class TestCommands:
     SMALL = [
@@ -125,6 +146,46 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "EPFIS" in out
+
+    @pytest.mark.policy
+    def test_fit_policy_and_estimate_guard(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat.json")
+        assert main(
+            ["fit", *self.SMALL, "--catalog", catalog,
+             "--policy", "clock"]
+        ) == 0
+        assert "policy = clock" in capsys.readouterr().out
+        assert main(
+            ["estimate", "--catalog", catalog, "--sigma", "0.2",
+             "--buffers", "20", "--policy", "clock"]
+        ) == 0
+        assert "estimated fetches" in capsys.readouterr().out
+        assert main(
+            ["estimate", "--catalog", catalog, "--sigma", "0.2",
+             "--buffers", "20", "--policy", "lru"]
+        ) == 1
+        assert "fitted under policy 'clock'" in capsys.readouterr().err
+
+    @pytest.mark.policy
+    def test_experiment_policy_ablation(self, capsys):
+        assert main(
+            ["experiment", "--policy-ablation", "--policies", "clock",
+             "--families", "loop"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LRU-drift ablation" in out
+        assert "max drift" in out
+        assert "clock" in out
+
+    @pytest.mark.policy
+    def test_experiment_policy_spec_round_trip(self, tmp_path, capsys):
+        spec_path = str(tmp_path / "spec.json")
+        assert main(
+            ["experiment", *self.SMALL, "--scans", "5",
+             "--policy", "2q", "--save-spec", spec_path]
+        ) == 0
+        capsys.readouterr()
+        assert ExperimentSpec.load(spec_path).policy == "2q"
 
     def test_perf(self, capsys):
         assert main(
