@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Run the serving-tier benchmark and write BENCH_serving.json.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_serving_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_serving_bench.py --smoke    # CI gate
+
+The full run provisions tenant namespaces with fitted catalogs at
+production breadth, replays one seeded request stream three ways —
+one-call-per-request baseline at 8 clients (batching off), micro-
+batched closed loop at the same 8 clients, open loop above capacity
+with a small admission queue — and records p50/p99 latency, sustained
+QPS, the batch-size histogram, and the truthful shed counts.  The
+closed-loop modes run several interleaved repetitions and the speedup
+gate compares medians.  Acceptance: batched throughput >= 2x the
+one-call baseline (full runs), zero batched-vs-serial mismatches and
+exact request accounting (every run), closed-loop p99 under the smoke
+bound.  See src/repro/perf/serving.py.
+
+``--smoke`` shrinks tenants and request count to a seconds-long
+structural check — the mode the CI serving stage runs, which still
+enforces the identity, accounting, and p99 gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.serving import (  # noqa: E402 (path bootstrap above)
+    BENCH_CLIENTS,
+    run_serving_benchmark,
+)
+
+
+def main(argv=None) -> int:
+    """Parse arguments, run the benchmark, print a summary."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_serving.json",
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--tenant-root", type=Path, default=None,
+                        help="provision namespaces here instead of a "
+                             "temporary directory")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=BENCH_CLIENTS,
+                        help="closed-loop client threads "
+                             f"(default {BENCH_CLIENTS})")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="closed-loop repetitions per mode "
+                             "(default: 5 full, 2 smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small tenants and stream "
+                             "(the CI structural check)")
+    args = parser.parse_args(argv)
+
+    document = run_serving_benchmark(
+        out_path=args.out,
+        tenant_root=args.tenant_root,
+        seed=args.seed,
+        clients=args.clients,
+        repeats=args.repeats,
+        smoke=args.smoke,
+    )
+    serial = document["serial"]
+    unbatched = document["unbatched"]
+    closed = document["closed_loop"]
+    open_loop = document["open_loop"]
+    identity = document["identity"]
+    criteria = document["criteria"]
+    print(
+        f"serial engine reference: {serial['qps']:8.0f} qps "
+        f"(p50 {serial['p50_ms']:.2f} ms, p99 {serial['p99_ms']:.2f} ms)"
+    )
+    print(
+        f"one-call baseline ({criteria['clients']} clients): "
+        f"{unbatched['sustained_qps']:8.0f} qps median of "
+        f"{[round(q) for q in document['unbatched_qps_reps']]} "
+        f"(p50 {unbatched['latency_ms']['p50']:.2f} ms, "
+        f"p99 {unbatched['latency_ms']['p99']:.2f} ms)"
+    )
+    print(
+        f"closed loop ({criteria['clients']} clients): "
+        f"{closed['sustained_qps']:8.0f} qps median of "
+        f"{[round(q) for q in document['closed_loop_qps_reps']]} "
+        f"(p50 {closed['latency_ms']['p50']:.2f} ms, "
+        f"p99 {closed['latency_ms']['p99']:.2f} ms, "
+        f"mean batch {closed['server']['mean_batch_size']:.2f})"
+    )
+    print(
+        f"open loop (target {open_loop['target_qps']:.0f} qps): "
+        f"{open_loop['sustained_qps']:8.0f} qps sustained, "
+        f"{open_loop['rejected']} shed, "
+        f"accounted={open_loop['accounted']}"
+    )
+    print(
+        f"identity: {identity['compared']} compared, "
+        f"{identity['mismatches']} mismatches"
+    )
+    print(
+        f"criteria passed: {criteria['passed']} "
+        f"(speedup {criteria['speedup']}x, min {criteria['min_speedup']}x"
+        f"{' [smoke: reported only]' if document['smoke'] else ''}; "
+        f"p99 {criteria['p99_ms']} ms <= "
+        f"{criteria['smoke_p99_bound_ms']} ms)  -> {args.out}"
+    )
+    return 0 if criteria["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

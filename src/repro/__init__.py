@@ -14,7 +14,9 @@ A faithful, laptop-scale reproduction of Swami & Schiefer's EPFIS system
   (:mod:`repro.estimators`),
 * a catalog, a cost-based access-path selector, and the paper's full
   experimental harness (:mod:`repro.catalog`, :mod:`repro.optimizer`,
-  :mod:`repro.eval`).
+  :mod:`repro.eval`),
+* a micro-batching, multi-tenant serving tier with a deterministic
+  load generator (:mod:`repro.serving`).
 
 Quickstart::
 
@@ -57,6 +59,7 @@ from repro.errors import (
     FaultInjectionError,
     ReproError,
     ResilienceError,
+    ServingError,
 )
 from repro.engine import EstimationEngine
 from repro.resilience import (
@@ -109,6 +112,15 @@ from repro.obs import (
     observability_session,
 )
 from repro.optimizer import choose_access_plan
+from repro.serving import (
+    EstimateRequest,
+    EstimateResponse,
+    EstimationServer,
+    ServingConfig,
+    ServingTCPServer,
+    TenantCatalogs,
+    WorkloadSpec,
+)
 from repro.storage import (
     BTreeIndex,
     CompositeIndex,
@@ -148,7 +160,10 @@ __all__ = [
     "Dataset",
     "EPFISEstimator",
     "EstIO",
+    "EstimateRequest",
+    "EstimateResponse",
     "EstimationEngine",
+    "EstimationServer",
     "ExperimentSpec",
     "FIFOBufferPool",
     "FaultInjectionError",
@@ -185,14 +200,19 @@ __all__ = [
     "ScanKind",
     "ScanSelectivity",
     "ScanSpec",
+    "ServingConfig",
+    "ServingError",
+    "ServingTCPServer",
     "StackDistanceAnalyzer",
     "SmoothEPFISEstimator",
     "SyntheticSpec",
     "SystemCatalog",
     "Table",
     "TableShape",
+    "TenantCatalogs",
     "Tracer",
     "WindowPlacer",
+    "WorkloadSpec",
     "append_records",
     "available_estimators",
     "build_gwl_database",

@@ -12,10 +12,15 @@ Commands mirror how a DBA would interact with EPFIS:
 * ``perf``      — time one LRU-Fit pass per stack-distance kernel.
 * ``verify``    — run the differential verification harness (LRU oracle
   cross-checks, metamorphic invariants, golden-fixture regression).
+* ``serve``     — serve estimates over NDJSON/TCP with micro-batching
+  across per-tenant catalog namespaces (see :mod:`repro.serving`).
+* ``loadgen``   — drive a deterministic closed- or open-loop load
+  against the serving tier and report p50/p99 latency and QPS.
 * ``metrics``   — print the standard metric-family schema this build
   exports (Prometheus text or canonical JSONL).
 
-``fit``, ``estimate``, ``experiment``, and ``verify`` additionally take
+``fit``, ``estimate``, ``experiment``, ``verify``, ``serve``, and
+``loadgen`` additionally take
 ``--metrics-out FILE`` (export every metric recorded during the run;
 ``-`` for stdout; format by extension or ``--metrics-format``) and
 ``--trace-out FILE`` (stream the run's span tree as JSON lines) — see
@@ -571,6 +576,196 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.serving import (
+        DEFAULT_BATCH_WINDOW_MS,
+        DEFAULT_MAX_BATCH,
+        DEFAULT_MAX_QUEUE,
+        DEFAULT_TENANT_CACHE,
+    )
+
+    parser.add_argument("--tenant-root", required=True, metavar="DIR",
+                        help="directory of per-tenant catalog namespaces "
+                             "(<root>/<tenant>/catalog.json)")
+    parser.add_argument("--batch-window-ms", type=float,
+                        default=DEFAULT_BATCH_WINDOW_MS,
+                        help="micro-batch coalescing window "
+                             f"(default {DEFAULT_BATCH_WINDOW_MS} ms)")
+    parser.add_argument("--max-batch", type=int,
+                        default=DEFAULT_MAX_BATCH,
+                        help="most requests coalesced per engine call "
+                             f"(default {DEFAULT_MAX_BATCH})")
+    parser.add_argument("--max-queue", type=int,
+                        default=DEFAULT_MAX_QUEUE,
+                        help="admission-control queue bound; beyond it "
+                             f"requests shed (default {DEFAULT_MAX_QUEUE})")
+    parser.add_argument("--tenant-cache", type=int,
+                        default=DEFAULT_TENANT_CACHE,
+                        help="tenant engines kept resident "
+                             f"(default {DEFAULT_TENANT_CACHE})")
+    parser.add_argument("--fallback", nargs="+", default=None,
+                        choices=available_estimators(), metavar="NAME",
+                        help="degraded-mode fallback chain for every "
+                             "tenant engine")
+
+
+def _serving_server(args: argparse.Namespace):
+    from repro.serving import EstimationServer, ServingConfig
+
+    config = ServingConfig(
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        tenant_cache=args.tenant_cache,
+        fallback_chain=(
+            tuple(args.fallback) if args.fallback else None
+        ),
+    )
+    return EstimationServer(args.tenant_root, config).start()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serving import ServingTCPServer
+
+    server = _serving_server(args)
+    tcp = ServingTCPServer(server, host=args.host, port=args.port)
+    host, port = tcp.address
+    tenants = server.tenants.tenant_names()
+    print(
+        f"serving {len(tenants)} tenant(s) "
+        f"({', '.join(tenants) or 'none provisioned yet'}) "
+        f"on {host}:{port} — batch window "
+        f"{args.batch_window_ms} ms, max queue {args.max_queue}"
+    )
+    if args.max_seconds is not None:
+        timer = threading.Timer(args.max_seconds, tcp.request_stop)
+        timer.daemon = True
+        timer.start()
+    try:
+        tcp.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        tcp.shutdown()
+    metrics = server.metrics()
+    print(
+        f"served {metrics['completed']} request(s) in "
+        f"{metrics['batches']} batch(es); rejected "
+        f"{sum(metrics['rejected'].values())} "
+        f"({metrics['rejected']})"
+    )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.serving import (
+        TCPTransport,
+        TenantCatalogs,
+        WorkloadSpec,
+        request_stream,
+        run_closed_loop,
+        run_open_loop,
+        validate_tenant_name,
+    )
+    from repro.serving.loadgen import InProcessTransport
+
+    tenants = TenantCatalogs(args.tenant_root,
+                             cache_size=args.tenant_cache)
+    names = args.tenant_names or tenants.tenant_names()
+    if not names:
+        raise ReproError(
+            f"no tenant namespaces found under {args.tenant_root!r}; "
+            f"provision one with `repro fit` + TenantCatalogs.save or "
+            f"pass --tenant-names"
+        )
+    pools = []
+    for name in names:
+        validate_tenant_name(name)
+        pools.append((name, tuple(tenants.engine(name).index_names())))
+    spec = WorkloadSpec(
+        tenants=tuple(names),
+        tenant_indexes=tuple(pools),
+        estimators=tuple(args.estimators or ("epfis",)),
+        seed=args.seed,
+    )
+    requests = request_stream(spec, args.requests)
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise ReproError(
+                f"--connect wants HOST:PORT, got {args.connect!r}"
+            )
+        if args.mode == "open":
+            raise ReproError(
+                "open-loop mode drives an in-process server; drop "
+                "--connect or use --mode closed"
+            )
+        result = run_closed_loop(
+            lambda: TCPTransport(host, int(port)),
+            requests,
+            clients=args.clients,
+        )
+    else:
+        server = _serving_server(args)
+        try:
+            if args.mode == "open":
+                result = run_open_loop(server, requests, qps=args.qps)
+            else:
+                result = run_closed_loop(
+                    lambda: InProcessTransport(server),
+                    requests,
+                    clients=args.clients,
+                    server=server,
+                )
+        finally:
+            server.close()
+    latency = result.latency_ms()
+    rows = [
+        ("mode", result.mode),
+        ("clients", result.clients),
+        ("sent", result.sent),
+        ("completed", result.completed),
+        ("rejected", result.rejected),
+        ("errors", result.errors),
+        ("sustained QPS", f"{result.sustained_qps:.0f}"),
+        ("p50 latency (ms)", f"{latency['p50']:.2f}"),
+        ("p99 latency (ms)", f"{latency['p99']:.2f}"),
+    ]
+    if result.mode == "open":
+        rows.insert(2, ("target QPS", f"{args.qps:.0f}"))
+    mean_batch = result.server_metrics.get("mean_batch_size")
+    if mean_batch is not None:
+        rows.append(("mean batch size", f"{mean_batch:.2f}"))
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Load generation — {len(names)} tenant(s), "
+                f"workload {result.workload_digest[:12]}"
+            ),
+        )
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_module.dump(result.to_dict(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        print(f"wrote loadgen results to {args.out}")
+    if not result.accounted:
+        print(
+            "error: request accounting mismatch (dropped-but-"
+            "unreported requests)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_gwl(args: argparse.Namespace) -> int:
     db = build_gwl_database(scale=args.scale, seed=args.seed)
     print(
@@ -784,6 +979,57 @@ def build_parser() -> argparse.ArgumentParser:
                                "comparing against it")
     _add_obs_arguments(p_verify)
     p_verify.set_defaults(handler=_cmd_verify)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve estimates over NDJSON/TCP with micro-batching",
+    )
+    _add_serving_arguments(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8337,
+                         help="port to bind; 0 picks a free port "
+                              "(default 8337)")
+    p_serve.add_argument("--max-seconds", type=float, default=None,
+                         help="stop serving after this many seconds "
+                              "(default: run until interrupted)")
+    _add_obs_arguments(p_serve)
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a deterministic load against the serving tier",
+    )
+    _add_serving_arguments(p_loadgen)
+    p_loadgen.add_argument("--mode", choices=("closed", "open"),
+                           default="closed",
+                           help="closed: N clients, one outstanding "
+                                "request each; open: fixed-rate arrivals "
+                                "(default closed)")
+    p_loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                           help="drive a running `repro serve` socket "
+                                "instead of an in-process server "
+                                "(closed mode only)")
+    p_loadgen.add_argument("--clients", type=int, default=8,
+                           help="closed-loop client threads (default 8)")
+    p_loadgen.add_argument("--requests", type=int, default=400,
+                           help="requests to issue (default 400)")
+    p_loadgen.add_argument("--qps", type=float, default=500.0,
+                           help="open-loop arrival rate (default 500)")
+    p_loadgen.add_argument("--seed", type=int, default=0,
+                           help="workload stream seed (default 0)")
+    p_loadgen.add_argument("--estimators", nargs="+", default=None,
+                           choices=available_estimators(),
+                           help="estimators the stream draws from "
+                                "(default epfis)")
+    p_loadgen.add_argument("--tenant-names", nargs="+", default=None,
+                           metavar="NAME",
+                           help="tenants to target (default: every "
+                                "namespace under --tenant-root)")
+    p_loadgen.add_argument("--out", default=None, metavar="FILE",
+                           help="write the full result JSON here")
+    _add_obs_arguments(p_loadgen)
+    p_loadgen.set_defaults(handler=_cmd_loadgen)
 
     p_metrics = sub.add_parser(
         "metrics",

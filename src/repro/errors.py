@@ -101,6 +101,12 @@ class FaultInjectionError(ResilienceError):
     """A fault-injection plan named an unknown fault kind or operation."""
 
 
+class ServingError(ReproError):
+    """The serving tier rejected, misrouted, or could not answer a
+    request (invalid tenant name, shed under load, closed server,
+    unbindable port, ...)."""
+
+
 class ObservabilityError(ReproError):
     """A metrics instrument or trace sink was declared or used
     inconsistently (conflicting family types, bad labels, negative

@@ -13,7 +13,7 @@ registry never loses sub-microsecond resolution to float summation.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.obs.metrics import (
     NS_TO_SECONDS,
@@ -58,6 +58,21 @@ CATALOG_READS_TOTAL = "repro_catalog_reads_total"
 CATALOG_RETRIES_TOTAL = "repro_catalog_retries_total"
 CATALOG_QUARANTINES_TOTAL = "repro_catalog_quarantines_total"
 CATALOG_STALE_SERVES_TOTAL = "repro_catalog_stale_serves_total"
+
+# ----------------------------------------------------------------------
+# Serving tier (per-server registry; see repro.serving)
+# ----------------------------------------------------------------------
+SERVING_REQUESTS_TOTAL = "repro_serving_requests_total"
+SERVING_REJECTED_TOTAL = "repro_serving_rejected_total"
+SERVING_BATCHES_TOTAL = "repro_serving_batches_total"
+SERVING_BATCH_SIZE = "repro_serving_batch_size"
+SERVING_QUEUE_DEPTH = "repro_serving_queue_depth"
+SERVING_LATENCY_SECONDS = "repro_serving_latency_seconds"
+SERVING_TENANTS_ACTIVE = "repro_serving_tenants_active"
+SERVING_TENANT_EVICTIONS_TOTAL = "repro_serving_tenant_evictions_total"
+
+#: Micro-batch size buckets (requests coalesced per engine call).
+BATCH_SIZE_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 # ----------------------------------------------------------------------
 # Circuit breakers
@@ -217,6 +232,75 @@ def catalog_stale_serves(registry=None) -> MetricFamily:
     )
 
 
+def serving_requests(registry=None) -> MetricFamily:
+    """Requests admitted by the serving tier, per tenant."""
+    return _registry(registry).counter(
+        SERVING_REQUESTS_TOTAL,
+        "Estimate requests admitted by the serving tier.",
+        ("tenant",),
+    )
+
+
+def serving_rejected(registry=None) -> MetricFamily:
+    """Requests turned away before execution, per reason."""
+    return _registry(registry).counter(
+        SERVING_REJECTED_TOTAL,
+        "Estimate requests rejected by admission control "
+        "(queue_full, closed, invalid).",
+        ("reason",),
+    )
+
+
+def serving_batches(registry=None) -> MetricFamily:
+    """Engine calls issued by the micro-batcher."""
+    return _registry(registry).counter(
+        SERVING_BATCHES_TOTAL,
+        "Micro-batched engine calls issued by the serving tier.",
+    )
+
+
+def serving_batch_size(registry=None) -> MetricFamily:
+    """Distribution of requests coalesced per engine call."""
+    return _registry(registry).histogram(
+        SERVING_BATCH_SIZE,
+        "Requests coalesced into one batched engine call.",
+        buckets=BATCH_SIZE_BUCKETS,
+        scale=1.0,
+    )
+
+
+def serving_queue_depth(registry=None) -> MetricFamily:
+    """Requests queued but not yet dispatched."""
+    return _registry(registry).gauge(
+        SERVING_QUEUE_DEPTH,
+        "Admitted requests waiting for the micro-batcher.",
+    )
+
+
+def serving_latency(registry=None) -> MetricFamily:
+    """End-to-end request latency (submit to completed future)."""
+    return _registry(registry).histogram(
+        SERVING_LATENCY_SECONDS,
+        "End-to-end serving latency per request.",
+    )
+
+
+def serving_tenants_active(registry=None) -> MetricFamily:
+    """Tenant engines currently resident in the LRU cache."""
+    return _registry(registry).gauge(
+        SERVING_TENANTS_ACTIVE,
+        "Tenant engines currently resident in the serving cache.",
+    )
+
+
+def serving_tenant_evictions(registry=None) -> MetricFamily:
+    """Tenant engines evicted by the bounded cache."""
+    return _registry(registry).counter(
+        SERVING_TENANT_EVICTIONS_TOTAL,
+        "Tenant engines evicted from the bounded serving cache.",
+    )
+
+
 def breaker_state(registry=None) -> MetricFamily:
     """Current breaker state (0 closed, 1 half-open, 2 open)."""
     return _registry(registry).gauge(
@@ -252,6 +336,14 @@ _STANDARD_ACCESSORS = (
     kernel_feed_seconds,
     kernel_references,
     kernel_references_per_second,
+    serving_batch_size,
+    serving_batches,
+    serving_latency,
+    serving_queue_depth,
+    serving_rejected,
+    serving_requests,
+    serving_tenant_evictions,
+    serving_tenants_active,
     shard_feed_seconds,
     shard_merge_seconds,
     shard_seam_reuses,

@@ -10,12 +10,21 @@
   scaling over a paper-scale trace (per-worker wall/critical-path
   speedups, merged-vs-exact verdicts, sampled merge error), written to
   ``BENCH_shard.json``.
+* :mod:`repro.perf.serving` — the BENCH_serving benchmark: micro-batched
+  serving throughput vs the serial one-call baseline, plus the
+  batched-vs-serial identity check and honest-shedding open-loop
+  section, written to ``BENCH_serving.json``.
 """
 
 from repro.perf.harness import (
     build_uniform_trace,
     build_zipf_trace,
     run_core_benchmark,
+)
+from repro.perf.serving import (
+    provision_tenants,
+    run_serving_benchmark,
+    serial_baseline,
 )
 from repro.perf.shard import (
     run_shard_benchmark,
@@ -36,8 +45,11 @@ __all__ = [
     "build_zipf_trace",
     "compare_kernels",
     "evaluation_band",
+    "provision_tenants",
     "run_core_benchmark",
+    "run_serving_benchmark",
     "run_shard_benchmark",
+    "serial_baseline",
     "shard_timing",
     "single_pass",
 ]

@@ -1,0 +1,128 @@
+"""A newline-delimited-JSON TCP front end over the estimation server.
+
+``repro serve`` binds this to a host/port; any client that can write a
+JSON object per line (the load generator, ``nc``, a connection pool in
+an optimizer process) gets estimates back one line per request.  Each
+connection is handled by its own thread (the stdlib
+:class:`socketserver.ThreadingTCPServer`), and every request funnels
+into the shared :class:`~repro.serving.server.EstimationServer`, so the
+micro-batcher coalesces across *all* connections — concurrency on the
+wire becomes batch size in the engine.
+
+Failures stay on the wire as truthful ``ok=false`` responses: protocol
+errors, admission sheds, unknown estimators and tenant errors all
+answer rather than dropping the connection.  Binding failures (port in
+use, bad interface) surface as :class:`~repro.errors.ServingError` so
+the CLI exits cleanly.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import ReproError, ServingError
+from repro.serving.protocol import (
+    EstimateResponse,
+    decode_request,
+    encode,
+)
+from repro.serving.server import EstimationServer
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8337
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: EstimationServer = self.server.estimation_server
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                request = decode_request(line)
+            except ReproError as exc:
+                response = EstimateResponse(
+                    request_id=0, ok=False, error=str(exc)
+                )
+            else:
+                response = server.respond(request)
+            try:
+                self.wfile.write(encode(response).encode("utf-8"))
+                self.wfile.flush()
+            except OSError:
+                return  # client went away mid-response
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServingTCPServer:
+    """Own the listening socket and the connection threads.
+
+    ``port=0`` asks the OS for a free port (tests use this); the bound
+    address is available as :attr:`address` after construction.
+    """
+
+    def __init__(
+        self,
+        estimation_server: EstimationServer,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self._estimation = estimation_server
+        try:
+            self._tcp = _ThreadingTCPServer(
+                (host, port), _RequestHandler
+            )
+        except OSError as exc:
+            raise ServingError(
+                f"cannot bind serving socket to {host}:{port}: {exc}"
+            ) from exc
+        self._tcp.estimation_server = estimation_server
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound ``(host, port)``."""
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Block serving connections until :meth:`shutdown`."""
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> "ServingTCPServer":
+        """Serve from a daemon thread (tests and embedded use)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-serving-tcp",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def request_stop(self) -> None:
+        """Ask a blocked :meth:`serve_forever` to return (non-blocking
+        for the serve loop itself; safe from any thread or a timer)."""
+        self._tcp.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting connections, drain the estimation server.
+
+        Idempotent: safe after :meth:`request_stop` or a second call.
+        """
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._estimation.close()
+
+    def __enter__(self) -> "ServingTCPServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

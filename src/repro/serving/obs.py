@@ -1,0 +1,103 @@
+"""Dual-recording metric bindings for the serving tier.
+
+The serving counters must stay **truthful with no setup** — admission
+accounting is a correctness property (``sent == completed + rejected``),
+not an optional diagnostic — so, like the engine and the resilient
+store, each serving component records into its own always-enabled
+registry.  Every record is *mirrored* onto the process-global registry
+(a no-op while that registry is disabled) so ``--metrics-out`` exports
+carry the serving families without the components knowing about the
+observability session.
+
+:class:`DualFamily` packages that pattern: one accessor from
+:mod:`repro.obs.instruments`, bound once on the primary registry and —
+when the primary is not itself the global registry — once on the global
+one.  Children forward ``inc``/``set``/``observe`` to both and read
+back from the primary only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+
+class DualChild:
+    """One label assignment recorded on the primary and the mirror."""
+
+    __slots__ = ("_primary", "_mirror")
+
+    def __init__(self, primary, mirror) -> None:
+        self._primary = primary
+        self._mirror = mirror
+
+    def inc(self, amount=1) -> None:
+        """Increment the counter on both sides."""
+        self._primary.inc(amount)
+        if self._mirror is not None:
+            self._mirror.inc(amount)
+
+    def set(self, value) -> None:
+        """Set the gauge on both sides."""
+        self._primary.set(value)
+        if self._mirror is not None:
+            self._mirror.set(value)
+
+    def observe(self, value) -> None:
+        """Record a histogram observation on both sides."""
+        self._primary.observe(value)
+        if self._mirror is not None:
+            self._mirror.observe(value)
+
+    @property
+    def value(self):
+        """The primary (always-enabled) side's current value."""
+        return self._primary.value
+
+    @property
+    def count(self) -> int:
+        """The primary side's observation count."""
+        return self._primary.count
+
+    @property
+    def sum(self):
+        """The primary side's observation sum."""
+        return self._primary.sum
+
+    def bucket_counts(self):
+        """The primary side's cumulative histogram buckets."""
+        return self._primary.bucket_counts()
+
+
+class DualFamily:
+    """An instrument family bound on a registry plus the global mirror."""
+
+    def __init__(
+        self,
+        accessor: Callable[[Optional[MetricsRegistry]], object],
+        registry: MetricsRegistry,
+    ) -> None:
+        self._primary = accessor(registry)
+        shared = global_registry()
+        self._mirror = (
+            accessor(shared) if shared is not registry else None
+        )
+
+    @property
+    def buckets(self):
+        """The family's histogram bucket bounds."""
+        return self._primary.buckets
+
+    def labels(self, **labelvalues) -> DualChild:
+        """Bind one label assignment on both sides."""
+        mirror = (
+            self._mirror.labels(**labelvalues)
+            if self._mirror is not None
+            else None
+        )
+        return DualChild(self._primary.labels(**labelvalues), mirror)
+
+    def children(self):
+        """The primary registry's children (the truthful side)."""
+        return self._primary.children()

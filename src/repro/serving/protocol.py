@@ -1,0 +1,162 @@
+"""The serving tier's request/response wire format.
+
+One estimate request — the optimizer's per-plan question, plus the
+routing fields the multi-tenant tier needs — travels as one JSON object
+per line (newline-delimited JSON, the format every load balancer and
+``nc`` can speak).  The same dataclasses are used in-process, so a
+request that took the TCP path and one that took the direct
+:meth:`~repro.serving.server.EstimationServer.submit` path are the same
+object by the time the micro-batcher sees them.
+
+Floats survive the wire exactly: :mod:`json` emits the shortest
+round-tripping ``repr`` and parses it back to the identical double, so
+the byte-identical-to-serial property the batcher guarantees holds
+across the network boundary too.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ServingError
+
+#: Wire keys a request object may carry.
+_REQUEST_KEYS = frozenset(
+    {"id", "tenant", "index", "estimator", "sigma", "sargable",
+     "buffers", "options"}
+)
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One page-fetch question routed through the serving tier."""
+
+    tenant: str
+    index: str
+    estimator: str
+    sigma: float
+    buffer_pages: int
+    sargable: float = 1.0
+    request_id: int = 0
+    #: Estimator-construction options, normalized to a sorted tuple so
+    #: requests hash (the micro-batcher groups by them).
+    options: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def batch_key(self) -> Tuple[str, str, str, Tuple]:
+        """Requests with equal keys may share one ``estimate_many``."""
+        return (self.tenant, self.index, self.estimator.lower(),
+                self.options)
+
+    def to_dict(self) -> dict:
+        """The request's wire keys (see :func:`encode`)."""
+        doc = {
+            "id": self.request_id,
+            "tenant": self.tenant,
+            "index": self.index,
+            "estimator": self.estimator,
+            "sigma": self.sigma,
+            "sargable": self.sargable,
+            "buffers": self.buffer_pages,
+        }
+        if self.options:
+            doc["options"] = dict(self.options)
+        return doc
+
+
+#: Failure classes a response can carry: an admission/protocol
+#: rejection (never executed) vs an estimator/catalog error (executed
+#: and failed).  The load generator accounts the two separately.
+CODE_REJECTED = "rejected"
+CODE_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """The answer (or the truthful failure) for one request."""
+
+    request_id: int
+    ok: bool
+    estimate: float = math.nan
+    error: str = ""
+    code: str = ""
+
+    def to_dict(self) -> dict:
+        """The response's wire keys (see :func:`encode`)."""
+        if self.ok:
+            return {"id": self.request_id, "ok": True,
+                    "estimate": self.estimate}
+        return {"id": self.request_id, "ok": False,
+                "error": self.error, "code": self.code or CODE_ERROR}
+
+
+def decode_request(line: str) -> EstimateRequest:
+    """Parse one request line, rejecting malformed or unknown fields."""
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ServingError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ServingError(
+            f"request must be a JSON object, got {type(doc).__name__}"
+        )
+    unknown = set(doc) - _REQUEST_KEYS
+    if unknown:
+        raise ServingError(
+            f"request carries unknown keys {sorted(unknown)}; "
+            f"known: {sorted(_REQUEST_KEYS)}"
+        )
+    try:
+        options = doc.get("options") or {}
+        if not isinstance(options, dict):
+            raise ServingError(
+                f"request 'options' must be an object, got "
+                f"{type(options).__name__}"
+            )
+        return EstimateRequest(
+            tenant=str(doc["tenant"]),
+            index=str(doc["index"]),
+            estimator=str(doc["estimator"]),
+            sigma=float(doc["sigma"]),
+            sargable=float(doc.get("sargable", 1.0)),
+            buffer_pages=int(doc["buffers"]),
+            request_id=int(doc.get("id", 0)),
+            options=tuple(sorted(options.items())),
+        )
+    except KeyError as exc:
+        raise ServingError(
+            f"request is missing required key {exc.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise ServingError(f"request field is malformed: {exc}") from exc
+
+
+def decode_response(line: str) -> EstimateResponse:
+    """Parse one response line (the load-generator client's side)."""
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ServingError(f"response is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise ServingError(f"malformed response line: {line!r}")
+    if doc["ok"]:
+        return EstimateResponse(
+            request_id=int(doc.get("id", 0)),
+            ok=True,
+            estimate=float(doc["estimate"]),
+        )
+    return EstimateResponse(
+        request_id=int(doc.get("id", 0)),
+        ok=False,
+        error=str(doc.get("error", "unknown error")),
+        code=str(doc.get("code", CODE_ERROR)),
+    )
+
+
+def encode(message) -> str:
+    """One canonical JSON line (sorted keys, no whitespace padding)."""
+    return json.dumps(
+        message.to_dict(), sort_keys=True, separators=(",", ":")
+    ) + "\n"
