@@ -28,6 +28,21 @@ All filesystem access goes through a :class:`CatalogIO` object — the
 seam the resilience layer's fault injector wraps (see
 :mod:`repro.resilience.faults`) and the hook a test can replace without
 monkeypatching globals.
+
+With ``history > 0`` the store additionally keeps a **versioned
+catalog history**: every :meth:`CatalogStore.save` first archives the
+intended bytes as ``v<NNNNNNNN>.json`` under ``<path>.versions/`` and
+only then publishes them to the main file, retaining the newest
+``history`` versions.  :meth:`CatalogStore.versions` lists what is
+retained, :meth:`CatalogStore.current_version` says which archived
+version the main file's bytes currently match (``None`` after an
+out-of-band edit or a torn publish), and
+:meth:`CatalogStore.rollback` atomically restores an archived version
+— the refresh controller's last-known-good recovery path.  Version
+bookkeeping deliberately bypasses :class:`CatalogIO`: like quarantine
+renames, the recovery machinery itself is not a chaos target, so an
+injected fault on the *publish* can never corrupt the archive it will
+be rolled back from.
 """
 
 from __future__ import annotations
@@ -36,7 +51,7 @@ import hashlib
 import os
 from collections import OrderedDict
 from pathlib import Path
-from typing import Iterator, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.catalog.catalog import (
     IndexStatistics,
@@ -47,6 +62,13 @@ from repro.errors import CatalogError
 
 #: Parsed snapshots kept per store; catalogs are small, flapping is rare.
 DEFAULT_SNAPSHOT_CACHE = 4
+
+#: Directory suffix holding archived catalog versions.
+VERSIONS_SUFFIX = ".versions"
+
+#: Archived version file name pattern (``v%08d.json``).
+_VERSION_PREFIX = "v"
+_VERSION_SUFFIX = ".json"
 
 #: ``(size, sha256 hexdigest)`` of the file content.
 _Stamp = Tuple[int, str]
@@ -85,17 +107,26 @@ class CatalogStore:
         path: Union[str, Path],
         cache_size: int = DEFAULT_SNAPSHOT_CACHE,
         io: Optional[CatalogIO] = None,
+        history: int = 0,
     ) -> None:
         if cache_size < 1:
             raise CatalogError(
                 f"cache_size must be >= 1, got {cache_size}"
             )
+        if history < 0:
+            raise CatalogError(
+                f"history must be >= 0, got {history}"
+            )
         self._path = Path(path)
         self._cache_size = cache_size
         self._io = io or CatalogIO()
+        self._history = history
         self._snapshots: "OrderedDict[_Stamp, SystemCatalog]" = OrderedDict()
         self._current_stamp: Optional[_Stamp] = None
         self._generation = 0
+        # In-process floor for version ids: never reuse an id this store
+        # already assigned, even after retention pruned its file.
+        self._next_version = 1
 
     @property
     def path(self) -> Path:
@@ -183,9 +214,173 @@ class CatalogStore:
         The write goes through this store's :class:`CatalogIO` (so
         injected write faults apply); the next :meth:`catalog` call
         picks the new file up through the normal stamp check (and bumps
-        :attr:`generation` accordingly).
+        :attr:`generation` accordingly).  With ``history > 0`` the
+        intended bytes are archived as a new version *before* the
+        publish — see :meth:`save_text`.
         """
-        self._io.save_text(self._path, catalog.to_json())
+        self.save_text(catalog.to_json())
+
+    def save_text(self, text: str) -> Optional[int]:
+        """Publish ``text`` as the catalog's new content.
+
+        With ``history > 0``, the intended bytes are first archived
+        (archive-then-publish: a version id labels a publish *attempt*,
+        and the archive is durable even when the publish itself is torn
+        or fails) and the oldest versions beyond the retention bound are
+        pruned.  Returns the archived version id, or ``None`` when the
+        store keeps no history.
+        """
+        version: Optional[int] = None
+        if self._history > 0:
+            version = self._archive_version(text)
+        self._io.save_text(self._path, text)
+        return version
+
+    # ------------------------------------------------------------------
+    # Versioned history
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> int:
+        """Retained version count (0 = no history kept)."""
+        return self._history
+
+    @property
+    def versions_dir(self) -> Path:
+        """Directory holding archived catalog versions."""
+        return self._path.with_name(self._path.name + VERSIONS_SUFFIX)
+
+    def version_path(self, version: int) -> Path:
+        """The archive file for ``version``."""
+        return self.versions_dir / (
+            f"{_VERSION_PREFIX}{version:08d}{_VERSION_SUFFIX}"
+        )
+
+    def versions(self) -> List[int]:
+        """Retained version ids, oldest first."""
+        directory = self.versions_dir
+        if not directory.is_dir():
+            return []
+        found = []
+        for entry in directory.iterdir():
+            name = entry.name
+            if (
+                name.startswith(_VERSION_PREFIX)
+                and name.endswith(_VERSION_SUFFIX)
+            ):
+                digits = name[
+                    len(_VERSION_PREFIX):-len(_VERSION_SUFFIX)
+                ]
+                if digits.isdigit():
+                    found.append(int(digits))
+        return sorted(found)
+
+    def current_version(self) -> Optional[int]:
+        """The archived version whose bytes the main file matches.
+
+        ``None`` when no history is kept, the main file is missing, or
+        its bytes match no retained version (an out-of-band edit, a torn
+        publish, or a pre-history file).  Version bookkeeping reads the
+        filesystem directly — deliberately not through :attr:`io` — so
+        injected read faults cannot make recovery lie about where it
+        stands.
+        """
+        try:
+            current = hashlib.sha256(
+                self._path.read_bytes()
+            ).hexdigest()
+        except OSError:
+            return None
+        for version in reversed(self.versions()):
+            try:
+                archived = self.version_path(version).read_bytes()
+            except OSError:
+                continue
+            if hashlib.sha256(archived).hexdigest() == current:
+                return version
+        return None
+
+    def load_version(self, version: int) -> SystemCatalog:
+        """Parse one archived version (without touching the main file)."""
+        path = self.version_path(version)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            raise CatalogError(
+                f"catalog version {version} is not retained "
+                f"(no file at {str(path)!r})"
+            ) from None
+        return SystemCatalog.from_json(text)
+
+    def _archive_version(self, text: str) -> int:
+        """Write ``text`` as the next version; prune beyond retention."""
+        retained = self.versions()
+        floor = retained[-1] + 1 if retained else 1
+        version = max(self._next_version, floor)
+        self._next_version = version + 1
+        self.versions_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.version_path(version), text)
+        self._prune(self._history)
+        return version
+
+    def _prune(self, keep: int) -> None:
+        retained = self.versions()
+        for stale in retained[: max(0, len(retained) - keep)]:
+            try:
+                self.version_path(stale).unlink()
+            except OSError:
+                pass
+
+    def rollback(
+        self, version: Optional[int] = None, prune: bool = True
+    ) -> int:
+        """Atomically restore an archived version to the main file.
+
+        ``version`` defaults to the newest retained version below
+        :meth:`current_version` (or the newest retained version outright
+        when the main file matches none — the torn-publish case).  With
+        ``prune`` (the default), versions newer than the target are
+        dropped from the archive: they are abandoned publish attempts,
+        and keeping them would make the next :meth:`save` look like a
+        re-publish of a known-bad candidate.  The restore itself uses
+        the plain atomic write — never the (possibly fault-injected)
+        :class:`CatalogIO` — because rollback *is* the recovery path.
+        Returns the restored version id.
+        """
+        if self._history < 1:
+            raise CatalogError(
+                "rollback needs a store with history > 0"
+            )
+        retained = self.versions()
+        if version is None:
+            current = self.current_version()
+            candidates = (
+                [v for v in retained if v < current]
+                if current is not None
+                else retained
+            )
+            if not candidates:
+                raise CatalogError(
+                    f"no retained version to roll back to "
+                    f"(retained: {retained}, current: "
+                    f"{self.current_version()})"
+                )
+            version = candidates[-1]
+        if version not in retained:
+            raise CatalogError(
+                f"catalog version {version} is not retained "
+                f"(retained: {retained})"
+            )
+        text = self.version_path(version).read_text(encoding="utf-8")
+        atomic_write_text(self._path, text)
+        if prune:
+            for stale in retained:
+                if stale > version:
+                    try:
+                        self.version_path(stale).unlink()
+                    except OSError:
+                        pass
+        self.invalidate()
+        return version
 
     def __repr__(self) -> str:
         return (

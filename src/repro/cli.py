@@ -16,11 +16,14 @@ Commands mirror how a DBA would interact with EPFIS:
   across per-tenant catalog namespaces (see :mod:`repro.serving`).
 * ``loadgen``   — drive a deterministic closed- or open-loop load
   against the serving tier and report p50/p99 latency and QPS.
+* ``refresh``   — run the online catalog refresh loop (windowed
+  decayed fit, drift detection, breaker-guarded roll-forward with
+  rollback) against a synthetic live feed — see :mod:`repro.refresh`.
 * ``metrics``   — print the standard metric-family schema this build
   exports (Prometheus text or canonical JSONL).
 
-``fit``, ``estimate``, ``experiment``, ``verify``, ``serve``, and
-``loadgen`` additionally take
+``fit``, ``estimate``, ``experiment``, ``verify``, ``serve``,
+``loadgen``, and ``refresh`` additionally take
 ``--metrics-out FILE`` (export every metric recorded during the run;
 ``-`` for stdout; format by extension or ``--metrics-format``) and
 ``--trace-out FILE`` (stream the run's span tree as JSON lines) — see
@@ -625,6 +628,7 @@ def _serving_server(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
     import threading
 
     from repro.serving import ServingTCPServer
@@ -633,11 +637,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tcp = ServingTCPServer(server, host=args.host, port=args.port)
     host, port = tcp.address
     tenants = server.tenants.tenant_names()
+
+    # Graceful shutdown: SIGTERM/SIGINT stop accepting connections and
+    # drain in-flight work instead of killing the process mid-batch.
+    # The stop runs on a helper thread — socketserver's shutdown blocks
+    # until the accept loop exits, and the handler interrupts that very
+    # loop on the main thread, so calling it inline would deadlock.
+    # Dispositions are process-global; restore them on the way out so
+    # in-process callers (tests) don't leak the handlers.
+    def _stop_from_signal(*_):
+        threading.Thread(target=tcp.request_stop, daemon=True).start()
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(
+                signum, _stop_from_signal
+            )
+        except ValueError:
+            # Not the main thread: serve without handlers.
+            break
+
     print(
         f"serving {len(tenants)} tenant(s) "
         f"({', '.join(tenants) or 'none provisioned yet'}) "
         f"on {host}:{port} — batch window "
-        f"{args.batch_window_ms} ms, max queue {args.max_queue}"
+        f"{args.batch_window_ms} ms, max queue {args.max_queue}",
+        flush=True,
     )
     if args.max_seconds is not None:
         timer = threading.Timer(args.max_seconds, tcp.request_stop)
@@ -648,6 +674,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         tcp.shutdown()
     metrics = server.metrics()
     print(
@@ -655,6 +683,113 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{metrics['batches']} batch(es); rejected "
         f"{sum(metrics['rejected'].values())} "
         f"({metrics['rejected']})"
+    )
+    return 0
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.catalog.store import CatalogStore
+    from repro.refresh import (
+        DriftingFeed,
+        FaultyFeed,
+        FeedPhase,
+        RefreshConfig,
+        RefreshController,
+    )
+    from repro.trace.paper_scale import PaperScaleSpec
+
+    phases = [
+        FeedPhase(
+            0,
+            PaperScaleSpec(
+                refs=1,
+                pages=args.pages,
+                pattern=args.pattern,
+                theta=args.theta,
+                seed=args.seed,
+            ),
+        )
+    ]
+    if args.drift_at is not None:
+        phases.append(
+            FeedPhase(
+                args.drift_at,
+                PaperScaleSpec(
+                    refs=1,
+                    pages=(
+                        args.drift_pages
+                        if args.drift_pages is not None
+                        else args.pages
+                    ),
+                    pattern=args.pattern,
+                    theta=(
+                        args.drift_theta
+                        if args.drift_theta is not None
+                        else args.theta
+                    ),
+                    seed=(
+                        args.drift_seed
+                        if args.drift_seed is not None
+                        else args.seed + 1
+                    ),
+                ),
+            )
+        )
+    feed = DriftingFeed(phases)
+    if args.feed_fault_period:
+        feed = FaultyFeed(
+            feed, period=args.feed_fault_period, seed=args.seed
+        )
+    store = CatalogStore(args.catalog, history=args.history)
+    config = RefreshConfig(
+        index_name=args.index,
+        window_refs=args.window,
+        decay=args.decay,
+        drift_threshold=args.drift_threshold,
+        checkpoint_every=args.checkpoint_every,
+        corrupt_publish_cycles=tuple(args.chaos_corrupt_publish or ()),
+    )
+    state_dir = (
+        args.state_dir
+        if args.state_dir is not None
+        else f"{args.catalog}.refresh"
+    )
+    controller = RefreshController(store, feed, config, state_dir)
+    results = controller.run(args.cycles)
+    rows = [
+        [
+            result.cycle,
+            f"[{result.start_ref}, {result.stop_ref})",
+            (
+                "new"
+                if math.isinf(result.magnitude)
+                else f"{result.magnitude:.4f}"
+            ),
+            result.action,
+            result.version if result.version is not None else "-",
+        ]
+        for result in results
+    ]
+    print(
+        format_table(
+            ["cycle", "window", "drift", "action", "version"], rows
+        )
+    )
+    metrics = controller.metrics()
+    print(
+        f"published {metrics['publishes']}, "
+        f"rolled back {metrics['rollbacks']}, "
+        f"quarantined {metrics['quarantined']}; "
+        f"breaker {metrics['breaker_state']} "
+        f"({metrics['breaker_opens']} open(s))"
+    )
+    current = store.current_version()
+    print(
+        f"serving version "
+        f"{current if current is not None else '<none>'} "
+        f"of retained {list(store.versions())}"
     )
     return 0
 
@@ -1030,6 +1165,76 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the full result JSON here")
     _add_obs_arguments(p_loadgen)
     p_loadgen.set_defaults(handler=_cmd_loadgen)
+
+    p_refresh = sub.add_parser(
+        "refresh",
+        help="run the online catalog refresh loop against a live "
+             "synthetic feed",
+    )
+    from repro.trace.paper_scale import DEFAULT_THETA, PATTERNS
+
+    p_refresh.add_argument("--catalog", required=True,
+                           help="catalog file to keep refreshed "
+                                "(version archive lives beside it)")
+    p_refresh.add_argument("--index", default="paper_scale",
+                           help="index name the loop maintains "
+                                "(default paper_scale)")
+    p_refresh.add_argument("--cycles", type=int, default=3,
+                           help="refresh cycles to run (default 3)")
+    p_refresh.add_argument("--window", type=int, default=20_000,
+                           help="feed references consumed per cycle "
+                                "(default 20000)")
+    p_refresh.add_argument("--decay", type=float, default=0.5,
+                           help="weight of the previously emitted curve "
+                                "in the blend (default 0.5)")
+    p_refresh.add_argument("--drift-threshold", type=float, default=0.01,
+                           help="relative curve drift that triggers a "
+                                "roll-forward (default 0.01)")
+    p_refresh.add_argument("--history", type=int, default=4,
+                           help="catalog versions retained for rollback "
+                                "(default 4)")
+    p_refresh.add_argument("--state-dir", default=None, metavar="DIR",
+                           help="loop state directory (default "
+                                "<catalog>.refresh)")
+    p_refresh.add_argument("--checkpoint-every", type=int, default=4096,
+                           metavar="REFS",
+                           help="kernel-pass snapshot cadence "
+                                "(default 4096)")
+    p_refresh.add_argument("--pages", type=int, default=200,
+                           help="distinct pages in the synthetic feed "
+                                "(default 200)")
+    p_refresh.add_argument("--pattern", choices=PATTERNS,
+                           default="zipf",
+                           help="feed reference pattern (default zipf)")
+    p_refresh.add_argument("--theta", type=float, default=DEFAULT_THETA,
+                           help="feed Zipf skew "
+                                f"(default {DEFAULT_THETA})")
+    p_refresh.add_argument("--seed", type=int, default=0)
+    p_refresh.add_argument("--drift-at", type=int, default=None,
+                           metavar="REF",
+                           help="inject workload drift at this feed "
+                                "position (second stationary phase)")
+    p_refresh.add_argument("--drift-theta", type=float, default=None,
+                           help="Zipf skew after --drift-at "
+                                "(default: unchanged)")
+    p_refresh.add_argument("--drift-pages", type=int, default=None,
+                           help="distinct pages after --drift-at "
+                                "(default: unchanged)")
+    p_refresh.add_argument("--drift-seed", type=int, default=None,
+                           help="feed seed after --drift-at "
+                                "(default: --seed + 1)")
+    p_refresh.add_argument("--feed-fault-period", type=int, default=None,
+                           metavar="N",
+                           help="chaos: inject a transient feed fault "
+                                "at ~1/N chunk boundaries (retried "
+                                "through the checkpoint)")
+    p_refresh.add_argument("--chaos-corrupt-publish", type=int,
+                           nargs="+", default=None, metavar="CYCLE",
+                           help="chaos drill: corrupt the publish of "
+                                "these cycles to force the "
+                                "breaker-guarded rollback")
+    _add_obs_arguments(p_refresh)
+    p_refresh.set_defaults(handler=_cmd_refresh)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -101,6 +101,16 @@ class FaultInjectionError(ResilienceError):
     """A fault-injection plan named an unknown fault kind or operation."""
 
 
+class RefreshError(ReproError):
+    """The online catalog refresh loop was misconfigured or could not
+    complete a cycle (bad window, missing state, failed validation)."""
+
+
+class FeedError(RefreshError):
+    """A live reference feed failed to deliver a chunk (the retryable
+    class for the refresh loop's fault injection)."""
+
+
 class ServingError(ReproError):
     """The serving tier rejected, misrouted, or could not answer a
     request (invalid tenant name, shed under load, closed server,

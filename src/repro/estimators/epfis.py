@@ -397,6 +397,38 @@ class LRUFit:
             return self._statistics_from_curve(
                 curve, table_pages, distinct_keys, index_name, dc_count
             )
+        curve = self.curve_streaming(
+            chunks,
+            index_name=index_name,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        return self._statistics_from_curve(
+            curve, table_pages, distinct_keys, index_name, dc_count
+        )
+
+    def curve_streaming(
+        self,
+        chunks: Iterable[Sequence[int]],
+        index_name: str = "<anonymous>",
+        checkpoint=None,
+        resume: bool = False,
+    ):
+        """The raw fetch curve of an (optionally checkpointed) chunked
+        pass, without the segment fit.
+
+        This is the kernel half of :meth:`run_streaming`, exposed for
+        consumers that post-process the curve before fitting — the
+        online refresh loop blends it with the previously served curve
+        (decayed fit) and only then calls
+        :meth:`statistics_from_curve`.  Checkpoint/resume semantics are
+        identical to :meth:`run_streaming` (byte-identical resumed
+        curves, checkpoint cleared on completion).
+        """
+        if checkpoint is None and resume:
+            raise EstimationError(
+                "resume=True requires a checkpoint directory"
+            )
         with obs_span(
             "kernel-pass",
             kernel=self._provider_name(),
@@ -412,11 +444,26 @@ class LRUFit:
                     chunks, checkpoint, resume
                 )
             try:
-                curve = stream.finish()
+                return stream.finish()
             except TraceError:
                 raise EstimationError(
                     "cannot fit an empty index trace"
                 ) from None
+
+    def statistics_from_curve(
+        self,
+        curve,
+        table_pages: int,
+        distinct_keys: int,
+        index_name: str = "<anonymous>",
+        dc_count: Optional[int] = None,
+    ) -> IndexStatistics:
+        """Fit a catalog record from an already-computed fetch curve.
+
+        ``curve`` is anything exposing ``accesses`` and ``fetches(b)``
+        (a kernel's :class:`~repro.buffer.stack.FetchCurve`, a policy
+        kernel's simulated curve, or the refresh loop's decayed blend).
+        """
         return self._statistics_from_curve(
             curve, table_pages, distinct_keys, index_name, dc_count
         )

@@ -75,6 +75,18 @@ SERVING_TENANT_EVICTIONS_TOTAL = "repro_serving_tenant_evictions_total"
 BATCH_SIZE_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 # ----------------------------------------------------------------------
+# Online catalog refresh (per-controller registry; see repro.refresh)
+# ----------------------------------------------------------------------
+REFRESH_CYCLES_TOTAL = "repro_refresh_cycles_total"
+REFRESH_DRIFT_DETECTED_TOTAL = "repro_refresh_drift_detected_total"
+REFRESH_PUBLISHES_TOTAL = "repro_refresh_publishes_total"
+REFRESH_ROLLBACKS_TOTAL = "repro_refresh_rollbacks_total"
+REFRESH_QUARANTINED_CANDIDATES_TOTAL = (
+    "repro_refresh_quarantined_candidates_total"
+)
+REFRESH_CYCLE_SECONDS = "repro_refresh_cycle_seconds"
+
+# ----------------------------------------------------------------------
 # Circuit breakers
 # ----------------------------------------------------------------------
 BREAKER_STATE = "repro_breaker_state"
@@ -301,6 +313,61 @@ def serving_tenant_evictions(registry=None) -> MetricFamily:
     )
 
 
+def refresh_cycles(registry=None) -> MetricFamily:
+    """Refresh cycles completed, by outcome action."""
+    return _registry(registry).counter(
+        REFRESH_CYCLES_TOTAL,
+        "Catalog refresh cycles completed, by outcome action "
+        "(published, skipped-below-threshold, breaker-open, "
+        "rolled-back).",
+        ("action",),
+    )
+
+
+def refresh_drift_detected(registry=None) -> MetricFamily:
+    """Cycles whose candidate drifted beyond the publish threshold."""
+    return _registry(registry).counter(
+        REFRESH_DRIFT_DETECTED_TOTAL,
+        "Refresh cycles whose candidate curve drifted from the served "
+        "catalog beyond the publish threshold.",
+    )
+
+
+def refresh_publishes(registry=None) -> MetricFamily:
+    """Roll-forwards that passed post-publish validation."""
+    return _registry(registry).counter(
+        REFRESH_PUBLISHES_TOTAL,
+        "Catalog versions rolled forward and validated by the refresh "
+        "loop.",
+    )
+
+
+def refresh_rollbacks(registry=None) -> MetricFamily:
+    """Publishes undone after failing post-publish validation."""
+    return _registry(registry).counter(
+        REFRESH_ROLLBACKS_TOTAL,
+        "Refresh publishes rolled back to last-known-good after "
+        "failing post-publish validation.",
+    )
+
+
+def refresh_quarantined_candidates(registry=None) -> MetricFamily:
+    """Candidate records set aside after failing validation."""
+    return _registry(registry).counter(
+        REFRESH_QUARANTINED_CANDIDATES_TOTAL,
+        "Refresh candidate records quarantined after failing "
+        "post-publish validation.",
+    )
+
+
+def refresh_cycle_seconds(registry=None) -> MetricFamily:
+    """Wall-clock latency distribution of refresh cycles."""
+    return _registry(registry).histogram(
+        REFRESH_CYCLE_SECONDS,
+        "Wall-clock latency of one catalog refresh cycle.",
+    )
+
+
 def breaker_state(registry=None) -> MetricFamily:
     """Current breaker state (0 closed, 1 half-open, 2 open)."""
     return _registry(registry).gauge(
@@ -336,6 +403,12 @@ _STANDARD_ACCESSORS = (
     kernel_feed_seconds,
     kernel_references,
     kernel_references_per_second,
+    refresh_cycle_seconds,
+    refresh_cycles,
+    refresh_drift_detected,
+    refresh_publishes,
+    refresh_quarantined_candidates,
+    refresh_rollbacks,
     serving_batch_size,
     serving_batches,
     serving_latency,

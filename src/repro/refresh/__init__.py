@@ -1,0 +1,40 @@
+"""Online catalog refresh: decayed incremental fit, drift detection,
+breaker-guarded roll-forward with automatic rollback.
+
+The paper's LRU-Fit is a statistics-collection-time batch pass;
+production fetch curves go stale as workloads drift.  This package
+closes the loop: a long-lived :class:`RefreshController` consumes a
+live reference feed through a checkpointed kernel stream, periodically
+emits a refreshed six-segment curve, diffs it against the currently
+served catalog version (reusing the golden-drift comparator), and
+rolls forward through the versioned catalog store only when drift
+exceeds a threshold — with post-publish validation, candidate
+quarantine, and breaker-guarded rollback to last-known-good.
+"""
+
+from repro.refresh.controller import (
+    CycleResult,
+    RefreshConfig,
+    RefreshController,
+    RefreshState,
+)
+from repro.refresh.drift import DriftReport, compare_statistics
+from repro.refresh.feed import (
+    DriftingFeed,
+    FaultyFeed,
+    FeedPhase,
+    SequenceFeed,
+)
+
+__all__ = [
+    "CycleResult",
+    "DriftReport",
+    "DriftingFeed",
+    "FaultyFeed",
+    "FeedPhase",
+    "RefreshConfig",
+    "RefreshController",
+    "RefreshState",
+    "SequenceFeed",
+    "compare_statistics",
+]

@@ -1,0 +1,129 @@
+"""Drift detection between a served catalog record and a candidate.
+
+The refresh loop must answer one question per cycle: *does the freshly
+fitted curve differ enough from what is currently served to justify a
+roll-forward?*  The comparison machinery already exists — the golden
+regression fixture diffs structured per-case payloads (curve samples on
+a buffer grid plus estimator outputs on the probe grid) through
+:func:`repro.verify.golden.compare_golden`.  This module renders both
+records into exactly that payload shape and reuses the comparator, so
+"drift" means the same thing online that it means in CI.
+
+On top of the structural diff it computes a scalar *magnitude*: the
+maximum relative difference between the two fitted curves over the
+probe grid.  The controller publishes only when the magnitude exceeds
+its configured threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.catalog.catalog import IndexStatistics
+from repro.estimators.registry import get_estimator
+from repro.types import ScanSelectivity
+from repro.verify.golden import GOLDEN_PROBES, compare_golden
+
+#: Buffer-grid points sampled from each curve for the comparison.
+DRIFT_GRID_POINTS = 16
+
+
+def _buffer_grid(stats: IndexStatistics, points: int) -> List[int]:
+    """~``points`` log-spaced integer buffer sizes over the modeled
+    range of ``stats``."""
+    lo, hi = stats.b_min, stats.b_max
+    if lo >= hi:
+        return [lo]
+    ratio = hi / lo
+    raw = {
+        max(lo, min(hi, round(lo * ratio ** (i / (points - 1)))))
+        for i in range(points)
+    }
+    return sorted(raw)
+
+
+def _curve_samples(
+    stats: IndexStatistics, buffers: List[int]
+) -> List[float]:
+    """Clamped curve evaluations (the physical [T, N] band, exactly as
+    Est-IO serves them)."""
+    t = float(stats.table_pages)
+    n = float(stats.table_records)
+    return [
+        min(n, max(t, stats.fpf_curve.evaluate(float(b))))
+        for b in buffers
+    ]
+
+
+def _case_payload(
+    stats: IndexStatistics, buffers: List[int]
+) -> dict:
+    """One record, rendered in the golden fixture's per-case shape."""
+    estimator = get_estimator("epfis", stats)
+    probe_buffers = sorted({buffers[0], buffers[len(buffers) // 2],
+                            buffers[-1]})
+    requests = [
+        (ScanSelectivity(sigma, s), b)
+        for b in probe_buffers
+        for sigma, s in GOLDEN_PROBES
+    ]
+    return {
+        "family": stats.policy,
+        "seed": 0,
+        "references": stats.table_records,
+        "distinct_pages": stats.table_pages,
+        "buffer_sizes": buffers,
+        "fetch_curve": _curve_samples(stats, buffers),
+        "sampled_curve": [],
+        "estimators": {"epfis": estimator.estimate_many(requests)},
+    }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one served-vs-candidate comparison.
+
+    ``lines`` is the structural diff from the golden comparator (empty
+    means byte-equal payloads); ``magnitude`` is the maximum relative
+    curve difference over the grid (``inf`` when nothing is served
+    yet).
+    """
+
+    lines: Tuple[str, ...]
+    magnitude: float
+
+    def drifted(self, threshold: float) -> bool:
+        """Whether the drift warrants a roll-forward at ``threshold``."""
+        return self.magnitude > threshold
+
+
+def compare_statistics(
+    served: Optional[IndexStatistics],
+    candidate: IndexStatistics,
+    grid_points: int = DRIFT_GRID_POINTS,
+) -> DriftReport:
+    """Diff ``candidate`` against the currently ``served`` record.
+
+    Both sides are sampled on the *candidate's* buffer grid, so the
+    comparison sees the same domain regardless of how the served
+    record's modeled range differs.  ``served=None`` (nothing published
+    yet) reports infinite drift: the first fit always publishes.
+    """
+    buffers = _buffer_grid(candidate, grid_points)
+    if served is None:
+        return DriftReport(
+            lines=("no served record: first publish",),
+            magnitude=float("inf"),
+        )
+    name = candidate.index_name
+    expected = {"cases": {name: _case_payload(served, buffers)}}
+    actual = {"cases": {name: _case_payload(candidate, buffers)}}
+    lines = tuple(compare_golden(expected, actual))
+    served_curve = _curve_samples(served, buffers)
+    candidate_curve = _curve_samples(candidate, buffers)
+    magnitude = max(
+        abs(got - want) / max(1.0, abs(want))
+        for want, got in zip(served_curve, candidate_curve)
+    )
+    return DriftReport(lines=lines, magnitude=magnitude)

@@ -1,0 +1,203 @@
+"""Live reference feeds for the online refresh loop.
+
+A *feed* is anything range-addressable the way
+:class:`~repro.trace.paper_scale.PaperScaleTrace` is: ``chunks(start,
+stop)`` yields the page references of positions ``[start, stop)`` as
+lists, independently of every other range.  Range-addressability is
+what makes the refresh loop resumable — after a crash the controller
+re-requests exactly the window it was consuming, and the checkpoint
+layer skips the already-digested prefix.
+
+Three implementations:
+
+:class:`SequenceFeed`
+    A materialized trace (any ``Sequence[int]``) — the unit-test feed.
+
+:class:`DriftingFeed`
+    A piecewise-stationary synthetic feed: consecutive
+    :class:`FeedPhase` segments, each backed by its own
+    :class:`~repro.trace.paper_scale.PaperScaleTrace` generator, so
+    workload drift is injected at exact, reproducible positions.  A
+    single phase makes it a stationary feed.
+
+:class:`FaultyFeed`
+    A chaos wrapper that raises
+    :class:`~repro.errors.FeedError` at deterministic chunk boundaries
+    — at most once per position, so a retrying consumer always makes
+    progress.  The decision is a pure hash of (seed, position):
+    replaying a failed run replays the identical fault schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import FeedError, RefreshError
+from repro.trace.paper_scale import (
+    CHUNK_REFS,
+    PaperScaleSpec,
+    PaperScaleTrace,
+    _mix64,
+)
+
+#: Phase generators are built unbounded: the refresh loop consumes an
+#: open-ended position stream, not a finite trace.
+_UNBOUNDED_REFS = 1 << 50
+
+
+class SequenceFeed:
+    """A feed over a materialized reference sequence."""
+
+    def __init__(
+        self, pages: Sequence[int], chunk_refs: int = CHUNK_REFS
+    ) -> None:
+        if chunk_refs < 1:
+            raise RefreshError(
+                f"chunk_refs must be >= 1, got {chunk_refs}"
+            )
+        self._pages = pages
+        self._chunk_refs = chunk_refs
+        self.total_refs = len(pages)
+
+    def chunks(self, start: int, stop: int) -> Iterator[List[int]]:
+        """The references of positions ``[start, stop)``, chunked."""
+        if not 0 <= start <= stop <= self.total_refs:
+            raise RefreshError(
+                f"range [{start}, {stop}) is outside the feed's "
+                f"[0, {self.total_refs})"
+            )
+        for lo in range(start, stop, self._chunk_refs):
+            hi = min(lo + self._chunk_refs, stop)
+            yield list(self._pages[lo:hi])
+
+
+@dataclass(frozen=True)
+class FeedPhase:
+    """One stationary segment of a :class:`DriftingFeed`.
+
+    ``start_ref`` is the global position the phase takes over at; the
+    phase's generator is addressed in phase-local coordinates, so the
+    workload it produces does not depend on where earlier phases ended.
+    """
+
+    start_ref: int
+    spec: PaperScaleSpec
+
+    def __post_init__(self) -> None:
+        if self.start_ref < 0:
+            raise RefreshError(
+                f"start_ref must be >= 0, got {self.start_ref}"
+            )
+
+
+class DriftingFeed:
+    """A piecewise-stationary feed with drift at exact positions."""
+
+    def __init__(self, phases: Sequence[FeedPhase]) -> None:
+        phases = tuple(phases)
+        if not phases:
+            raise RefreshError("a DriftingFeed needs at least one phase")
+        if phases[0].start_ref != 0:
+            raise RefreshError(
+                f"the first phase must start at reference 0, got "
+                f"{phases[0].start_ref}"
+            )
+        for before, after in zip(phases, phases[1:]):
+            if after.start_ref <= before.start_ref:
+                raise RefreshError(
+                    f"phase starts must strictly increase, got "
+                    f"{before.start_ref} then {after.start_ref}"
+                )
+        self._phases = phases
+        self._traces = tuple(
+            PaperScaleTrace(replace(phase.spec, refs=_UNBOUNDED_REFS))
+            for phase in phases
+        )
+        self.total_refs = _UNBOUNDED_REFS
+
+    @classmethod
+    def stationary(cls, spec: PaperScaleSpec) -> "DriftingFeed":
+        """A feed with no drift at all."""
+        return cls((FeedPhase(0, spec),))
+
+    def _bounds(self) -> Tuple[Tuple[int, int], ...]:
+        starts = [phase.start_ref for phase in self._phases]
+        stops = starts[1:] + [_UNBOUNDED_REFS]
+        return tuple(zip(starts, stops))
+
+    def chunks(self, start: int, stop: int) -> Iterator[List[int]]:
+        """Positions ``[start, stop)``, split across phase boundaries
+        and delegated to each phase's generator in local coordinates."""
+        if not 0 <= start <= stop <= self.total_refs:
+            raise RefreshError(
+                f"range [{start}, {stop}) is outside the feed's "
+                f"[0, {self.total_refs})"
+            )
+        for (lo, hi), trace in zip(self._bounds(), self._traces):
+            overlap_lo = max(start, lo)
+            overlap_hi = min(stop, hi)
+            if overlap_lo >= overlap_hi:
+                continue
+            yield from trace.chunks(overlap_lo - lo, overlap_hi - lo)
+
+
+class FaultyFeed:
+    """A feed wrapper injecting deterministic, recoverable faults.
+
+    Before yielding the chunk starting at position ``p``, raise
+    :class:`~repro.errors.FeedError` iff ``mix64(seed, p) % period ==
+    0`` — unless this instance already fired at ``p`` (so a retry of
+    the same range gets one chunk further every attempt) or the total
+    ``limit`` is spent.  ``period=1`` fires on every new chunk
+    boundary: the worst case a retry loop must survive.
+    """
+
+    def __init__(
+        self,
+        feed,
+        period: int = 4,
+        limit: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if period < 1:
+            raise RefreshError(f"period must be >= 1, got {period}")
+        if limit is not None and limit < 0:
+            raise RefreshError(
+                f"limit must be >= 0 or None, got {limit}"
+            )
+        self._feed = feed
+        self._period = period
+        self._limit = limit
+        self._seed = seed
+        self._fired: set = set()
+        #: Faults raised so far (observability/tests).
+        self.faults = 0
+
+    @property
+    def total_refs(self) -> int:
+        """The wrapped feed's length (faults don't shorten it)."""
+        return self._feed.total_refs
+
+    def _should_fire(self, position: int) -> bool:
+        if self._limit is not None and self.faults >= self._limit:
+            return False
+        if position in self._fired:
+            return False
+        if _mix64(self._seed, position) % self._period != 0:
+            return False
+        self._fired.add(position)
+        self.faults += 1
+        return True
+
+    def chunks(self, start: int, stop: int) -> Iterator[List[int]]:
+        """The wrapped feed's chunks, with scheduled faults raised at
+        chunk boundaries (before the chunk they would precede)."""
+        position = start
+        for chunk in self._feed.chunks(start, stop):
+            if self._should_fire(position):
+                raise FeedError(
+                    f"injected feed fault at reference {position}"
+                )
+            yield chunk
+            position += len(chunk)

@@ -78,8 +78,11 @@ class ResilientCatalogStore(CatalogStore):
         sleep: Callable[[float], None] = time.sleep,
         quarantine: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        history: int = 0,
     ) -> None:
-        super().__init__(path, cache_size=cache_size, io=io)
+        super().__init__(
+            path, cache_size=cache_size, io=io, history=history
+        )
         self._retry = retry or RetryPolicy()
         self._retry_rng = random.Random(seed)
         self._sleep = sleep

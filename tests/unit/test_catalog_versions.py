@@ -1,0 +1,190 @@
+"""Unit tests for the catalog store's version history and rollback."""
+
+import os
+
+import pytest
+
+from repro.catalog import CatalogStore, SystemCatalog
+from repro.errors import CatalogError
+from repro.resilience import ResilientCatalogStore
+
+from tests.unit.test_catalog import _stats
+
+
+def _catalog_text(*names):
+    catalog = SystemCatalog()
+    for name in names:
+        catalog.put(_stats(name))
+    return catalog.to_json()
+
+
+def _touch(path, offset_ns):
+    info = os.stat(path)
+    os.utime(path, ns=(info.st_atime_ns, info.st_mtime_ns + offset_ns))
+
+
+class TestVersionedSave:
+    def test_history_zero_keeps_no_versions(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json")
+        assert store.history == 0
+        assert store.save_text(_catalog_text("t.a")) is None
+        assert store.versions() == []
+        assert store.current_version() is None
+
+    def test_negative_history_rejected(self, tmp_path):
+        with pytest.raises(CatalogError):
+            CatalogStore(tmp_path / "catalog.json", history=-1)
+
+    def test_saves_archive_and_number_monotonically(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        ids = [
+            store.save_text(_catalog_text(name))
+            for name in ("t.a", "t.b", "t.c")
+        ]
+        assert ids == [1, 2, 3]
+        assert store.versions() == [1, 2, 3]
+        assert store.current_version() == 3
+
+    def test_history_prunes_oldest(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=2)
+        for name in ("t.a", "t.b", "t.c", "t.d"):
+            store.save_text(_catalog_text(name))
+        assert store.versions() == [3, 4]
+        assert store.current_version() == 4
+
+    def test_archive_lives_beside_catalog(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=2)
+        version = store.save_text(_catalog_text("t.a"))
+        archived = store.version_path(version)
+        assert archived.parent == store.versions_dir
+        assert archived.read_text() == store.path.read_text()
+
+    def test_load_version_roundtrips(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=2)
+        store.save_text(_catalog_text("t.a"))
+        version = store.save_text(_catalog_text("t.b"))
+        assert "t.b" in store.load_version(version)
+
+    def test_load_missing_version_is_actionable(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=2)
+        store.save_text(_catalog_text("t.a"))
+        with pytest.raises(CatalogError):
+            store.load_version(99)
+
+    def test_save_catalog_object_archives_too(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=2)
+        catalog = SystemCatalog()
+        catalog.put(_stats("t.a"))
+        store.save(catalog)
+        assert store.versions() == [1]
+        assert store.current_version() == 1
+
+    def test_current_version_none_when_file_missing(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=2)
+        assert store.current_version() is None
+
+    def test_current_version_none_when_file_diverged(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=2)
+        store.save_text(_catalog_text("t.a"))
+        # An out-of-band write (no archive): nothing matches.
+        store.path.write_text(_catalog_text("t.z"))
+        assert store.current_version() is None
+
+
+class TestRollback:
+    def test_rollback_requires_history(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json")
+        with pytest.raises(CatalogError):
+            store.rollback()
+
+    def test_rollback_restores_previous_bytes(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        store.save_text(_catalog_text("t.a"))
+        good = store.path.read_bytes()
+        store.save_text(_catalog_text("t.b"))
+        restored = store.rollback()
+        assert restored == 1
+        assert store.path.read_bytes() == good
+        assert store.current_version() == 1
+
+    def test_rollback_prunes_later_versions(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        for name in ("t.a", "t.b", "t.c"):
+            store.save_text(_catalog_text(name))
+        store.rollback(version=1)
+        assert store.versions() == [1]
+
+    def test_rollback_invalidates_served_snapshot(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        store.save_text(_catalog_text("t.a"))
+        store.save_text(_catalog_text("t.b"))
+        assert "t.b" in store
+        store.rollback()
+        assert "t.b" not in store
+        assert "t.a" in store
+
+    def test_rollback_with_nothing_below_current_fails(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        store.save_text(_catalog_text("t.a"))
+        with pytest.raises(CatalogError):
+            store.rollback()
+
+    def test_rollback_after_torn_publish_restores_newest(self, tmp_path):
+        """The archive survives a publish whose main-file write died:
+        rollback with no argument lands on the archived attempt."""
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        store.save_text(_catalog_text("t.a"))
+        # Simulate a torn publish: the main file carries garbage that
+        # matches no archived version.
+        store.path.write_text("{not json")
+        restored = store.rollback()
+        assert restored == 1
+        assert "t.a" in store
+
+    def test_new_ids_after_rollback_stay_monotonic(self, tmp_path):
+        """A rolled-back version id is never reused: ids label publish
+        attempts, not retained files."""
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        store.save_text(_catalog_text("t.a"))
+        store.save_text(_catalog_text("t.b"))
+        store.rollback()
+        assert store.save_text(_catalog_text("t.c")) == 3
+        assert store.versions() == [1, 3]
+
+    def test_same_size_rewrite_then_rollback(self, tmp_path):
+        """Regression: a same-size, same-mtime rewrite (the reload
+        blind spot content stamping closes) still resolves the right
+        current version, and rollback restores the earlier content."""
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        store.save_text(_catalog_text("t.aa"))
+        mtime = os.stat(store.path).st_mtime_ns
+        store.save_text(_catalog_text("t.ab"))  # same byte length
+        os.utime(store.path, ns=(mtime, mtime))
+        assert len(_catalog_text("t.aa")) == len(_catalog_text("t.ab"))
+        assert store.current_version() == 2
+        store.rollback()
+        assert store.get("t.aa").index_name == "t.aa"
+        assert store.current_version() == 1
+
+
+class TestResilientStoreVersions:
+    def test_history_passes_through(self, tmp_path):
+        store = ResilientCatalogStore(
+            tmp_path / "catalog.json", history=2
+        )
+        assert store.history == 2
+        store.save_text(_catalog_text("t.a"))
+        store.save_text(_catalog_text("t.b"))
+        store.save_text(_catalog_text("t.c"))
+        assert store.versions() == [2, 3]
+        assert store.current_version() == 3
+
+    def test_rollback_served_through_resilient_reads(self, tmp_path):
+        store = ResilientCatalogStore(
+            tmp_path / "catalog.json", history=2
+        )
+        store.save_text(_catalog_text("t.a"))
+        store.save_text(_catalog_text("t.b"))
+        assert "t.b" in store
+        store.rollback()
+        assert store.get("t.a").index_name == "t.a"

@@ -1,0 +1,289 @@
+"""Unit tests for the online catalog refresh controller."""
+
+import json
+
+import pytest
+
+from repro.catalog import CatalogStore
+from repro.errors import RefreshError
+from repro.obs.metrics import MetricsRegistry
+from repro.refresh import (
+    DriftingFeed,
+    RefreshConfig,
+    RefreshController,
+    RefreshState,
+)
+from repro.resilience import BreakerPolicy
+from repro.trace.paper_scale import PaperScaleSpec
+
+INDEX = "orders_idx"
+SPEC = PaperScaleSpec(refs=1, pages=120, pattern="zipf", seed=7)
+
+
+def _controller(tmp_path, clock=None, **config_overrides):
+    config_kwargs = dict(
+        index_name=INDEX, window_refs=4_000, checkpoint_every=1_000
+    )
+    config_kwargs.update(config_overrides)
+    store = CatalogStore(tmp_path / "catalog.json", history=4)
+    kwargs = {"registry": MetricsRegistry()}
+    if clock is not None:
+        kwargs["clock"] = clock
+    return RefreshController(
+        store,
+        DriftingFeed.stationary(SPEC),
+        RefreshConfig(**config_kwargs),
+        tmp_path / "state",
+        **kwargs,
+    )
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        RefreshConfig(index_name=INDEX)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"index_name": ""},
+            {"window_refs": 0},
+            {"decay": 1.0},
+            {"decay": -0.1},
+            {"drift_threshold": -1.0},
+            {"checkpoint_every": 0},
+            {"feed_retries": -1},
+            {"publish_retries": -1},
+            {"kernel": "no-such-kernel"},
+            {"policy": "no-such-policy"},
+        ],
+    )
+    def test_bad_values_rejected(self, overrides):
+        kwargs = dict(index_name=INDEX)
+        kwargs.update(overrides)
+        with pytest.raises(RefreshError):
+            RefreshConfig(**kwargs)
+
+
+class TestControllerConstruction:
+    def test_requires_versioned_store(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json")  # history=0
+        with pytest.raises(RefreshError) as exc_info:
+            RefreshController(
+                store,
+                DriftingFeed.stationary(SPEC),
+                RefreshConfig(index_name=INDEX),
+                tmp_path / "state",
+            )
+        assert "history" in str(exc_info.value)
+
+    def test_requires_catalog_store(self, tmp_path):
+        with pytest.raises(RefreshError):
+            RefreshController(
+                object(),
+                DriftingFeed.stationary(SPEC),
+                RefreshConfig(index_name=INDEX),
+                tmp_path / "state",
+            )
+
+
+class TestRefreshCycles:
+    def test_first_cycle_publishes(self, tmp_path):
+        controller = _controller(tmp_path)
+        result = controller.run_cycle()
+        assert result.action == "published"
+        assert result.version == 1
+        assert result.cycle == 0
+        assert (result.start_ref, result.stop_ref) == (0, 4_000)
+        assert controller.store.get(INDEX).index_name == INDEX
+
+    def test_stationary_feed_skips_at_loose_threshold(self, tmp_path):
+        controller = _controller(tmp_path, drift_threshold=5.0)
+        first, second = controller.run(2)
+        assert first.action == "published"  # nothing served yet
+        assert second.action == "skipped-below-threshold"
+        assert second.version is None
+        assert controller.store.current_version() == 1
+
+    def test_windows_tile_the_feed(self, tmp_path):
+        controller = _controller(tmp_path)
+        results = controller.run(3)
+        assert [(r.start_ref, r.stop_ref) for r in results] == [
+            (0, 4_000),
+            (4_000, 8_000),
+            (8_000, 12_000),
+        ]
+
+    def test_published_record_carries_policy(self, tmp_path):
+        controller = _controller(tmp_path, policy="clock")
+        controller.run_cycle()
+        assert controller.store.get(INDEX).policy == "clock"
+
+    def test_run_validates_cycles(self, tmp_path):
+        with pytest.raises(RefreshError):
+            _controller(tmp_path).run(0)
+
+
+class TestStatePersistence:
+    def test_state_resumes_across_controllers(self, tmp_path):
+        first = _controller(tmp_path)
+        first.run(2)
+        second = _controller(tmp_path)
+        assert second.state.position == 8_000
+        assert second.state.cycle == 2
+        result = second.run_cycle()
+        assert (result.cycle, result.start_ref) == (2, 8_000)
+
+    def test_previous_record_round_trips_exactly(self, tmp_path):
+        controller = _controller(tmp_path)
+        controller.run_cycle()
+        resumed = _controller(tmp_path)
+        assert (
+            resumed.state.previous.to_dict()
+            == controller.state.previous.to_dict()
+        )
+
+    def test_corrupt_state_fails_loudly(self, tmp_path):
+        controller = _controller(tmp_path)
+        controller.run_cycle()
+        controller.state_path.write_text("{bad json")
+        with pytest.raises(RefreshError):
+            _controller(tmp_path)
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        with pytest.raises(RefreshError):
+            RefreshState.from_dict({"schema_version": 99})
+
+
+class TestDecayedBlend:
+    def test_decay_pulls_candidate_toward_previous(self, tmp_path):
+        """With heavy decay the second cycle's emitted curve sits
+        closer to the first cycle's than the raw window fit does."""
+        heavy = _controller(tmp_path, decay=0.9, drift_threshold=5.0)
+        heavy.run(2)
+        raw = _controller(
+            tmp_path / "raw", decay=0.0, drift_threshold=5.0
+        )
+        raw.run(2)
+
+        def spread(controller):
+            state_file = controller.state_path
+            previous = json.loads(state_file.read_text())["previous"]
+            return previous["f_min"]
+
+        first_fit = CatalogStore(
+            tmp_path / "catalog.json", history=4
+        ).get(INDEX)
+        assert abs(spread(heavy) - first_fit.f_min) <= abs(
+            spread(raw) - first_fit.f_min
+        )
+
+    def test_blend_stays_inside_validation_bounds(self, tmp_path):
+        controller = _controller(tmp_path, decay=0.9)
+        for result in controller.run(3):
+            assert result.action in (
+                "published",
+                "skipped-below-threshold",
+            )
+
+
+class TestRollbackDrill:
+    def test_corrupt_publish_rolls_back(self, tmp_path):
+        controller = _controller(
+            tmp_path, drift_threshold=0.0, corrupt_publish_cycles=(1,)
+        )
+        controller.run_cycle()
+        good = controller.store.path.read_bytes()
+        result = controller.run_cycle()
+        assert result.action == "rolled-back"
+        assert controller.store.path.read_bytes() == good
+        assert controller.store.current_version() == 1
+        assert controller.store.versions() == [1]
+
+    def test_failed_candidate_is_quarantined(self, tmp_path):
+        controller = _controller(
+            tmp_path, drift_threshold=0.0, corrupt_publish_cycles=(1,)
+        )
+        controller.run(2)
+        files = sorted(controller.quarantine_dir.iterdir())
+        assert [f.name for f in files] == ["cycle-000001.json"]
+        payload = json.loads(files[0].read_text())
+        assert payload["cycle"] == 1
+        assert payload["candidate"]["index_name"] == INDEX
+
+    def test_loop_recovers_after_rollback(self, tmp_path):
+        controller = _controller(
+            tmp_path, drift_threshold=0.0, corrupt_publish_cycles=(1,)
+        )
+        results = controller.run(3)
+        assert [r.action for r in results] == [
+            "published",
+            "rolled-back",
+            "published",
+        ]
+        # The bad attempt's id is never reused.
+        assert results[2].version == 3
+        assert controller.store.versions() == [1, 3]
+
+    def test_breaker_opens_after_consecutive_failures(self, tmp_path):
+        now = [0.0]
+        controller = _controller(
+            tmp_path,
+            clock=lambda: now[0],
+            drift_threshold=0.0,
+            corrupt_publish_cycles=(1, 2),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=2, cooldown_seconds=60.0
+            ),
+        )
+        results = controller.run(4)
+        assert [r.action for r in results] == [
+            "published",
+            "rolled-back",
+            "rolled-back",
+            "breaker-open",
+        ]
+        assert controller.breaker.state == "open"
+        # After the cooldown the half-open probe publishes and closes
+        # the breaker again.
+        now[0] = 61.0
+        assert controller.run_cycle().action == "published"
+        assert controller.breaker.state == "closed"
+
+    def test_breaker_open_cycle_does_not_advance_versions(
+        self, tmp_path
+    ):
+        now = [0.0]
+        controller = _controller(
+            tmp_path,
+            clock=lambda: now[0],
+            drift_threshold=0.0,
+            corrupt_publish_cycles=(1, 2),
+            breaker_policy=BreakerPolicy(failure_threshold=2),
+        )
+        controller.run(4)
+        assert controller.store.versions() == [1]
+        assert controller.store.current_version() == 1
+
+
+class TestMetrics:
+    def test_counters_are_truthful(self, tmp_path):
+        controller = _controller(
+            tmp_path, drift_threshold=0.0, corrupt_publish_cycles=(1,)
+        )
+        controller.run(3)
+        metrics = controller.metrics()
+        assert metrics["cycles"] == {"published": 2, "rolled-back": 1}
+        assert metrics["drift_detected"] == 3
+        assert metrics["publishes"] == 2
+        assert metrics["rollbacks"] == 1
+        assert metrics["quarantined"] == 1
+
+    def test_skip_counts_no_drift(self, tmp_path):
+        controller = _controller(tmp_path, drift_threshold=5.0)
+        controller.run(2)
+        metrics = controller.metrics()
+        assert metrics["cycles"] == {
+            "published": 1,
+            "skipped-below-threshold": 1,
+        }
+        assert metrics["drift_detected"] == 1

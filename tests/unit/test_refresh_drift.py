@@ -1,0 +1,79 @@
+"""Unit tests for the served-vs-candidate drift comparator."""
+
+import math
+
+from repro.fit.segments import PiecewiseLinear
+from repro.refresh import compare_statistics
+from repro.refresh.drift import _buffer_grid
+
+from tests.unit.test_catalog import _stats
+
+
+class TestBufferGrid:
+    def test_covers_modeled_range(self):
+        stats = _stats()
+        grid = _buffer_grid(stats, 16)
+        assert grid[0] == stats.b_min
+        assert grid[-1] == stats.b_max
+        assert grid == sorted(set(grid))
+
+    def test_degenerate_range(self):
+        stats = _stats(b_min=12, b_max=12, fetches_b3=None)
+        assert _buffer_grid(stats, 16) == [12]
+
+
+class TestCompareStatistics:
+    def test_first_publish_is_infinite_drift(self):
+        report = compare_statistics(None, _stats())
+        assert math.isinf(report.magnitude)
+        assert report.drifted(1e9)
+        assert "first publish" in report.lines[0]
+
+    def test_identical_records_do_not_drift(self):
+        report = compare_statistics(_stats(), _stats())
+        assert report.magnitude == 0.0
+        assert report.lines == ()
+        assert not report.drifted(0.0)
+
+    def test_shifted_curve_drifts_with_diff_lines(self):
+        served = _stats()
+        candidate = _stats(
+            clustering_factor=0.5,
+            fpf_curve=PiecewiseLinear(
+                ((12.0, 1800.0), (100.0, 100.0))
+            ),
+            fetches_b1=1_800,
+            fetches_b3=1_500,
+        )
+        report = compare_statistics(served, candidate)
+        assert report.magnitude > 0.0
+        assert report.lines  # the structural diff names what moved
+        assert report.drifted(0.01)
+
+    def test_threshold_gates_drifted(self):
+        served = _stats()
+        candidate = _stats(
+            fpf_curve=PiecewiseLinear(
+                ((12.0, 1280.0), (100.0, 100.0))
+            ),
+            fetches_b1=1_210,
+            fetches_b3=1_010,
+        )
+        report = compare_statistics(served, candidate)
+        assert report.drifted(report.magnitude / 2)
+        assert not report.drifted(report.magnitude * 2)
+
+    def test_magnitude_is_relative(self):
+        """Doubling the curve everywhere drifts by order one,
+        regardless of the table's absolute size."""
+        served = _stats()
+        candidate = _stats(
+            clustering_factor=0.3,
+            fpf_curve=PiecewiseLinear(
+                ((12.0, 2540.0), (100.0, 200.0))
+            ),
+            fetches_b1=2_540,
+            fetches_b3=2_000,
+        )
+        report = compare_statistics(served, candidate)
+        assert 0.5 < report.magnitude < 5.0

@@ -1,0 +1,145 @@
+"""Unit tests for the refresh loop's reference feeds."""
+
+import pytest
+
+from repro.errors import FeedError, RefreshError
+from repro.refresh import (
+    DriftingFeed,
+    FaultyFeed,
+    FeedPhase,
+    SequenceFeed,
+)
+from repro.trace.paper_scale import PaperScaleSpec
+
+
+def _drain(feed, start, stop):
+    return [page for chunk in feed.chunks(start, stop) for page in chunk]
+
+
+class TestSequenceFeed:
+    def test_yields_exact_range(self):
+        feed = SequenceFeed(list(range(100)), chunk_refs=7)
+        assert _drain(feed, 10, 31) == list(range(10, 31))
+
+    def test_range_validation(self):
+        feed = SequenceFeed([1, 2, 3])
+        with pytest.raises(RefreshError):
+            list(feed.chunks(0, 4))
+        with pytest.raises(RefreshError):
+            list(feed.chunks(-1, 2))
+
+    def test_bad_chunk_refs(self):
+        with pytest.raises(RefreshError):
+            SequenceFeed([1], chunk_refs=0)
+
+
+class TestDriftingFeed:
+    def _spec(self, seed=7, theta=0.0):
+        return PaperScaleSpec(
+            refs=1, pages=50, pattern="zipf", theta=theta, seed=seed
+        )
+
+    def test_stationary_matches_underlying_trace(self):
+        feed = DriftingFeed.stationary(self._spec())
+        once = _drain(feed, 0, 500)
+        again = _drain(feed, 0, 500)
+        assert once == again
+
+    def test_range_addressable(self):
+        """Any sub-range equals the same slice of the full stream —
+        the property checkpoint resume depends on."""
+        feed = DriftingFeed.stationary(self._spec())
+        full = _drain(feed, 0, 600)
+        assert _drain(feed, 250, 520) == full[250:520]
+
+    def test_drift_changes_the_stream_at_the_boundary(self):
+        calm = DriftingFeed.stationary(self._spec(seed=7))
+        phases = (
+            FeedPhase(0, self._spec(seed=7)),
+            FeedPhase(300, self._spec(seed=8, theta=0.9)),
+        )
+        drifting = DriftingFeed(phases)
+        assert _drain(drifting, 0, 300) == _drain(calm, 0, 300)
+        assert _drain(drifting, 300, 600) != _drain(calm, 300, 600)
+
+    def test_drifted_phase_is_position_pure(self):
+        """The second phase's content does not depend on where the
+        consumer's window boundaries fall."""
+        phases = (
+            FeedPhase(0, self._spec(seed=7)),
+            FeedPhase(300, self._spec(seed=8)),
+        )
+        feed = DriftingFeed(phases)
+        full = _drain(feed, 0, 700)
+        assert _drain(feed, 280, 640) == full[280:640]
+
+    def test_validation(self):
+        with pytest.raises(RefreshError):
+            DriftingFeed(())
+        with pytest.raises(RefreshError):
+            DriftingFeed((FeedPhase(5, self._spec()),))
+        with pytest.raises(RefreshError):
+            DriftingFeed(
+                (FeedPhase(0, self._spec()), FeedPhase(0, self._spec()))
+            )
+        with pytest.raises(RefreshError):
+            FeedPhase(-1, self._spec())
+
+
+class TestFaultyFeed:
+    def _feed(self, **kwargs):
+        return FaultyFeed(
+            SequenceFeed(list(range(100)), chunk_refs=10), **kwargs
+        )
+
+    def test_period_one_fires_every_new_boundary(self):
+        feed = self._feed(period=1)
+        with pytest.raises(FeedError):
+            _drain(feed, 0, 100)
+        assert feed.faults == 1
+
+    def test_retry_always_progresses_to_completion(self):
+        """At-most-once per position: a retry loop finishes in at most
+        chunks+1 attempts even at period=1."""
+        feed = self._feed(period=1)
+        for attempt in range(11):
+            try:
+                assert _drain(feed, 0, 100) == list(range(100))
+                break
+            except FeedError:
+                continue
+        else:
+            pytest.fail("retry loop never completed")
+        assert feed.faults == 10
+
+    def test_fault_schedule_is_deterministic(self):
+        def positions(seed):
+            feed = self._feed(period=2, seed=seed)
+            fired = []
+            while True:
+                try:
+                    _drain(feed, 0, 100)
+                    return fired
+                except FeedError as exc:
+                    fired.append(str(exc))
+
+        assert positions(5) == positions(5)
+        assert positions(5) != positions(6)
+
+    def test_limit_bounds_total_faults(self):
+        feed = self._feed(period=1, limit=2)
+        failures = 0
+        for _ in range(11):
+            try:
+                _drain(feed, 0, 100)
+                break
+            except FeedError:
+                failures += 1
+        assert failures == 2
+        assert feed.faults == 2
+
+    def test_validation(self):
+        with pytest.raises(RefreshError):
+            self._feed(period=0)
+        with pytest.raises(RefreshError):
+            self._feed(limit=-1)

@@ -294,3 +294,80 @@ class TestStreamingResume:
         with pytest.raises(CheckpointError) as exc_info:
             _run(trace[:100], checkpoint=tmp_path, resume=True)
         assert "ended" in str(exc_info.value)
+
+
+class TestPolicyKernelResume:
+    """Checkpoint/resume for the simulated-policy (non-mergeable)
+    kernels: their streams carry real eviction state (CLOCK hands, 2Q
+    queues, LeCaR weights), so a resume that silently reset any of it
+    would produce a subtly different curve rather than an error."""
+
+    def _run_policy(self, policy, trace, **kwargs):
+        return LRUFit(LRUFitConfig(policy=policy)).run_streaming(
+            _chunks(trace, 50),
+            table_pages=len(set(trace)),
+            distinct_keys=len(set(trace)),
+            index_name="t.policy-ckpt",
+            **kwargs,
+        )
+
+    def _die_mid_chunk(self, policy, trace, tmp_path):
+        """Feed whole chunks until a snapshot lands, then die *inside*
+        the next chunk — the fault point a checkpoint can never sit on."""
+        ckpt = Checkpointer(tmp_path, CheckpointPolicy(every_refs=120))
+
+        def faulty_chunks():
+            for chunk in _chunks(trace, 50):
+                if ckpt.saves >= 2:
+                    half = chunk[: len(chunk) // 2]
+                    yield half  # the kernel consumes a partial chunk...
+                    raise OSError("simulated mid-chunk I/O fault")
+                yield chunk
+
+        with pytest.raises(OSError):
+            LRUFit(LRUFitConfig(policy=policy)).run_streaming(
+                faulty_chunks(),
+                table_pages=len(set(trace)),
+                distinct_keys=len(set(trace)),
+                index_name="t.policy-ckpt",
+                checkpoint=ckpt,
+            )
+        assert ckpt.exists()
+        return ckpt
+
+    @pytest.mark.parametrize("policy", ["clock", "2q", "lecar-tinylfu"])
+    def test_mid_chunk_fault_resume_is_byte_identical(
+        self, policy, tmp_path
+    ):
+        trace = _trace(refs=600, pages=23, seed=11)
+        plain = self._run_policy(policy, trace)
+        self._die_mid_chunk(policy, trace, tmp_path)
+        resumed = self._run_policy(
+            policy, trace, checkpoint=tmp_path, resume=True
+        )
+        assert resumed.to_dict() == plain.to_dict()
+
+    @pytest.mark.parametrize("policy", ["clock", "2q"])
+    def test_policy_checkpoint_is_not_lru_compatible(
+        self, policy, tmp_path
+    ):
+        """A policy-kernel checkpoint names its provider: resuming the
+        pass under plain LRU must fail loudly, not blend state."""
+        trace = _trace(refs=600, pages=23, seed=11)
+        self._die_mid_chunk(policy, trace, tmp_path)
+        with pytest.raises(CheckpointError) as exc_info:
+            _run(trace, checkpoint=tmp_path, resume=True)
+        assert "kernel" in str(exc_info.value)
+
+    @pytest.mark.parametrize("policy", ["lecar-tinylfu"])
+    def test_resume_with_diverged_trace_still_fails(
+        self, policy, tmp_path
+    ):
+        trace = _trace(refs=600, pages=23, seed=11)
+        self._die_mid_chunk(policy, trace, tmp_path)
+        diverged = list(trace)
+        diverged[3] = (diverged[3] + 1) % len(set(trace))
+        with pytest.raises(CheckpointError):
+            self._run_policy(
+                policy, diverged, checkpoint=tmp_path, resume=True
+            )
