@@ -31,13 +31,16 @@ from repro.fit.segments import PiecewiseLinear
 SCHEMA_VERSION = 1
 
 
-def atomic_write_text(path: Union[str, Path], text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tmp + fsync + replace).
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + replace).
 
-    The text is written to a temporary file in the destination directory,
-    fsynced, and moved into place with ``os.replace`` — readers see either
-    the old complete file or the new complete file, never a truncated
-    hybrid.  Shared by catalog saves and LRU-Fit checkpoints.
+    The bytes are written to a temporary file in the destination
+    directory, fsynced, and moved into place with ``os.replace`` —
+    readers see either the old complete file or the new complete file,
+    never a truncated hybrid.  The binary form exists for recovery
+    paths that must restore a file *exactly* as captured, even when the
+    captured bytes are not valid UTF-8 (e.g. restoring a pre-publish
+    catalog that was already corrupt).
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -46,8 +49,8 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
         suffix=".tmp",
     )
     try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
@@ -57,6 +60,15 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + replace).
+
+    UTF-8 wrapper over :func:`atomic_write_bytes`.  Shared by catalog
+    saves and LRU-Fit checkpoints.
+    """
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 @dataclass(frozen=True)

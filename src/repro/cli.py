@@ -1192,7 +1192,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "roll-forward (default 0.01)")
     p_refresh.add_argument("--history", type=int, default=4,
                            help="catalog versions retained for rollback "
-                                "(default 4)")
+                                "(default 4; must cover a full cycle's "
+                                "publish attempts plus last-known-good, "
+                                "i.e. >= publish retries + 2)")
     p_refresh.add_argument("--state-dir", default=None, metavar="DIR",
                            help="loop state directory (default "
                                 "<catalog>.refresh)")

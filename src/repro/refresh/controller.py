@@ -50,6 +50,7 @@ from repro.buffer.kernels import (
 from repro.catalog.catalog import (
     IndexStatistics,
     SystemCatalog,
+    atomic_write_bytes,
     atomic_write_text,
 )
 from repro.catalog.store import CatalogStore
@@ -264,11 +265,16 @@ def _bind_refresh_counters(
 class RefreshController:
     """The long-lived refresh loop for one index of one catalog store.
 
-    ``store`` must keep version history (``history >= 1``) — rollback
-    to last-known-good is the whole point.  ``state_dir`` holds the
-    loop's persisted state, the in-flight cycle's checkpoint, and the
-    quarantine of failed candidates.  ``clock`` is injectable so tests
-    drive breaker cooldowns without sleeping.
+    ``store`` must keep enough version history that last-known-good
+    survives a whole cycle's publish attempts — rollback is the whole
+    point.  Every attempt archives a candidate version and prunes the
+    archive to ``history``, and one cycle makes up to
+    ``publish_retries + 1`` attempts, so the floor is
+    ``publish_retries + 2`` (the attempts plus the last-good version
+    they must not evict).  ``state_dir`` holds the loop's persisted
+    state, the in-flight cycle's checkpoint, and the quarantine of
+    failed candidates.  ``clock`` is injectable so tests drive breaker
+    cooldowns without sleeping.
     """
 
     def __init__(
@@ -285,10 +291,16 @@ class RefreshController:
                 f"store must be a CatalogStore, got "
                 f"{type(store).__name__}"
             )
-        if store.history < 1:
+        min_history = config.publish_retries + 2
+        if store.history < min_history:
             raise RefreshError(
-                "the refresh loop rolls back through the store's "
-                "version history; construct the store with history >= 1"
+                f"the refresh loop rolls back through the store's "
+                f"version history, and a single cycle may archive up "
+                f"to publish_retries + 1 = {config.publish_retries + 1} "
+                f"candidate versions before rolling back — with "
+                f"history={store.history} the pruning would evict "
+                f"last-known-good exactly when it is needed; construct "
+                f"the store with history >= {min_history}"
             )
         self._store = store
         self._feed = feed
@@ -526,7 +538,7 @@ class RefreshController:
             self._count("publishes")
             return ACTION_PUBLISHED, version
         self._quarantine_candidate(cycle, candidate, report)
-        self._rollback(last_good, pre_publish, version)
+        self._rollback(last_good, pre_publish)
         self._breaker.record_failure()
         self._count("rollbacks")
         return ACTION_ROLLED_BACK, version
@@ -541,16 +553,37 @@ class RefreshController:
         """The full catalog text with ``candidate`` merged in (other
         indexes served by the same file are preserved)."""
         merged = SystemCatalog()
-        try:
-            snapshot = self._store.catalog()
-        except (CatalogError, OSError):
-            snapshot = None
+        snapshot = self._merge_snapshot()
         if snapshot is not None:
             for name in snapshot:
                 if name != candidate.index_name:
                     merged.put(snapshot.get(name))
         merged.put(candidate)
         return merged.to_json()
+
+    def _merge_snapshot(self) -> Optional[SystemCatalog]:
+        """The served snapshot whose co-resident indexes a publish must
+        preserve; ``None`` only when no catalog file exists at all.
+
+        A transient read fault is retried and then *propagated* — and a
+        corrupt existing file raises outright — because treating either
+        as an empty snapshot would render (and then publish, and then
+        validate as "good": post-publish validation only checks the
+        candidate's record) a catalog that silently drops every other
+        index served from the same file.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self._store.catalog()
+            except CatalogError:
+                if self._store.path.exists():
+                    raise
+                return None
+            except OSError:
+                attempts += 1
+                if attempts > self.config.publish_retries:
+                    raise
 
     def _publish(self, text: str) -> Optional[int]:
         """Archive-then-publish through the store, retrying transient
@@ -658,27 +691,36 @@ class RefreshController:
         self,
         last_good: Optional[int],
         pre_publish: Optional[bytes],
-        version: Optional[int],
     ) -> None:
         """Restore last-known-good after a failed publish."""
         if last_good is not None:
-            self._store.rollback(version=last_good)
-            return
-        # Nothing in the archive matched the pre-publish file (first
-        # publish ever, or a catalog written before history existed):
-        # restore the raw pre-publish bytes, and drop the abandoned
-        # attempt from the archive so it can never be mistaken for a
-        # good version.
-        if version is not None:
             try:
-                self._store.version_path(version).unlink()
+                self._store.rollback(version=last_good)
+                return
+            except CatalogError:
+                # The archive no longer retains last-known-good.  The
+                # history floor enforced at construction makes this
+                # unreachable through the controller's own publish
+                # attempts, but an out-of-band save against the same
+                # store can still prune it away — fall through to the
+                # raw pre-publish restore rather than abandoning the
+                # rollback with the bad candidate still published.
+                pass
+        # Nothing retained predates this cycle's publish attempts
+        # (first publish ever, a catalog written before history
+        # existed, or a pruned-away last-good): every archived version
+        # is an abandoned attempt, so drop them all — none may ever be
+        # mistaken for a good version — then restore the raw
+        # pre-publish bytes exactly as captured (they may not be valid
+        # UTF-8; a corrupt pre-existing catalog is one reason last_good
+        # can be None in the first place).
+        for stale in self._store.versions():
+            try:
+                self._store.version_path(stale).unlink()
             except OSError:
                 pass
         if pre_publish is not None:
-            atomic_write_text(
-                self._store.path,
-                pre_publish.decode("utf-8"),
-            )
+            atomic_write_bytes(self._store.path, pre_publish)
         else:
             try:
                 self._store.path.unlink()

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.catalog.catalog import IndexStatistics
+from repro.errors import RefreshError
 from repro.estimators.registry import get_estimator
 from repro.types import ScanSelectivity
 from repro.verify.golden import GOLDEN_PROBES, compare_golden
@@ -109,7 +110,13 @@ def compare_statistics(
     comparison sees the same domain regardless of how the served
     record's modeled range differs.  ``served=None`` (nothing published
     yet) reports infinite drift: the first fit always publishes.
+    ``grid_points`` must be >= 2 — the grid spans ``[b_min, b_max]``
+    with both endpoints, so a one-point grid cannot exist.
     """
+    if grid_points < 2:
+        raise RefreshError(
+            f"grid_points must be >= 2, got {grid_points}"
+        )
     buffers = _buffer_grid(candidate, grid_points)
     if served is None:
         return DriftReport(

@@ -4,8 +4,8 @@ import json
 
 import pytest
 
-from repro.catalog import CatalogStore
-from repro.errors import RefreshError
+from repro.catalog import CatalogStore, IndexStatistics, SystemCatalog
+from repro.errors import CatalogError, RefreshError
 from repro.obs.metrics import MetricsRegistry
 from repro.refresh import (
     DriftingFeed,
@@ -13,7 +13,7 @@ from repro.refresh import (
     RefreshController,
     RefreshState,
 )
-from repro.resilience import BreakerPolicy
+from repro.resilience import BreakerPolicy, FaultInjector, FaultRule
 from repro.trace.paper_scale import PaperScaleSpec
 
 INDEX = "orders_idx"
@@ -287,3 +287,134 @@ class TestMetrics:
             "skipped-below-threshold": 1,
         }
         assert metrics["drift_detected"] == 1
+
+
+class TestHistoryFloor:
+    """One cycle archives up to publish_retries + 1 candidate versions
+    and prunes to ``history`` each time; last-known-good must survive
+    all of them, so the controller enforces
+    ``history >= publish_retries + 2``."""
+
+    def test_shallow_history_rejected(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=3)
+        with pytest.raises(RefreshError) as exc_info:
+            RefreshController(
+                store,
+                DriftingFeed.stationary(SPEC),
+                RefreshConfig(index_name=INDEX),  # publish_retries=2
+                tmp_path / "state",
+            )
+        assert "history >= 4" in str(exc_info.value)
+
+    def test_floor_scales_with_publish_retries(self, tmp_path):
+        store = CatalogStore(tmp_path / "catalog.json", history=4)
+        with pytest.raises(RefreshError):
+            RefreshController(
+                store,
+                DriftingFeed.stationary(SPEC),
+                RefreshConfig(index_name=INDEX, publish_retries=3),
+                tmp_path / "state",
+            )
+
+    def test_exhausted_publish_retries_keep_last_good(self, tmp_path):
+        """At the minimum permitted history, a cycle whose every
+        publish attempt faults (archiving a version each time) must
+        still find last-known-good retained when it rolls back."""
+        controller = _controller(tmp_path, drift_threshold=0.0)
+        controller.run_cycle()
+        good = controller.store.path.read_bytes()
+        controller.store._io = FaultInjector(
+            [FaultRule("write", "transient")]
+        )
+        result = controller.run_cycle()
+        assert result.action == "rolled-back"
+        assert controller.store.path.read_bytes() == good
+        assert controller.store.current_version() == 1
+        assert controller.store.versions() == [1]
+
+
+class TestRollbackFallback:
+    def test_pruned_last_good_falls_back_to_pre_publish_bytes(
+        self, tmp_path, monkeypatch
+    ):
+        """If the archive loses last-known-good anyway (out-of-band
+        writer), rollback restores the captured pre-publish bytes
+        instead of propagating and leaving the bad candidate served."""
+        controller = _controller(
+            tmp_path, drift_threshold=0.0, corrupt_publish_cycles=(1,)
+        )
+        controller.run_cycle()
+        good = controller.store.path.read_bytes()
+
+        def pruned(version=None, prune=True):
+            raise CatalogError(
+                f"catalog version {version} is not retained"
+            )
+
+        monkeypatch.setattr(controller.store, "rollback", pruned)
+        result = controller.run_cycle()
+        assert result.action == "rolled-back"
+        assert controller.store.path.read_bytes() == good
+        # Every surviving archived version was an abandoned attempt
+        # from the failed cycle: none may linger as a "good" version.
+        assert controller.store.versions() == []
+        monkeypatch.undo()
+        # The loop keeps going: the next clean cycle publishes.
+        assert controller.run_cycle().action == "published"
+
+    def test_non_utf8_pre_publish_bytes_restored_exactly(
+        self, tmp_path
+    ):
+        controller = _controller(tmp_path)
+        raw = b"\xff\xfe not utf-8"
+        controller._rollback(None, raw)
+        assert controller.store.path.read_bytes() == raw
+
+
+def _add_second_index(store, name="other_idx"):
+    record = store.get(INDEX).to_dict()
+    record["index_name"] = name
+    merged = SystemCatalog()
+    merged.put(store.get(INDEX))
+    merged.put(IndexStatistics.from_dict(record))
+    store.save(merged)
+
+
+class TestCoResidentIndexes:
+    def test_transient_read_fault_preserves_other_indexes(
+        self, tmp_path
+    ):
+        """A retried transient read while rendering the merged catalog
+        must not publish a candidate-only file."""
+        controller = _controller(tmp_path, drift_threshold=0.0)
+        controller.run_cycle()
+        _add_second_index(controller.store)
+        controller.store._io = FaultInjector(
+            [FaultRule("read", "transient", limit=2)]
+        )
+        result = controller.run_cycle()
+        assert result.action == "published"
+        final = CatalogStore(tmp_path / "catalog.json").catalog()
+        assert INDEX in final
+        assert "other_idx" in final
+
+    def test_persistent_read_faults_propagate_instead_of_dropping(
+        self, tmp_path
+    ):
+        controller = _controller(tmp_path, drift_threshold=0.0)
+        controller.run_cycle()
+        _add_second_index(controller.store)
+        before = controller.store.path.read_bytes()
+        controller.store._io = FaultInjector(
+            [FaultRule("read", "transient")]
+        )
+        with pytest.raises(OSError):
+            controller.run_cycle()
+        assert controller.store.path.read_bytes() == before
+
+    def test_corrupt_existing_catalog_fails_loudly(self, tmp_path):
+        controller = _controller(tmp_path, drift_threshold=0.0)
+        controller.run_cycle()
+        controller.store.path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CatalogError):
+            controller.run_cycle()

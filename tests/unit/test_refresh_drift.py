@@ -2,6 +2,9 @@
 
 import math
 
+import pytest
+
+from repro.errors import RefreshError
 from repro.fit.segments import PiecewiseLinear
 from repro.refresh import compare_statistics
 from repro.refresh.drift import _buffer_grid
@@ -77,3 +80,15 @@ class TestCompareStatistics:
         )
         report = compare_statistics(served, candidate)
         assert 0.5 < report.magnitude < 5.0
+
+    @pytest.mark.parametrize("grid_points", [1, 0, -3])
+    def test_grid_needs_at_least_two_points(self, grid_points):
+        with pytest.raises(RefreshError):
+            compare_statistics(
+                _stats(), _stats(), grid_points=grid_points
+            )
+
+    def test_two_point_grid_spans_endpoints(self):
+        report = compare_statistics(_stats(), _stats(), grid_points=2)
+        assert report.magnitude == 0.0
+        assert not report.lines
