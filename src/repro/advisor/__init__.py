@@ -1,0 +1,66 @@
+"""Fleet-wide buffer advisor: marginal-gain memory allocation.
+
+The paper's output — a fetch-vs-buffer-pages curve PF(B) per index — is
+a marginal-gain function for memory.  This package is the system that
+consumes it at fleet scope: given per-index workloads, a total page
+budget, and a cost model, it allocates buffer pages by marginal fetch
+reduction (greedy over convexified curves, differentially verified
+against an exhaustive DP oracle) and prices the result with Gray &
+Graefe's five-minute rule.  See DESIGN.md, "Fleet advisor".
+"""
+
+from repro.advisor.advisor import (
+    AdvisorReport,
+    SweepPoint,
+    advise,
+    default_budget_sweep,
+)
+from repro.advisor.allocator import (
+    AllocationResult,
+    dp_allocate,
+    greedy_allocate,
+    lower_convex_envelope,
+    monotone_repair,
+    oracle_applicable,
+)
+from repro.advisor.curves import (
+    FleetCurve,
+    evaluate_fleet,
+    evaluate_index_curve,
+)
+from repro.advisor.pricing import (
+    FleetPricing,
+    IndexPricing,
+    price_allocation,
+)
+from repro.advisor.workload import (
+    AdvisorSpec,
+    CostModel,
+    IndexWorkload,
+    SelectivityClass,
+    uniform_fleet,
+)
+
+__all__ = [
+    "AdvisorReport",
+    "AdvisorSpec",
+    "AllocationResult",
+    "CostModel",
+    "FleetCurve",
+    "FleetPricing",
+    "IndexPricing",
+    "IndexWorkload",
+    "SelectivityClass",
+    "SweepPoint",
+    "advise",
+    "default_budget_sweep",
+    "dp_allocate",
+    "evaluate_fleet",
+    "evaluate_index_curve",
+    "greedy_allocate",
+    "lower_convex_envelope",
+    "monotone_repair",
+    "oracle_applicable",
+    "price_allocation",
+    "uniform_fleet",
+]

@@ -1,0 +1,266 @@
+"""Marginal-gain buffer allocation with a convexity-repairing envelope.
+
+Given per-index *fetch-rate curves* ``rate[b]`` (expected page fetches
+per second with ``b`` buffer pages, ``b = 0 .. cap``), splitting a total
+page budget to minimize fleet fetches is a resource-allocation problem.
+When every curve is convex (diminishing returns), the classic greedy —
+repeatedly give the next page to the index with the largest marginal
+fetch reduction — is exactly optimal (Fox 1966).  Real PF(B) curves are
+*not* convex: policy kernels (``clock``, ``2q``, ``lecar-tinylfu``)
+produce plateaus and Belady-style bumps, and even LRU curves fitted as
+piecewise-linear segments have slope changes in the wrong direction
+after clamping.  So the allocator works on each curve's **lower convex
+envelope** (its greatest convex minorant after a monotone repair), on
+which greedy is optimal again; the envelope never overstates achievable
+savings at the budget actually allocated *on the envelope's own terms*,
+and an exhaustive dynamic program over the *same* envelopes serves as a
+differential oracle for small fleets.
+
+Everything here is exact: curve values are converted to
+:class:`fractions.Fraction` (floats are dyadic rationals, so the
+conversion is lossless) and all comparisons, hull cross-products, and
+running totals stay in ℚ.  ``greedy == dp`` assertions therefore never
+hinge on float summation order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import AdvisorError
+
+#: ``auto`` oracle-mode bounds: the exhaustive DP runs only when the
+#: fleet is at most this many indexes…
+ORACLE_MAX_INDEXES = 5
+#: …each curve has at most this many pages…
+ORACLE_MAX_CAP = 64
+#: …and the budget is at most this many pages.
+ORACLE_MAX_BUDGET = 320
+
+
+def monotone_repair(
+    values: Sequence[Fraction],
+) -> Tuple[Fraction, ...]:
+    """Running minimum: the tightest non-increasing curve under ``values``.
+
+    More memory can always be ignored, so any achievable fetch rate at
+    ``b`` pages is achievable at ``b+1`` (operationally: pin the extra
+    page unused).  Belady-style bumps in policy curves violate this on
+    paper; the repair restores it before convexification.
+    """
+    repaired: List[Fraction] = []
+    best = None
+    for value in values:
+        best = value if best is None or value < best else best
+        repaired.append(best)
+    return tuple(repaired)
+
+
+def lower_convex_envelope(
+    values: Sequence[object],
+) -> Tuple[Fraction, ...]:
+    """The greatest convex non-increasing minorant of ``values``.
+
+    ``values[b]`` is the curve at ``b`` pages; the result has the same
+    length, lies on or below the (monotone-repaired) input, is convex
+    (marginal gains non-increasing), and touches the input at the hull
+    knots.  Input entries may be ``float``/``int``/``Fraction``; output
+    entries are always :class:`~fractions.Fraction`.
+    """
+    points = monotone_repair(
+        [Fraction(v) for v in values]
+    )
+    n = len(points)
+    if n == 0:
+        raise AdvisorError("cannot convexify an empty curve")
+    if n <= 2:
+        return points
+    # Lower hull, Andrew monotone-chain style.  x is the integer index;
+    # a <=0 cross product means the middle hull point is on or above the
+    # chord and gets dropped (collinear points are dropped too, which
+    # only merges equal-slope segments).
+    hull: List[Tuple[int, Fraction]] = []
+    for x in range(n):
+        p = (x, points[x])
+        while len(hull) >= 2:
+            o, a = hull[-2], hull[-1]
+            cross = (a[0] - o[0]) * (p[1] - o[1]) - (
+                (a[1] - o[1]) * (p[0] - o[0])
+            )
+            if cross <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(p)
+    envelope: List[Fraction] = []
+    seg = 0
+    for x in range(n):
+        while seg + 1 < len(hull) and hull[seg + 1][0] <= x:
+            seg += 1
+        if hull[seg][0] == x or seg + 1 >= len(hull):
+            envelope.append(hull[seg][1])
+        else:
+            (x0, y0), (x1, y1) = hull[seg], hull[seg + 1]
+            envelope.append(
+                y0 + (y1 - y0) * Fraction(x - x0, x1 - x0)
+            )
+    return tuple(envelope)
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """One allocator run: pages per index plus the envelope total.
+
+    ``total`` is the sum of each index's envelope value at its awarded
+    page count — exact, so two runs over the same curves compare with
+    ``==``.  ``pages_used`` can be below the budget when every curve has
+    flattened (no strictly positive marginal gain remains).
+    """
+
+    pages: Mapping[str, int]
+    total: Fraction
+    pages_used: int
+    budget: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """The per-index page awards as a plain sorted dict."""
+        return dict(self.pages)
+
+
+def _validate_curves(
+    curves: Mapping[str, Sequence[Fraction]],
+) -> Dict[str, Tuple[Fraction, ...]]:
+    if not curves:
+        raise AdvisorError("allocator needs at least one curve")
+    validated: Dict[str, Tuple[Fraction, ...]] = {}
+    for name in sorted(curves):
+        curve = tuple(Fraction(v) for v in curves[name])
+        if len(curve) < 1:
+            raise AdvisorError(f"curve for {name!r} is empty")
+        for b in range(1, len(curve)):
+            if curve[b] > curve[b - 1]:
+                raise AdvisorError(
+                    f"curve for {name!r} is not non-increasing at "
+                    f"b={b}; run lower_convex_envelope first"
+                )
+        validated[name] = curve
+    return validated
+
+
+def greedy_allocate(
+    curves: Mapping[str, Sequence[Fraction]],
+    budget: int,
+) -> AllocationResult:
+    """Give pages one at a time to the largest marginal fetch reduction.
+
+    ``curves`` maps index name to its **envelope** (convex,
+    non-increasing — enforced; raw curves are rejected so a caller can
+    never silently allocate on a non-convex curve where greedy is not
+    optimal).  Ties break deterministically: larger gain first, then
+    lexicographically smaller index name, then smaller page count.
+    Pages with zero marginal gain are never awarded, so ``pages_used``
+    reports only memory that actually reduces fetches.
+    """
+    if budget < 0:
+        raise AdvisorError(f"budget must be >= 0, got {budget}")
+    validated = _validate_curves(curves)
+    pages = {name: 0 for name in validated}
+    total = sum(
+        (curve[0] for curve in validated.values()), Fraction(0)
+    )
+    # Heap entries: (-gain, name, next_b).  Convexity means the gain for
+    # page b+1 never exceeds the gain for page b, so pushing only the
+    # next page per index keeps the heap truthful.
+    heap: List[Tuple[Fraction, str, int]] = []
+    for name, curve in validated.items():
+        if len(curve) > 1:
+            gain = curve[0] - curve[1]
+            if gain > 0:
+                heapq.heappush(heap, (-gain, name, 1))
+    used = 0
+    while used < budget and heap:
+        neg_gain, name, b = heapq.heappop(heap)
+        pages[name] = b
+        total += neg_gain  # == -gain
+        used += 1
+        curve = validated[name]
+        if b + 1 < len(curve):
+            gain = curve[b] - curve[b + 1]
+            if gain > 0:
+                heapq.heappush(heap, (-gain, name, b + 1))
+    return AllocationResult(
+        pages=pages, total=total, pages_used=used, budget=budget
+    )
+
+
+def dp_allocate(
+    curves: Mapping[str, Sequence[Fraction]],
+    budget: int,
+) -> AllocationResult:
+    """Exhaustive optimum over the same envelopes, as a greedy oracle.
+
+    A multiple-choice-knapsack dynamic program: O(n · budget · cap)
+    time, so it is gated to small fleets (:data:`ORACLE_MAX_INDEXES`
+    × :data:`ORACLE_MAX_CAP`, budget ≤ :data:`ORACLE_MAX_BUDGET` in
+    ``auto`` mode).  The tie-break matches greedy's exactly — minimize
+    total fetches, then total pages used, then prefer giving tied pages
+    to lexicographically earlier names — so on convex curves
+    ``dp_allocate(...) == greedy_allocate(...)`` holds as full-structure
+    equality, not just equal totals.
+    """
+    if budget < 0:
+        raise AdvisorError(f"budget must be >= 0, got {budget}")
+    validated = _validate_curves(curves)
+    names = sorted(validated)
+    # best[i][r]: (total, pages) for names[i:] with r pages available.
+    # Later rows are built first; reconstruction walks forward choosing,
+    # per index, the *largest* b achieving the optimum — earlier names
+    # thus absorb tied pages, mirroring greedy's name-ordered tie-break.
+    width = budget + 1
+    best: List[List[Tuple[Fraction, int]]] = [
+        [(Fraction(0), 0)] * width for _ in range(len(names) + 1)
+    ]
+    for i in range(len(names) - 1, -1, -1):
+        curve = validated[names[i]]
+        for r in range(width):
+            choice = None
+            for b in range(min(r, len(curve) - 1) + 1):
+                tail_total, tail_pages = best[i + 1][r - b]
+                cand = (curve[b] + tail_total, b + tail_pages)
+                if choice is None or cand < choice:
+                    choice = cand
+            best[i][r] = choice
+    pages: Dict[str, int] = {}
+    remaining = budget
+    for i, name in enumerate(names):
+        curve = validated[name]
+        target = best[i][remaining]
+        chosen = 0
+        for b in range(min(remaining, len(curve) - 1) + 1):
+            tail_total, tail_pages = best[i + 1][remaining - b]
+            if (curve[b] + tail_total, b + tail_pages) == target:
+                chosen = b
+        pages[name] = chosen
+        remaining -= chosen
+    total, used = best[0][budget]
+    return AllocationResult(
+        pages=pages, total=total, pages_used=used, budget=budget
+    )
+
+
+def oracle_applicable(
+    curves: Mapping[str, Sequence[object]],
+    budget: int,
+) -> bool:
+    """Whether ``auto`` oracle mode runs the DP for this problem size."""
+    return (
+        len(curves) <= ORACLE_MAX_INDEXES
+        and all(
+            len(curve) - 1 <= ORACLE_MAX_CAP
+            for curve in curves.values()
+        )
+        and budget <= ORACLE_MAX_BUDGET
+    )

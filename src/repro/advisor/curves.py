@@ -1,0 +1,143 @@
+"""Fleet curve evaluation: PF(B) per index, weighted into fetch rates.
+
+One :class:`~repro.engine.EstimationEngine.estimate_grid` call per index
+pulls the whole curve — every selectivity class crossed with every
+buffer size — through the estimator's batched fast path, instead of
+``cap × classes`` single estimates.  The grid rows are then collapsed
+into one *fetch-rate curve* per index::
+
+    rate[b] = scans_per_second * Σ_c (w_c / Σw) * PF_c(b)
+
+i.e. expected page fetches **per second** with ``b`` buffer pages,
+which is the unit the five-minute-rule pricing and the allocator both
+want.  The curve is policy-aware for free: the engine binds estimators
+to the catalog record's fitted curve, so an index fitted under
+``clock`` or ``lecar-tinylfu`` advises differently than LRU.
+
+Edge semantics the advisor relies on (see also
+:class:`~repro.buffer.stack.FetchCurve` and
+:meth:`~repro.estimators.base.PageFetchEstimator.estimate_grid`):
+
+* **B = 0** — estimators reject ``buffer_pages < 1`` (a scan cannot run
+  without a single buffer page), so the advisor clamps:
+  ``rate[0] = rate[1]``.  Awarding an index zero pages therefore costs
+  what running it with the minimum one page costs, and the first page's
+  marginal gain is exactly zero — budget never flows to "page zero".
+* **B > N** — curves flatten at each index's ``table_pages`` (more
+  buffer than the table has pages cannot help), so curves are only
+  evaluated up to ``cap = min(max_pages, table_pages)`` and the
+  allocator never awards pages past the flat region.
+* **Negative extrapolation** — piecewise-linear fits extrapolate with
+  terminal slopes and can dip below zero past their last knot; fetch
+  rates are clamped at 0 because negative expected fetches are
+  unphysical and would manufacture fake marginal gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from repro.advisor.allocator import lower_convex_envelope
+from repro.advisor.workload import AdvisorSpec, IndexWorkload
+from repro.engine.engine import EstimationEngine
+from repro.errors import AdvisorError, ReproError
+from repro.types import ScanSelectivity
+
+
+@dataclass(frozen=True)
+class FleetCurve:
+    """One index's evaluated fetch-rate curve plus its convex envelope.
+
+    ``fetch_rate[b]`` is expected page fetches per second with ``b``
+    buffer pages (``b = 0 .. cap``, with the B=0 clamp above);
+    ``envelope`` is its lower convex envelope as exact fractions, the
+    form the allocator consumes.
+    """
+
+    index: str
+    policy: str
+    table_pages: int
+    cap: int
+    fetch_rate: Tuple[float, ...]
+    envelope: Tuple[Fraction, ...]
+
+    @property
+    def points(self) -> int:
+        """Grid points evaluated for this curve (rows × classes)."""
+        return self.cap
+
+    def rate_at(self, pages: int) -> float:
+        """Fetch rate with ``pages`` buffer pages (flat past the cap)."""
+        if pages < 0:
+            raise AdvisorError(f"pages must be >= 0, got {pages}")
+        return self.fetch_rate[min(pages, self.cap)]
+
+    def envelope_at(self, pages: int) -> Fraction:
+        """Envelope value with ``pages`` buffer pages (flat past cap)."""
+        if pages < 0:
+            raise AdvisorError(f"pages must be >= 0, got {pages}")
+        return self.envelope[min(pages, self.cap)]
+
+
+def evaluate_index_curve(
+    engine: EstimationEngine,
+    workload: IndexWorkload,
+    estimator: str,
+    max_pages: int,
+) -> FleetCurve:
+    """Evaluate one index's fetch-rate curve through the engine."""
+    if max_pages < 1:
+        raise AdvisorError(
+            f"max_pages must be >= 1, got {max_pages}"
+        )
+    try:
+        stats = engine.statistics(workload.index)
+    except ReproError as exc:
+        raise AdvisorError(
+            f"fleet index {workload.index!r} is not in the catalog: "
+            f"{exc}"
+        ) from exc
+    cap = max(1, min(max_pages, stats.table_pages))
+    selectivities = [
+        ScanSelectivity(cls.sigma, cls.sargable)
+        for cls in workload.classes
+    ]
+    grid = engine.estimate_grid(
+        workload.index,
+        estimator,
+        selectivities,
+        list(range(1, cap + 1)),
+    )
+    total_weight = sum(cls.weight for cls in workload.classes)
+    rates = [0.0]  # placeholder for b=0, clamped below
+    for row in grid:
+        per_scan = sum(
+            cls.weight * max(0.0, estimate)
+            for cls, estimate in zip(workload.classes, row)
+        ) / total_weight
+        rates.append(workload.scans_per_second * per_scan)
+    rates[0] = rates[1]  # B=0 clamp: see module docstring
+    return FleetCurve(
+        index=workload.index,
+        policy=stats.policy,
+        table_pages=stats.table_pages,
+        cap=cap,
+        fetch_rate=tuple(rates),
+        envelope=lower_convex_envelope(rates),
+    )
+
+
+def evaluate_fleet(
+    engine: EstimationEngine,
+    spec: AdvisorSpec,
+    max_pages: int,
+) -> Dict[str, FleetCurve]:
+    """Evaluate every fleet index, keyed by name (insertion = sorted)."""
+    return {
+        workload.index: evaluate_index_curve(
+            engine, workload, spec.estimator, max_pages
+        )
+        for workload in sorted(spec.fleet, key=lambda w: w.index)
+    }

@@ -1,0 +1,181 @@
+"""Five-minute-rule dollar pricing of a fleet allocation.
+
+Gray & Graefe's rule prices the RAM-vs-I/O trade: a page is worth
+caching when its re-access interval is shorter than the *break-even
+reference interval*::
+
+    BreakEvenInterval = (PagesPerMBofRAM × PricePerDiskDrive)
+                      / (AccessesPerSecondPerDisk × PricePerMBofRAM)
+
+The advisor applies it per index at the margin: with ``p`` pages
+awarded, the *last* page bought saves ``gain`` fetches/second, so the
+marginal page behaves like a page re-accessed every ``1/gain`` seconds.
+If that residency interval is within the break-even interval the page
+"pays rent"; the first page that would not is where a rational operator
+stops buying memory for that index.  Capital costs use the same
+constants: disk dollars are the drive capital needed to sustain the
+residual fetch rate (``rate × $drive / IOPS``), RAM dollars the memory
+capital of the awarded pages.
+
+Everything is reported under the spec's :class:`CostModel` and re-priced
+under its ``sensitivity`` RAM-price scale factors, because the rule's
+output moves linearly with the RAM/disk price ratio and a capacity plan
+that flips under a 2× price move is worth flagging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.advisor.curves import FleetCurve
+from repro.advisor.workload import CostModel
+from repro.errors import AdvisorError
+
+
+@dataclass(frozen=True)
+class IndexPricing:
+    """One index's share of the plan, priced at the margin.
+
+    ``marginal_gain`` is the fetch-rate saving of the last page awarded
+    (0 when no pages were awarded); ``next_gain`` the saving the *next*
+    page would bring.  ``residency_interval_s`` is the marginal page's
+    implied re-access interval (``inf`` with no awarded pages) and
+    ``pays_rent`` whether it is within the five-minute-rule break-even.
+    """
+
+    index: str
+    policy: str
+    pages: int
+    fetch_rate: float
+    saved_rate: float
+    marginal_gain: float
+    next_gain: float
+    residency_interval_s: float
+    pays_rent: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready per-index pricing row (residency None when infinite)."""
+        return {
+            "index": self.index,
+            "policy": self.policy,
+            "pages": self.pages,
+            "fetch_rate": self.fetch_rate,
+            "saved_rate": self.saved_rate,
+            "marginal_gain": self.marginal_gain,
+            "next_gain": self.next_gain,
+            "residency_interval_s": (
+                None
+                if math.isinf(self.residency_interval_s)
+                else self.residency_interval_s
+            ),
+            "pays_rent": self.pays_rent,
+        }
+
+
+@dataclass(frozen=True)
+class FleetPricing:
+    """Dollar view of one budget point's allocation."""
+
+    budget: int
+    pages_used: int
+    total_rate: float
+    saved_rate: float
+    ram_dollars: float
+    disk_dollars: float
+    break_even_interval_s: float
+    per_index: Tuple[IndexPricing, ...]
+    sensitivity: Dict[str, float]
+
+    @property
+    def total_dollars(self) -> float:
+        """RAM rent plus disk capital for the whole allocation."""
+        return self.ram_dollars + self.disk_dollars
+
+    def to_dict(self) -> dict:
+        """JSON-ready fleet pricing: totals, per-index rows, sensitivity."""
+        return {
+            "budget": self.budget,
+            "pages_used": self.pages_used,
+            "total_rate": self.total_rate,
+            "saved_rate": self.saved_rate,
+            "ram_dollars": self.ram_dollars,
+            "disk_dollars": self.disk_dollars,
+            "total_dollars": self.total_dollars,
+            "break_even_interval_s": self.break_even_interval_s,
+            "indexes": [p.to_dict() for p in self.per_index],
+            "sensitivity": dict(self.sensitivity),
+        }
+
+
+def price_allocation(
+    curves: Mapping[str, FleetCurve],
+    pages: Mapping[str, int],
+    budget: int,
+    costs: CostModel,
+) -> FleetPricing:
+    """Price one allocation under ``costs``.
+
+    ``pages`` maps every curve's index to its awarded page count;
+    marginal gains are read off each curve's convex envelope (the basis
+    the allocator optimized on), converted to float only for reporting.
+    """
+    if set(pages) != set(curves):
+        raise AdvisorError(
+            "allocation and curves disagree on the fleet: "
+            f"{sorted(set(pages) ^ set(curves))}"
+        )
+    break_even = costs.break_even_interval_s()
+    per_index = []
+    total_rate = 0.0
+    saved_rate = 0.0
+    for name in sorted(curves):
+        curve = curves[name]
+        awarded = pages[name]
+        rate = curve.rate_at(awarded)
+        saved = curve.rate_at(0) - rate
+        marginal = (
+            float(
+                curve.envelope_at(awarded - 1)
+                - curve.envelope_at(awarded)
+            )
+            if awarded > 0
+            else 0.0
+        )
+        next_gain = float(
+            curve.envelope_at(awarded) - curve.envelope_at(awarded + 1)
+        )
+        interval = 1.0 / marginal if marginal > 0.0 else math.inf
+        per_index.append(
+            IndexPricing(
+                index=name,
+                policy=curve.policy,
+                pages=awarded,
+                fetch_rate=rate,
+                saved_rate=saved,
+                marginal_gain=marginal,
+                next_gain=next_gain,
+                residency_interval_s=interval,
+                pays_rent=interval <= break_even,
+            )
+        )
+        total_rate += rate
+        saved_rate += saved
+    pages_used = sum(pages.values())
+    return FleetPricing(
+        budget=budget,
+        pages_used=pages_used,
+        total_rate=total_rate,
+        saved_rate=saved_rate,
+        ram_dollars=pages_used * costs.ram_dollars_per_page,
+        disk_dollars=total_rate * costs.dollars_per_access_per_second,
+        break_even_interval_s=break_even,
+        per_index=tuple(per_index),
+        sensitivity={
+            # JSON object keys are strings; "0.5x" reads better in the
+            # report than a bare float anyway.
+            f"{factor:g}x": costs.break_even_interval_s(factor)
+            for factor in costs.sensitivity
+        },
+    )

@@ -1,0 +1,482 @@
+"""Fleet workload and cost-model specifications.
+
+The advisor's input is a *fleet workload*: for every index, how often it
+is scanned and with what selectivity mix.  Together with a total page
+budget and a :class:`CostModel` this fully determines an advisory run,
+so — like :class:`~repro.eval.spec.ExperimentSpec` — the whole thing is
+one JSON-round-trippable value (``repro advise --spec FILE`` replays a
+saved one byte for byte, and the serving tier's ``advise`` request
+carries the same payload on the wire).
+
+Wire format (``fleet`` required; everything else optional)::
+
+    {
+      "fleet": [
+        {"index": "synthetic-...", "scans_per_second": 120.0,
+         "selectivities": [
+            {"sigma": 0.05, "weight": 0.5},
+            {"sigma": 0.2, "sargable": 0.5, "weight": 0.3}
+         ]}
+      ],
+      "estimator": "epfis",
+      "budgets": [64, 128, 256],
+      "costs": {"page_bytes": 8192, "ram_dollars_per_mb": 0.005,
+                "disk_dollars": 300.0,
+                "disk_accesses_per_second": 10000.0,
+                "sensitivity": [0.5, 2.0]},
+      "oracle": "auto"
+    }
+
+Defaults are omitted on serialization (house style: a default-valued
+spec renders the minimal file), and unknown keys are rejected so a typo
+never silently changes an advisory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.errors import AdvisorError
+from repro.estimators.registry import available_estimators
+
+#: Selectivity mix assumed when a workload does not specify one: mostly
+#: small range scans with a tail of medium and large ones.
+DEFAULT_SELECTIVITY_MIX: Tuple[Tuple[float, float, float], ...] = (
+    (0.05, 1.0, 0.5),
+    (0.2, 1.0, 0.3),
+    (0.5, 1.0, 0.2),
+)
+
+#: Oracle verification modes: ``auto`` runs the exhaustive DP only when
+#: the fleet is small enough (see :mod:`repro.advisor.allocator`),
+#: ``always`` forces it, ``never`` skips it.
+ORACLE_MODES = ("auto", "always", "never")
+
+
+@dataclass(frozen=True)
+class SelectivityClass:
+    """One scan shape in an index's mix: ``(sigma, S)`` plus a weight."""
+
+    sigma: float
+    sargable: float = 1.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sigma <= 1.0:
+            raise AdvisorError(
+                f"selectivity sigma must be in (0, 1], got {self.sigma}"
+            )
+        if not 0.0 < self.sargable <= 1.0:
+            raise AdvisorError(
+                f"sargable selectivity must be in (0, 1], got "
+                f"{self.sargable}"
+            )
+        if not self.weight > 0.0:
+            raise AdvisorError(
+                f"selectivity-class weight must be > 0, got {self.weight}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON form with defaulted fields omitted."""
+        doc = {"sigma": self.sigma}
+        if self.sargable != 1.0:
+            doc["sargable"] = self.sargable
+        if self.weight != 1.0:
+            doc["weight"] = self.weight
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SelectivityClass":
+        """Parse one selectivity class, rejecting unknown keys."""
+        if not isinstance(doc, dict):
+            raise AdvisorError(
+                f"selectivity class must be an object, got "
+                f"{type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - {"sigma", "weight", "sargable"})
+        if unknown:
+            raise AdvisorError(
+                f"unknown selectivity-class keys {unknown}"
+            )
+        if "sigma" not in doc:
+            raise AdvisorError("selectivity class is missing 'sigma'")
+        return cls(
+            sigma=float(doc["sigma"]),
+            sargable=float(doc.get("sargable", 1.0)),
+            weight=float(doc.get("weight", 1.0)),
+        )
+
+
+def default_selectivity_classes() -> Tuple[SelectivityClass, ...]:
+    """The default mix as :class:`SelectivityClass` values."""
+    return tuple(
+        SelectivityClass(sigma, sargable, weight)
+        for sigma, sargable, weight in DEFAULT_SELECTIVITY_MIX
+    )
+
+
+@dataclass(frozen=True)
+class IndexWorkload:
+    """One index's traffic: scan rate times a selectivity mix.
+
+    ``scans_per_second`` is the paper's missing production dimension —
+    PF(B) prices one scan, the advisor prices a *rate* — and the class
+    weights (normalized at evaluation time) describe what those scans
+    look like.
+    """
+
+    index: str
+    scans_per_second: float = 1.0
+    classes: Tuple[SelectivityClass, ...] = field(
+        default_factory=default_selectivity_classes
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if not self.index or not isinstance(self.index, str):
+            raise AdvisorError(
+                f"workload index name must be a non-empty string, got "
+                f"{self.index!r}"
+            )
+        if not self.scans_per_second > 0.0:
+            raise AdvisorError(
+                f"scans_per_second must be > 0, got "
+                f"{self.scans_per_second}"
+            )
+        if not self.classes:
+            raise AdvisorError(
+                f"workload for index {self.index!r} needs at least one "
+                f"selectivity class"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON form with defaulted fields omitted."""
+        doc: dict = {"index": self.index}
+        if self.scans_per_second != 1.0:
+            doc["scans_per_second"] = self.scans_per_second
+        if self.classes != default_selectivity_classes():
+            doc["selectivities"] = [c.to_dict() for c in self.classes]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "IndexWorkload":
+        """Parse one fleet entry, rejecting unknown keys."""
+        if not isinstance(doc, dict):
+            raise AdvisorError(
+                f"fleet entry must be an object, got "
+                f"{type(doc).__name__}"
+            )
+        unknown = sorted(
+            set(doc) - {"index", "scans_per_second", "selectivities"}
+        )
+        if unknown:
+            raise AdvisorError(f"unknown fleet-entry keys {unknown}")
+        if "index" not in doc:
+            raise AdvisorError("fleet entry is missing 'index'")
+        raw = doc.get("selectivities")
+        if raw is None:
+            classes = default_selectivity_classes()
+        else:
+            if not isinstance(raw, list) or not raw:
+                raise AdvisorError(
+                    f"'selectivities' must be a non-empty array, got "
+                    f"{raw!r}"
+                )
+            classes = tuple(
+                SelectivityClass.from_dict(entry) for entry in raw
+            )
+        return cls(
+            index=str(doc["index"]),
+            scans_per_second=float(doc.get("scans_per_second", 1.0)),
+            classes=classes,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Five-minute-rule economics (Gray & Graefe, SIGMOD Record 1997).
+
+    The break-even reference interval — how rarely a page may be
+    touched and still earn its memory rent — is::
+
+        (pages_per_mb / disk_accesses_per_second)
+            * (disk_dollars / ram_dollars_per_mb)
+
+    Defaults are deliberately round modern-ish numbers (8 KiB pages,
+    ~$5/GB server DRAM, a ~$300 device sustaining 10k IOPS); every run
+    reports its cost model, and ``sensitivity`` lists RAM-price scale
+    factors the report re-prices under.
+    """
+
+    page_bytes: int = 8192
+    ram_dollars_per_mb: float = 0.005
+    disk_dollars: float = 300.0
+    disk_accesses_per_second: float = 10_000.0
+    sensitivity: Tuple[float, ...] = (0.5, 2.0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sensitivity", tuple(self.sensitivity)
+        )
+        if self.page_bytes < 1:
+            raise AdvisorError(
+                f"page_bytes must be >= 1, got {self.page_bytes}"
+            )
+        for name in (
+            "ram_dollars_per_mb",
+            "disk_dollars",
+            "disk_accesses_per_second",
+        ):
+            if not getattr(self, name) > 0.0:
+                raise AdvisorError(
+                    f"{name} must be > 0, got {getattr(self, name)}"
+                )
+        if any(not factor > 0.0 for factor in self.sensitivity):
+            raise AdvisorError(
+                f"sensitivity factors must be > 0, got "
+                f"{self.sensitivity}"
+            )
+
+    @property
+    def pages_per_mb(self) -> float:
+        """Buffer pages per MiB of RAM."""
+        return (1 << 20) / self.page_bytes
+
+    @property
+    def ram_dollars_per_page(self) -> float:
+        """Capital cost of keeping one page resident."""
+        return self.ram_dollars_per_mb / self.pages_per_mb
+
+    @property
+    def dollars_per_access_per_second(self) -> float:
+        """Capital cost of sustaining one disk access per second."""
+        return self.disk_dollars / self.disk_accesses_per_second
+
+    def break_even_interval_s(self, ram_scale: float = 1.0) -> float:
+        """Five-minute-rule break-even reference interval in seconds."""
+        return (
+            self.pages_per_mb / self.disk_accesses_per_second
+        ) * (self.disk_dollars / (self.ram_dollars_per_mb * ram_scale))
+
+    def to_dict(self) -> dict:
+        """JSON form with defaulted fields omitted."""
+        doc: dict = {}
+        default = CostModel()
+        for key in (
+            "page_bytes",
+            "ram_dollars_per_mb",
+            "disk_dollars",
+            "disk_accesses_per_second",
+        ):
+            if getattr(self, key) != getattr(default, key):
+                doc[key] = getattr(self, key)
+        if self.sensitivity != default.sensitivity:
+            doc["sensitivity"] = list(self.sensitivity)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CostModel":
+        """Parse a cost model, rejecting unknown keys."""
+        if not isinstance(doc, dict):
+            raise AdvisorError(
+                f"'costs' must be an object, got {type(doc).__name__}"
+            )
+        known = {
+            "page_bytes", "ram_dollars_per_mb", "disk_dollars",
+            "disk_accesses_per_second", "sensitivity",
+        }
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise AdvisorError(f"unknown 'costs' keys {unknown}")
+        default = cls()
+        return cls(
+            page_bytes=int(doc.get("page_bytes", default.page_bytes)),
+            ram_dollars_per_mb=float(
+                doc.get("ram_dollars_per_mb", default.ram_dollars_per_mb)
+            ),
+            disk_dollars=float(
+                doc.get("disk_dollars", default.disk_dollars)
+            ),
+            disk_accesses_per_second=float(
+                doc.get(
+                    "disk_accesses_per_second",
+                    default.disk_accesses_per_second,
+                )
+            ),
+            sensitivity=tuple(
+                float(f) for f in doc.get(
+                    "sensitivity", default.sensitivity
+                )
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class AdvisorSpec:
+    """One fleet advisory, fully specified.
+
+    ``budgets`` may be empty: the advisor then derives a default sweep
+    from the fleet's total table pages (see
+    :func:`~repro.advisor.advisor.default_budget_sweep`).  Budgets are
+    normalized to a sorted, duplicate-free tuple.
+    """
+
+    fleet: Tuple[IndexWorkload, ...]
+    estimator: str = "epfis"
+    budgets: Tuple[int, ...] = ()
+    costs: CostModel = field(default_factory=CostModel)
+    oracle: str = "auto"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fleet", tuple(self.fleet))
+        if not self.fleet:
+            raise AdvisorError(
+                "an advisor spec needs at least one fleet index"
+            )
+        names = [w.index for w in self.fleet]
+        if len(set(names)) != len(names):
+            duplicates = sorted(
+                {n for n in names if names.count(n) > 1}
+            )
+            raise AdvisorError(
+                f"fleet lists duplicate indexes {duplicates}"
+            )
+        known = set(available_estimators())
+        if (
+            not isinstance(self.estimator, str)
+            or self.estimator.lower() not in known
+        ):
+            raise AdvisorError(
+                f"unknown estimator {self.estimator!r}; available: "
+                f"{', '.join(sorted(known))}"
+            )
+        budgets = []
+        for budget in self.budgets:
+            if (
+                isinstance(budget, bool)
+                or not isinstance(budget, int)
+                or budget < 1
+            ):
+                raise AdvisorError(
+                    f"budgets must be integers >= 1, got {budget!r}"
+                )
+            budgets.append(budget)
+        object.__setattr__(
+            self, "budgets", tuple(sorted(set(budgets)))
+        )
+        if self.oracle not in ORACLE_MODES:
+            raise AdvisorError(
+                f"oracle mode must be one of {ORACLE_MODES}, got "
+                f"{self.oracle!r}"
+            )
+
+    def workload_for(self, index: str) -> IndexWorkload:
+        """The fleet entry for ``index``."""
+        for workload in self.fleet:
+            if workload.index == index:
+                return workload
+        raise AdvisorError(f"fleet has no workload for index {index!r}")
+
+    # ------------------------------------------------------------------
+    # dict / JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dictionary form (regenerates this spec exactly)."""
+        payload: dict = {
+            "fleet": [w.to_dict() for w in self.fleet],
+        }
+        if self.estimator != "epfis":
+            payload["estimator"] = self.estimator
+        if self.budgets:
+            payload["budgets"] = list(self.budgets)
+        costs = self.costs.to_dict()
+        if costs:
+            payload["costs"] = costs
+        if self.oracle != "auto":
+            payload["oracle"] = self.oracle
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdvisorSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written
+        JSON), rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise AdvisorError(
+                f"advisor spec must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {"fleet", "estimator", "budgets", "costs", "oracle"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise AdvisorError(
+                f"unknown advisor-spec keys {unknown}; known: "
+                f"{sorted(known)}"
+            )
+        if "fleet" not in payload:
+            raise AdvisorError("advisor spec is missing 'fleet'")
+        fleet = payload["fleet"]
+        if not isinstance(fleet, list):
+            raise AdvisorError(
+                f"'fleet' must be an array, got {type(fleet).__name__}"
+            )
+        budgets = payload.get("budgets", [])
+        if not isinstance(budgets, list):
+            raise AdvisorError(
+                f"'budgets' must be an array, got "
+                f"{type(budgets).__name__}"
+            )
+        return cls(
+            fleet=tuple(IndexWorkload.from_dict(doc) for doc in fleet),
+            estimator=payload.get("estimator", "epfis"),
+            budgets=tuple(budgets),
+            costs=CostModel.from_dict(payload.get("costs", {})),
+            oracle=payload.get("oracle", "auto"),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdvisorSpec":
+        """Parse a spec from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AdvisorError(
+                f"invalid advisor-spec JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the spec to a JSON file."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AdvisorSpec":
+        """Read a spec previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise AdvisorError(
+                f"advisor spec file {str(path)!r} does not exist"
+            )
+        return cls.from_json(path.read_text(encoding="utf-8"))
+
+
+def uniform_fleet(
+    index_names: Sequence[str],
+    scans_per_second: float = 1.0,
+) -> Tuple[IndexWorkload, ...]:
+    """A fleet giving every index the same rate and the default mix.
+
+    The CLI's no-spec path: point the advisor at a catalog and it
+    assumes uniform traffic — good enough for a first budget sweep,
+    replaced by a real workload spec when one exists.
+    """
+    return tuple(
+        IndexWorkload(index=name, scans_per_second=scans_per_second)
+        for name in index_names
+    )

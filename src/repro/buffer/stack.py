@@ -94,6 +94,15 @@ class FetchCurve:
     single-slot pool (used by Algorithm SD) and ``fetches(B)`` for
     ``B >= distinct_pages`` equals the compulsory-miss floor ``A`` (the
     number of distinct pages accessed).
+
+    Edge semantics (relied on by the fleet advisor, regression-tested):
+
+    * ``B = 0`` is rejected (:meth:`fetches` raises) — a scan cannot run
+      without one buffer page.  Consumers that need a value at zero
+      pages clamp to ``fetches(1)`` (see :mod:`repro.advisor.curves`).
+    * ``B > distinct_pages`` is **flat**: once every distinct page fits,
+      extra pages cannot avoid any fetch, so the curve sits at the
+      compulsory floor ``A`` for all larger ``B`` — never below it.
     """
 
     #: Total references in the trace (the paper's per-scan record count

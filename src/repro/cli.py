@@ -19,11 +19,15 @@ Commands mirror how a DBA would interact with EPFIS:
 * ``refresh``   — run the online catalog refresh loop (windowed
   decayed fit, drift detection, breaker-guarded roll-forward with
   rollback) against a synthetic live feed — see :mod:`repro.refresh`.
+* ``advise``    — fleet-wide buffer capacity planning: allocate a total
+  page budget across a catalog's indexes by marginal fetch reduction
+  (greedy over convexified PF(B) curves, DP-oracle-verified) and price
+  the result with the five-minute rule — see :mod:`repro.advisor`.
 * ``metrics``   — print the standard metric-family schema this build
   exports (Prometheus text or canonical JSONL).
 
 ``fit``, ``estimate``, ``experiment``, ``verify``, ``serve``,
-``loadgen``, and ``refresh`` additionally take
+``loadgen``, ``refresh``, and ``advise`` additionally take
 ``--metrics-out FILE`` (export every metric recorded during the run;
 ``-`` for stdout; format by extension or ``--metrics-format``) and
 ``--trace-out FILE`` (stream the run's span tree as JSON lines) — see
@@ -189,7 +193,12 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         checkpoint=_checkpointer_from_args(args),
         resume=args.resume,
     )
-    catalog = SystemCatalog()
+    from pathlib import Path
+
+    if args.append and Path(args.catalog).exists():
+        catalog = SystemCatalog.load(args.catalog)
+    else:
+        catalog = SystemCatalog()
     catalog.put(stats)
     catalog.save(args.catalog)
     print(
@@ -197,6 +206,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         f"({stats.fpf_curve.segment_count} segments, "
         f"C = {stats.clustering_factor:.4f}, "
         f"policy = {stats.policy}) to {args.catalog}"
+        + (f" ({len(catalog)} entries)" if args.append else "")
     )
     return 0
 
@@ -901,6 +911,121 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _advisor_spec_from_args(args: argparse.Namespace):
+    """The ``advise`` flags, as a declarative advisor spec."""
+    from repro.advisor import AdvisorSpec, CostModel, uniform_fleet
+
+    names = args.indexes
+    if not names:
+        engine = EstimationEngine(args.catalog)
+        names = engine.index_names()
+    if not names:
+        raise ReproError(
+            f"catalog {args.catalog!r} holds no indexes; run "
+            f"`repro fit` (with --append for a multi-index fleet) first"
+        )
+    return AdvisorSpec(
+        fleet=uniform_fleet(names, scans_per_second=args.frequency),
+        estimator=args.estimator,
+        budgets=tuple(args.budgets or ()),
+        costs=CostModel(
+            page_bytes=args.page_bytes,
+            ram_dollars_per_mb=args.ram_dollars_per_mb,
+            disk_dollars=args.disk_dollars,
+            disk_accesses_per_second=args.disk_iops,
+            sensitivity=tuple(args.sensitivity),
+        ),
+        oracle=args.oracle,
+    )
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.advisor import AdvisorSpec, advise
+
+    if args.spec:
+        spec = AdvisorSpec.load(args.spec)
+    else:
+        spec = _advisor_spec_from_args(args)
+    if args.save_spec:
+        spec.save(args.save_spec)
+        print(f"wrote advisor spec to {args.save_spec}")
+        return 0
+    report = advise(
+        args.catalog, spec, registry=global_registry(), path="cli"
+    )
+    doc = report.to_dict()
+    sweep_rows = []
+    for point in doc["sweep"]:
+        allocation = " ".join(
+            f"{name}={pages}"
+            for name, pages in sorted(point["pages"].items())
+        )
+        sweep_rows.append(
+            (
+                point["budget"],
+                point["pages_used"],
+                f"{point['total_rate']:.1f}",
+                f"{point['saved_rate']:.1f}",
+                f"{point['ram_dollars']:.2f}",
+                f"{point['disk_dollars']:.2f}",
+                point["oracle"],
+                allocation,
+            )
+        )
+    print(
+        format_table(
+            ["budget", "used", "fetch/s", "saved/s", "RAM $",
+             "disk $", "oracle", "allocation"],
+            sweep_rows,
+            title=(
+                f"Budget sweep — {len(spec.fleet)} index(es), "
+                f"estimator {spec.estimator}"
+            ),
+        )
+    )
+    final = doc["sweep"][-1]
+    index_rows = []
+    for entry in final["indexes"]:
+        residency = entry["residency_interval_s"]
+        index_rows.append(
+            (
+                entry["index"],
+                entry["policy"],
+                entry["pages"],
+                f"{entry['fetch_rate']:.1f}",
+                f"{entry['marginal_gain']:.3f}",
+                "-" if residency is None else f"{residency:.1f}",
+                "yes" if entry["pays_rent"] else "no",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["index", "policy", "pages", "fetch/s", "marginal gain",
+             "residency s", "pays rent"],
+            index_rows,
+            title=f"Allocation at budget {final['budget']}",
+        )
+    )
+    sensitivity = ", ".join(
+        f"{factor} RAM price -> {interval:.0f} s"
+        for factor, interval in sorted(final["sensitivity"].items())
+    )
+    print(
+        f"five-minute-rule break-even: "
+        f"{doc['break_even_interval_s']:.0f} s "
+        f"(sensitivity: {sensitivity})"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_module.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote advisory report to {args.out}")
+    return 0
+
+
 def _cmd_gwl(args: argparse.Namespace) -> int:
     db = build_gwl_database(scale=args.scale, seed=args.seed)
     print(
@@ -947,6 +1072,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(p_fit)
     p_fit.add_argument("--catalog", required=True,
                        help="output catalog JSON path")
+    p_fit.add_argument("--append", action="store_true",
+                       help="merge into an existing catalog file instead "
+                            "of overwriting it (build multi-index "
+                            "fleets for `repro advise`)")
     p_fit.add_argument("--segments", type=int, default=6)
     p_fit.add_argument("--grid-rule", choices=("paper", "graefe"),
                        default="paper")
@@ -1237,6 +1366,64 @@ def build_parser() -> argparse.ArgumentParser:
                                 "breaker-guarded rollback")
     _add_obs_arguments(p_refresh)
     p_refresh.set_defaults(handler=_cmd_refresh)
+
+    p_advise = sub.add_parser(
+        "advise",
+        help="allocate a fleet page budget over PF(B) curves and "
+             "price it with the five-minute rule",
+    )
+    p_advise.add_argument("--catalog", required=True,
+                          help="catalog JSON holding the fleet's "
+                               "statistics (build multi-index fleets "
+                               "with `repro fit --append`)")
+    p_advise.add_argument("--estimator", default="epfis",
+                          choices=available_estimators(),
+                          help="estimator the curves are pulled through "
+                               "(default epfis)")
+    p_advise.add_argument("--indexes", nargs="+", default=None,
+                          metavar="NAME",
+                          help="fleet indexes (default: every index in "
+                               "the catalog)")
+    p_advise.add_argument("--budgets", type=int, nargs="+", default=None,
+                          metavar="PAGES",
+                          help="total page budgets to sweep (default: "
+                               "1/8..1x of the fleet's table pages)")
+    p_advise.add_argument("--frequency", type=float, default=1.0,
+                          help="scans/second per index for the uniform "
+                               "workload (default 1.0; use --spec for "
+                               "per-index mixes)")
+    p_advise.add_argument("--oracle",
+                          choices=("auto", "always", "never"),
+                          default="auto",
+                          help="greedy-vs-DP differential verification "
+                               "(auto: only for small fleets)")
+    p_advise.add_argument("--page-bytes", type=int, default=8192,
+                          help="page size for the cost model "
+                               "(default 8192)")
+    p_advise.add_argument("--ram-dollars-per-mb", type=float,
+                          default=0.005,
+                          help="RAM capital cost per MB (default 0.005)")
+    p_advise.add_argument("--disk-dollars", type=float, default=300.0,
+                          help="capital cost per disk device "
+                               "(default 300)")
+    p_advise.add_argument("--disk-iops", type=float, default=10_000.0,
+                          help="sustained accesses/second per disk "
+                               "(default 10000)")
+    p_advise.add_argument("--sensitivity", type=float, nargs="+",
+                          default=(0.5, 2.0), metavar="FACTOR",
+                          help="RAM-price scale factors to re-price the "
+                               "break-even under (default 0.5 2.0)")
+    p_advise.add_argument("--spec", default=None, metavar="FILE",
+                          help="run a saved advisor spec (JSON); fleet "
+                               "and cost flags are ignored")
+    p_advise.add_argument("--save-spec", default=None, metavar="FILE",
+                          help="write the equivalent spec JSON instead "
+                               "of running")
+    p_advise.add_argument("--out", default=None, metavar="FILE",
+                          help="write the full advisory report JSON "
+                               "here")
+    _add_obs_arguments(p_advise)
+    p_advise.set_defaults(handler=_cmd_advise)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -117,6 +117,12 @@ class ServingError(ReproError):
     unbindable port, ...)."""
 
 
+class AdvisorError(ReproError):
+    """The fleet buffer advisor was misconfigured or failed a
+    self-check (bad workload spec, empty fleet, greedy/DP oracle
+    divergence, unpriceable cost model)."""
+
+
 class ObservabilityError(ReproError):
     """A metrics instrument or trace sink was declared or used
     inconsistently (conflicting family types, bad labels, negative

@@ -58,6 +58,16 @@ class PageFetchEstimator(ABC):
 
         ``result[g][s]`` is the estimate for ``selectivities[s]`` at
         ``buffer_pages[g]`` — the shape the experiment runner consumes.
+
+        Buffer-size edge semantics (pinned for the fleet advisor):
+        every entry of ``buffer_pages`` must be >= 1 (``B = 0`` raises
+        :class:`~repro.errors.EstimationError` via ``_check_buffer``,
+        exactly as :meth:`estimate` does); sizes beyond the index's
+        table pages are legal and sit on the curve's flat tail —
+        though estimators built on piecewise-linear *fits* extrapolate
+        with terminal slopes and may drift slightly (even below zero),
+        so curve consumers clamp estimates at 0 (see
+        :mod:`repro.advisor.curves`).
         """
         flat = self.estimate_many(
             [(sel, b) for b in buffer_pages for sel in selectivities]

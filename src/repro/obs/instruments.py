@@ -87,6 +87,15 @@ REFRESH_QUARANTINED_CANDIDATES_TOTAL = (
 REFRESH_CYCLE_SECONDS = "repro_refresh_cycle_seconds"
 
 # ----------------------------------------------------------------------
+# Fleet buffer advisor (see repro.advisor)
+# ----------------------------------------------------------------------
+ADVISOR_RUNS_TOTAL = "repro_advisor_runs_total"
+ADVISOR_CURVE_POINTS_TOTAL = "repro_advisor_curve_points_total"
+ADVISOR_ALLOCATION_SECONDS = "repro_advisor_allocation_seconds"
+ADVISOR_ORACLE_CHECKS_TOTAL = "repro_advisor_oracle_checks_total"
+ADVISOR_GRID_REQUESTS_TOTAL = "repro_advisor_grid_requests_total"
+
+# ----------------------------------------------------------------------
 # Circuit breakers
 # ----------------------------------------------------------------------
 BREAKER_STATE = "repro_breaker_state"
@@ -368,6 +377,52 @@ def refresh_cycle_seconds(registry=None) -> MetricFamily:
     )
 
 
+def advisor_runs(registry=None) -> MetricFamily:
+    """Advisory runs completed, by entry path (cli, serving, library)."""
+    return _registry(registry).counter(
+        ADVISOR_RUNS_TOTAL,
+        "Fleet buffer advisories completed, by entry path.",
+        ("path",),
+    )
+
+
+def advisor_curve_points(registry=None) -> MetricFamily:
+    """Grid points evaluated while building fleet curves."""
+    return _registry(registry).counter(
+        ADVISOR_CURVE_POINTS_TOTAL,
+        "Fetch-curve grid points evaluated for fleet advisories.",
+    )
+
+
+def advisor_allocation_seconds(registry=None) -> MetricFamily:
+    """Wall-clock latency of one full budget-sweep allocation."""
+    return _registry(registry).histogram(
+        ADVISOR_ALLOCATION_SECONDS,
+        "Wall-clock latency of one fleet advisory (curves through "
+        "pricing).",
+    )
+
+
+def advisor_oracle_checks(registry=None) -> MetricFamily:
+    """Greedy-vs-DP differential checks, by result (match, skipped)."""
+    return _registry(registry).counter(
+        ADVISOR_ORACLE_CHECKS_TOTAL,
+        "Greedy-vs-DP oracle verifications of advisor allocations, by "
+        "result (match, mismatch, skipped).",
+        ("result",),
+    )
+
+
+def advisor_grid_requests(registry=None) -> MetricFamily:
+    """Batched grid/advise requests answered by the serving tier."""
+    return _registry(registry).counter(
+        ADVISOR_GRID_REQUESTS_TOTAL,
+        "Batched multi-index grid and advise requests answered by the "
+        "serving tier.",
+        ("kind",),
+    )
+
+
 def breaker_state(registry=None) -> MetricFamily:
     """Current breaker state (0 closed, 1 half-open, 2 open)."""
     return _registry(registry).gauge(
@@ -388,6 +443,11 @@ def breaker_opens(registry=None) -> MetricFamily:
 
 #: Accessors for every standard family, in export order.
 _STANDARD_ACCESSORS = (
+    advisor_allocation_seconds,
+    advisor_curve_points,
+    advisor_grid_requests,
+    advisor_oracle_checks,
+    advisor_runs,
     breaker_opens,
     breaker_state,
     catalog_quarantines,

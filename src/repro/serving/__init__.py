@@ -43,8 +43,13 @@ from repro.serving.netserver import (
     ServingTCPServer,
 )
 from repro.serving.protocol import (
+    AdviseRequest,
+    AdviseResponse,
     EstimateRequest,
     EstimateResponse,
+    GridRequest,
+    GridResponse,
+    decode_any,
     decode_request,
     decode_response,
     encode,
@@ -63,6 +68,8 @@ from repro.serving.tenants import (
 
 __all__ = [
     "AdmissionController",
+    "AdviseRequest",
+    "AdviseResponse",
     "DEFAULT_BATCH_WINDOW_MS",
     "DEFAULT_HOST",
     "DEFAULT_MAX_BATCH",
@@ -72,6 +79,8 @@ __all__ = [
     "EstimateRequest",
     "EstimateResponse",
     "EstimationServer",
+    "GridRequest",
+    "GridResponse",
     "LoadgenResult",
     "STATE_ACCEPTING",
     "STATE_CLOSED",
@@ -81,6 +90,7 @@ __all__ = [
     "TCPTransport",
     "TenantCatalogs",
     "WorkloadSpec",
+    "decode_any",
     "decode_request",
     "decode_response",
     "encode",

@@ -24,8 +24,11 @@ from typing import Optional, Tuple
 
 from repro.errors import ReproError, ServingError
 from repro.serving.protocol import (
+    AdviseRequest,
+    EstimateRequest,
     EstimateResponse,
-    decode_request,
+    GridRequest,
+    decode_any,
     encode,
 )
 from repro.serving.server import EstimationServer
@@ -42,13 +45,19 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             if not line:
                 continue
             try:
-                request = decode_request(line)
+                request = decode_any(line)
             except ReproError as exc:
                 response = EstimateResponse(
                     request_id=0, ok=False, error=str(exc)
                 )
             else:
-                response = server.respond(request)
+                if isinstance(request, GridRequest):
+                    response = server.grid_respond(request)
+                elif isinstance(request, AdviseRequest):
+                    response = server.advise_respond(request)
+                else:
+                    assert isinstance(request, EstimateRequest)
+                    response = server.respond(request)
             try:
                 self.wfile.write(encode(response).encode("utf-8"))
                 self.wfile.flush()

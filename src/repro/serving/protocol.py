@@ -8,6 +8,18 @@ request that took the TCP path and one that took the direct
 :meth:`~repro.serving.server.EstimationServer.submit` path are the same
 object by the time the micro-batcher sees them.
 
+Three request types share the wire, discriminated by an optional
+``type`` key (absent means ``estimate``, keeping every pre-existing
+client line valid):
+
+* ``estimate`` — one point estimate (:class:`EstimateRequest`);
+* ``grid``     — one batched multi-index curve evaluation
+  (:class:`GridRequest`): every named index's full
+  selectivity × buffer grid in a single round trip, instead of
+  fanning out per-point estimate lines;
+* ``advise``   — one fleet advisory (:class:`AdviseRequest`) carrying
+  an advisor-spec payload, answered from the tenant's live catalog.
+
 Floats survive the wire exactly: :mod:`json` emits the shortest
 round-tripping ``repr`` and parses it back to the identical double, so
 the byte-identical-to-serial property the batcher guarantees holds
@@ -92,8 +104,115 @@ class EstimateResponse:
                 "error": self.error, "code": self.code or CODE_ERROR}
 
 
-def decode_request(line: str) -> EstimateRequest:
-    """Parse one request line, rejecting malformed or unknown fields."""
+#: Wire keys a grid request object may carry.
+_GRID_KEYS = frozenset(
+    {"type", "id", "tenant", "estimator", "indexes", "selectivities",
+     "buffers", "options"}
+)
+
+#: Wire keys an advise request object may carry.
+_ADVISE_KEYS = frozenset({"type", "id", "tenant", "spec"})
+
+
+@dataclass(frozen=True)
+class GridRequest:
+    """One batched multi-index curve evaluation.
+
+    Answers ``len(indexes)`` grids — every selectivity crossed with
+    every buffer size, per index — in one round trip, the shape the
+    fleet advisor's curve evaluation wants.  Results are byte-identical
+    to issuing the equivalent per-point :class:`EstimateRequest` lines
+    serially (pinned in tests, like ``estimate_many``).
+    """
+
+    tenant: str
+    estimator: str
+    indexes: Tuple[str, ...]
+    selectivities: Tuple[Tuple[float, float], ...]
+    buffers: Tuple[int, ...]
+    request_id: int = 0
+    options: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        """Wire form; emits ``type:"grid"`` for dispatch."""
+        doc = {
+            "type": "grid",
+            "id": self.request_id,
+            "tenant": self.tenant,
+            "estimator": self.estimator,
+            "indexes": list(self.indexes),
+            "selectivities": [list(pair) for pair in self.selectivities],
+            "buffers": list(self.buffers),
+        }
+        if self.options:
+            doc["options"] = dict(self.options)
+        return doc
+
+
+@dataclass(frozen=True, eq=False)
+class GridResponse:
+    """Per-index grids (row per buffer size), or a truthful failure."""
+
+    request_id: int
+    ok: bool
+    curves: dict = field(default_factory=dict)
+    error: str = ""
+    code: str = ""
+
+    def to_dict(self) -> dict:
+        """Wire form with curve names emitted in sorted order."""
+        if self.ok:
+            return {"id": self.request_id, "ok": True,
+                    "curves": {name: self.curves[name]
+                               for name in sorted(self.curves)}}
+        return {"id": self.request_id, "ok": False,
+                "error": self.error, "code": self.code or CODE_ERROR}
+
+
+@dataclass(frozen=True, eq=False)
+class AdviseRequest:
+    """One fleet advisory against the tenant's live catalog.
+
+    ``spec`` is the raw advisor-spec payload
+    (:meth:`repro.advisor.AdvisorSpec.to_dict` form); it is validated
+    server-side so a malformed spec answers ``ok=false`` rather than
+    dropping the connection.
+    """
+
+    tenant: str
+    spec: dict
+    request_id: int = 0
+
+    def to_dict(self) -> dict:
+        """Wire form; emits ``type:"advise"`` for dispatch."""
+        return {
+            "type": "advise",
+            "id": self.request_id,
+            "tenant": self.tenant,
+            "spec": self.spec,
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class AdviseResponse:
+    """One advisory report, or a truthful failure."""
+
+    request_id: int
+    ok: bool
+    report: dict = field(default_factory=dict)
+    error: str = ""
+    code: str = ""
+
+    def to_dict(self) -> dict:
+        """Wire form carrying the full advisor report document."""
+        if self.ok:
+            return {"id": self.request_id, "ok": True,
+                    "report": self.report}
+        return {"id": self.request_id, "ok": False,
+                "error": self.error, "code": self.code or CODE_ERROR}
+
+
+def _parse_line(line: str) -> dict:
     try:
         doc = json.loads(line)
     except ValueError as exc:
@@ -102,7 +221,122 @@ def decode_request(line: str) -> EstimateRequest:
         raise ServingError(
             f"request must be a JSON object, got {type(doc).__name__}"
         )
-    unknown = set(doc) - _REQUEST_KEYS
+    return doc
+
+
+def _decode_options(doc: dict) -> Tuple[Tuple[str, object], ...]:
+    options = doc.get("options") or {}
+    if not isinstance(options, dict):
+        raise ServingError(
+            f"request 'options' must be an object, got "
+            f"{type(options).__name__}"
+        )
+    return tuple(sorted(options.items()))
+
+
+def _decode_grid(doc: dict) -> GridRequest:
+    unknown = set(doc) - _GRID_KEYS
+    if unknown:
+        raise ServingError(
+            f"grid request carries unknown keys {sorted(unknown)}; "
+            f"known: {sorted(_GRID_KEYS)}"
+        )
+    try:
+        indexes = doc["indexes"]
+        selectivities = doc["selectivities"]
+        buffers = doc["buffers"]
+        for name, value in (("indexes", indexes),
+                            ("selectivities", selectivities),
+                            ("buffers", buffers)):
+            if not isinstance(value, list) or not value:
+                raise ServingError(
+                    f"grid request {name!r} must be a non-empty array"
+                )
+        pairs = []
+        for entry in selectivities:
+            if not isinstance(entry, list) or len(entry) not in (1, 2):
+                raise ServingError(
+                    f"grid selectivity must be [sigma] or "
+                    f"[sigma, sargable], got {entry!r}"
+                )
+            sigma = float(entry[0])
+            sargable = float(entry[1]) if len(entry) == 2 else 1.0
+            pairs.append((sigma, sargable))
+        return GridRequest(
+            tenant=str(doc["tenant"]),
+            estimator=str(doc["estimator"]),
+            indexes=tuple(str(name) for name in indexes),
+            selectivities=tuple(pairs),
+            buffers=tuple(int(b) for b in buffers),
+            request_id=int(doc.get("id", 0)),
+            options=_decode_options(doc),
+        )
+    except KeyError as exc:
+        raise ServingError(
+            f"grid request is missing required key {exc.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise ServingError(
+            f"grid request field is malformed: {exc}"
+        ) from exc
+
+
+def _decode_advise(doc: dict) -> AdviseRequest:
+    unknown = set(doc) - _ADVISE_KEYS
+    if unknown:
+        raise ServingError(
+            f"advise request carries unknown keys {sorted(unknown)}; "
+            f"known: {sorted(_ADVISE_KEYS)}"
+        )
+    try:
+        spec = doc["spec"]
+        if not isinstance(spec, dict):
+            raise ServingError(
+                f"advise request 'spec' must be an object, got "
+                f"{type(spec).__name__}"
+            )
+        return AdviseRequest(
+            tenant=str(doc["tenant"]),
+            spec=spec,
+            request_id=int(doc.get("id", 0)),
+        )
+    except KeyError as exc:
+        raise ServingError(
+            f"advise request is missing required key {exc.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise ServingError(
+            f"advise request field is malformed: {exc}"
+        ) from exc
+
+
+def decode_any(line: str):
+    """Parse one request line of any type.
+
+    Dispatches on the optional ``type`` key: absent or ``"estimate"``
+    takes the legacy single-estimate path (byte-compatible with every
+    pre-grid client), ``"grid"`` and ``"advise"`` the batched paths.
+    """
+    doc = _parse_line(line)
+    kind = doc.get("type", "estimate")
+    if kind == "estimate":
+        return _decode_estimate(doc)
+    if kind == "grid":
+        return _decode_grid(doc)
+    if kind == "advise":
+        return _decode_advise(doc)
+    raise ServingError(
+        f"unknown request type {kind!r}; known: estimate, grid, advise"
+    )
+
+
+def decode_request(line: str) -> EstimateRequest:
+    """Parse one request line, rejecting malformed or unknown fields."""
+    return _decode_estimate(_parse_line(line))
+
+
+def _decode_estimate(doc: dict) -> EstimateRequest:
+    unknown = set(doc) - _REQUEST_KEYS - {"type"}
     if unknown:
         raise ServingError(
             f"request carries unknown keys {sorted(unknown)}; "

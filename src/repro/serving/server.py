@@ -56,8 +56,12 @@ from repro.serving.admission import (
 from repro.serving.protocol import (
     CODE_ERROR,
     CODE_REJECTED,
+    AdviseRequest,
+    AdviseResponse,
     EstimateRequest,
     EstimateResponse,
+    GridRequest,
+    GridResponse,
 )
 from repro.serving.tenants import DEFAULT_TENANT_CACHE, TenantCatalogs
 from repro.types import ScanSelectivity
@@ -171,6 +175,9 @@ class EstimationServer:
         self._latency = DualFamily(
             instruments.serving_latency, self._registry
         ).labels()
+        self._advisor_requests = DualFamily(
+            instruments.advisor_grid_requests, self._registry
+        )
         self._started = False
         self._stopping = False
         self._dispatchers = [
@@ -299,6 +306,138 @@ class EstimationServer:
             )
         return EstimateResponse(
             request_id=request.request_id, ok=True, estimate=value
+        )
+
+    # ------------------------------------------------------------------
+    # Batched advisory paths (caller-thread; batched by construction)
+    # ------------------------------------------------------------------
+    def _admit_advisory(self, tenant: str) -> None:
+        """Admission for the caller-thread paths.
+
+        Grid/advise requests never ride the micro-batch queue — each is
+        already one batched engine call — but they honour the same
+        closed/shedding gates and tenant-name vocabulary, and count
+        into the same truthful request/reject families.
+        """
+        from repro.serving.tenants import validate_tenant_name
+
+        try:
+            validate_tenant_name(tenant)
+        except ServingError as exc:
+            raise self._admission.reject_invalid(str(exc)) from None
+        with self._inflight_lock:
+            self._admission.admit(self._inflight)
+        counter = self._tenant_counters.get(tenant)
+        if counter is None:
+            counter = self._requests.labels(tenant=tenant)
+            self._tenant_counters[tenant] = counter
+        counter.inc()
+
+    def grid(self, request: GridRequest) -> Dict[str, List[List[float]]]:
+        """Answer one batched multi-index grid request, or raise.
+
+        One :meth:`~repro.engine.EstimationEngine.estimate_grid` call
+        per named index — results are byte-identical to the equivalent
+        per-point :meth:`estimate` fan-out (pinned in tests).
+        """
+        if not self._started:
+            raise ServingError(
+                "server is not started; call start() or use it as a "
+                "context manager"
+            )
+        self._admit_advisory(request.tenant)
+        selectivities = []
+        for sigma, sargable in request.selectivities:
+            try:
+                selectivities.append(ScanSelectivity(sigma, sargable))
+            except ValueError as exc:
+                raise self._admission.reject_invalid(str(exc)) from None
+        for pages in request.buffers:
+            if pages < 1:
+                raise self._admission.reject_invalid(
+                    f"buffer_pages must be >= 1, got {pages}"
+                )
+        with obs_span(
+            "serving-grid",
+            tenant=request.tenant,
+            indexes=len(request.indexes),
+            estimator=request.estimator,
+        ):
+            engine = self._tenants.engine(request.tenant)
+            curves = {
+                name: engine.estimate_grid(
+                    name,
+                    request.estimator,
+                    selectivities,
+                    list(request.buffers),
+                    **dict(request.options),
+                )
+                for name in request.indexes
+            }
+        self._advisor_requests.labels(kind="grid").inc()
+        return curves
+
+    def grid_respond(self, request: GridRequest) -> GridResponse:
+        """:meth:`grid` packaged as a truthful wire response."""
+        try:
+            curves = self.grid(request)
+        except ServingError as exc:
+            return GridResponse(
+                request_id=request.request_id, ok=False,
+                error=str(exc), code=CODE_REJECTED,
+            )
+        except ReproError as exc:
+            return GridResponse(
+                request_id=request.request_id, ok=False,
+                error=str(exc), code=CODE_ERROR,
+            )
+        return GridResponse(
+            request_id=request.request_id, ok=True, curves=curves
+        )
+
+    def advise(self, request: AdviseRequest) -> dict:
+        """Answer one fleet advisory from the tenant's live catalog.
+
+        Runs the same :func:`repro.advisor.advise` pipeline as the
+        offline CLI against this tenant's serving engine, so the report
+        dict is byte-identical to the CLI's for the same statistics and
+        spec (pinned in tests).
+        """
+        if not self._started:
+            raise ServingError(
+                "server is not started; call start() or use it as a "
+                "context manager"
+            )
+        from repro.advisor import AdvisorSpec, advise
+
+        self._admit_advisory(request.tenant)
+        try:
+            spec = AdvisorSpec.from_dict(request.spec)
+        except ReproError as exc:
+            raise self._admission.reject_invalid(str(exc)) from None
+        engine = self._tenants.engine(request.tenant)
+        report = advise(
+            engine, spec, registry=self._registry, path="serving"
+        )
+        self._advisor_requests.labels(kind="advise").inc()
+        return report.to_dict()
+
+    def advise_respond(self, request: AdviseRequest) -> AdviseResponse:
+        """:meth:`advise` packaged as a truthful wire response."""
+        try:
+            report = self.advise(request)
+        except ServingError as exc:
+            return AdviseResponse(
+                request_id=request.request_id, ok=False,
+                error=str(exc), code=CODE_REJECTED,
+            )
+        except ReproError as exc:
+            return AdviseResponse(
+                request_id=request.request_id, ok=False,
+                error=str(exc), code=CODE_ERROR,
+            )
+        return AdviseResponse(
+            request_id=request.request_id, ok=True, report=report
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,87 @@
+"""Property tests for the fleet buffer advisor's allocation core.
+
+The three invariants pinned by the issue:
+
+1. an allocation never exceeds its budget,
+2. the allocated total fetch rate is monotone non-increasing in budget,
+3. greedy marginal-gain allocation equals the exhaustive DP oracle on
+   convexified curves for small fleets (<= 5 indexes x <= 64 pages) —
+   the Fox (1966) optimality guarantee the advisor leans on.
+
+Curves are generated as arbitrary non-negative float sequences and then
+convexified with ``lower_convex_envelope``, exactly as the advisor does
+with raw (possibly non-monotone, policy-shaped) fetch curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.advisor import (
+    dp_allocate,
+    greedy_allocate,
+    lower_convex_envelope,
+    oracle_applicable,
+)
+
+pytestmark = pytest.mark.advisor
+
+_rates = st.floats(
+    min_value=0.0,
+    max_value=1e6,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+_raw_curve = st.lists(_rates, min_size=1, max_size=65)
+
+_fleet = st.dictionaries(
+    st.text(
+        alphabet="abcdefghij", min_size=1, max_size=6
+    ),
+    _raw_curve,
+    min_size=1,
+    max_size=5,
+)
+
+
+def _convexify(fleet):
+    return {
+        name: lower_convex_envelope(raw)
+        for name, raw in fleet.items()
+    }
+
+
+@given(fleet=_fleet, budget=st.integers(min_value=0, max_value=320))
+def test_allocation_never_exceeds_budget(fleet, budget):
+    curves = _convexify(fleet)
+    result = greedy_allocate(curves, budget)
+    assert result.pages_used <= budget
+    assert result.pages_used == sum(result.pages.values())
+    for name, pages in result.pages.items():
+        assert 0 <= pages < len(curves[name])
+
+
+@given(fleet=_fleet, budget=st.integers(min_value=0, max_value=100))
+def test_total_fetches_monotone_non_increasing_in_budget(
+    fleet, budget
+):
+    curves = _convexify(fleet)
+    at_budget = greedy_allocate(curves, budget).total
+    one_more = greedy_allocate(curves, budget + 1).total
+    assert one_more <= at_budget
+
+
+@given(fleet=_fleet, budget=st.integers(min_value=0, max_value=64))
+def test_greedy_matches_dp_on_convexified_curves(fleet, budget):
+    curves = _convexify(fleet)
+    assert oracle_applicable(curves, budget)
+    greedy = greedy_allocate(curves, budget)
+    oracle = dp_allocate(curves, budget)
+    # Optimal objective value agrees exactly (Fraction arithmetic)...
+    assert greedy.total == oracle.total
+    # ...and so does the concrete allocation under the shared
+    # lexicographic tie-break.
+    assert dict(greedy.pages) == dict(oracle.pages)
+    assert greedy.pages_used == oracle.pages_used

@@ -1,0 +1,504 @@
+"""Unit tests for the fleet buffer advisor.
+
+Covers the exact-arithmetic allocation core (monotone repair, lower
+convex envelope, greedy vs the exhaustive DP oracle), the PF(B) edge
+semantics the advisor pins (B=0 clamp, flat tail past table pages,
+negative-extrapolation clamp), the five-minute-rule pricing, the
+advisor-spec JSON round trip, and the end-to-end ``advise`` pipeline on
+a real fitted catalog.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.advisor import (
+    AdvisorReport,
+    AdvisorSpec,
+    CostModel,
+    IndexWorkload,
+    SelectivityClass,
+    advise,
+    default_budget_sweep,
+    dp_allocate,
+    evaluate_index_curve,
+    greedy_allocate,
+    lower_convex_envelope,
+    monotone_repair,
+    oracle_applicable,
+    price_allocation,
+    uniform_fleet,
+)
+from repro.advisor.curves import FleetCurve
+from repro.catalog.catalog import SystemCatalog
+from repro.engine import EstimationEngine
+from repro.errors import AdvisorError
+from repro.estimators.epfis import LRUFit
+
+pytestmark = pytest.mark.advisor
+
+
+# ----------------------------------------------------------------------
+# Envelope
+# ----------------------------------------------------------------------
+class TestEnvelope:
+    def test_monotone_repair_is_running_min(self):
+        values = [Fraction(v) for v in (10, 6, 7, 3, 4, 2)]
+        assert monotone_repair(values) == tuple(
+            Fraction(v) for v in (10, 6, 6, 3, 3, 2)
+        )
+
+    def test_envelope_of_convex_curve_is_identity(self):
+        convex = (10.0, 6.0, 4.0, 3.0, 2.5, 2.5)
+        assert lower_convex_envelope(convex) == tuple(
+            Fraction(v) for v in convex
+        )
+
+    def test_belady_bump_yields_no_negative_gain(self):
+        # A Belady-style anomaly: more pages, *more* fetches at b=2.
+        bumpy = [10.0, 6.0, 7.5, 3.0, 3.5, 2.0]
+        envelope = lower_convex_envelope(bumpy)
+        gains = [
+            envelope[b] - envelope[b + 1]
+            for b in range(len(envelope) - 1)
+        ]
+        assert all(gain >= 0 for gain in gains)
+        # ... and convex: marginal gains never increase with b.
+        assert all(
+            gains[b] >= gains[b + 1] for b in range(len(gains) - 1)
+        )
+
+    def test_envelope_lies_on_or_below_monotone_repair(self):
+        bumpy = [9.0, 9.5, 4.0, 6.0, 3.0, 3.0, 2.9]
+        repaired = monotone_repair([Fraction(v) for v in bumpy])
+        envelope = lower_convex_envelope(bumpy)
+        assert len(envelope) == len(bumpy)
+        assert all(e <= r for e, r in zip(envelope, repaired))
+        # Endpoints always touch the repaired curve.
+        assert envelope[0] == repaired[0]
+        assert envelope[-1] == repaired[-1]
+
+    def test_envelope_is_exact_fractions(self):
+        envelope = lower_convex_envelope([3.0, 1.0, 1.0, 0.0])
+        assert all(isinstance(v, Fraction) for v in envelope)
+        # Interpolated point at b=2 between hull knots (1, 1) and (3, 0).
+        assert envelope[2] == Fraction(1, 2)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(AdvisorError):
+            lower_convex_envelope([])
+
+
+# ----------------------------------------------------------------------
+# Greedy + DP
+# ----------------------------------------------------------------------
+def _env(values):
+    return lower_convex_envelope(values)
+
+
+class TestAllocator:
+    def test_budget_respected_and_zero_gain_pages_unspent(self):
+        curves = {
+            "a": _env([10.0, 4.0, 2.0, 2.0]),
+            "b": _env([5.0, 5.0, 5.0, 5.0]),  # flat: never worth a page
+        }
+        result = greedy_allocate(curves, budget=10)
+        assert result.pages_used <= 10
+        assert result.pages["b"] == 0
+        assert result.pages["a"] == 2  # gains exhausted at 2 pages
+        assert result.total == Fraction(7)
+
+    def test_rejects_raw_non_convex_curves(self):
+        with pytest.raises(AdvisorError, match="not non-increasing"):
+            greedy_allocate({"a": (Fraction(1), Fraction(2))}, 1)
+        with pytest.raises(AdvisorError, match="not non-increasing"):
+            dp_allocate({"a": (Fraction(1), Fraction(2))}, 1)
+
+    def test_greedy_matches_dp_exhaustively_small(self):
+        curves = {
+            "x": _env([12.0, 7.0, 4.5, 3.0, 2.5, 2.5]),
+            "y": _env([9.0, 5.0, 3.5, 3.0, 3.0]),
+            "z": _env([20.0, 11.0, 6.0, 3.0, 1.5, 1.0, 1.0]),
+        }
+        for budget in range(0, 18):
+            greedy = greedy_allocate(curves, budget)
+            oracle = dp_allocate(curves, budget)
+            assert greedy.total == oracle.total, budget
+            assert dict(greedy.pages) == dict(oracle.pages), budget
+
+    def test_tied_gains_break_to_lexicographically_first(self):
+        curves = {"b": _env([4.0, 3.0]), "a": _env([4.0, 3.0])}
+        result = greedy_allocate(curves, budget=1)
+        assert result.pages == {"a": 1, "b": 0}
+        oracle = dp_allocate(curves, budget=1)
+        assert dict(oracle.pages) == {"a": 1, "b": 0}
+
+    def test_total_is_exact_sum_of_envelope_values(self):
+        curves = {"a": _env([1.0, 0.3, 0.1]), "b": _env([0.7, 0.2])}
+        result = greedy_allocate(curves, budget=3)
+        expected = (
+            curves["a"][result.pages["a"]]
+            + curves["b"][result.pages["b"]]
+        )
+        assert result.total == expected
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(AdvisorError):
+            greedy_allocate({"a": _env([1.0, 0.5])}, -1)
+
+    def test_oracle_applicability_gate(self):
+        small = {"a": _env([1.0] * 65)}  # cap 64
+        assert oracle_applicable(small, 64)
+        assert not oracle_applicable(small, 321)
+        big = {"a": _env([1.0] * 66)}  # cap 65 > 64
+        assert not oracle_applicable(big, 10)
+        many = {f"i{k}": _env([1.0, 0.5]) for k in range(6)}
+        assert not oracle_applicable(many, 4)
+
+
+# ----------------------------------------------------------------------
+# Curve evaluation edge semantics (satellite: B=0 / B>N pinning)
+# ----------------------------------------------------------------------
+class _StubStats:
+    def __init__(self, table_pages):
+        self.table_pages = table_pages
+        self.policy = "lru"
+
+
+class _StubEngine:
+    """Duck-typed engine: a fixed per-buffer estimate sequence."""
+
+    def __init__(self, table_pages, per_buffer):
+        self._stats = _StubStats(table_pages)
+        self._per_buffer = per_buffer
+
+    def statistics(self, name):
+        return self._stats
+
+    def estimate_grid(self, name, estimator, selectivities, buffers):
+        return [
+            [self._per_buffer[b - 1]] * len(selectivities)
+            for b in buffers
+        ]
+
+
+class TestCurveEdgeSemantics:
+    def test_b0_clamps_to_b1_so_first_page_gain_is_zero(self):
+        engine = _StubEngine(4, [9.0, 5.0, 3.0, 2.0])
+        workload = IndexWorkload(
+            "i", classes=(SelectivityClass(0.5),)
+        )
+        curve = evaluate_index_curve(engine, workload, "epfis", 4)
+        assert curve.fetch_rate[0] == curve.fetch_rate[1] == 9.0
+        # The envelope anchors at the clamped zero-page rate and never
+        # rises above the raw curve anywhere.
+        assert curve.envelope[0] == Fraction(9)
+        assert all(
+            env <= Fraction(rate)
+            for env, rate in zip(curve.envelope, curve.fetch_rate)
+        )
+
+    def test_cap_stops_at_table_pages(self):
+        engine = _StubEngine(3, [6.0, 4.0, 4.0])
+        workload = IndexWorkload("i", classes=(SelectivityClass(0.5),))
+        # Asking for a far larger budget never evaluates past B = N...
+        curve = evaluate_index_curve(engine, workload, "epfis", 100)
+        assert curve.cap == 3
+        assert len(curve.fetch_rate) == 4
+        # ...and past-cap queries sit on the flat tail.
+        assert curve.rate_at(99) == curve.rate_at(3)
+        assert curve.envelope_at(99) == curve.envelope_at(3)
+
+    def test_negative_extrapolation_clamped_to_zero(self):
+        # A fitted curve extrapolated past its last knot can dip below
+        # zero; the advisor must never turn that into fetch savings.
+        engine = _StubEngine(4, [4.0, 1.0, -2.0, -5.0])
+        workload = IndexWorkload("i", classes=(SelectivityClass(0.5),))
+        curve = evaluate_index_curve(engine, workload, "epfis", 4)
+        assert min(curve.fetch_rate) == 0.0
+        assert all(rate >= 0.0 for rate in curve.fetch_rate)
+        assert all(v >= 0 for v in curve.envelope)
+
+    def test_scan_rate_and_weights_scale_the_curve(self):
+        engine = _StubEngine(2, [10.0, 6.0])
+        workload = IndexWorkload(
+            "i",
+            scans_per_second=3.0,
+            classes=(
+                SelectivityClass(0.1, weight=1.0),
+                SelectivityClass(0.5, weight=3.0),
+            ),
+        )
+        curve = evaluate_index_curve(engine, workload, "epfis", 2)
+        # Both classes see the same stub estimates, so the weighted mean
+        # equals the per-scan value; the rate is scans/s times it.
+        assert curve.fetch_rate[1] == pytest.approx(30.0)
+        assert curve.fetch_rate[2] == pytest.approx(18.0)
+
+    def test_unknown_index_is_an_advisor_error(self, tmp_path):
+        catalog = SystemCatalog()
+        path = tmp_path / "empty.json"
+        catalog.save(path)
+        engine = EstimationEngine(path)
+        with pytest.raises(AdvisorError, match="not in the catalog"):
+            evaluate_index_curve(
+                engine, IndexWorkload("ghost"), "epfis", 8
+            )
+
+
+# ----------------------------------------------------------------------
+# Pricing
+# ----------------------------------------------------------------------
+class TestPricing:
+    def test_break_even_matches_gray_graefe_formula(self):
+        costs = CostModel(
+            page_bytes=8192,
+            ram_dollars_per_mb=0.005,
+            disk_dollars=300.0,
+            disk_accesses_per_second=10_000.0,
+        )
+        expected = (128 / 10_000.0) * (300.0 / 0.005)
+        assert costs.break_even_interval_s() == pytest.approx(expected)
+        # RAM twice as expensive -> break-even halves.
+        assert costs.break_even_interval_s(2.0) == pytest.approx(
+            expected / 2
+        )
+
+    def _curve(self, name, values, table_pages=None):
+        rates = tuple(float(v) for v in values)
+        return FleetCurve(
+            index=name,
+            policy="lru",
+            table_pages=table_pages or (len(values) - 1),
+            cap=len(values) - 1,
+            fetch_rate=rates,
+            envelope=lower_convex_envelope(rates),
+        )
+
+    def test_marginal_page_residency_and_rent(self):
+        curves = {"a": self._curve("a", [10.0, 4.0, 2.0, 2.0])}
+        costs = CostModel()
+        pricing = price_allocation(curves, {"a": 2}, 2, costs)
+        (entry,) = pricing.per_index
+        assert entry.pages == 2
+        assert entry.saved_rate == pytest.approx(8.0)
+        assert entry.marginal_gain == pytest.approx(2.0)
+        assert entry.residency_interval_s == pytest.approx(0.5)
+        assert entry.next_gain == 0.0
+        assert entry.pays_rent  # 0.5 s << the ~768 s break-even
+
+    def test_zero_pages_has_infinite_residency(self):
+        curves = {"a": self._curve("a", [5.0, 5.0])}
+        pricing = price_allocation(curves, {"a": 0}, 4, CostModel())
+        (entry,) = pricing.per_index
+        assert math.isinf(entry.residency_interval_s)
+        assert not entry.pays_rent
+        assert entry.to_dict()["residency_interval_s"] is None
+
+    def test_fleet_dollars(self):
+        curves = {
+            "a": self._curve("a", [10.0, 4.0]),
+            "b": self._curve("b", [6.0, 3.0]),
+        }
+        costs = CostModel()
+        pricing = price_allocation(curves, {"a": 1, "b": 1}, 2, costs)
+        assert pricing.total_rate == pytest.approx(7.0)
+        assert pricing.ram_dollars == pytest.approx(
+            2 * costs.ram_dollars_per_page
+        )
+        assert pricing.disk_dollars == pytest.approx(
+            7.0 * costs.dollars_per_access_per_second
+        )
+        assert pricing.total_dollars == pytest.approx(
+            pricing.ram_dollars + pricing.disk_dollars
+        )
+        assert set(pricing.sensitivity) == {"0.5x", "2x"}
+
+    def test_allocation_curve_mismatch_rejected(self):
+        curves = {"a": self._curve("a", [1.0, 0.5])}
+        with pytest.raises(AdvisorError, match="disagree"):
+            price_allocation(curves, {"b": 1}, 1, CostModel())
+
+
+# ----------------------------------------------------------------------
+# Spec round trip
+# ----------------------------------------------------------------------
+class TestSpecRoundTrip:
+    def test_default_spec_renders_minimal_and_round_trips(self):
+        spec = AdvisorSpec(fleet=uniform_fleet(["idx"]))
+        doc = spec.to_dict()
+        assert set(doc) == {"fleet"}
+        assert doc["fleet"] == [{"index": "idx"}]
+        assert AdvisorSpec.from_dict(doc) == spec
+
+    def test_full_spec_round_trips_via_file(self, tmp_path):
+        spec = AdvisorSpec(
+            fleet=(
+                IndexWorkload(
+                    "hot",
+                    scans_per_second=120.0,
+                    classes=(
+                        SelectivityClass(0.05, weight=0.7),
+                        SelectivityClass(0.4, sargable=0.5, weight=0.3),
+                    ),
+                ),
+                IndexWorkload("cold"),
+            ),
+            estimator="ml",
+            budgets=(64, 16),
+            costs=CostModel(ram_dollars_per_mb=0.01, sensitivity=(3.0,)),
+            oracle="always",
+        )
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert AdvisorSpec.load(path) == spec
+        # Budgets normalized: sorted, deduplicated.
+        assert spec.budgets == (16, 64)
+
+    def test_unknown_keys_rejected_at_every_level(self):
+        with pytest.raises(AdvisorError, match="unknown advisor-spec"):
+            AdvisorSpec.from_dict({"fleet": [{"index": "i"}], "x": 1})
+        with pytest.raises(AdvisorError, match="unknown fleet-entry"):
+            AdvisorSpec.from_dict({"fleet": [{"index": "i", "x": 1}]})
+        with pytest.raises(
+            AdvisorError, match="unknown selectivity-class"
+        ):
+            AdvisorSpec.from_dict(
+                {"fleet": [{"index": "i",
+                            "selectivities": [{"sigma": 0.1, "x": 1}]}]}
+            )
+        with pytest.raises(AdvisorError, match="unknown 'costs'"):
+            AdvisorSpec.from_dict(
+                {"fleet": [{"index": "i"}], "costs": {"x": 1}}
+            )
+
+    def test_validation_errors(self):
+        with pytest.raises(AdvisorError, match="at least one fleet"):
+            AdvisorSpec(fleet=())
+        with pytest.raises(AdvisorError, match="duplicate indexes"):
+            AdvisorSpec(
+                fleet=(IndexWorkload("i"), IndexWorkload("i"))
+            )
+        with pytest.raises(AdvisorError, match="unknown estimator"):
+            AdvisorSpec(
+                fleet=uniform_fleet(["i"]), estimator="nope"
+            )
+        with pytest.raises(AdvisorError, match="budgets must be"):
+            AdvisorSpec(fleet=uniform_fleet(["i"]), budgets=(0,))
+        with pytest.raises(AdvisorError, match="oracle mode"):
+            AdvisorSpec(fleet=uniform_fleet(["i"]), oracle="maybe")
+        with pytest.raises(AdvisorError, match="sigma"):
+            SelectivityClass(0.0)
+        with pytest.raises(AdvisorError, match="scans_per_second"):
+            IndexWorkload("i", scans_per_second=0.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end advise() on a real fitted catalog
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet_catalog(tmp_path_factory, clustered_dataset,
+                  unclustered_dataset):
+    """Two fitted indexes persisted as one catalog file."""
+    catalog = SystemCatalog()
+    catalog.put(LRUFit().run(clustered_dataset.index))
+    catalog.put(LRUFit().run(unclustered_dataset.index))
+    path = tmp_path_factory.mktemp("advisor") / "fleet.json"
+    catalog.save(path)
+    return path
+
+
+class TestAdvise:
+    def test_sweep_is_oracle_verified_and_budget_bounded(
+        self, fleet_catalog
+    ):
+        engine = EstimationEngine(fleet_catalog)
+        spec = AdvisorSpec(
+            fleet=uniform_fleet(engine.index_names()),
+            budgets=(8, 24, 48),
+            oracle="always",
+        )
+        report = advise(fleet_catalog, spec)
+        assert isinstance(report, AdvisorReport)
+        assert [p.budget for p in report.sweep] == [8, 24, 48]
+        totals = []
+        for point in report.sweep:
+            assert point.oracle == "match"
+            assert point.allocation.pages_used <= point.budget
+            assert all(
+                pages >= 0 for pages in point.allocation.pages.values()
+            )
+            totals.append(point.allocation.total)
+        # More budget never costs more fetches.
+        assert totals == sorted(totals, reverse=True)
+
+    def test_report_dict_is_deterministic(self, fleet_catalog):
+        engine = EstimationEngine(fleet_catalog)
+        spec = AdvisorSpec(
+            fleet=uniform_fleet(engine.index_names()), budgets=(16,)
+        )
+        first = advise(fleet_catalog, spec).to_json()
+        second = advise(fleet_catalog, spec).to_json()
+        assert first == second
+
+    def test_default_budget_sweep_derived_from_table_pages(
+        self, fleet_catalog
+    ):
+        engine = EstimationEngine(fleet_catalog)
+        spec = AdvisorSpec(fleet=uniform_fleet(engine.index_names()))
+        total = sum(
+            engine.statistics(name).table_pages
+            for name in engine.index_names()
+        )
+        budgets = default_budget_sweep(engine, spec)
+        assert budgets[-1] == total
+        assert budgets == tuple(sorted(set(budgets)))
+        report = advise(engine, spec)
+        assert [p.budget for p in report.sweep] == list(budgets)
+
+    def test_oracle_mismatch_raises(self, fleet_catalog, monkeypatch):
+        import repro.advisor.advisor as advisor_module
+
+        engine = EstimationEngine(fleet_catalog)
+        spec = AdvisorSpec(
+            fleet=uniform_fleet(engine.index_names()),
+            budgets=(8,),
+            oracle="always",
+        )
+
+        def broken_dp(curves, budget):
+            result = greedy_allocate(curves, budget)
+            return type(result)(
+                pages=result.pages,
+                total=result.total + 1,
+                pages_used=result.pages_used,
+                budget=budget,
+            )
+
+        monkeypatch.setattr(advisor_module, "dp_allocate", broken_dp)
+        with pytest.raises(AdvisorError, match="oracle divergence"):
+            advise(fleet_catalog, spec)
+
+    def test_advisor_metrics_recorded(self, fleet_catalog):
+        from repro.obs.instruments import (
+            advisor_curve_points,
+            advisor_oracle_checks,
+            advisor_runs,
+        )
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = EstimationEngine(fleet_catalog)
+        spec = AdvisorSpec(
+            fleet=uniform_fleet(engine.index_names()),
+            budgets=(8, 16),
+            oracle="always",
+        )
+        advise(fleet_catalog, spec, registry=registry, path="cli")
+        assert advisor_runs(registry).labels(path="cli").value == 1
+        assert advisor_curve_points(registry).labels().value > 0
+        checks = advisor_oracle_checks(registry)
+        assert checks.labels(result="match").value == 2

@@ -1,0 +1,158 @@
+"""CLI tests for ``repro advise`` and the ``repro fit --append`` flow.
+
+A fleet catalog is built the way the docs describe — one ``fit`` per
+index with ``--append`` — then swept by the advisor CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.advisor import AdvisorSpec
+from repro.catalog.catalog import SystemCatalog
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.advisor
+
+BASE = ["--records", "1500", "--distinct", "50",
+        "--records-per-page", "20"]
+
+
+@pytest.fixture(scope="module")
+def fleet_catalog(tmp_path_factory):
+    """A three-index catalog built via ``fit`` + two ``--append`` runs."""
+    path = tmp_path_factory.mktemp("advise-cli") / "fleet.json"
+    catalog = str(path)
+    assert main(["fit", *BASE, "--seed", "1",
+                 "--catalog", catalog]) == 0
+    assert main(["fit", *BASE, "--seed", "2", "--theta", "0.6",
+                 "--catalog", catalog, "--append"]) == 0
+    assert main(["fit", *BASE, "--seed", "3", "--window", "0.5",
+                 "--policy", "clock",
+                 "--catalog", catalog, "--append"]) == 0
+    return path
+
+
+class TestFitAppend:
+    def test_append_accumulates_entries(self, fleet_catalog):
+        assert len(SystemCatalog.load(fleet_catalog)) == 3
+
+    def test_without_append_overwrites(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat.json")
+        assert main(["fit", *BASE, "--seed", "1",
+                     "--catalog", catalog]) == 0
+        assert main(["fit", *BASE, "--seed", "2",
+                     "--catalog", catalog]) == 0
+        assert len(SystemCatalog.load(catalog)) == 1
+
+    def test_append_reports_entry_count(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat.json")
+        assert main(["fit", *BASE, "--seed", "1",
+                     "--catalog", catalog]) == 0
+        capsys.readouterr()
+        assert main(["fit", *BASE, "--seed", "2",
+                     "--catalog", catalog, "--append"]) == 0
+        assert "(2 entries)" in capsys.readouterr().out
+
+
+class TestAdviseCommand:
+    def test_sweep_table_and_break_even(self, fleet_catalog, capsys):
+        assert main(
+            ["advise", "--catalog", str(fleet_catalog),
+             "--budgets", "16", "32", "64", "--oracle", "always"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The budget-sweep table, oracle-verified at every point.
+        assert "budget" in out and "allocation" in out
+        assert out.count("match") >= 3
+        assert "mismatch" not in out
+        # Per-index pricing shows both fitted policies.
+        assert "lru" in out and "clock" in out
+        assert "pays rent" in out
+        # Five-minute-rule line with the default sensitivity factors.
+        assert "five-minute-rule break-even: 768 s" in out
+        assert "0.5x" in out and "2x" in out
+
+    def test_budget_rows_in_order(self, fleet_catalog, capsys):
+        assert main(
+            ["advise", "--catalog", str(fleet_catalog),
+             "--budgets", "64", "8", "--oracle", "never"]
+        ) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines()
+                if line.strip().startswith(("8", "64"))]
+        assert rows and rows[0].strip().startswith("8")
+
+    def test_out_json_report(self, fleet_catalog, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["advise", "--catalog", str(fleet_catalog),
+             "--budgets", "16", "32", "--out", str(report_path)]
+        ) == 0
+        doc = json.loads(report_path.read_text())
+        assert [p["budget"] for p in doc["sweep"]] == [16, 32]
+        assert len(doc["fleet"]) == 3
+        for point in doc["sweep"]:
+            assert point["pages_used"] <= point["budget"]
+            assert set(point["sensitivity"]) == {"0.5x", "2x"}
+
+    def test_save_spec_then_replay(self, fleet_catalog, tmp_path,
+                                   capsys):
+        spec_path = tmp_path / "fleet-spec.json"
+        assert main(
+            ["advise", "--catalog", str(fleet_catalog),
+             "--budgets", "24", "--frequency", "3.5",
+             "--save-spec", str(spec_path)]
+        ) == 0
+        assert "wrote advisor spec" in capsys.readouterr().out
+        spec = AdvisorSpec.load(spec_path)
+        assert spec.budgets == (24,)
+        assert all(
+            w.scans_per_second == 3.5 for w in spec.fleet
+        )
+        # Replaying the saved spec drives the same sweep.
+        assert main(
+            ["advise", "--catalog", str(fleet_catalog),
+             "--spec", str(spec_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "five-minute-rule break-even" in out
+
+    def test_empty_catalog_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        SystemCatalog().save(path)
+        assert main(["advise", "--catalog", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "--append" in err
+
+    def test_metrics_export_includes_advisor_families(
+        self, fleet_catalog, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(
+            ["advise", "--catalog", str(fleet_catalog),
+             "--budgets", "16", "--oracle", "always",
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+        text = metrics_path.read_text()
+        assert "repro_advisor_runs_total" in text
+        assert 'path="cli"' in text
+        assert "repro_advisor_oracle_checks_total" in text
+        assert 'result="match"' in text
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["advise", "--catalog", "c.json"]
+        )
+        assert args.estimator == "epfis"
+        assert args.oracle == "auto"
+        assert args.frequency == pytest.approx(1.0)
+        assert args.page_bytes == 8192
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise"])  # --catalog required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["advise", "--catalog", "c.json", "--oracle", "nope"]
+            )
